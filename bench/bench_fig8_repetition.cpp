@@ -1,0 +1,88 @@
+// Fig. 8 (right panels): element-repetition impact on the count kernel.
+// Runs only the count kernel (plus the memset it needs in global mode) over
+// inputs drawn from d distinct values, for the four communication
+// strategies {shared, global} x {with, without warp-aggregation}, on both
+// architectures.  Throughput per strategy over d shows the atomic-collision
+// collapse and how warp-aggregation mitigates it (Sec. V-E).
+
+#include <iostream>
+#include <string>
+
+#include "bench_util/runner.hpp"
+#include "bench_util/table.hpp"
+#include "core/count_kernel.hpp"
+#include "core/reduce_kernel.hpp"
+#include "core/sample_kernel.hpp"
+#include "data/distributions.hpp"
+
+namespace {
+
+using namespace gpusel;
+
+double run_count(const simt::ArchSpec& arch, simt::AtomicSpace space, bool warp_agg,
+                 std::size_t n, std::size_t distinct, std::uint64_t rep) {
+    simt::Device dev(arch, {.record_profiles = false});
+    const auto data = data::generate<float>({.n = n,
+                                             .dist = data::Distribution::uniform_distinct,
+                                             .distinct_values = distinct,
+                                             .seed = rep + 1});
+    core::SampleSelectConfig cfg;
+    cfg.num_buckets = 256;
+    cfg.atomic_space = space;
+    cfg.warp_aggregation = warp_agg;
+    cfg.seed = rep * 11 + 7;
+    const auto tree = core::sample_splitters<float>(dev, data, cfg, simt::LaunchOrigin::host);
+
+    auto oracles = dev.alloc<std::uint8_t>(n);
+    auto totals = dev.alloc<std::int32_t>(256);
+    const int grid = simt::suggest_grid(arch, n, cfg.block_dim, cfg.unroll);
+    simt::DeviceBuffer<std::int32_t> block_counts;
+    if (space == simt::AtomicSpace::shared) {
+        block_counts = dev.alloc<std::int32_t>(static_cast<std::size_t>(grid) * 256);
+    } else {
+        core::launch_memset32(dev, totals.span(), simt::LaunchOrigin::host);
+    }
+    const double t0 = dev.elapsed_ns();
+    core::count_kernel<float>(dev, data, tree, oracles.span(), totals.span(),
+                              block_counts.span(), cfg, simt::LaunchOrigin::host);
+    return dev.elapsed_ns() - t0;
+}
+
+void panel(const simt::ArchSpec& arch, std::size_t n, const bench::Scale& scale) {
+    bench::Table t("Fig. 8 (right): " + arch.name + " -- count-kernel throughput vs distinct "
+                   "values (n = " + std::to_string(n) + ", single precision) [elements/s]");
+    t.set_header({"distinct d", "shared w/o agg", "shared w/ agg", "global w/ agg",
+                  "global w/o agg"});
+    for (const std::size_t d : {std::size_t{1}, std::size_t{1} << 7, std::size_t{1} << 10,
+                                std::size_t{1} << 14, n}) {
+        std::vector<std::string> row{d == n ? "n" : std::to_string(d)};
+        const struct {
+            simt::AtomicSpace space;
+            bool agg;
+        } modes[] = {{simt::AtomicSpace::shared, false},
+                     {simt::AtomicSpace::shared, true},
+                     {simt::AtomicSpace::global, true},
+                     {simt::AtomicSpace::global, false}};
+        for (const auto& m : modes) {
+            const auto s = bench::repeat_ns(scale.reps, [&](std::size_t rep) {
+                return run_count(arch, m.space, m.agg, n, d, rep);
+            });
+            row.push_back(bench::fmt_eng(bench::throughput(n, s.mean)));
+        }
+        t.add_row(std::move(row));
+    }
+    t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+    const auto scale = gpusel::bench::Scale::from_env();
+    // The paper uses n = 2^28; default here is the sweep maximum.
+    const std::size_t n = std::size_t{1} << scale.max_log_n;
+    std::cout << "Fig. 8 (right) reproduction: repetition impact on the count kernel ("
+              << scale.reps << " reps)\n\n";
+    panel(gpusel::simt::preset("K20Xm"), n, scale);
+    panel(gpusel::simt::preset("V100"), n, scale);
+    return 0;
+}

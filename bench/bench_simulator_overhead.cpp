@@ -1,0 +1,88 @@
+// google-benchmark harness for the *host-side* cost of the SIMT simulator
+// itself.  The paper-figure binaries report simulated GPU time; this one
+// measures how many input elements per wall-clock second the simulation
+// substrate sustains, so regressions in the simulator hot paths (warp
+// tiles, histogram atomics, collision accounting) are caught.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/quickselect.hpp"
+#include "core/approx_select.hpp"
+#include "core/count_kernel.hpp"
+#include "core/reduce_kernel.hpp"
+#include "core/sample_kernel.hpp"
+#include "core/sample_select.hpp"
+#include "data/distributions.hpp"
+
+namespace {
+
+using namespace gpusel;
+
+void BM_CountKernel(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const bool warp_agg = state.range(1) != 0;
+    simt::Device dev(simt::arch_v100(), {.record_profiles = false});
+    const auto data = data::generate<float>(
+        {.n = n, .dist = data::Distribution::uniform_real, .seed = 1});
+    core::SampleSelectConfig cfg;
+    cfg.warp_aggregation = warp_agg;
+    const auto tree = core::sample_splitters<float>(dev, data, cfg, simt::LaunchOrigin::host);
+    auto oracles = dev.alloc<std::uint8_t>(n);
+    auto totals = dev.alloc<std::int32_t>(256);
+    const int grid = simt::suggest_grid(dev.arch(), n, cfg.block_dim, cfg.unroll);
+    auto block_counts = dev.alloc<std::int32_t>(static_cast<std::size_t>(grid) * 256);
+    for (auto _ : state) {
+        core::count_kernel<float>(dev, data, tree, oracles.span(), totals.span(),
+                                  block_counts.span(), cfg, simt::LaunchOrigin::host);
+        benchmark::DoNotOptimize(totals.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CountKernel)->Args({1 << 16, 0})->Args({1 << 16, 1})->Args({1 << 20, 0});
+
+void BM_SampleSelectEndToEnd(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto data = data::generate<float>(
+        {.n = n, .dist = data::Distribution::uniform_real, .seed = 2});
+    for (auto _ : state) {
+        simt::Device dev(simt::arch_v100(), {.record_profiles = false});
+        auto res = core::sample_select<float>(dev, data, n / 2, {});
+        benchmark::DoNotOptimize(res.value);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SampleSelectEndToEnd)->Arg(1 << 16)->Arg(1 << 18);
+
+void BM_QuickSelectEndToEnd(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto data = data::generate<float>(
+        {.n = n, .dist = data::Distribution::uniform_real, .seed = 3});
+    for (auto _ : state) {
+        simt::Device dev(simt::arch_v100(), {.record_profiles = false});
+        auto res = baselines::quick_select<float>(dev, data, n / 2, {});
+        benchmark::DoNotOptimize(res.value);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_QuickSelectEndToEnd)->Arg(1 << 16)->Arg(1 << 18);
+
+void BM_ApproxSelect(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto data = data::generate<float>(
+        {.n = n, .dist = data::Distribution::uniform_real, .seed = 4});
+    core::SampleSelectConfig cfg;
+    cfg.num_buckets = 1024;
+    for (auto _ : state) {
+        simt::Device dev(simt::arch_v100(), {.record_profiles = false});
+        auto res = core::approx_select<float>(dev, data, n / 2, cfg);
+        benchmark::DoNotOptimize(res.value);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ApproxSelect)->Arg(1 << 18);
+
+}  // namespace

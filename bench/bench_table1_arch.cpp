@@ -1,0 +1,35 @@
+// Table I: key characteristics of the high-end NVIDIA GPUs.
+// Prints the two simulated architecture presets in the paper's layout, plus
+// the timing-model parameters each preset carries (the calibration that
+// stands in for real silicon; see EXPERIMENTS.md).
+
+#include <iostream>
+
+#include "bench_util/table.hpp"
+#include "simt/arch.hpp"
+
+int main() {
+    using namespace gpusel;
+    const auto k20 = simt::arch_k20xm();
+    const auto v100 = simt::arch_v100();
+
+    std::cout << "TABLE I: Key characteristics of the high-end NVIDIA GPUs (simulated presets)\n\n";
+    simt::print_table1(std::cout, k20, v100);
+
+    bench::Table model("Timing-model calibration parameters (per EXPERIMENTS.md)");
+    model.set_header({"parameter", k20.name, v100.name});
+    auto row = [&model](const std::string& name, double a, double b) {
+        model.add_row({name, bench::fmt_fixed(a, 2), bench::fmt_fixed(b, 2)});
+    };
+    row("host launch [ns]", k20.host_launch_ns, v100.host_launch_ns);
+    row("device (DP) launch [ns]", k20.device_launch_ns, v100.device_launch_ns);
+    row("shared atomics [ops/ns]", k20.shared_atomic_ops_per_ns, v100.shared_atomic_ops_per_ns);
+    row("global atomics [ops/ns]", k20.global_atomic_ops_per_ns, v100.global_atomic_ops_per_ns);
+    row("shared collision penalty", k20.shared_collision_penalty, v100.shared_collision_penalty);
+    row("global collision penalty", k20.global_collision_penalty, v100.global_collision_penalty);
+    row("warp votes [ops/ns]", k20.ballot_ops_per_ns, v100.ballot_ops_per_ns);
+    row("scattered BW efficiency", k20.scattered_bw_efficiency, v100.scattered_bw_efficiency);
+    std::cout << '\n';
+    model.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,53 @@
+#pragma once
+// BucketSelect (Alabi, Blanchard, Gordon & Steinbach 2012): the fastest
+// prior GPU selection algorithm the paper compares against in Sec. V-D.
+// Instead of sampled splitters, the value range [min, max] is split
+// *uniformly*: bucket(x) = floor((x - min) / (max - min) * b).  This makes
+// bucket identification a couple of arithmetic instructions (no search
+// tree), which is why it wins on uniformly distributed values -- and why it
+// degenerates on adversarial distributions whose mass concentrates in a
+// tiny fraction of the value range (the recursion shrinks the *range* by b
+// per level, not the element count).
+
+#include <cstdint>
+#include <span>
+
+#include "core/config.hpp"
+#include "simt/device.hpp"
+
+namespace gpusel::baselines {
+
+struct BucketSelectConfig {
+    int num_buckets = 256;
+    int block_dim = 256;
+    int unroll = 1;
+    simt::AtomicSpace atomic_space = simt::AtomicSpace::shared;
+    bool warp_aggregation = false;
+    std::size_t base_case_size = 1024;
+
+    void validate() const;
+};
+
+template <typename T>
+struct BucketSelectResult {
+    T value{};
+    std::size_t levels = 0;
+    double sim_ns = 0.0;
+    std::uint64_t launches = 0;
+};
+
+/// Selects the element of the given 0-based rank.
+template <typename T>
+[[nodiscard]] BucketSelectResult<T> bucket_select(simt::Device& dev, std::span<const T> input,
+                                                  std::size_t rank, const BucketSelectConfig& cfg);
+
+extern template BucketSelectResult<float> bucket_select<float>(simt::Device&,
+                                                               std::span<const float>,
+                                                               std::size_t,
+                                                               const BucketSelectConfig&);
+extern template BucketSelectResult<double> bucket_select<double>(simt::Device&,
+                                                                 std::span<const double>,
+                                                                 std::size_t,
+                                                                 const BucketSelectConfig&);
+
+}  // namespace gpusel::baselines

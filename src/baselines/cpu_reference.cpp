@@ -1,0 +1,81 @@
+#include "baselines/cpu_reference.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+
+#include "core/searchtree.hpp"
+#include "data/rng.hpp"
+
+namespace gpusel::baselines {
+
+template <typename T>
+CpuSelectResult<T> cpu_nth_element(std::span<const T> input, std::size_t rank) {
+    if (rank >= input.size()) throw std::out_of_range("rank out of range");
+    std::vector<T> copy(input.begin(), input.end());
+    const auto t0 = std::chrono::steady_clock::now();
+    std::nth_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(rank), copy.end());
+    const auto t1 = std::chrono::steady_clock::now();
+    return {copy[static_cast<std::size_t>(rank)],
+            std::chrono::duration<double, std::nano>(t1 - t0).count()};
+}
+
+template <typename T>
+T serial_sample_select(std::span<const T> input, std::size_t rank, int num_buckets,
+                       int sample_size, std::uint64_t seed) {
+    if (rank >= input.size()) throw std::out_of_range("rank out of range");
+    std::vector<T> buf(input.begin(), input.end());
+    data::Xoshiro256 rng(seed);
+    const auto b = static_cast<std::size_t>(num_buckets);
+
+    for (std::size_t depth = 0; depth < 128; ++depth) {
+        if (buf.size() <= 1024) {
+            std::sort(buf.begin(), buf.end());
+            return buf[rank];
+        }
+        // sample splitters
+        std::vector<T> sample(static_cast<std::size_t>(sample_size));
+        for (auto& s : sample) s = buf[rng.bounded(buf.size())];
+        std::sort(sample.begin(), sample.end());
+        std::vector<T> splitters(b - 1);
+        for (std::size_t j = 1; j < b; ++j) {
+            splitters[j - 1] = sample[j * sample.size() / b];
+        }
+        const auto tree = core::SearchTree<T>::build(std::move(splitters));
+
+        // count + partition (serial)
+        std::vector<std::size_t> counts(b, 0);
+        std::vector<std::int32_t> oracle(buf.size());
+        for (std::size_t i = 0; i < buf.size(); ++i) {
+            oracle[i] = tree.find_bucket(buf[i]);
+            ++counts[static_cast<std::size_t>(oracle[i])];
+        }
+        std::size_t prefix = 0;
+        std::size_t bucket = 0;
+        for (; bucket < b; ++bucket) {
+            if (rank < prefix + counts[bucket]) break;
+            prefix += counts[bucket];
+        }
+        if (tree.equality[bucket]) return tree.splitters[bucket - 1];
+
+        std::vector<T> next;
+        next.reserve(counts[bucket]);
+        for (std::size_t i = 0; i < buf.size(); ++i) {
+            if (static_cast<std::size_t>(oracle[i]) == bucket) next.push_back(buf[i]);
+        }
+        if (next.size() == buf.size()) continue;  // resample (new RNG state)
+        rank -= prefix;
+        buf = std::move(next);
+    }
+    throw std::runtime_error("serial_sample_select: depth cap exceeded");
+}
+
+template CpuSelectResult<float> cpu_nth_element<float>(std::span<const float>, std::size_t);
+template CpuSelectResult<double> cpu_nth_element<double>(std::span<const double>, std::size_t);
+template float serial_sample_select<float>(std::span<const float>, std::size_t, int, int,
+                                           std::uint64_t);
+template double serial_sample_select<double>(std::span<const double>, std::size_t, int, int,
+                                             std::uint64_t);
+
+}  // namespace gpusel::baselines

@@ -1,0 +1,37 @@
+#pragma once
+// CPU reference implementations: std::nth_element (the paper's correctness
+// oracle, Sec. V-A) and a serial, simulator-free SampleSelect used to
+// cross-check the GPU kernels' bucketing decisions.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gpusel::baselines {
+
+/// std::nth_element wrapper with wall-clock timing.
+template <typename T>
+struct CpuSelectResult {
+    T value{};
+    double wall_ns = 0.0;
+};
+
+template <typename T>
+[[nodiscard]] CpuSelectResult<T> cpu_nth_element(std::span<const T> input, std::size_t rank);
+
+/// Serial SampleSelect: same splitter-tree semantics (including equality
+/// buckets) as the device implementation, but plain host code.
+template <typename T>
+[[nodiscard]] T serial_sample_select(std::span<const T> input, std::size_t rank, int num_buckets,
+                                     int sample_size, std::uint64_t seed);
+
+extern template CpuSelectResult<float> cpu_nth_element<float>(std::span<const float>, std::size_t);
+extern template CpuSelectResult<double> cpu_nth_element<double>(std::span<const double>,
+                                                                std::size_t);
+extern template float serial_sample_select<float>(std::span<const float>, std::size_t, int, int,
+                                                  std::uint64_t);
+extern template double serial_sample_select<double>(std::span<const double>, std::size_t, int,
+                                                    int, std::uint64_t);
+
+}  // namespace gpusel::baselines

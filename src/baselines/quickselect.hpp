@@ -1,0 +1,66 @@
+#pragma once
+// GPU QuickSelect (Sec. IV-F): the paper's reference point.  A single pivot
+// (median of a small bitonic-sorted sample) bipartitions the input with the
+// branchless kernel of Fig. 5; the driver recurses into the side containing
+// the target rank, with the same shared/global atomic hierarchy and
+// warp-aggregation options as SampleSelect.
+//
+// Robustness note: a pass counts {smaller, equal, larger} so that ranks
+// falling among pivot-equal elements terminate immediately -- the
+// QuickSelect analogue of SampleSelect's equality buckets, required for
+// d << n duplicate-heavy inputs.
+
+#include <cstdint>
+#include <span>
+
+#include "core/config.hpp"
+#include "simt/device.hpp"
+#include "simt/memory.hpp"
+
+namespace gpusel::baselines {
+
+template <typename T>
+struct QuickSelectResult {
+    T value{};
+    /// Bipartition levels executed.
+    std::size_t levels = 0;
+    /// True if selection ended on a pivot-equal rank.
+    bool equality_exit = false;
+    double sim_ns = 0.0;
+    std::uint64_t launches = 0;
+    std::size_t aux_bytes = 0;
+};
+
+/// Selects the element of the given 0-based rank.
+template <typename T>
+[[nodiscard]] QuickSelectResult<T> quick_select(simt::Device& dev, std::span<const T> input,
+                                                std::size_t rank,
+                                                const core::QuickSelectConfig& cfg);
+
+/// The literal Fig. 5 branchless bipartition kernel: writes elements
+/// smaller than the pivot from the left of `out` and the rest from the
+/// right (out.size() == data.size()).  Returns nothing; the smaller-side
+/// size comes from the counters.  Exposed for the Fig. 9 runtime-breakdown
+/// benchmark and for unit tests.
+template <typename T>
+void bipartition_kernel(simt::Device& dev, std::span<const T> data, T pivot, std::span<T> out,
+                        std::span<std::int32_t> counters, const core::QuickSelectConfig& cfg,
+                        simt::LaunchOrigin origin);
+
+extern template QuickSelectResult<float> quick_select<float>(simt::Device&,
+                                                             std::span<const float>, std::size_t,
+                                                             const core::QuickSelectConfig&);
+extern template QuickSelectResult<double> quick_select<double>(simt::Device&,
+                                                               std::span<const double>,
+                                                               std::size_t,
+                                                               const core::QuickSelectConfig&);
+extern template void bipartition_kernel<float>(simt::Device&, std::span<const float>, float,
+                                               std::span<float>, std::span<std::int32_t>,
+                                               const core::QuickSelectConfig&,
+                                               simt::LaunchOrigin);
+extern template void bipartition_kernel<double>(simt::Device&, std::span<const double>, double,
+                                                std::span<double>, std::span<std::int32_t>,
+                                                const core::QuickSelectConfig&,
+                                                simt::LaunchOrigin);
+
+}  // namespace gpusel::baselines

@@ -1,0 +1,226 @@
+#include "baselines/radixselect.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "bitonic/bitonic.hpp"
+#include "core/count_kernel.hpp"
+#include "core/reduce_kernel.hpp"
+#include "simt/timing.hpp"
+
+namespace gpusel::baselines {
+
+void RadixSelectConfig::validate() const {
+    if (block_dim <= 0 || block_dim % simt::kWarpSize != 0 || block_dim > 1024) {
+        throw std::invalid_argument("block_dim must be a positive multiple of 32, at most 1024");
+    }
+    if (base_case_size < 2 || base_case_size > 4096) {
+        throw std::invalid_argument("base_case_size must be in [2, 4096]");
+    }
+}
+
+std::uint32_t radix_key(float x) noexcept {
+    const auto u = std::bit_cast<std::uint32_t>(x);
+    // Positive floats: set the sign bit; negatives: flip all bits.
+    return (u & 0x80000000u) != 0 ? ~u : (u | 0x80000000u);
+}
+
+std::uint64_t radix_key(double x) noexcept {
+    const auto u = std::bit_cast<std::uint64_t>(x);
+    return (u & 0x8000000000000000ULL) != 0 ? ~u : (u | 0x8000000000000000ULL);
+}
+
+namespace {
+
+template <typename T>
+using key_t = decltype(radix_key(T{}));
+
+template <typename T>
+constexpr int key_bits() noexcept {
+    return static_cast<int>(sizeof(key_t<T>) * 8);
+}
+
+constexpr std::size_t kBins = std::size_t{1} << kDigitBits;
+
+template <typename T>
+std::int32_t digit_of(T x, int shift) noexcept {
+    return static_cast<std::int32_t>((radix_key(x) >> shift) & (kBins - 1));
+}
+
+/// Digit histogram pass (the RadixSelect `count`).
+template <typename T>
+int digit_count(simt::Device& dev, std::span<const T> data, int shift,
+                std::span<std::int32_t> totals, std::span<std::int32_t> block_counts,
+                const RadixSelectConfig& cfg, simt::LaunchOrigin origin) {
+    const std::size_t n = data.size();
+    const bool shared_mode = cfg.atomic_space == simt::AtomicSpace::shared;
+    const int grid = simt::suggest_grid(dev.arch(), n, cfg.block_dim, cfg.unroll);
+    dev.launch(
+        "radix_count",
+        {.grid_dim = grid, .block_dim = cfg.block_dim, .origin = origin, .unroll = cfg.unroll},
+        [&, n, shift, shared_mode](simt::BlockCtx& blk) {
+            std::span<std::int32_t> counters;
+            std::span<std::int32_t> sh;
+            if (shared_mode) {
+                sh = blk.shared_array<std::int32_t>(kBins);
+                std::fill(sh.begin(), sh.end(), 0);
+                blk.charge_shared(kBins * sizeof(std::int32_t));
+                blk.sync();
+                counters = sh;
+            } else {
+                counters = totals;
+            }
+            const auto space = shared_mode ? simt::AtomicSpace::shared : simt::AtomicSpace::global;
+            blk.warp_tiles(n, [&](simt::WarpCtx& w, std::size_t base, std::size_t) {
+                T elems[simt::kWarpSize];
+                std::int32_t digit[simt::kWarpSize];
+                w.load(data, base, elems);
+                for (int l = 0; l < w.lanes(); ++l) digit[l] = digit_of(elems[l], shift);
+                w.add_instr(2 * static_cast<std::uint64_t>(w.lanes()));
+                if (cfg.warp_aggregation) {
+                    w.atomic_add_aggregated(space, counters, digit, kDigitBits);
+                } else {
+                    w.atomic_add(space, counters, digit);
+                }
+            });
+            if (shared_mode) {
+                blk.sync();
+                const auto base = static_cast<std::size_t>(blk.block_idx()) * kBins;
+                for (std::size_t i = 0; i < kBins; ++i) block_counts[base + i] = sh[i];
+                blk.charge_shared(kBins * sizeof(std::int32_t));
+                blk.charge_global_write(kBins * sizeof(std::int32_t));
+            }
+        });
+    return grid;
+}
+
+/// Extraction of the elements whose current digit equals `digit` (the digit
+/// is recomputed; RadixSelect stores no oracles).
+template <typename T>
+void digit_filter(simt::Device& dev, std::span<const T> data, int shift, std::int32_t digit,
+                  std::span<T> out, std::span<const std::int32_t> block_offsets,
+                  std::span<std::int32_t> cursor, const RadixSelectConfig& cfg,
+                  simt::LaunchOrigin origin, int grid_dim) {
+    const std::size_t n = data.size();
+    const bool shared_mode = cfg.atomic_space == simt::AtomicSpace::shared;
+    dev.launch(
+        "radix_filter",
+        {.grid_dim = grid_dim, .block_dim = cfg.block_dim, .origin = origin,
+         .unroll = cfg.unroll},
+        [&, n, shift, digit, shared_mode](simt::BlockCtx& blk) {
+            std::int32_t sh_cursor = 0;
+            std::span<std::int32_t> ctr;
+            simt::AtomicSpace space;
+            if (shared_mode) {
+                const auto idx =
+                    static_cast<std::size_t>(blk.block_idx()) * kBins +
+                    static_cast<std::size_t>(digit);
+                sh_cursor = block_offsets[idx];
+                blk.charge_global_read(sizeof(std::int32_t));
+                ctr = std::span<std::int32_t>(&sh_cursor, 1);
+                space = simt::AtomicSpace::shared;
+            } else {
+                ctr = cursor.subspan(0, 1);
+                space = simt::AtomicSpace::global;
+            }
+            blk.warp_tiles(n, [&](simt::WarpCtx& w, std::size_t base, std::size_t) {
+                T elems[simt::kWarpSize];
+                bool pred[simt::kWarpSize];
+                const std::int32_t zeros[simt::kWarpSize] = {};
+                std::int32_t off[simt::kWarpSize];
+                w.load(data, base, elems);
+                for (int l = 0; l < w.lanes(); ++l) {
+                    pred[l] = digit_of(elems[l], shift) == digit;
+                }
+                w.add_instr(2 * static_cast<std::uint64_t>(w.lanes()));
+                // compaction offsets: always ballot-aggregated (see filter)
+                w.fetch_add(space, ctr, zeros, off, /*aggregated=*/true, 1, pred);
+                std::uint64_t matched = 0;
+                for (int l = 0; l < w.lanes(); ++l) {
+                    if (pred[l]) {
+                        out[static_cast<std::size_t>(off[l])] = elems[l];
+                        ++matched;
+                    }
+                }
+                w.block().counters().global_bytes_written += matched * sizeof(T);
+            });
+        });
+}
+
+}  // namespace
+
+template <typename T>
+RadixSelectResult<T> radix_select(simt::Device& dev, std::span<const T> input, std::size_t rank,
+                                  const RadixSelectConfig& cfg) {
+    cfg.validate();
+    const std::size_t n0 = input.size();
+    if (n0 == 0 || rank >= n0) throw std::out_of_range("rank out of range");
+
+    auto buf = dev.alloc<T>(n0);
+    std::copy(input.begin(), input.end(), buf.data());
+
+    RadixSelectResult<T> res;
+    const double t0 = dev.elapsed_ns();
+    const std::uint64_t l0 = dev.launch_count();
+    const bool shared_mode = cfg.atomic_space == simt::AtomicSpace::shared;
+
+    int shift = key_bits<T>() - kDigitBits;
+    for (std::size_t level = 0;; ++level) {
+        const auto origin = level == 0 ? simt::LaunchOrigin::host : simt::LaunchOrigin::device;
+        const std::size_t n = buf.size();
+        if (n <= cfg.base_case_size || shift < 0) {
+            // shift < 0: all remaining elements share every digit -> equal.
+            if (shift < 0) {
+                res.value = buf[0];
+                break;
+            }
+            bitonic::sort_on_device<T>(dev, buf.span(), n, origin, cfg.block_dim);
+            res.value = buf[rank];
+            break;
+        }
+
+        auto totals = dev.alloc<std::int32_t>(kBins);
+        const int grid = simt::suggest_grid(dev.arch(), n, cfg.block_dim, cfg.unroll);
+        simt::DeviceBuffer<std::int32_t> block_counts;
+        if (shared_mode) {
+            block_counts = dev.alloc<std::int32_t>(static_cast<std::size_t>(grid) * kBins);
+        } else {
+            core::launch_memset32(dev, totals.span(), origin);
+        }
+        digit_count<T>(dev, buf.span(), shift, totals.span(), block_counts.span(), cfg, origin);
+        if (shared_mode) {
+            core::reduce_kernel(dev, block_counts.span(), grid, static_cast<int>(kBins),
+                                totals.span(), /*keep_block_offsets=*/true, origin, cfg.block_dim);
+        }
+        auto prefix = dev.alloc<std::int32_t>(kBins + 1);
+        const std::int32_t digit =
+            core::select_bucket_kernel(dev, totals.span(), prefix.span(), rank, origin);
+        const auto ud = static_cast<std::size_t>(digit);
+        ++res.levels;
+
+        const auto bucket_size = static_cast<std::size_t>(totals[ud]);
+        auto out = dev.alloc<T>(bucket_size);
+        simt::DeviceBuffer<std::int32_t> cursor;
+        if (!shared_mode) {
+            cursor = dev.alloc<std::int32_t>(1);
+            core::launch_memset32(dev, cursor.span(), origin);
+        }
+        digit_filter<T>(dev, buf.span(), shift, digit, out.span(), block_counts.span(),
+                        cursor.span(), cfg, origin, grid);
+        rank -= static_cast<std::size_t>(prefix[ud]);
+        buf = std::move(out);
+        shift -= kDigitBits;
+    }
+
+    res.sim_ns = dev.elapsed_ns() - t0;
+    res.launches = dev.launch_count() - l0;
+    return res;
+}
+
+template RadixSelectResult<float> radix_select<float>(simt::Device&, std::span<const float>,
+                                                      std::size_t, const RadixSelectConfig&);
+template RadixSelectResult<double> radix_select<double>(simt::Device&, std::span<const double>,
+                                                        std::size_t, const RadixSelectConfig&);
+
+}  // namespace gpusel::baselines

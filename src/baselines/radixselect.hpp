@@ -1,0 +1,57 @@
+#pragma once
+// RadixSelect (Alabi et al. 2012): MSD radix selection over the
+// order-preserving bit representation of IEEE floats.  Digit histograms
+// (one radix-`kDigitBits` digit per level, most significant first) replace
+// sampled splitters; the level count is fixed by the key width rather than
+// the data, making the algorithm fully distribution-independent -- at the
+// cost of always running width/digit-bits passes.
+
+#include <cstdint>
+#include <span>
+
+#include "core/config.hpp"
+#include "simt/device.hpp"
+
+namespace gpusel::baselines {
+
+/// Radix digit width; 8 bits = 256 histogram bins per pass.
+inline constexpr int kDigitBits = 8;
+
+struct RadixSelectConfig {
+    int block_dim = 256;
+    int unroll = 1;
+    simt::AtomicSpace atomic_space = simt::AtomicSpace::shared;
+    bool warp_aggregation = false;
+    std::size_t base_case_size = 1024;
+
+    void validate() const;
+};
+
+template <typename T>
+struct RadixSelectResult {
+    T value{};
+    std::size_t levels = 0;
+    double sim_ns = 0.0;
+    std::uint64_t launches = 0;
+};
+
+/// Selects the element of the given 0-based rank.  T is float or double
+/// (NaN-free inputs, like all algorithms in this library).
+template <typename T>
+[[nodiscard]] RadixSelectResult<T> radix_select(simt::Device& dev, std::span<const T> input,
+                                                std::size_t rank, const RadixSelectConfig& cfg);
+
+/// Order-preserving bijection from float/double to an unsigned key:
+/// x < y  <=>  key(x) < key(y).  Exposed for tests.
+[[nodiscard]] std::uint32_t radix_key(float x) noexcept;
+[[nodiscard]] std::uint64_t radix_key(double x) noexcept;
+
+extern template RadixSelectResult<float> radix_select<float>(simt::Device&,
+                                                             std::span<const float>, std::size_t,
+                                                             const RadixSelectConfig&);
+extern template RadixSelectResult<double> radix_select<double>(simt::Device&,
+                                                               std::span<const double>,
+                                                               std::size_t,
+                                                               const RadixSelectConfig&);
+
+}  // namespace gpusel::baselines

@@ -1,0 +1,44 @@
+#include "bench_util/runner.hpp"
+
+#include <cstdlib>
+
+namespace gpusel::bench {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+    const char* v = std::getenv(name);
+    if (v == nullptr || *v == '\0') return fallback;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end == v) return fallback;
+    return static_cast<std::size_t>(parsed);
+}
+
+Scale Scale::from_env() {
+    Scale s;
+    s.min_log_n = env_size("GPUSEL_BENCH_MIN_LOG_N", s.min_log_n);
+    s.max_log_n = env_size("GPUSEL_BENCH_MAX_LOG_N", s.max_log_n);
+    s.reps = env_size("GPUSEL_BENCH_REPS", s.reps);
+    if (s.max_log_n < s.min_log_n) s.max_log_n = s.min_log_n;
+    if (s.reps == 0) s.reps = 1;
+    return s;
+}
+
+std::vector<std::size_t> Scale::sizes(std::size_t step) const {
+    std::vector<std::size_t> out;
+    for (std::size_t lg = min_log_n; lg <= max_log_n; lg += step) {
+        out.push_back(std::size_t{1} << lg);
+    }
+    return out;
+}
+
+stats::Summary repeat_ns(std::size_t reps, const std::function<double(std::size_t)>& fn) {
+    stats::Accumulator acc;
+    for (std::size_t r = 0; r < reps; ++r) acc.add(fn(r));
+    return acc.summary();
+}
+
+double throughput(std::size_t n, double ns) {
+    return static_cast<double>(n) / (ns * 1e-9);
+}
+
+}  // namespace gpusel::bench

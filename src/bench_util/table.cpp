@@ -1,0 +1,76 @@
+#include "bench_util/table.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace gpusel::bench {
+
+void Table::print(std::ostream& os) const {
+    if (const char* csv = std::getenv("GPUSEL_BENCH_CSV"); csv != nullptr && *csv != '\0') {
+        if (!title_.empty()) os << "# " << title_ << '\n';
+        print_csv(os);
+        os << '\n';
+        return;
+    }
+    std::vector<std::size_t> widths;
+    auto grow = [&widths](const std::vector<std::string>& row) {
+        if (widths.size() < row.size()) widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            widths[i] = std::max(widths[i], row[i].size());
+        }
+    };
+    grow(header_);
+    for (const auto& r : rows_) grow(r);
+
+    if (!title_.empty()) os << "== " << title_ << " ==\n";
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i != 0) os << "  ";
+            os << (i == 0 ? std::left : std::right) << std::setw(static_cast<int>(widths[i]))
+               << row[i];
+        }
+        os << '\n';
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t w : widths) total += w + 2;
+        os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    }
+    for (const auto& r : rows_) emit(r);
+    os << '\n';
+}
+
+void Table::print_csv(std::ostream& os) const {
+    auto emit = [&os](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << (i == 0 ? "" : ",") << row[i];
+        }
+        os << '\n';
+    };
+    if (!header_.empty()) emit(header_);
+    for (const auto& r : rows_) emit(r);
+}
+
+std::string fmt_eng(double v, int precision) {
+    std::ostringstream os;
+    os << std::scientific << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string fmt_fixed(double v, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string fmt_pct(double v, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v * 100.0 << "%";
+    return os.str();
+}
+
+}  // namespace gpusel::bench

@@ -1,0 +1,38 @@
+#pragma once
+// ASCII table / CSV emitters for the benchmark harness.  Every figure and
+// table of the paper is regenerated as a printed series (one row per x
+// value, one column per curve) so results can be diffed and re-plotted.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gpusel::bench {
+
+/// Column-aligned ASCII table with an optional title.
+class Table {
+public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    void set_header(std::vector<std::string> header) { header_ = std::move(header); }
+    void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+    /// Renders with aligned columns -- or as CSV when the environment
+    /// variable GPUSEL_BENCH_CSV is set (so every figure harness can feed
+    /// a plotting script without code changes).
+    void print(std::ostream& os) const;
+    /// Renders as CSV (header + rows, comma-separated).
+    void print_csv(std::ostream& os) const;
+
+private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Number formatting helpers for table cells.
+[[nodiscard]] std::string fmt_eng(double v, int precision = 3);  ///< 3.21e+09 style
+[[nodiscard]] std::string fmt_fixed(double v, int precision = 3);
+[[nodiscard]] std::string fmt_pct(double v, int precision = 3);  ///< value*100 with '%'
+
+}  // namespace gpusel::bench

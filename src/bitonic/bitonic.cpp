@@ -1,0 +1,10 @@
+#include "bitonic/bitonic.hpp"
+
+namespace gpusel::bitonic {
+
+template void sort_network<float>(std::span<float>);
+template void sort_network<double>(std::span<double>);
+template void sort_small_kernel<float>(simt::BlockCtx&, std::span<float>, std::size_t);
+template void sort_small_kernel<double>(simt::BlockCtx&, std::span<double>, std::size_t);
+
+}  // namespace gpusel::bitonic

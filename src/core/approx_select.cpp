@@ -1,0 +1,121 @@
+#include "core/approx_select.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/count_kernel.hpp"
+#include "core/reduce_kernel.hpp"
+#include "core/sample_kernel.hpp"
+#include "simt/timing.hpp"
+
+namespace gpusel::core {
+
+template <typename T>
+ApproxMultiResult<T> approx_multi_select(simt::Device& dev, std::span<const T> input,
+                                         std::span<const std::size_t> ranks,
+                                         const SampleSelectConfig& cfg) {
+    cfg.validate(/*exact=*/false);
+    const std::size_t n = input.size();
+    if (ranks.empty()) return {};
+    for (const std::size_t r : ranks) {
+        if (n == 0 || r >= n) throw std::out_of_range("rank out of range");
+    }
+    const auto b = static_cast<std::size_t>(cfg.num_buckets);
+    const bool shared_mode = cfg.atomic_space == simt::AtomicSpace::shared;
+    const auto origin = simt::LaunchOrigin::host;
+
+    const double t0 = dev.elapsed_ns();
+    const std::uint64_t l0 = dev.launch_count();
+
+    const SearchTree<T> tree = sample_splitters<T>(dev, input, cfg, origin);
+
+    auto totals = dev.alloc<std::int32_t>(b);
+    const int grid = simt::suggest_grid(dev.arch(), n, cfg.block_dim, cfg.unroll);
+    simt::DeviceBuffer<std::int32_t> block_counts;
+    if (shared_mode) {
+        block_counts = dev.alloc<std::int32_t>(static_cast<std::size_t>(grid) * b);
+    } else {
+        launch_memset32(dev, totals.span(), origin, cfg.stream);
+    }
+    // No oracle write: the single-level variant never filters.
+    count_kernel<T>(dev, input, tree, /*oracles=*/{}, totals.span(), block_counts.span(), cfg,
+                    origin);
+    if (shared_mode) {
+        reduce_kernel(dev, block_counts.span(), grid, cfg.num_buckets, totals.span(),
+                      /*keep_block_offsets=*/false, origin, cfg.block_dim, cfg.stream);
+    }
+    auto prefix = dev.alloc<std::int32_t>(b + 1);
+    (void)select_bucket_kernel(dev, totals.span(), prefix.span(), ranks.front(), origin,
+                               cfg.stream);
+
+    std::size_t max_bucket = 0;
+    for (std::size_t i = 0; i < b; ++i) {
+        max_bucket = std::max(max_bucket, static_cast<std::size_t>(totals[i]));
+    }
+
+    // Splitter ranks are r_i = prefix[i] for i = 1..b-1; answer every target
+    // rank from the same prefix table.
+    ApproxMultiResult<T> res;
+    res.points.resize(ranks.size());
+    for (std::size_t q = 0; q < ranks.size(); ++q) {
+        const std::size_t rank = ranks[q];
+        std::size_t best = 1;
+        std::size_t best_err = static_cast<std::size_t>(-1);
+        for (std::size_t i = 1; i < b; ++i) {
+            const auto r = static_cast<std::size_t>(prefix[i]);
+            const std::size_t err = r > rank ? r - rank : rank - r;
+            if (err < best_err) {
+                best_err = err;
+                best = i;
+            }
+        }
+        auto& p = res.points[q];
+        p.value = tree.splitters[best - 1];
+        p.splitter_rank = static_cast<std::size_t>(prefix[best]);
+        p.rank_error = best_err;
+        p.max_bucket = max_bucket;
+    }
+    res.sim_ns = dev.elapsed_ns() - t0;
+    res.launches = dev.launch_count() - l0;
+    for (auto& p : res.points) {
+        p.sim_ns = res.sim_ns;
+        p.launches = res.launches;
+    }
+    return res;
+}
+
+template <typename T>
+ApproxResult<T> approx_select_device(simt::Device& dev, std::span<const T> data, std::size_t rank,
+                                     const SampleSelectConfig& cfg) {
+    const std::size_t ranks[] = {rank};
+    auto multi = approx_multi_select<T>(dev, data, ranks, cfg);
+    return multi.points.front();
+}
+
+template <typename T>
+ApproxResult<T> approx_select(simt::Device& dev, std::span<const T> input, std::size_t rank,
+                              const SampleSelectConfig& cfg) {
+    auto buf = dev.alloc<T>(input.size());
+    std::copy(input.begin(), input.end(), buf.data());
+    return approx_select_device<T>(dev, buf.span(), rank, cfg);
+}
+
+template ApproxMultiResult<float> approx_multi_select<float>(simt::Device&,
+                                                             std::span<const float>,
+                                                             std::span<const std::size_t>,
+                                                             const SampleSelectConfig&);
+template ApproxMultiResult<double> approx_multi_select<double>(simt::Device&,
+                                                               std::span<const double>,
+                                                               std::span<const std::size_t>,
+                                                               const SampleSelectConfig&);
+template ApproxResult<float> approx_select<float>(simt::Device&, std::span<const float>,
+                                                  std::size_t, const SampleSelectConfig&);
+template ApproxResult<double> approx_select<double>(simt::Device&, std::span<const double>,
+                                                    std::size_t, const SampleSelectConfig&);
+template ApproxResult<float> approx_select_device<float>(simt::Device&, std::span<const float>,
+                                                         std::size_t, const SampleSelectConfig&);
+template ApproxResult<double> approx_select_device<double>(simt::Device&,
+                                                           std::span<const double>, std::size_t,
+                                                           const SampleSelectConfig&);
+
+}  // namespace gpusel::core

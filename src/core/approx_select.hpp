@@ -1,0 +1,81 @@
+#pragma once
+// Approximate SampleSelect (Sec. II-C and V-G): a single recursion level.
+// After grouping elements into buckets, the splitter ranks r_i are free
+// byproducts (the bucket-count prefix sums); the splitter whose rank is
+// closest to the target rank k is returned as the approximate k-th order
+// statistic.  No oracles are written and no filter runs, which radically
+// reduces the memory work; the bucket count (up to 1024, shared-memory
+// limited) controls the rank-error bound of half the maximum bucket size.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "simt/device.hpp"
+
+namespace gpusel::core {
+
+template <typename T>
+struct ApproxResult {
+    /// The chosen splitter (approximate k-th smallest element).
+    T value{};
+    /// The splitter's exact rank r_i (known from the bucket prefix sums).
+    std::size_t splitter_rank = 0;
+    /// |r_i - k|: the rank error, exact by construction.
+    std::size_t rank_error = 0;
+    /// Largest bucket size of this level (the paper's error bound is half
+    /// of this).
+    std::size_t max_bucket = 0;
+    /// Simulated duration [ns].
+    double sim_ns = 0.0;
+    std::uint64_t launches = 0;
+};
+
+/// Approximates the element of the given rank with one bucketing level.
+template <typename T>
+[[nodiscard]] ApproxResult<T> approx_select(simt::Device& dev, std::span<const T> input,
+                                            std::size_t rank, const SampleSelectConfig& cfg);
+
+/// Multi-rank approximation: the bucket prefix sums of a single counting
+/// level contain the exact ranks of *all* splitters, so approximating any
+/// number of target ranks costs one pass.  points[i] answers ranks[i].
+template <typename T>
+struct ApproxMultiResult {
+    std::vector<ApproxResult<T>> points;
+    double sim_ns = 0.0;
+    std::uint64_t launches = 0;
+};
+
+template <typename T>
+[[nodiscard]] ApproxMultiResult<T> approx_multi_select(simt::Device& dev,
+                                                       std::span<const T> input,
+                                                       std::span<const std::size_t> ranks,
+                                                       const SampleSelectConfig& cfg);
+
+/// Device-resident variant (does not copy the input).
+template <typename T>
+[[nodiscard]] ApproxResult<T> approx_select_device(simt::Device& dev, std::span<const T> data,
+                                                   std::size_t rank,
+                                                   const SampleSelectConfig& cfg);
+
+extern template ApproxMultiResult<float> approx_multi_select<float>(
+    simt::Device&, std::span<const float>, std::span<const std::size_t>,
+    const SampleSelectConfig&);
+extern template ApproxMultiResult<double> approx_multi_select<double>(
+    simt::Device&, std::span<const double>, std::span<const std::size_t>,
+    const SampleSelectConfig&);
+extern template ApproxResult<float> approx_select<float>(simt::Device&, std::span<const float>,
+                                                         std::size_t, const SampleSelectConfig&);
+extern template ApproxResult<double> approx_select<double>(simt::Device&, std::span<const double>,
+                                                           std::size_t, const SampleSelectConfig&);
+extern template ApproxResult<float> approx_select_device<float>(simt::Device&,
+                                                                std::span<const float>,
+                                                                std::size_t,
+                                                                const SampleSelectConfig&);
+extern template ApproxResult<double> approx_select_device<double>(simt::Device&,
+                                                                  std::span<const double>,
+                                                                  std::size_t,
+                                                                  const SampleSelectConfig&);
+
+}  // namespace gpusel::core

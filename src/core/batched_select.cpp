@@ -1,0 +1,130 @@
+#include "core/batched_select.hpp"
+
+#include <stdexcept>
+
+#include "bitonic/bitonic.hpp"
+#include "core/sample_select.hpp"
+#include "simt/timing.hpp"
+
+namespace gpusel::core {
+
+namespace {
+
+/// One thread block per (short) sequence: stage into shared memory, bitonic
+/// sort, emit the requested rank.
+template <typename T>
+void batched_kernel(simt::Device& dev, std::span<const T> flat,
+                    const std::vector<std::size_t>& seq_begin,
+                    const std::vector<std::size_t>& seq_len,
+                    const std::vector<std::size_t>& seq_rank, std::span<T> out_values,
+                    const std::vector<std::size_t>& out_slot, int block_dim) {
+    const int grid = static_cast<int>(seq_begin.size());
+    dev.launch(
+        "batched_select", {.grid_dim = grid, .block_dim = block_dim},
+        [&, flat, out_values](simt::BlockCtx& blk) {
+            const auto s = static_cast<std::size_t>(blk.block_idx());
+            const std::size_t begin = seq_begin[s];
+            const std::size_t len = seq_len[s];
+            const std::size_t m = bitonic::next_pow2(len);
+            auto sh = blk.shared_array<T>(m);
+
+            blk.warp_tiles_local(len, [&](simt::WarpCtx& w, std::size_t base, std::size_t) {
+                T regs[simt::kWarpSize];
+                w.load(flat, begin + base, regs);
+                for (int l = 0; l < w.lanes(); ++l) {
+                    sh[base + static_cast<std::size_t>(l)] = regs[l];
+                }
+                w.touch_shared(static_cast<std::uint64_t>(w.lanes()) * sizeof(T));
+            });
+            bitonic::sort_in_shared(blk, sh, len);
+
+            out_values[out_slot[s]] = sh[seq_rank[s]];
+            blk.charge_shared(sizeof(T));
+            blk.charge_global_write(sizeof(T));
+        });
+}
+
+}  // namespace
+
+template <typename T>
+BatchedSelectResult<T> batched_select(simt::Device& dev, std::span<const T> flat,
+                                      std::span<const std::size_t> offsets,
+                                      std::span<const std::size_t> ranks,
+                                      const SampleSelectConfig& cfg) {
+    cfg.validate(/*exact=*/true);
+    if (offsets.size() < 2 || ranks.size() != offsets.size() - 1) {
+        throw std::invalid_argument("batched_select: need offsets of size m+1 and m ranks");
+    }
+    if (offsets.front() != 0 || offsets.back() != flat.size()) {
+        throw std::invalid_argument("batched_select: offsets must span the flat array");
+    }
+    const std::size_t m = ranks.size();
+    for (std::size_t i = 0; i < m; ++i) {
+        if (offsets[i + 1] < offsets[i]) {
+            throw std::invalid_argument("batched_select: offsets must be non-decreasing");
+        }
+        const std::size_t len = offsets[i + 1] - offsets[i];
+        if (len == 0) throw std::invalid_argument("batched_select: empty sequence");
+        if (ranks[i] >= len) throw std::out_of_range("batched_select: rank out of range");
+    }
+
+    // Copy the batch to the device (as elsewhere, the transfer is not part
+    // of the timed selection).
+    auto dflat = dev.alloc<T>(flat.size());
+    std::copy(flat.begin(), flat.end(), dflat.data());
+    auto dout = dev.alloc<T>(m);
+
+    BatchedSelectResult<T> res;
+    res.values.resize(m);
+    const double t0 = dev.elapsed_ns();
+    const std::uint64_t l0 = dev.launch_count();
+
+    // Split by the single-block sorting capacity.
+    std::vector<std::size_t> sb;
+    std::vector<std::size_t> sl;
+    std::vector<std::size_t> sr;
+    std::vector<std::size_t> slot;
+    std::vector<std::size_t> long_seqs;
+    for (std::size_t i = 0; i < m; ++i) {
+        const std::size_t len = offsets[i + 1] - offsets[i];
+        if (len <= bitonic::kMaxSortSize) {
+            sb.push_back(offsets[i]);
+            sl.push_back(len);
+            sr.push_back(ranks[i]);
+            slot.push_back(i);
+        } else {
+            long_seqs.push_back(i);
+        }
+    }
+
+    if (!sb.empty()) {
+        batched_kernel<T>(dev, std::span<const T>(dflat.span()), sb, sl, sr, dout.span(), slot,
+                          cfg.block_dim);
+        for (std::size_t j = 0; j < slot.size(); ++j) res.values[slot[j]] = dout[slot[j]];
+    }
+    res.batched_sequences = sb.size();
+
+    for (const std::size_t i : long_seqs) {
+        const std::size_t len = offsets[i + 1] - offsets[i];
+        auto seq = dev.alloc<T>(len);
+        std::copy(dflat.data() + offsets[i], dflat.data() + offsets[i + 1], seq.data());
+        res.values[i] = sample_select_device<T>(dev, std::move(seq), ranks[i], cfg).value;
+    }
+    res.recursive_sequences = long_seqs.size();
+
+    res.sim_ns = dev.elapsed_ns() - t0;
+    res.launches = dev.launch_count() - l0;
+    return res;
+}
+
+template BatchedSelectResult<float> batched_select<float>(simt::Device&, std::span<const float>,
+                                                          std::span<const std::size_t>,
+                                                          std::span<const std::size_t>,
+                                                          const SampleSelectConfig&);
+template BatchedSelectResult<double> batched_select<double>(simt::Device&,
+                                                            std::span<const double>,
+                                                            std::span<const std::size_t>,
+                                                            std::span<const std::size_t>,
+                                                            const SampleSelectConfig&);
+
+}  // namespace gpusel::core

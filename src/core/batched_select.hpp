@@ -1,0 +1,57 @@
+#pragma once
+// Batched selection over many independent sequences -- the "multiple
+// sequence selection" extension the paper names as future work (Sec. VI).
+//
+// Typical callers hold thousands of short sequences (rows of a sparse
+// factorization, per-query candidate lists, per-key telemetry windows) and
+// need one order statistic from each.  Launching a full selection per
+// sequence would drown in launch latency; instead, one kernel launch
+// processes all short sequences at once with one thread block per sequence
+// (bitonic sort in shared memory, Sec. IV-D).  Sequences longer than the
+// single-block sorting capacity fall back to the regular SampleSelect
+// recursion, which is the right tool at that size anyway.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "simt/device.hpp"
+
+namespace gpusel::core {
+
+template <typename T>
+struct BatchedSelectResult {
+    /// values[i] is the element of rank ranks[i] within sequence i.
+    std::vector<T> values;
+    /// Sequences handled by the single batched kernel launch.
+    std::size_t batched_sequences = 0;
+    /// Sequences that fell back to the SampleSelect recursion.
+    std::size_t recursive_sequences = 0;
+    double sim_ns = 0.0;
+    std::uint64_t launches = 0;
+};
+
+/// Selects ranks[i] from the i-th sequence of a CSR-style batch:
+/// sequence i occupies flat[offsets[i] .. offsets[i+1]).
+/// Requirements: offsets is non-decreasing with offsets.front() == 0 and
+/// offsets.back() == flat.size(); ranks[i] < length of sequence i (in
+/// particular no empty sequences); ranks.size() == offsets.size() - 1.
+template <typename T>
+[[nodiscard]] BatchedSelectResult<T> batched_select(simt::Device& dev, std::span<const T> flat,
+                                                    std::span<const std::size_t> offsets,
+                                                    std::span<const std::size_t> ranks,
+                                                    const SampleSelectConfig& cfg);
+
+extern template BatchedSelectResult<float> batched_select<float>(simt::Device&,
+                                                                 std::span<const float>,
+                                                                 std::span<const std::size_t>,
+                                                                 std::span<const std::size_t>,
+                                                                 const SampleSelectConfig&);
+extern template BatchedSelectResult<double> batched_select<double>(simt::Device&,
+                                                                   std::span<const double>,
+                                                                   std::span<const std::size_t>,
+                                                                   std::span<const std::size_t>,
+                                                                   const SampleSelectConfig&);
+
+}  // namespace gpusel::core

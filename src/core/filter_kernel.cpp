@@ -1,0 +1,152 @@
+#include "core/filter_kernel.hpp"
+
+#include <stdexcept>
+
+#include "simt/timing.hpp"
+
+namespace gpusel::core {
+
+namespace {
+
+/// Shared implementation: predicate = (oracle == bucket) extraction into
+/// `out`; when `upper` is non-empty, (oracle > bucket) elements go to
+/// `upper` through the global cursor counters[1] (top-k fusion).
+template <typename T>
+void run_filter(simt::Device& dev, std::span<const T> data, std::span<const std::uint8_t> oracles,
+                std::int32_t bucket, std::span<T> out, std::span<T> upper,
+                std::span<const std::int32_t> block_offsets, int num_buckets,
+                std::span<std::int32_t> counters, const SampleSelectConfig& cfg,
+                simt::LaunchOrigin origin, int grid_dim, const char* name) {
+    const std::size_t n = data.size();
+    if (oracles.size() != n) throw std::invalid_argument("oracle buffer size mismatch");
+    const bool shared_mode = cfg.atomic_space == simt::AtomicSpace::shared;
+    const bool fused = !upper.empty() || counters.size() > 1;
+    if (shared_mode && block_offsets.size() <
+                           static_cast<std::size_t>(grid_dim) * static_cast<std::size_t>(num_buckets)) {
+        throw std::invalid_argument("block_offsets too small");
+    }
+    if (!shared_mode && counters.empty()) {
+        throw std::invalid_argument("global mode needs a cursor counter");
+    }
+
+    dev.launch(
+        name,
+        {.grid_dim = grid_dim, .block_dim = cfg.block_dim, .origin = origin,
+         .unroll = cfg.unroll, .stream = cfg.stream},
+        [&, n, bucket, num_buckets, shared_mode, fused](simt::BlockCtx& blk) {
+            // Target-bucket cursor: shared counter seeded with the block's
+            // base offset (merged hierarchy step 3), or the global cursor.
+            std::int32_t sh_cursor = 0;
+            std::span<std::int32_t> target_ctr;
+            simt::AtomicSpace target_space;
+            if (shared_mode) {
+                const auto idx = static_cast<std::size_t>(blk.block_idx()) *
+                                     static_cast<std::size_t>(num_buckets) +
+                                 static_cast<std::size_t>(bucket);
+                sh_cursor = block_offsets[idx];
+                blk.charge_global_read(sizeof(std::int32_t));
+                blk.charge_shared(sizeof(std::int32_t));
+                target_ctr = std::span<std::int32_t>(&sh_cursor, 1);
+                target_space = simt::AtomicSpace::shared;
+            } else {
+                target_ctr = counters.subspan(0, 1);
+                target_space = simt::AtomicSpace::global;
+            }
+
+            blk.warp_tiles(n, [&](simt::WarpCtx& w, std::size_t base, std::size_t) {
+                std::uint8_t orc[simt::kWarpSize];
+                w.load(oracles, base, orc);
+                bool pred[simt::kWarpSize];
+                bool pred_upper[simt::kWarpSize];
+                const std::int32_t zeros[simt::kWarpSize] = {};
+                for (int l = 0; l < w.lanes(); ++l) {
+                    pred[l] = orc[l] == bucket;
+                    pred_upper[l] = fused && orc[l] > bucket;
+                }
+                w.add_instr(static_cast<std::uint64_t>(w.lanes()));
+
+                std::int32_t off[simt::kWarpSize];
+                // Stream-compaction offsets always use the ballot+popcount
+                // aggregation of Bakunas-Milanowski et al. (one atomic per
+                // warp); cfg.warp_aggregation only governs the count
+                // kernel's histogram (Fig. 6).
+                w.fetch_add(target_space, target_ctr, zeros, off, /*aggregated=*/true,
+                            /*index_bits=*/1, pred);
+                std::uint64_t matched = 0;
+                for (int l = 0; l < w.lanes(); ++l) {
+                    if (pred[l]) {
+                        out[static_cast<std::size_t>(off[l])] =
+                            data[base + static_cast<std::size_t>(l)];
+                        ++matched;
+                    }
+                }
+                // predicated element loads (sparse within the tile) ...
+                w.block().counters().scattered_bytes_read += matched * sizeof(T);
+                // ... and warp-contiguous writes
+                w.block().counters().global_bytes_written += matched * sizeof(T);
+
+                if (fused) {
+                    std::int32_t uoff[simt::kWarpSize];
+                    w.fetch_add(simt::AtomicSpace::global, counters.subspan(1, 1), zeros, uoff,
+                                /*aggregated=*/true, /*index_bits=*/1, pred_upper);
+                    std::uint64_t um = 0;
+                    for (int l = 0; l < w.lanes(); ++l) {
+                        if (pred_upper[l]) {
+                            upper[static_cast<std::size_t>(uoff[l])] =
+                                data[base + static_cast<std::size_t>(l)];
+                            ++um;
+                        }
+                    }
+                    w.block().counters().scattered_bytes_read += um * sizeof(T);
+                    w.block().counters().global_bytes_written += um * sizeof(T);
+                }
+            });
+        });
+}
+
+}  // namespace
+
+template <typename T>
+void filter_kernel(simt::Device& dev, std::span<const T> data,
+                   std::span<const std::uint8_t> oracles, std::int32_t bucket, std::span<T> out,
+                   std::span<const std::int32_t> block_offsets, int num_buckets,
+                   std::span<std::int32_t> global_counter, const SampleSelectConfig& cfg,
+                   simt::LaunchOrigin origin, int grid_dim) {
+    run_filter<T>(dev, data, oracles, bucket, out, {}, block_offsets, num_buckets, global_counter,
+                  cfg, origin, grid_dim, "filter");
+}
+
+template <typename T>
+void filter_fused_topk_kernel(simt::Device& dev, std::span<const T> data,
+                              std::span<const std::uint8_t> oracles, std::int32_t bucket,
+                              std::span<T> out, std::span<T> upper,
+                              std::span<const std::int32_t> block_offsets, int num_buckets,
+                              std::span<std::int32_t> counters, const SampleSelectConfig& cfg,
+                              simt::LaunchOrigin origin, int grid_dim) {
+    if (counters.size() < 2) throw std::invalid_argument("fused filter needs two cursors");
+    run_filter<T>(dev, data, oracles, bucket, out, upper, block_offsets, num_buckets, counters,
+                  cfg, origin, grid_dim, "filter_topk");
+}
+
+template void filter_kernel<float>(simt::Device&, std::span<const float>,
+                                   std::span<const std::uint8_t>, std::int32_t, std::span<float>,
+                                   std::span<const std::int32_t>, int, std::span<std::int32_t>,
+                                   const SampleSelectConfig&, simt::LaunchOrigin, int);
+template void filter_kernel<double>(simt::Device&, std::span<const double>,
+                                    std::span<const std::uint8_t>, std::int32_t, std::span<double>,
+                                    std::span<const std::int32_t>, int, std::span<std::int32_t>,
+                                    const SampleSelectConfig&, simt::LaunchOrigin, int);
+template void filter_fused_topk_kernel<float>(simt::Device&, std::span<const float>,
+                                              std::span<const std::uint8_t>, std::int32_t,
+                                              std::span<float>, std::span<float>,
+                                              std::span<const std::int32_t>, int,
+                                              std::span<std::int32_t>, const SampleSelectConfig&,
+                                              simt::LaunchOrigin, int);
+template void filter_fused_topk_kernel<double>(simt::Device&, std::span<const double>,
+                                               std::span<const std::uint8_t>, std::int32_t,
+                                               std::span<double>, std::span<double>,
+                                               std::span<const std::int32_t>, int,
+                                               std::span<std::int32_t>, const SampleSelectConfig&,
+                                               simt::LaunchOrigin, int);
+
+}  // namespace gpusel::core

@@ -1,0 +1,111 @@
+#include "core/histogram.hpp"
+
+#include <stdexcept>
+
+#include "core/count_kernel.hpp"
+#include "core/reduce_kernel.hpp"
+#include "core/sample_kernel.hpp"
+#include "simt/scan.hpp"
+#include "simt/timing.hpp"
+
+namespace gpusel::core {
+
+template <typename T>
+EquiDepthHistogram<T> equi_depth_histogram(simt::Device& dev, std::span<const T> data,
+                                           const SampleSelectConfig& cfg) {
+    cfg.validate(/*exact=*/false);
+    const std::size_t n = data.size();
+    if (n == 0) throw std::invalid_argument("histogram of an empty dataset");
+    const auto b = static_cast<std::size_t>(cfg.num_buckets);
+    const bool shared_mode = cfg.atomic_space == simt::AtomicSpace::shared;
+    const auto origin = simt::LaunchOrigin::host;
+
+    EquiDepthHistogram<T> h;
+    h.n = n;
+    const double t0 = dev.elapsed_ns();
+    const std::uint64_t l0 = dev.launch_count();
+
+    h.tree = sample_splitters<T>(dev, data, cfg, origin);
+    h.boundaries = h.tree.splitters;
+
+    auto totals = dev.alloc<std::int32_t>(b);
+    const int grid = simt::suggest_grid(dev.arch(), n, cfg.block_dim, cfg.unroll);
+    simt::DeviceBuffer<std::int32_t> block_counts;
+    if (shared_mode) {
+        block_counts = dev.alloc<std::int32_t>(static_cast<std::size_t>(grid) * b);
+    } else {
+        launch_memset32(dev, totals.span(), origin, cfg.stream);
+    }
+    count_kernel<T>(dev, data, h.tree, /*oracles=*/{}, totals.span(), block_counts.span(), cfg,
+                    origin);
+    if (shared_mode) {
+        reduce_kernel(dev, block_counts.span(), grid, cfg.num_buckets, totals.span(),
+                      /*keep_block_offsets=*/false, origin, cfg.block_dim, cfg.stream);
+    }
+
+    // Cumulative counts via the device scan substrate.
+    auto prefix = dev.alloc<std::int32_t>(b);
+    simt::exclusive_scan_i32(dev, totals.span(), prefix.span(), origin, cfg.block_dim,
+                             cfg.stream);
+
+    h.counts.resize(b);
+    h.cumulative.resize(b + 1);
+    for (std::size_t i = 0; i < b; ++i) {
+        h.counts[i] = totals[i];
+        h.cumulative[i] = prefix[i];
+    }
+    h.cumulative[b] = static_cast<std::int64_t>(n);
+
+    h.sim_ns = dev.elapsed_ns() - t0;
+    h.launches = dev.launch_count() - l0;
+    return h;
+}
+
+template <typename T>
+RankQueryResult<T> rank_of(simt::Device& dev, std::span<const T> data, T v,
+                           const SampleSelectConfig& cfg) {
+    const std::size_t n = data.size();
+    RankQueryResult<T> res;
+    const double t0 = dev.elapsed_ns();
+    if (n == 0) return res;
+
+    // Tripartition histogram {smaller, equal, larger(, pad)}.
+    auto totals = dev.alloc<std::int32_t>(4);
+    launch_memset32(dev, totals.span(), simt::LaunchOrigin::host, cfg.stream);
+    const int grid = simt::suggest_grid(dev.arch(), n, cfg.block_dim, cfg.unroll);
+    dev.launch("rank_count",
+               {.grid_dim = grid, .block_dim = cfg.block_dim,
+                .origin = simt::LaunchOrigin::host, .unroll = cfg.unroll,
+                .stream = cfg.stream},
+               [&, n, v](simt::BlockCtx& blk) {
+                   blk.warp_tiles(n, [&](simt::WarpCtx& w, std::size_t base, std::size_t) {
+                       T elems[simt::kWarpSize];
+                       std::int32_t side[simt::kWarpSize];
+                       w.load(data, base, elems);
+                       for (int l = 0; l < w.lanes(); ++l) {
+                           side[l] = elems[l] < v ? 0 : (elems[l] == v ? 1 : 2);
+                       }
+                       w.add_instr(2 * static_cast<std::uint64_t>(w.lanes()));
+                       // 2-bit aggregation: three possible targets
+                       w.atomic_add_aggregated(simt::AtomicSpace::global, totals.span(), side,
+                                               2);
+                   });
+               });
+    res.less = static_cast<std::size_t>(totals[0]);
+    res.equal = static_cast<std::size_t>(totals[1]);
+    res.sim_ns = dev.elapsed_ns() - t0;
+    return res;
+}
+
+template EquiDepthHistogram<float> equi_depth_histogram<float>(simt::Device&,
+                                                               std::span<const float>,
+                                                               const SampleSelectConfig&);
+template EquiDepthHistogram<double> equi_depth_histogram<double>(simt::Device&,
+                                                                 std::span<const double>,
+                                                                 const SampleSelectConfig&);
+template RankQueryResult<float> rank_of<float>(simt::Device&, std::span<const float>, float,
+                                               const SampleSelectConfig&);
+template RankQueryResult<double> rank_of<double>(simt::Device&, std::span<const double>, double,
+                                                 const SampleSelectConfig&);
+
+}  // namespace gpusel::core

@@ -1,0 +1,133 @@
+#include "core/multiselect.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "bitonic/bitonic.hpp"
+#include "core/count_kernel.hpp"
+#include "core/filter_kernel.hpp"
+#include "core/reduce_kernel.hpp"
+#include "core/sample_kernel.hpp"
+#include "simt/timing.hpp"
+
+namespace gpusel::core {
+
+namespace {
+
+/// One pending (rank within the current buffer, output slot) pair.
+struct Target {
+    std::size_t rank;
+    std::size_t out_slot;
+};
+
+template <typename T>
+void solve(simt::Device& dev, simt::DeviceBuffer<T> buf, std::vector<Target> targets,
+           const SampleSelectConfig& cfg, std::size_t depth, MultiSelectResult<T>& res) {
+    const std::size_t n = buf.size();
+    res.max_depth = std::max(res.max_depth, depth);
+    const auto origin = depth == 0 ? simt::LaunchOrigin::host : simt::LaunchOrigin::device;
+
+    if (n <= cfg.base_case_size) {
+        bitonic::sort_on_device<T>(dev, buf.span(), n, origin, cfg.block_dim);
+        for (const Target& t : targets) res.values[t.out_slot] = buf[t.rank];
+        return;
+    }
+
+    const auto b = static_cast<std::size_t>(cfg.num_buckets);
+    const bool shared_mode = cfg.atomic_space == simt::AtomicSpace::shared;
+
+    const SearchTree<T> tree = sample_splitters<T>(dev, buf.span(), cfg, origin, depth * 977);
+    auto oracles = dev.alloc<std::uint8_t>(n);
+    auto totals = dev.alloc<std::int32_t>(b);
+    const int grid = simt::suggest_grid(dev.arch(), n, cfg.block_dim, cfg.unroll);
+    simt::DeviceBuffer<std::int32_t> block_counts;
+    if (shared_mode) {
+        block_counts = dev.alloc<std::int32_t>(static_cast<std::size_t>(grid) * b);
+    } else {
+        launch_memset32(dev, totals.span(), origin);
+    }
+    count_kernel<T>(dev, buf.span(), tree, oracles.span(), totals.span(), block_counts.span(),
+                    cfg, origin);
+    if (shared_mode) {
+        reduce_kernel(dev, block_counts.span(), grid, cfg.num_buckets, totals.span(),
+                      /*keep_block_offsets=*/true, origin, cfg.block_dim);
+    }
+    auto prefix = dev.alloc<std::int32_t>(b + 1);
+    (void)select_bucket_kernel(dev, totals.span(), prefix.span(), targets.front().rank, origin);
+
+    // Group target ranks by bucket.
+    std::map<std::int32_t, std::vector<Target>> by_bucket;
+    for (const Target& t : targets) {
+        std::int32_t bucket = 0;
+        for (std::size_t i = 0; i < b; ++i) {
+            if (static_cast<std::size_t>(prefix[i]) <= t.rank) {
+                bucket = static_cast<std::int32_t>(i);
+            }
+        }
+        by_bucket[bucket].push_back(
+            {t.rank - static_cast<std::size_t>(prefix[static_cast<std::size_t>(bucket)]),
+             t.out_slot});
+    }
+
+    for (auto& [bucket, sub] : by_bucket) {
+        const auto ub = static_cast<std::size_t>(bucket);
+        if (tree.equality[ub]) {
+            for (const Target& t : sub) res.values[t.out_slot] = tree.splitters[ub - 1];
+            continue;
+        }
+        const auto bucket_size = static_cast<std::size_t>(totals[ub]);
+        if (bucket_size == n) {
+            // Pathological sample; fall back to a fresh single level with a
+            // different salt by recursing on a copy (bounded by depth cap).
+            if (depth > 64) throw std::runtime_error("multi_select: no partition progress");
+        }
+        auto out = dev.alloc<T>(bucket_size);
+        simt::DeviceBuffer<std::int32_t> cursor;
+        if (!shared_mode) {
+            cursor = dev.alloc<std::int32_t>(1);
+            launch_memset32(dev, cursor.span(), origin);
+        }
+        filter_kernel<T>(dev, buf.span(), oracles.span(), bucket, out.span(), block_counts.span(),
+                         cfg.num_buckets, cursor.span(), cfg, origin, grid);
+        solve(dev, std::move(out), std::move(sub), cfg, depth + 1, res);
+    }
+}
+
+}  // namespace
+
+template <typename T>
+MultiSelectResult<T> multi_select(simt::Device& dev, std::span<const T> input,
+                                  std::span<const std::size_t> ranks,
+                                  const SampleSelectConfig& cfg) {
+    cfg.validate(/*exact=*/true);
+    const std::size_t n = input.size();
+    if (ranks.empty()) return {};
+    for (std::size_t r : ranks) {
+        if (r >= n) throw std::out_of_range("rank out of range");
+    }
+
+    auto buf = dev.alloc<T>(n);
+    std::copy(input.begin(), input.end(), buf.data());
+
+    MultiSelectResult<T> res;
+    res.values.resize(ranks.size());
+    std::vector<Target> targets(ranks.size());
+    for (std::size_t i = 0; i < ranks.size(); ++i) targets[i] = {ranks[i], i};
+
+    const double t0 = dev.elapsed_ns();
+    const std::uint64_t l0 = dev.launch_count();
+    solve(dev, std::move(buf), std::move(targets), cfg, 0, res);
+    res.sim_ns = dev.elapsed_ns() - t0;
+    res.launches = dev.launch_count() - l0;
+    return res;
+}
+
+template MultiSelectResult<float> multi_select<float>(simt::Device&, std::span<const float>,
+                                                      std::span<const std::size_t>,
+                                                      const SampleSelectConfig&);
+template MultiSelectResult<double> multi_select<double>(simt::Device&, std::span<const double>,
+                                                        std::span<const std::size_t>,
+                                                        const SampleSelectConfig&);
+
+}  // namespace gpusel::core

@@ -1,0 +1,44 @@
+#pragma once
+// Multi-rank selection (the "multiple sequence selection" extension the
+// paper names as future work in Sec. VI): select several order statistics
+// k_1 < ... < k_m in one recursion tree.  One bucketing level serves all
+// target ranks; the recursion then descends into *every* bucket containing
+// at least one target, so the count/filter work over the full input is
+// shared between all ranks instead of repeated m times.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "simt/device.hpp"
+
+namespace gpusel::core {
+
+template <typename T>
+struct MultiSelectResult {
+    /// values[i] is the element of rank ranks[i] (same order as the input
+    /// ranks, which need not be sorted).
+    std::vector<T> values;
+    double sim_ns = 0.0;
+    std::uint64_t launches = 0;
+    /// Deepest recursion level reached.
+    std::size_t max_depth = 0;
+};
+
+/// Selects all requested order statistics of `input`.
+template <typename T>
+[[nodiscard]] MultiSelectResult<T> multi_select(simt::Device& dev, std::span<const T> input,
+                                                std::span<const std::size_t> ranks,
+                                                const SampleSelectConfig& cfg);
+
+extern template MultiSelectResult<float> multi_select<float>(simt::Device&,
+                                                             std::span<const float>,
+                                                             std::span<const std::size_t>,
+                                                             const SampleSelectConfig&);
+extern template MultiSelectResult<double> multi_select<double>(simt::Device&,
+                                                               std::span<const double>,
+                                                               std::span<const std::size_t>,
+                                                               const SampleSelectConfig&);
+
+}  // namespace gpusel::core

@@ -1,0 +1,21 @@
+#include "core/quantile.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gpusel::core {
+
+std::size_t quantile_rank(std::size_t n, double q, QuantileMethod method) {
+    if (n == 0) throw std::invalid_argument("quantile of an empty dataset");
+    if (!(q >= 0.0 && q <= 1.0)) throw std::invalid_argument("quantile must be in [0, 1]");
+    const double pos = q * static_cast<double>(n - 1);
+    double r = 0.0;
+    switch (method) {
+        case QuantileMethod::lower: r = std::floor(pos); break;
+        case QuantileMethod::nearest: r = std::round(pos); break;
+        case QuantileMethod::higher: r = std::ceil(pos); break;
+    }
+    return static_cast<std::size_t>(r);
+}
+
+}  // namespace gpusel::core

@@ -1,0 +1,66 @@
+#pragma once
+// Quantile convenience layer over the selection algorithms: maps q in [0,1]
+// to a 0-based rank with an explicit tie-breaking method and dispatches to
+// exact SampleSelect, the approximate variant, or the multi-rank driver.
+// ("Quantile selection in order statistics" is the first application the
+// paper's introduction lists.)
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/approx_select.hpp"
+#include "core/multiselect.hpp"
+#include "core/sample_select.hpp"
+
+namespace gpusel::core {
+
+/// How a non-integer quantile position maps to a rank.
+enum class QuantileMethod {
+    lower,    ///< floor((n-1) q)
+    nearest,  ///< round((n-1) q)
+    higher,   ///< ceil((n-1) q)
+};
+
+/// Rank of the q-quantile of an n-element dataset.  q must be in [0, 1],
+/// n > 0.
+[[nodiscard]] std::size_t quantile_rank(std::size_t n, double q,
+                                        QuantileMethod method = QuantileMethod::nearest);
+
+/// Exact q-quantile via SampleSelect.
+template <typename T>
+[[nodiscard]] T quantile(simt::Device& dev, std::span<const T> data, double q,
+                         const SampleSelectConfig& cfg = {},
+                         QuantileMethod method = QuantileMethod::nearest) {
+    return sample_select<T>(dev, data, quantile_rank(data.size(), q, method), cfg).value;
+}
+
+/// Approximate q-quantile (single bucketing level).
+template <typename T>
+[[nodiscard]] ApproxResult<T> approx_quantile(simt::Device& dev, std::span<const T> data,
+                                              double q, const SampleSelectConfig& cfg = {},
+                                              QuantileMethod method = QuantileMethod::nearest) {
+    return approx_select<T>(dev, data, quantile_rank(data.size(), q, method), cfg);
+}
+
+/// Exact multi-quantile via the shared-recursion multi-rank driver.
+template <typename T>
+[[nodiscard]] std::vector<T> quantiles(simt::Device& dev, std::span<const T> data,
+                                       std::span<const double> qs,
+                                       const SampleSelectConfig& cfg = {},
+                                       QuantileMethod method = QuantileMethod::nearest) {
+    std::vector<std::size_t> ranks(qs.size());
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+        ranks[i] = quantile_rank(data.size(), qs[i], method);
+    }
+    return multi_select<T>(dev, data, ranks, cfg).values;
+}
+
+/// Exact median (the classic special case).
+template <typename T>
+[[nodiscard]] T median(simt::Device& dev, std::span<const T> data,
+                       const SampleSelectConfig& cfg = {}) {
+    return quantile<T>(dev, data, 0.5, cfg, QuantileMethod::lower);
+}
+
+}  // namespace gpusel::core

@@ -1,0 +1,79 @@
+#include "core/reduce_kernel.hpp"
+
+#include <stdexcept>
+
+#include "simt/timing.hpp"
+
+namespace gpusel::core {
+
+void reduce_kernel(simt::Device& dev, std::span<std::int32_t> block_counts, int grid_dim,
+                   int num_buckets, std::span<std::int32_t> totals, bool keep_block_offsets,
+                   simt::LaunchOrigin origin, int block_dim, int stream) {
+    const auto g = static_cast<std::size_t>(grid_dim);
+    const auto b = static_cast<std::size_t>(num_buckets);
+    if (block_counts.size() < g * b) throw std::invalid_argument("block_counts too small");
+    if (totals.size() != b) throw std::invalid_argument("totals size mismatch");
+
+    // One thread per bucket column; each scans its column over all blocks.
+    const int grid = simt::suggest_grid(dev.arch(), b, block_dim);
+    dev.launch(keep_block_offsets ? "reduce_offsets" : "reduce",
+               {.grid_dim = grid, .block_dim = block_dim, .origin = origin, .stream = stream},
+               [&, g, b, keep_block_offsets](simt::BlockCtx& blk) {
+                   blk.warp_tiles(b, [&](simt::WarpCtx& w, std::size_t base, std::size_t) {
+                       for (int l = 0; l < w.lanes(); ++l) {
+                           const std::size_t i = base + static_cast<std::size_t>(l);
+                           std::int32_t running = 0;
+                           for (std::size_t row = 0; row < g; ++row) {
+                               const std::int32_t c = block_counts[row * b + i];
+                               if (keep_block_offsets) block_counts[row * b + i] = running;
+                               running += c;
+                           }
+                           totals[i] = running;
+                       }
+                       const auto lanes = static_cast<std::uint64_t>(w.lanes());
+                       // adjacent lanes read adjacent buckets of the same
+                       // block row: coalesced row-major traversal
+                       w.block().counters().global_bytes_read +=
+                           lanes * g * sizeof(std::int32_t);
+                       if (keep_block_offsets) {
+                           w.block().counters().global_bytes_written +=
+                               lanes * g * sizeof(std::int32_t);
+                       }
+                       w.add_instr(lanes * g);
+                       // coalesced totals write
+                       w.block().counters().global_bytes_written +=
+                           lanes * sizeof(std::int32_t);
+                   });
+               });
+}
+
+std::int32_t select_bucket_kernel(simt::Device& dev, std::span<const std::int32_t> totals,
+                                  std::span<std::int32_t> prefix, std::size_t rank,
+                                  simt::LaunchOrigin origin, int stream) {
+    const auto b = totals.size();
+    if (prefix.size() != b + 1) throw std::invalid_argument("prefix size mismatch");
+    std::int32_t bucket = -1;
+    dev.launch("select_bucket",
+               {.grid_dim = 1, .block_dim = 32, .origin = origin, .stream = stream},
+               [&, b, rank](simt::BlockCtx& blk) {
+                   std::int32_t running = 0;
+                   for (std::size_t i = 0; i < b; ++i) {
+                       prefix[i] = running;
+                       running += totals[i];
+                   }
+                   prefix[b] = running;
+                   blk.charge_global_read(b * sizeof(std::int32_t));
+                   blk.charge_global_write((b + 1) * sizeof(std::int32_t));
+                   blk.charge_instr(b);
+                   // lower_bound over the prefix sums
+                   std::size_t lo = 0;
+                   for (std::size_t i = 0; i < b; ++i) {
+                       if (static_cast<std::size_t>(prefix[i]) <= rank) lo = i;
+                   }
+                   blk.charge_instr(b);
+                   bucket = static_cast<std::int32_t>(lo);
+               });
+    return bucket;
+}
+
+}  // namespace gpusel::core

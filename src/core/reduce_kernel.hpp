@@ -1,0 +1,33 @@
+#pragma once
+// The `reduce` step of the shared-memory atomic hierarchy (Sec. IV-G):
+// a prefix sum over the block-local partial counts.  For SampleSelect the
+// per-block exclusive prefix sums are kept (turned into the write offsets
+// the filter kernel consumes), which is why the paper observes this
+// reduction being more expensive when oracles/offsets are needed (Fig. 9).
+
+#include <cstdint>
+#include <span>
+
+#include "simt/device.hpp"
+
+namespace gpusel::core {
+
+/// Reduces block_counts (grid_dim x num_buckets, bucket-major within each
+/// block row) into per-bucket totals.  When `keep_block_offsets` is set,
+/// block_counts[g * b + i] is replaced in-place by the exclusive prefix sum
+/// over blocks 0..g-1 of bucket i -- the base write offset of block g
+/// within bucket i's contiguous output range.
+void reduce_kernel(simt::Device& dev, std::span<std::int32_t> block_counts, int grid_dim,
+                   int num_buckets, std::span<std::int32_t> totals, bool keep_block_offsets,
+                   simt::LaunchOrigin origin, int block_dim = 256, int stream = 0);
+
+/// The tiny bucket-selection kernel (Sec. IV-E: kernels that "select the
+/// bucket containing the kth-smallest element and compute the launch
+/// parameters").  Computes the exclusive prefix sum r_i over `totals` into
+/// `prefix` (size num_buckets + 1) and returns the bucket containing
+/// `rank`, i.e. the largest i with prefix[i] <= rank.
+std::int32_t select_bucket_kernel(simt::Device& dev, std::span<const std::int32_t> totals,
+                                  std::span<std::int32_t> prefix, std::size_t rank,
+                                  simt::LaunchOrigin origin, int stream = 0);
+
+}  // namespace gpusel::core

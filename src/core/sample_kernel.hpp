@@ -1,0 +1,31 @@
+#pragma once
+// The `sample` kernel (Sec. IV-B a): loads a random sample of the input
+// into shared memory, sorts it with the bitonic sorting network, picks the
+// i/b percentiles as splitters and publishes them (here: as a built
+// SearchTree, including the duplicate-splitter equality buckets).
+
+#include <span>
+
+#include "core/config.hpp"
+#include "core/searchtree.hpp"
+#include "simt/device.hpp"
+
+namespace gpusel::core {
+
+/// Runs the single-block sample kernel on `dev` and returns the splitter
+/// search tree.  `seed_salt` decorrelates the sample across recursion
+/// levels and repetitions.
+template <typename T>
+[[nodiscard]] SearchTree<T> sample_splitters(simt::Device& dev, std::span<const T> data,
+                                             const SampleSelectConfig& cfg,
+                                             simt::LaunchOrigin origin,
+                                             std::uint64_t seed_salt = 0);
+
+extern template SearchTree<float> sample_splitters<float>(simt::Device&, std::span<const float>,
+                                                          const SampleSelectConfig&,
+                                                          simt::LaunchOrigin, std::uint64_t);
+extern template SearchTree<double> sample_splitters<double>(simt::Device&, std::span<const double>,
+                                                            const SampleSelectConfig&,
+                                                            simt::LaunchOrigin, std::uint64_t);
+
+}  // namespace gpusel::core

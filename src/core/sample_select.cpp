@@ -1,0 +1,161 @@
+#include "core/sample_select.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "bitonic/bitonic.hpp"
+#include "core/count_kernel.hpp"
+#include "core/filter_kernel.hpp"
+#include "core/reduce_kernel.hpp"
+#include "core/sample_kernel.hpp"
+#include "simt/timing.hpp"
+
+namespace gpusel::core {
+
+namespace {
+
+template <typename T>
+struct SelectState {
+    simt::DeviceBuffer<T> buf;
+    std::size_t rank = 0;
+    std::size_t level = 0;
+    std::size_t resample_tries = 0;
+    SampleSelectConfig cfg;
+    SelectResult<T> result;
+    bool done = false;
+};
+
+/// Executes one recursion level; returns true while more levels remain.
+template <typename T>
+bool run_level(simt::Device& dev, SelectState<T>& st) {
+    const std::size_t n = st.buf.size();
+    const auto origin =
+        st.level == 0 ? simt::LaunchOrigin::host : simt::LaunchOrigin::device;
+
+    if (n <= st.cfg.base_case_size) {
+        // Base case (Sec. IV-D): bitonic sort in shared memory, pick rank.
+        bitonic::sort_on_device<T>(dev, st.buf.span(), n, origin, st.cfg.block_dim,
+                                   st.cfg.stream);
+        st.result.value = st.buf[st.rank];
+        st.done = true;
+        return false;
+    }
+
+    const auto b = static_cast<std::size_t>(st.cfg.num_buckets);
+    const bool shared_mode = st.cfg.atomic_space == simt::AtomicSpace::shared;
+
+    const SearchTree<T> tree = sample_splitters<T>(
+        dev, st.buf.span(), st.cfg, origin, st.level * 977 + st.resample_tries * 7919);
+
+    auto oracles = dev.alloc<std::uint8_t>(n);
+    auto totals = dev.alloc<std::int32_t>(b);
+    const int grid = simt::suggest_grid(dev.arch(), n, st.cfg.block_dim, st.cfg.unroll);
+    simt::DeviceBuffer<std::int32_t> block_counts;
+    if (shared_mode) {
+        block_counts = dev.alloc<std::int32_t>(static_cast<std::size_t>(grid) * b);
+    } else {
+        launch_memset32(dev, totals.span(), origin, st.cfg.stream);
+    }
+
+    const int used_grid = count_kernel<T>(dev, st.buf.span(), tree, oracles.span(), totals.span(),
+                                          block_counts.span(), st.cfg, origin);
+    if (used_grid != grid) throw std::logic_error("grid sizing mismatch");
+
+    if (shared_mode) {
+        reduce_kernel(dev, block_counts.span(), grid, st.cfg.num_buckets, totals.span(),
+                      /*keep_block_offsets=*/true, origin, st.cfg.block_dim, st.cfg.stream);
+    }
+
+    auto prefix = dev.alloc<std::int32_t>(b + 1);
+    const std::int32_t bucket =
+        select_bucket_kernel(dev, totals.span(), prefix.span(), st.rank, origin, st.cfg.stream);
+    const auto ub = static_cast<std::size_t>(bucket);
+
+    if (tree.equality[ub]) {
+        // Equality bucket: every element equals the splitter -- done.
+        st.result.value = tree.splitters[ub - 1];
+        st.result.equality_exit = true;
+        ++st.result.levels;
+        st.done = true;
+        return false;
+    }
+
+    const auto bucket_size = static_cast<std::size_t>(totals[ub]);
+    if (bucket_size == n) {
+        // No progress (pathological sample).  Resample with a new salt; by
+        // construction this can only happen a bounded number of times.
+        if (++st.resample_tries > 8) {
+            throw std::runtime_error("sample_select: no partition progress after resampling");
+        }
+        return true;
+    }
+    st.resample_tries = 0;
+
+    auto out = dev.alloc<T>(bucket_size);
+    simt::DeviceBuffer<std::int32_t> cursor;
+    if (!shared_mode) {
+        cursor = dev.alloc<std::int32_t>(1);
+        launch_memset32(dev, cursor.span(), origin, st.cfg.stream);
+    }
+    filter_kernel<T>(dev, st.buf.span(), oracles.span(), bucket, out.span(), block_counts.span(),
+                     st.cfg.num_buckets, cursor.span(), st.cfg, origin, grid);
+
+    st.rank -= static_cast<std::size_t>(prefix[ub]);
+    st.buf = std::move(out);
+    ++st.level;
+    ++st.result.levels;
+    return true;
+}
+
+template <typename T>
+void enqueue_level(simt::Device& dev, std::shared_ptr<SelectState<T>> st) {
+    dev.device_enqueue([st](simt::Device& d) {
+        if (run_level(d, *st)) enqueue_level(d, st);
+    });
+}
+
+}  // namespace
+
+template <typename T>
+SelectResult<T> sample_select_device(simt::Device& dev, simt::DeviceBuffer<T> data,
+                                     std::size_t rank, const SampleSelectConfig& cfg) {
+    cfg.validate(/*exact=*/true);
+    const std::size_t n = data.size();
+    if (n == 0 || rank >= n) throw std::out_of_range("rank out of range");
+
+    auto st = std::make_shared<SelectState<T>>();
+    st->buf = std::move(data);
+    st->rank = rank;
+    st->cfg = cfg;
+
+    dev.tracker().set_baseline();
+    const double t0 = dev.elapsed_ns();
+    const std::uint64_t l0 = dev.launch_count();
+    enqueue_level(dev, st);
+    dev.drain();
+    if (!st->done) throw std::logic_error("sample_select: recursion did not terminate");
+    st->result.sim_ns = dev.elapsed_ns() - t0;
+    st->result.launches = dev.launch_count() - l0;
+    st->result.aux_bytes = dev.tracker().peak_above_baseline();
+    return st->result;
+}
+
+template <typename T>
+SelectResult<T> sample_select(simt::Device& dev, std::span<const T> input, std::size_t rank,
+                              const SampleSelectConfig& cfg) {
+    auto buf = dev.alloc<T>(input.size());
+    std::copy(input.begin(), input.end(), buf.data());
+    return sample_select_device<T>(dev, std::move(buf), rank, cfg);
+}
+
+template SelectResult<float> sample_select<float>(simt::Device&, std::span<const float>,
+                                                  std::size_t, const SampleSelectConfig&);
+template SelectResult<double> sample_select<double>(simt::Device&, std::span<const double>,
+                                                    std::size_t, const SampleSelectConfig&);
+template SelectResult<float> sample_select_device<float>(simt::Device&, simt::DeviceBuffer<float>,
+                                                         std::size_t, const SampleSelectConfig&);
+template SelectResult<double> sample_select_device<double>(simt::Device&,
+                                                           simt::DeviceBuffer<double>,
+                                                           std::size_t, const SampleSelectConfig&);
+
+}  // namespace gpusel::core

@@ -1,0 +1,63 @@
+#pragma once
+// Exact SampleSelect (Sec. IV-B/IV-E): the recursive driver tying together
+// the sample, count, reduce and filter kernels.  Recursion control stays on
+// the device through the simulator's dynamic-parallelism queue, mirroring
+// the paper's CUDA Dynamic Parallelism tail recursion: each level's
+// controller inspects the bucket counts, optionally terminates early in an
+// equality bucket, and launches the next level with device-launch latency.
+
+#include <cstdint>
+#include <span>
+
+#include "core/config.hpp"
+#include "simt/device.hpp"
+#include "simt/memory.hpp"
+
+namespace gpusel::core {
+
+template <typename T>
+struct SelectResult {
+    /// The element of the requested rank.
+    T value{};
+    /// Recursion levels executed (sample/count/filter rounds; 0 if the
+    /// input went straight to the base case).
+    std::size_t levels = 0;
+    /// True if selection terminated early in an equality bucket
+    /// (repeated-element fast path, Sec. IV-C).
+    bool equality_exit = false;
+    /// Simulated duration of the whole selection [ns].
+    double sim_ns = 0.0;
+    /// Kernel launches performed.
+    std::uint64_t launches = 0;
+    /// Peak auxiliary device memory above the input buffer [bytes].
+    std::size_t aux_bytes = 0;
+};
+
+/// Selects the element of the given 0-based rank from `input`.
+/// The input is copied to a device buffer before timing starts (the paper
+/// measures the selection, not the transfer).
+template <typename T>
+[[nodiscard]] SelectResult<T> sample_select(simt::Device& dev, std::span<const T> input,
+                                            std::size_t rank, const SampleSelectConfig& cfg);
+
+/// Device-resident variant: consumes `data` (the algorithm overwrites
+/// nothing in it, but its lifetime is managed by the recursion state).
+template <typename T>
+[[nodiscard]] SelectResult<T> sample_select_device(simt::Device& dev, simt::DeviceBuffer<T> data,
+                                                   std::size_t rank,
+                                                   const SampleSelectConfig& cfg);
+
+extern template SelectResult<float> sample_select<float>(simt::Device&, std::span<const float>,
+                                                         std::size_t, const SampleSelectConfig&);
+extern template SelectResult<double> sample_select<double>(simt::Device&, std::span<const double>,
+                                                           std::size_t, const SampleSelectConfig&);
+extern template SelectResult<float> sample_select_device<float>(simt::Device&,
+                                                                simt::DeviceBuffer<float>,
+                                                                std::size_t,
+                                                                const SampleSelectConfig&);
+extern template SelectResult<double> sample_select_device<double>(simt::Device&,
+                                                                  simt::DeviceBuffer<double>,
+                                                                  std::size_t,
+                                                                  const SampleSelectConfig&);
+
+}  // namespace gpusel::core

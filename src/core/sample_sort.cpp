@@ -1,0 +1,173 @@
+#include "core/sample_sort.hpp"
+
+#include <stdexcept>
+
+#include "bitonic/bitonic.hpp"
+#include "core/count_kernel.hpp"
+#include "core/reduce_kernel.hpp"
+#include "core/sample_kernel.hpp"
+#include "simt/timing.hpp"
+
+namespace gpusel::core {
+
+namespace {
+
+/// Scatters every element into its bucket's contiguous output range:
+/// out[prefix[bucket] + block_base + local] = element.  Per-block shared
+/// cursors are seeded from the reduce_offsets result; this is the filter
+/// kernel generalized to all buckets at once (classic sample-sort scatter).
+template <typename T>
+void scatter_all_kernel(simt::Device& dev, std::span<const T> data,
+                        std::span<const std::uint8_t> oracles,
+                        std::span<const std::int32_t> block_offsets,
+                        std::span<const std::int32_t> prefix, std::span<T> out,
+                        const SearchTree<T>& tree, const SampleSelectConfig& cfg,
+                        simt::LaunchOrigin origin, int grid_dim) {
+    const std::size_t n = data.size();
+    const auto b = static_cast<std::size_t>(tree.num_buckets);
+    dev.launch(
+        "scatter_all",
+        {.grid_dim = grid_dim, .block_dim = cfg.block_dim, .origin = origin,
+         .unroll = cfg.unroll},
+        [&, n, b](simt::BlockCtx& blk) {
+            auto cursors = blk.shared_array<std::int32_t>(b);
+            const auto base_row =
+                static_cast<std::size_t>(blk.block_idx()) * b;
+            for (std::size_t i = 0; i < b; ++i) {
+                cursors[i] = prefix[i] + block_offsets[base_row + i];
+            }
+            blk.charge_global_read(2 * b * sizeof(std::int32_t));
+            blk.charge_shared(b * sizeof(std::int32_t));
+            blk.sync();
+
+            blk.warp_tiles(n, [&](simt::WarpCtx& w, std::size_t base, std::size_t) {
+                std::uint8_t orc[simt::kWarpSize];
+                T elems[simt::kWarpSize];
+                std::int32_t which[simt::kWarpSize];
+                std::int32_t off[simt::kWarpSize];
+                w.load(oracles, base, orc);
+                w.load(data, base, elems);
+                for (int l = 0; l < w.lanes(); ++l) which[l] = orc[l];
+                w.fetch_add(simt::AtomicSpace::shared, cursors, which, off,
+                            cfg.warp_aggregation, tree.height);
+                for (int l = 0; l < w.lanes(); ++l) {
+                    out[static_cast<std::size_t>(off[l])] = elems[l];
+                }
+                // bucket-scattered writes
+                w.block().counters().scattered_bytes_written +=
+                    static_cast<std::uint64_t>(w.lanes()) * sizeof(T);
+            });
+        });
+}
+
+/// Copies src -> dst (same size) with a grid-stride copy kernel.
+template <typename T>
+void copy_back(simt::Device& dev, std::span<const T> src, std::span<T> dst,
+               simt::LaunchOrigin origin, int block_dim) {
+    const std::size_t n = src.size();
+    if (n == 0) return;
+    const int grid = simt::suggest_grid(dev.arch(), n, block_dim);
+    dev.launch("copy", {.grid_dim = grid, .block_dim = block_dim, .origin = origin},
+               [=](simt::BlockCtx& blk) {
+                   blk.warp_tiles(n, [&](simt::WarpCtx& w, std::size_t base, std::size_t) {
+                       T regs[simt::kWarpSize];
+                       w.load(src, base, regs);
+                       w.store(dst, base, regs);
+                   });
+               });
+}
+
+/// Sorts `data` ascending in place, using `scratch` (same size) as the
+/// scatter target of each level.
+template <typename T>
+void sort_segment(simt::Device& dev, std::span<T> data, std::span<T> scratch,
+                  const SampleSelectConfig& cfg, std::size_t depth, SortResult<T>& res) {
+    const std::size_t n = data.size();
+    res.max_depth = std::max(res.max_depth, depth);
+    if (depth > 64) throw std::runtime_error("sample_sort: recursion depth cap hit");
+    const auto origin = depth == 0 ? simt::LaunchOrigin::host : simt::LaunchOrigin::device;
+
+    if (n <= cfg.base_case_size) {
+        bitonic::sort_on_device<T>(dev, data, n, origin, cfg.block_dim);
+        return;
+    }
+
+    const auto b = static_cast<std::size_t>(cfg.num_buckets);
+    const SearchTree<T> tree =
+        sample_splitters<T>(dev, std::span<const T>(data), cfg, origin, depth * 977);
+    auto oracles = dev.alloc<std::uint8_t>(n);
+    auto totals = dev.alloc<std::int32_t>(b);
+    const int grid = simt::suggest_grid(dev.arch(), n, cfg.block_dim, cfg.unroll);
+    auto block_counts = dev.alloc<std::int32_t>(static_cast<std::size_t>(grid) * b);
+    count_kernel<T>(dev, std::span<const T>(data), tree, oracles.span(), totals.span(),
+                    block_counts.span(), cfg, origin);
+    reduce_kernel(dev, block_counts.span(), grid, cfg.num_buckets, totals.span(),
+                  /*keep_block_offsets=*/true, origin, cfg.block_dim);
+    auto prefix = dev.alloc<std::int32_t>(b + 1);
+    (void)select_bucket_kernel(dev, totals.span(), prefix.span(), 0, origin);
+
+    scatter_all_kernel<T>(dev, std::span<const T>(data), oracles.span(), block_counts.span(),
+                          prefix.span(), scratch, tree, cfg, origin, grid);
+
+    // Small child buckets are sorted by ONE batched bitonic launch (one
+    // block per bucket); only oversized buckets recurse.
+    std::vector<bitonic::Segment> small;
+    small.reserve(b);
+    for (std::size_t i = 0; i < b; ++i) {
+        const auto lo = static_cast<std::size_t>(prefix[i]);
+        const auto hi = static_cast<std::size_t>(prefix[i + 1]);
+        const std::size_t len = hi - lo;
+        if (len <= 1 || tree.equality[i]) continue;  // equality buckets are sorted
+        if (len == n) {
+            // Degenerate sample: retry the whole segment with a new salt.
+            sort_segment(dev, scratch, data, cfg, depth + 1, res);
+            copy_back<T>(dev, std::span<const T>(scratch), data, origin, cfg.block_dim);
+            return;
+        }
+        if (len <= bitonic::kMaxSortSize) {
+            small.push_back({lo, len});
+        } else {
+            sort_segment(dev, scratch.subspan(lo, len), data.subspan(lo, len), cfg, depth + 1,
+                         res);
+        }
+    }
+    if (!small.empty()) {
+        res.max_depth = std::max(res.max_depth, depth + 1);
+        bitonic::batched_sort_on_device<T>(dev, scratch, small, origin, cfg.block_dim,
+                                           cfg.stream);
+    }
+    copy_back<T>(dev, std::span<const T>(scratch), data, origin, cfg.block_dim);
+}
+
+}  // namespace
+
+template <typename T>
+SortResult<T> sample_sort(simt::Device& dev, std::span<const T> input,
+                          const SampleSelectConfig& cfg) {
+    // The scatter needs per-block offsets, so sorting uses the
+    // shared-atomic hierarchy regardless of cfg.atomic_space.
+    SampleSelectConfig sort_cfg = cfg;
+    sort_cfg.atomic_space = simt::AtomicSpace::shared;
+    sort_cfg.validate(/*exact=*/true);
+
+    const std::size_t n = input.size();
+    auto buf = dev.alloc<T>(n);
+    auto scratch = dev.alloc<T>(n);
+    std::copy(input.begin(), input.end(), buf.data());
+
+    SortResult<T> res;
+    const double t0 = dev.elapsed_ns();
+    const std::uint64_t l0 = dev.launch_count();
+    if (n > 0) sort_segment<T>(dev, buf.span(), scratch.span(), sort_cfg, 0, res);
+    res.sim_ns = dev.elapsed_ns() - t0;
+    res.launches = dev.launch_count() - l0;
+    res.sorted.assign(buf.data(), buf.data() + n);
+    return res;
+}
+
+template SortResult<float> sample_sort<float>(simt::Device&, std::span<const float>,
+                                              const SampleSelectConfig&);
+template SortResult<double> sample_sort<double>(simt::Device&, std::span<const double>,
+                                                const SampleSelectConfig&);
+
+}  // namespace gpusel::core

@@ -1,0 +1,72 @@
+#include "core/searchtree.hpp"
+
+#include <stdexcept>
+
+namespace gpusel::core {
+
+namespace {
+
+/// Recursively fills heap-ordered `nodes` from the in-order splitter range
+/// [lo, hi); the perfect-tree shape makes the midpoint split exact.
+template <typename T>
+void fill_heap(std::vector<T>& nodes, std::vector<std::int32_t>& in_order_idx,
+               const std::vector<T>& sp, std::size_t node, std::size_t lo, std::size_t hi) {
+    if (lo >= hi) return;
+    const std::size_t mid = (lo + hi) / 2;
+    nodes[node] = sp[mid];
+    in_order_idx[node] = static_cast<std::int32_t>(mid);
+    fill_heap(nodes, in_order_idx, sp, 2 * node + 1, lo, mid);
+    fill_heap(nodes, in_order_idx, sp, 2 * node + 2, mid + 1, hi);
+}
+
+}  // namespace
+
+template <typename T>
+SearchTree<T> SearchTree<T>::build(std::vector<T> sorted_splitters) {
+    const std::size_t m = sorted_splitters.size();
+    // m must be 2^h - 1 for a perfect tree.
+    std::int32_t h = 0;
+    while ((std::size_t{1} << h) - 1 < m) ++h;
+    if ((std::size_t{1} << h) - 1 != m) {
+        throw std::invalid_argument("splitter count must be 2^h - 1 for a complete search tree");
+    }
+    for (std::size_t i = 1; i < m; ++i) {
+        if (sorted_splitters[i] < sorted_splitters[i - 1]) {
+            throw std::invalid_argument("splitters must be sorted ascending");
+        }
+    }
+
+    SearchTree<T> t;
+    t.num_buckets = static_cast<std::int32_t>(m + 1);
+    t.height = h;
+    t.splitters = std::move(sorted_splitters);
+    t.nodes.resize(m);
+    t.leq.assign(m, 0);
+    t.equality.assign(static_cast<std::size_t>(t.num_buckets), 0);
+    if (m == 0) return t;
+
+    std::vector<std::int32_t> in_order_idx(m, -1);
+    fill_heap(t.nodes, in_order_idx, t.splitters, 0, 0, m);
+
+    // A node compares with `<=` iff it holds the last in-order occurrence
+    // of a *duplicated* splitter value; the bucket left of that occurrence
+    // becomes the equality bucket.
+    auto is_last_dup = [&](std::size_t j) {
+        const bool last = (j + 1 == m) || (t.splitters[j] < t.splitters[j + 1]);
+        const bool dup = (j > 0) && !(t.splitters[j - 1] < t.splitters[j]);
+        return last && dup;
+    };
+    for (std::size_t node = 0; node < m; ++node) {
+        const auto j = static_cast<std::size_t>(in_order_idx[node]);
+        if (is_last_dup(j)) t.leq[node] = 1;
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+        if (is_last_dup(j)) t.equality[j] = 1;  // bucket j sits left of splitter j
+    }
+    return t;
+}
+
+template struct SearchTree<float>;
+template struct SearchTree<double>;
+
+}  // namespace gpusel::core

@@ -1,0 +1,68 @@
+#pragma once
+// Splitter search tree (Sec. IV-B b and Fig. 3/4 of the paper).
+//
+// The b-1 sorted splitters are stored as a complete binary search tree in
+// implicit array (binary-heap) order: node i has children 2i+1 and 2i+2,
+// leaves map to bucket indices.  Bucket identification is then a fixed
+// `height = log2(b)` iteration loop without any of the index gymnastics of
+// binary search on a sorted array -- the technique of Super Scalar Sample
+// Sort (Sanders & Winkel 2004) that the paper adopts.
+//
+// Repeated elements (Sec. IV-C): if the sample yields identical splitters
+// s_a = ... = s_e, the paper conceptually replaces s_e by s_e + eps so that
+// the elements equal to the splitter land in an *equality bucket* of their
+// own.  We implement the epsilon trick exactly, but without floating-point
+// hacks: the tree node holding the last in-order occurrence of a duplicated
+// splitter value compares with `<=` instead of `<`.  The bucket that
+// collapses to the single value is flagged, and the selection driver can
+// terminate early when the target rank falls into it.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gpusel::core {
+
+template <typename T>
+struct SearchTree {
+    /// Number of buckets b (power of two).
+    std::int32_t num_buckets = 0;
+    /// Tree height log2(b); the traversal loop length.
+    std::int32_t height = 0;
+    /// Internal nodes in implicit heap order; size b-1.
+    std::vector<T> nodes;
+    /// Per node: compare with `<=` instead of `<` (duplicate-splitter trick).
+    std::vector<std::uint8_t> leq;
+    /// The sorted splitters; size b-1.  splitters[i] separates bucket i
+    /// from bucket i+1.
+    std::vector<T> splitters;
+    /// Per bucket: true if the bucket holds exactly one repeated value
+    /// (equality bucket).  Its value is splitters[bucket-1].
+    std::vector<std::uint8_t> equality;
+
+    /// Builds the tree from sorted splitters (size must be 2^h - 1).
+    [[nodiscard]] static SearchTree build(std::vector<T> sorted_splitters);
+
+    /// Reference traversal (identical decisions to the kernels' inline
+    /// loop); used by tests and host-side fallbacks.
+    [[nodiscard]] std::int32_t find_bucket(T x) const noexcept {
+        std::int32_t i = 0;
+        for (std::int32_t l = 0; l < height; ++l) {
+            const bool left = leq[static_cast<std::size_t>(i)]
+                                  ? !(nodes[static_cast<std::size_t>(i)] < x)
+                                  : (x < nodes[static_cast<std::size_t>(i)]);
+            i = 2 * i + (left ? 1 : 2);
+        }
+        return i - (num_buckets - 1);
+    }
+
+    /// Bytes the kernels stage into shared memory (node values + leq flags).
+    [[nodiscard]] std::size_t device_bytes() const noexcept {
+        return nodes.size() * sizeof(T) + leq.size();
+    }
+};
+
+extern template struct SearchTree<float>;
+extern template struct SearchTree<double>;
+
+}  // namespace gpusel::core

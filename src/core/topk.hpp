@@ -1,0 +1,78 @@
+#pragma once
+// Top-k selection via kernel fusion (Sec. IV-I): the filter kernel copies
+// not only the bucket containing the threshold rank, but also every element
+// of the buckets above it -- those are guaranteed members of the top-k set,
+// so they move straight to the result while the recursion descends only
+// into the threshold bucket.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "simt/device.hpp"
+
+namespace gpusel::core {
+
+template <typename T>
+struct TopKResult {
+    /// The k largest elements (unordered).
+    std::vector<T> elements;
+    /// The smallest of them: the k-th largest element (the threshold).
+    T threshold{};
+    std::size_t levels = 0;
+    double sim_ns = 0.0;
+    std::uint64_t launches = 0;
+};
+
+/// Returns the k largest elements of `input` (0 < k <= n).
+template <typename T>
+[[nodiscard]] TopKResult<T> topk_largest(simt::Device& dev, std::span<const T> input,
+                                         std::size_t k, const SampleSelectConfig& cfg);
+
+template <typename T>
+struct TopKIndexResult {
+    /// The k largest values (unordered) ...
+    std::vector<T> values;
+    /// ... and the original position of each (values[i] == input[indices[i]]).
+    std::vector<std::size_t> indices;
+    /// The k-th largest value.
+    T threshold{};
+    double sim_ns = 0.0;
+    std::uint64_t launches = 0;
+};
+
+/// Top-k with index payloads (what retrieval workloads need: document ids,
+/// not just scores).  Finds the threshold with exact SampleSelect, then one
+/// gather pass extracts (value, index) pairs: all elements above the
+/// threshold plus enough threshold-equal elements to reach exactly k (ties
+/// broken by position order of extraction).
+template <typename T>
+[[nodiscard]] TopKIndexResult<T> topk_largest_with_indices(simt::Device& dev,
+                                                           std::span<const T> input,
+                                                           std::size_t k,
+                                                           const SampleSelectConfig& cfg);
+
+/// Returns the k smallest elements; `threshold` is the k-th smallest.
+/// Implemented by running the fused top-k machinery on the negated values
+/// (one extra negation pass each way, charged to the simulated clock) --
+/// selection is comparison-based, so negation is an order-reversing
+/// bijection that costs exactly two streaming passes.
+template <typename T>
+[[nodiscard]] TopKResult<T> topk_smallest(simt::Device& dev, std::span<const T> input,
+                                          std::size_t k, const SampleSelectConfig& cfg);
+
+extern template TopKResult<float> topk_largest<float>(simt::Device&, std::span<const float>,
+                                                      std::size_t, const SampleSelectConfig&);
+extern template TopKResult<double> topk_largest<double>(simt::Device&, std::span<const double>,
+                                                        std::size_t, const SampleSelectConfig&);
+extern template TopKResult<float> topk_smallest<float>(simt::Device&, std::span<const float>,
+                                                       std::size_t, const SampleSelectConfig&);
+extern template TopKResult<double> topk_smallest<double>(simt::Device&, std::span<const double>,
+                                                         std::size_t, const SampleSelectConfig&);
+extern template TopKIndexResult<float> topk_largest_with_indices<float>(
+    simt::Device&, std::span<const float>, std::size_t, const SampleSelectConfig&);
+extern template TopKIndexResult<double> topk_largest_with_indices<double>(
+    simt::Device&, std::span<const double>, std::size_t, const SampleSelectConfig&);
+
+}  // namespace gpusel::core

@@ -1,0 +1,74 @@
+#pragma once
+// Deterministic pseudo-random number generation for dataset synthesis and
+// splitter sampling.
+//
+// splitmix64 is used for seeding, xoshiro256** for the bulk stream.  Both
+// are tiny, fast and reproducible across platforms -- every experiment in
+// the benchmark harness is seeded, so paper-figure regeneration is exactly
+// repeatable.
+
+#include <cstdint>
+
+namespace gpusel::data {
+
+/// splitmix64: good avalanche, used to expand one seed into stream state.
+class SplitMix64 {
+public:
+    explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+    constexpr std::uint64_t next() noexcept {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+/// xoshiro256**: fast general-purpose 64-bit generator.
+class Xoshiro256 {
+public:
+    using result_type = std::uint64_t;
+
+    explicit constexpr Xoshiro256(std::uint64_t seed) noexcept {
+        SplitMix64 sm(seed);
+        for (auto& s : s_) s = sm.next();
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+    constexpr std::uint64_t operator()() noexcept {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /// Uniform double in [0, 1).
+    constexpr double uniform() noexcept {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform integer in [0, bound) without modulo bias for bound << 2^64.
+    constexpr std::uint64_t bounded(std::uint64_t bound) noexcept {
+        // Lemire's multiply-shift reduction.
+        const std::uint64_t x = (*this)();
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(x) * static_cast<unsigned __int128>(bound)) >> 64);
+    }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+    std::uint64_t s_[4]{};
+};
+
+}  // namespace gpusel::data

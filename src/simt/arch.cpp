@@ -1,0 +1,125 @@
+#include "simt/arch.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gpusel::simt {
+
+ArchSpec arch_k20xm() {
+    ArchSpec a;
+    a.name = "K20Xm";
+    a.generation = "Kepler";
+    a.num_sms = 13;
+    a.clock_ghz = 0.75;
+    a.dp_tflops = 1.2;
+    a.sp_tflops = 3.5;
+    a.hp_tflops = 0.0;
+    a.mem_capacity_gb = 5.0;
+    a.peak_bandwidth_gbs = 208.0;
+    a.sustained_bandwidth_gbs = 146.0;
+    a.l2_cache_mb = 1.5;
+    a.l1_cache_kb = 64.0;
+    a.shared_mem_per_block = 48u << 10;
+    a.max_threads_per_block = 1024;
+    a.max_resident_threads_per_sm = 2048;
+    a.has_fast_shared_atomics = false;  // pre-Maxwell: lock-emulated shared atomics
+
+    // Timing model calibration (see EXPERIMENTS.md "Calibration"):
+    // Kepler resolves global atomics in L2 with decent throughput, while
+    // shared atomics are emulated and collapse under same-address conflicts.
+    a.host_launch_ns = 10000.0;
+    a.device_launch_ns = 5000.0;
+    a.scattered_bw_efficiency = 0.20;
+    a.shared_atomic_ops_per_ns = 1.8;
+    a.global_atomic_ops_per_ns = 2.7;
+    a.shared_collision_penalty = 4.0;
+    a.global_collision_penalty = 1.0;
+    a.ballot_ops_per_ns = 15.0;
+    a.instr_per_ns = 300.0;
+    a.barrier_ns = 30.0;
+    a.shared_bytes_per_ns = 2400.0;
+    return a;
+}
+
+ArchSpec arch_v100() {
+    ArchSpec a;
+    a.name = "V100";
+    a.generation = "Volta";
+    a.num_sms = 80;
+    a.clock_ghz = 1.53;
+    a.dp_tflops = 7.0;
+    a.sp_tflops = 14.0;
+    a.hp_tflops = 112.0;  // 8 tensor cores per SM
+    a.mem_capacity_gb = 16.0;
+    a.peak_bandwidth_gbs = 900.0;
+    a.sustained_bandwidth_gbs = 742.0;
+    a.l2_cache_mb = 6.0;
+    a.l1_cache_kb = 128.0;
+    a.shared_mem_per_block = 96u << 10;
+    a.max_threads_per_block = 1024;
+    a.max_resident_threads_per_sm = 2048;
+    a.has_fast_shared_atomics = true;  // native shared atomic hardware
+
+    // Volta: very fast, collision-tolerant shared atomics (warp-aggregation
+    // unnecessary, Sec. V-E); global atomics roughly an order of magnitude
+    // slower per op, producing the >10x sample-s vs sample-g gap of Fig. 8.
+    a.host_launch_ns = 7000.0;
+    a.device_launch_ns = 2500.0;
+    a.scattered_bw_efficiency = 0.30;
+    a.shared_atomic_ops_per_ns = 80.0;
+    a.global_atomic_ops_per_ns = 3.5;
+    a.shared_collision_penalty = 0.15;
+    a.global_collision_penalty = 2.0;
+    a.ballot_ops_per_ns = 40.0;
+    a.instr_per_ns = 2000.0;
+    a.barrier_ns = 15.0;
+    a.shared_bytes_per_ns = 15000.0;
+    return a;
+}
+
+const ArchSpec& preset(const std::string& name) {
+    static const ArchSpec k20 = arch_k20xm();
+    static const ArchSpec v100 = arch_v100();
+    if (name == "K20Xm" || name == "k20xm" || name == "kepler") return k20;
+    if (name == "V100" || name == "v100" || name == "volta") return v100;
+    throw std::invalid_argument("unknown architecture preset: " + name);
+}
+
+namespace {
+std::string tflops_str(double v) {
+    if (v <= 0.0) return "-";
+    std::ostringstream os;
+    os << v << " TFLOPs";
+    return os.str();
+}
+}  // namespace
+
+std::ostream& print_table1(std::ostream& os, const ArchSpec& a, const ArchSpec& b) {
+    auto row = [&os](const std::string& label, const std::string& va, const std::string& vb) {
+        os << std::left << std::setw(18) << label << std::right << std::setw(14) << va
+           << std::setw(14) << vb << '\n';
+    };
+    auto num = [](double v, const char* unit) {
+        std::ostringstream s;
+        s << v << unit;
+        return s.str();
+    };
+    row("", a.name, b.name);
+    row("Architecture", a.generation, b.generation);
+    row("DP Performance", tflops_str(a.dp_tflops), tflops_str(b.dp_tflops));
+    row("SP Performance", tflops_str(a.sp_tflops), tflops_str(b.sp_tflops));
+    row("HP Performance", tflops_str(a.hp_tflops), tflops_str(b.hp_tflops));
+    row("SMs", num(a.num_sms, ""), num(b.num_sms, ""));
+    row("Operating Freq.", num(a.clock_ghz, " GHz"), num(b.clock_ghz, " GHz"));
+    row("Mem. Capacity", num(a.mem_capacity_gb, " GB"), num(b.mem_capacity_gb, " GB"));
+    row("Mem. Bandwidth", num(a.peak_bandwidth_gbs, " GB/s"), num(b.peak_bandwidth_gbs, " GB/s"));
+    row("Sustained BW", num(a.sustained_bandwidth_gbs, " GB/s"),
+        num(b.sustained_bandwidth_gbs, " GB/s"));
+    row("L2 Cache Size", num(a.l2_cache_mb, " MB"), num(b.l2_cache_mb, " MB"));
+    row("L1 Cache Size", num(a.l1_cache_kb, " KB"), num(b.l1_cache_kb, " KB"));
+    return os;
+}
+
+}  // namespace gpusel::simt

@@ -1,0 +1,103 @@
+#pragma once
+// Architecture descriptions for the SIMT simulator.
+//
+// An ArchSpec bundles (a) the datasheet characteristics the paper lists in
+// Table I for the two evaluation GPUs (Tesla K20Xm / Kepler and Tesla V100 /
+// Volta) and (b) the parameters of the analytic timing model that converts
+// exact event counts into simulated nanoseconds.
+//
+// The timing parameters are calibrated so that the *architectural contrasts*
+// the paper's evaluation rests on are present:
+//   * Kepler: shared-memory atomics are emulated through lock/update/unlock
+//     sequences and are slow, with a high same-address collision penalty;
+//     global atomics (resolved in L2) are comparatively fast.  Hence the
+//     paper's observation that the global-atomics variants win on the K20Xm.
+//   * Volta (like Maxwell and later): native shared-memory atomic hardware
+//     makes shared atomics very fast and collision-tolerant, while global
+//     atomics remain an order of magnitude slower per op.  Hence the >10x
+//     advantage of sample-s over sample-g on the V100 and the fact that
+//     warp-aggregation is unnecessary there (Sec. V-E).
+// See EXPERIMENTS.md for the calibration rationale of each constant.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+namespace gpusel::simt {
+
+inline constexpr int kWarpSize = 32;
+
+/// A simulated GPU architecture: datasheet characteristics plus timing-model
+/// parameters.  All throughputs are device-aggregate (they already account
+/// for the number of SMs at full occupancy).
+struct ArchSpec {
+    // ---- identity & Table I characteristics -----------------------------
+    std::string name;            ///< e.g. "K20Xm"
+    std::string generation;      ///< e.g. "Kepler"
+    int num_sms = 0;             ///< streaming multiprocessors
+    double clock_ghz = 0.0;      ///< operating frequency
+    double dp_tflops = 0.0;      ///< double-precision peak
+    double sp_tflops = 0.0;      ///< single-precision peak
+    double hp_tflops = 0.0;      ///< half/tensor peak (0 = n/a)
+    double mem_capacity_gb = 0.0;
+    double peak_bandwidth_gbs = 0.0;       ///< datasheet memory bandwidth
+    double sustained_bandwidth_gbs = 0.0;  ///< bandwidth-test sustained value
+    double l2_cache_mb = 0.0;
+    double l1_cache_kb = 0.0;
+    std::size_t shared_mem_per_block = 48u << 10;  ///< usable shared memory per block
+    int max_threads_per_block = 1024;
+    int warp_size = kWarpSize;
+    int max_resident_threads_per_sm = 2048;
+    bool has_fast_shared_atomics = false;  ///< Maxwell and later
+
+    // ---- timing model parameters ----------------------------------------
+    double host_launch_ns = 8000.0;    ///< host-side kernel launch latency
+    double device_launch_ns = 2500.0;  ///< dynamic-parallelism launch latency
+    /// Efficiency of scattered (gather/scatter) traffic relative to
+    /// sustained bandwidth; <1 models partially-wasted transactions.
+    double scattered_bw_efficiency = 0.25;
+    /// Device-aggregate shared-memory atomic throughput [ops/ns].
+    double shared_atomic_ops_per_ns = 1.0;
+    /// Device-aggregate global-memory atomic throughput [ops/ns].
+    double global_atomic_ops_per_ns = 1.0;
+    /// Extra serialized op-equivalents charged per intra-warp same-address
+    /// conflict (shared / global operands).
+    double shared_collision_penalty = 1.0;
+    double global_collision_penalty = 1.0;
+    /// Device-aggregate warp-vote throughput [ballots/ns].
+    double ballot_ops_per_ns = 10.0;
+    /// Device-aggregate scalar-instruction throughput [instructions/ns].
+    double instr_per_ns = 100.0;
+    /// Cost of one block-wide barrier [ns], charged per barrier per
+    /// concurrently-resident block wave.
+    double barrier_ns = 20.0;
+    /// Device-aggregate shared-memory bandwidth [bytes/ns].
+    double shared_bytes_per_ns = 1000.0;
+    /// Threads needed device-wide to reach full throughput; fewer threads
+    /// scale all throughputs down linearly (latency-bound regime).
+    int threads_for_peak = 0;  ///< 0 => num_sms * max_resident_threads_per_sm / 2
+
+    [[nodiscard]] int effective_threads_for_peak() const noexcept {
+        // ~512 resident threads per SM already saturate bandwidth/atomics;
+        // matches the suggest_grid cap of 2 blocks x 256 threads per SM.
+        return threads_for_peak > 0 ? threads_for_peak
+                                    : num_sms * max_resident_threads_per_sm / 4;
+    }
+    /// Memory bandwidth in bytes per nanosecond (== GB/s numerically).
+    [[nodiscard]] double sustained_bytes_per_ns() const noexcept {
+        return sustained_bandwidth_gbs;
+    }
+};
+
+/// Table I preset: NVIDIA Tesla K20Xm (Kepler generation).
+[[nodiscard]] ArchSpec arch_k20xm();
+/// Table I preset: NVIDIA Tesla V100 (Volta generation).
+[[nodiscard]] ArchSpec arch_v100();
+/// All presets the benchmark harness sweeps over.
+[[nodiscard]] const ArchSpec& preset(const std::string& name);
+
+/// Prints the Table I layout for a set of architectures (used by
+/// bench_table1_arch and the README).
+std::ostream& print_table1(std::ostream& os, const ArchSpec& a, const ArchSpec& b);
+
+}  // namespace gpusel::simt

@@ -1,0 +1,208 @@
+#include "simt/block.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gpusel::simt {
+
+BlockCtx::BlockCtx(const ArchSpec& arch, int block_idx, int grid_dim, int block_dim,
+                   std::size_t shared_limit)
+    : arch_(arch),
+      block_idx_(block_idx),
+      grid_dim_(grid_dim),
+      block_dim_(block_dim),
+      shared_limit_(shared_limit) {
+    shared_mem_.resize(shared_limit_);
+    if (block_dim <= 0 || block_dim % kWarpSize != 0) {
+        throw std::invalid_argument("block_dim must be a positive multiple of the warp size");
+    }
+    if (block_dim > arch.max_threads_per_block) {
+        throw std::invalid_argument("block_dim exceeds max_threads_per_block");
+    }
+}
+
+int BlockCtx::distinct(const std::int32_t* idx, int n, std::size_t universe) {
+    if (mark_.size() < universe) mark_.resize(universe, 0);
+    ++epoch_;
+    if (epoch_ == 0) {  // wrapped: reset marks
+        std::fill(mark_.begin(), mark_.end(), 0);
+        epoch_ = 1;
+    }
+    int d = 0;
+    for (int l = 0; l < n; ++l) {
+        const auto b = static_cast<std::size_t>(idx[l]);
+        if (mark_[b] != epoch_) {
+            mark_[b] = epoch_;
+            ++d;
+        }
+    }
+    return d;
+}
+
+std::uint32_t WarpCtx::ballot(const bool* pred) const {
+    ++blk_->counters_.warp_ballots;
+    std::uint32_t mask = 0;
+    for (int l = 0; l < lanes_; ++l) {
+        if (pred[l]) mask |= (1u << l);
+    }
+    return mask;
+}
+
+void WarpCtx::touch_shared(std::uint64_t bytes) const {
+    blk_->counters_.shared_bytes_accessed += bytes;
+}
+
+void WarpCtx::add_instr(std::uint64_t n) const { blk_->counters_.instructions += n; }
+
+namespace {
+/// Applies one atomic add; global space uses std::atomic_ref because blocks
+/// of a launch may execute concurrently on host threads.
+inline std::int32_t apply_fetch_add(AtomicSpace space, std::int32_t& ctr, std::int32_t val) {
+    if (space == AtomicSpace::global) {
+        return std::atomic_ref<std::int32_t>(ctr).fetch_add(val, std::memory_order_relaxed);
+    }
+    const std::int32_t old = ctr;
+    ctr += val;
+    return old;
+}
+}  // namespace
+
+void WarpCtx::atomic_add(AtomicSpace space, std::span<std::int32_t> counters,
+                         const std::int32_t* bucket, std::int32_t val) const {
+    auto& c = blk_->counters_;
+    const int d = blk_->distinct(bucket, lanes_, counters.size());
+    const auto ops = static_cast<std::uint64_t>(lanes_);
+    const auto coll = static_cast<std::uint64_t>(lanes_ - d);
+    if (space == AtomicSpace::shared) {
+        c.shared_atomic_ops += ops;
+        c.shared_atomic_collisions += coll;
+    } else {
+        c.global_atomic_ops += ops;
+        c.global_atomic_collisions += coll;
+    }
+    for (int l = 0; l < lanes_; ++l) {
+        apply_fetch_add(space, counters[static_cast<std::size_t>(bucket[l])], val);
+    }
+}
+
+void WarpCtx::atomic_add_aggregated(AtomicSpace space, std::span<std::int32_t> counters,
+                                    const std::int32_t* bucket, int index_bits,
+                                    std::int32_t val) const {
+    auto& c = blk_->counters_;
+    // Fig. 6: one ballot per bucket-index bit to intersect the lane masks.
+    c.warp_ballots += static_cast<std::uint64_t>(index_bits);
+
+    // Group lanes by bucket; the group leader issues a single atomic with
+    // the aggregated value.  One pass using the epoch scratch.
+    auto& mark = blk_->mark_;
+    if (mark.size() < counters.size()) mark.resize(counters.size(), 0);
+    ++blk_->epoch_;
+    if (blk_->epoch_ == 0) {
+        std::fill(mark.begin(), mark.end(), 0);
+        blk_->epoch_ = 1;
+    }
+    // leader_of[g] / group_val[g] for up to kWarpSize groups.
+    std::int32_t group_bucket[kWarpSize];
+    std::int32_t group_val[kWarpSize];
+    int groups = 0;
+    for (int l = 0; l < lanes_; ++l) {
+        const auto b = static_cast<std::size_t>(bucket[l]);
+        if (mark[b] != blk_->epoch_) {
+            mark[b] = blk_->epoch_;
+            group_bucket[groups] = bucket[l];
+            group_val[groups] = val;
+            ++groups;
+        } else {
+            // find the group (small linear scan; groups <= 32)
+            for (int g = 0; g < groups; ++g) {
+                if (group_bucket[g] == bucket[l]) {
+                    group_val[g] += val;
+                    break;
+                }
+            }
+        }
+    }
+    if (space == AtomicSpace::shared) {
+        c.shared_atomic_ops += static_cast<std::uint64_t>(groups);
+    } else {
+        c.global_atomic_ops += static_cast<std::uint64_t>(groups);
+    }
+    for (int g = 0; g < groups; ++g) {
+        apply_fetch_add(space, counters[static_cast<std::size_t>(group_bucket[g])], group_val[g]);
+    }
+}
+
+void WarpCtx::fetch_add(AtomicSpace space, std::span<std::int32_t> counters,
+                        const std::int32_t* which, std::int32_t* old_out, bool aggregated,
+                        int index_bits, const bool* active) const {
+    auto& c = blk_->counters_;
+    if (!aggregated) {
+        std::int32_t targets[kWarpSize];
+        int n_active = 0;
+        for (int l = 0; l < lanes_; ++l) {
+            if (active == nullptr || active[l]) targets[n_active++] = which[l];
+        }
+        const int d = n_active > 0 ? blk_->distinct(targets, n_active, counters.size()) : 0;
+        const auto ops = static_cast<std::uint64_t>(n_active);
+        const auto coll = static_cast<std::uint64_t>(n_active - d);
+        if (space == AtomicSpace::shared) {
+            c.shared_atomic_ops += ops;
+            c.shared_atomic_collisions += coll;
+        } else {
+            c.global_atomic_ops += ops;
+            c.global_atomic_collisions += coll;
+        }
+        for (int l = 0; l < lanes_; ++l) {
+            if (active == nullptr || active[l]) {
+                old_out[l] =
+                    apply_fetch_add(space, counters[static_cast<std::size_t>(which[l])], 1);
+            }
+        }
+        return;
+    }
+
+    // Aggregated: index_bits ballots partition the active lanes into
+    // same-counter groups; the leader fetch-adds the group size once and
+    // lanes receive lane-ordered sub-offsets.
+    c.warp_ballots += static_cast<std::uint64_t>(index_bits);
+    std::int32_t group_bucket[kWarpSize];
+    std::int32_t group_size[kWarpSize];
+    std::int32_t lane_group[kWarpSize];
+    std::int32_t lane_sub[kWarpSize];
+    int groups = 0;
+    for (int l = 0; l < lanes_; ++l) {
+        if (active != nullptr && !active[l]) {
+            lane_group[l] = -1;
+            continue;
+        }
+        int g = -1;
+        for (int j = 0; j < groups; ++j) {
+            if (group_bucket[j] == which[l]) {
+                g = j;
+                break;
+            }
+        }
+        if (g < 0) {
+            g = groups++;
+            group_bucket[g] = which[l];
+            group_size[g] = 0;
+        }
+        lane_group[l] = g;
+        lane_sub[l] = group_size[g]++;
+    }
+    if (space == AtomicSpace::shared) {
+        c.shared_atomic_ops += static_cast<std::uint64_t>(groups);
+    } else {
+        c.global_atomic_ops += static_cast<std::uint64_t>(groups);
+    }
+    std::int32_t group_base[kWarpSize];
+    for (int g = 0; g < groups; ++g) {
+        group_base[g] = apply_fetch_add(
+            space, counters[static_cast<std::size_t>(group_bucket[g])], group_size[g]);
+    }
+    for (int l = 0; l < lanes_; ++l) {
+        if (lane_group[l] >= 0) old_out[l] = group_base[lane_group[l]] + lane_sub[l];
+    }
+}
+
+}  // namespace gpusel::simt

@@ -1,0 +1,308 @@
+#pragma once
+// Block and warp execution contexts of the SIMT simulator.
+//
+// A kernel is a callable `void(BlockCtx&)`.  The Device invokes it once per
+// thread block of the launch grid.  Inside a block, kernels are written in
+// *warp-vectorized* style: instead of per-thread control flow, warp-wide
+// primitives operate on per-lane register arrays (T regs[kWarpSize]).  This
+// mirrors how the paper's CUDA kernels behave (warp-synchronous phases,
+// ballots, shared-memory histograms) while keeping simulation cost at a
+// small constant factor over the raw data pass.
+//
+// Execution of one block is sequential on one host thread, so shared-memory
+// operations need no synchronization; `sync()` only records the barrier
+// event for the timing model.  Blocks of one launch may run concurrently on
+// a host thread pool; they interact only through global-memory atomics,
+// which are implemented with std::atomic_ref.
+//
+// Instrumentation contract: every primitive both *performs* the operation
+// and *counts* it.  Kernels must route all global-memory and atomic traffic
+// through these primitives; plain reads of captured spans are reserved for
+// setup/debug code paths and bench-harness validation.
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "simt/arch.hpp"
+#include "simt/counters.hpp"
+
+namespace gpusel::simt {
+
+class BlockCtx;
+
+/// Which memory space an atomic counter lives in (Sec. IV-G of the paper).
+enum class AtomicSpace { shared, global };
+
+/// Warp-wide execution context: lockstep operations over up to 32 lanes.
+class WarpCtx {
+public:
+    WarpCtx(BlockCtx& blk, int active_lanes) noexcept : blk_(&blk), lanes_(active_lanes) {}
+
+    [[nodiscard]] int lanes() const noexcept { return lanes_; }
+    [[nodiscard]] BlockCtx& block() const noexcept { return *blk_; }
+
+    // ---- global memory ---------------------------------------------------
+    /// Coalesced tile load: regs[l] = src[base + l] for all active lanes.
+    template <typename T>
+    void load(std::span<const T> src, std::size_t base, T* regs) const;
+    /// Coalesced tile store: dst[base + l] = regs[l].
+    template <typename T>
+    void store(std::span<T> dst, std::size_t base, const T* regs) const;
+    /// Scattered gather: regs[l] = src[idx[l]].
+    template <typename T>
+    void gather(std::span<const T> src, const std::size_t* idx, T* regs) const;
+    /// Scattered scatter: dst[idx[l]] = regs[l].
+    template <typename T>
+    void scatter(std::span<T> dst, const std::size_t* idx, const T* regs) const;
+    /// Compacted store: lanes with pred[l] write regs[l] to consecutive
+    /// slots dst[pos], dst[pos+1], ... in lane order starting at `pos`.
+    /// Counts as coalesced traffic (consecutive addresses within the warp).
+    template <typename T>
+    void store_compacted(std::span<T> dst, std::size_t pos, const bool* pred, const T* regs) const;
+
+    // ---- warp votes / shuffles -------------------------------------------
+    /// __ballot_sync equivalent over the active lanes.
+    [[nodiscard]] std::uint32_t ballot(const bool* pred) const;
+    /// Broadcast of one lane's value to the whole warp (__shfl_sync).
+    template <typename T>
+    [[nodiscard]] T shfl(const T* regs, int src_lane) const;
+    /// Warp-wide sum via the shfl_down butterfly: log2(warp) shuffle
+    /// rounds, result returned to the caller (lane 0's value on hardware).
+    template <typename T>
+    [[nodiscard]] T reduce_add(const T* regs) const;
+    /// In-place inclusive prefix sum across the lanes (shfl_up ladder).
+    template <typename T>
+    void inclusive_scan_add(T* regs) const;
+
+    // ---- histogram atomics (count kernel, Fig. 4 / Fig. 6) ----------------
+    /// Per-lane atomicAdd(counters[bucket[l]], val): one atomic per active
+    /// lane; intra-warp same-address conflicts are counted as collisions.
+    void atomic_add(AtomicSpace space, std::span<std::int32_t> counters,
+                    const std::int32_t* bucket, std::int32_t val = 1) const;
+    /// Warp-aggregated variant (Fig. 6): `index_bits` ballot rounds compute
+    /// the same-bucket lane masks, then the leader of each group issues a
+    /// single atomic.  No collisions by construction.
+    void atomic_add_aggregated(AtomicSpace space, std::span<std::int32_t> counters,
+                               const std::int32_t* bucket, int index_bits,
+                               std::int32_t val = 1) const;
+
+    // ---- offset allocation (filter / bipartition write positions) ---------
+    /// Per-lane fetch_add on one of several counters selected by which[l];
+    /// old values are returned in old_out[l].  `aggregated` uses
+    /// `index_bits` ballots and one atomic per distinct counter, assigning
+    /// lane-ordered sub-offsets; otherwise one atomic per lane with
+    /// collision accounting.
+    void fetch_add(AtomicSpace space, std::span<std::int32_t> counters, const std::int32_t* which,
+                   std::int32_t* old_out, bool aggregated, int index_bits,
+                   const bool* active = nullptr) const;
+
+    // ---- bookkeeping helpers ----------------------------------------------
+    /// Charges shared-memory traffic (bytes) performed by lane-local code.
+    void touch_shared(std::uint64_t bytes) const;
+    /// Charges abstract ALU work.
+    void add_instr(std::uint64_t n) const;
+
+private:
+    BlockCtx* blk_;
+    int lanes_;
+};
+
+/// Per-block execution context.
+class BlockCtx {
+public:
+    BlockCtx(const ArchSpec& arch, int block_idx, int grid_dim, int block_dim,
+             std::size_t shared_limit);
+
+    BlockCtx(const BlockCtx&) = delete;
+    BlockCtx& operator=(const BlockCtx&) = delete;
+
+    [[nodiscard]] int block_idx() const noexcept { return block_idx_; }
+    [[nodiscard]] int grid_dim() const noexcept { return grid_dim_; }
+    [[nodiscard]] int block_dim() const noexcept { return block_dim_; }
+    [[nodiscard]] int warps_per_block() const noexcept { return block_dim_ / kWarpSize; }
+    [[nodiscard]] const ArchSpec& arch() const noexcept { return arch_; }
+    [[nodiscard]] KernelCounters& counters() noexcept { return counters_; }
+
+    // ---- shared memory -----------------------------------------------------
+    /// Bump-allocates an array of `n` Ts in block shared memory.  Throws
+    /// std::runtime_error if the block's shared-memory capacity (the
+    /// ArchSpec limit) would be exceeded -- this enforces the paper's
+    /// constraint that e.g. approximate selection is limited to b <= 1024
+    /// buckets on hardware with small shared memory.
+    template <typename T>
+    std::span<T> shared_array(std::size_t n);
+    [[nodiscard]] std::size_t shared_bytes_used() const noexcept { return shared_used_; }
+
+    /// Block-wide barrier (__syncthreads).  Sequential execution makes this
+    /// a pure timing event.
+    void sync() noexcept { ++counters_.block_barriers; }
+
+    // ---- warp iteration -----------------------------------------------------
+    /// Grid-stride iteration over [0, n) in tiles of `tile` elements
+    /// (tile must be a multiple of kWarpSize; it is kWarpSize * unroll for
+    /// unrolled kernels).  Invokes fn(WarpCtx&, base, count) for every tile
+    /// owned by this block's warps.
+    template <typename F>
+    void warp_tiles(std::size_t n, std::size_t tile, F&& fn);
+
+    /// Convenience: single-warp tiles.
+    template <typename F>
+    void warp_tiles(std::size_t n, F&& fn) {
+        warp_tiles(n, static_cast<std::size_t>(kWarpSize), std::forward<F>(fn));
+    }
+
+    /// Block-local iteration over [0, n): only this block's warps stride
+    /// the range (for kernels where each block owns a private index space,
+    /// e.g. one sequence per block in batched selection).
+    template <typename F>
+    void warp_tiles_local(std::size_t n, F&& fn);
+
+    // ---- direct charge helpers (for block-sequential phases such as
+    //      prefix sums over shared arrays) ---------------------------------
+    void charge_shared(std::uint64_t bytes) noexcept { counters_.shared_bytes_accessed += bytes; }
+    void charge_instr(std::uint64_t n) noexcept { counters_.instructions += n; }
+    void charge_global_read(std::uint64_t bytes) noexcept { counters_.global_bytes_read += bytes; }
+    void charge_global_write(std::uint64_t bytes) noexcept {
+        counters_.global_bytes_written += bytes;
+    }
+
+    /// Counts distinct values among idx[0..n); used for collision
+    /// accounting.  Values must be < universe registered via
+    /// ensure_scratch(universe).
+    [[nodiscard]] int distinct(const std::int32_t* idx, int n, std::size_t universe);
+
+private:
+    friend class WarpCtx;
+
+    const ArchSpec& arch_;
+    int block_idx_;
+    int grid_dim_;
+    int block_dim_;
+    std::size_t shared_limit_;
+    std::size_t shared_used_ = 0;
+    std::vector<std::byte> shared_mem_;
+    KernelCounters counters_;
+    // epoch-marking scratch for distinct() -- O(warp) per call.
+    std::vector<std::uint32_t> mark_;
+    std::uint32_t epoch_ = 0;
+};
+
+// ===== inline implementations ==============================================
+
+template <typename T>
+std::span<T> BlockCtx::shared_array(std::size_t n) {
+    // align to alignof(T)
+    std::size_t offset = (shared_used_ + alignof(T) - 1) / alignof(T) * alignof(T);
+    std::size_t end = offset + n * sizeof(T);
+    if (end > shared_limit_) {
+        throw std::runtime_error("shared memory capacity exceeded: need " + std::to_string(end) +
+                                 " bytes, block limit is " + std::to_string(shared_limit_));
+    }
+    // The arena is allocated at full capacity in the constructor, so spans
+    // handed out earlier stay valid (resizing here would invalidate them).
+    shared_used_ = end;
+    return {reinterpret_cast<T*>(shared_mem_.data() + offset), n};
+}
+
+template <typename F>
+void BlockCtx::warp_tiles(std::size_t n, std::size_t tile, F&& fn) {
+    const int wpb = warps_per_block();
+    const std::size_t total_warps =
+        static_cast<std::size_t>(grid_dim_) * static_cast<std::size_t>(wpb);
+    const std::size_t stride = total_warps * tile;
+    for (int w = 0; w < wpb; ++w) {
+        const std::size_t gw = static_cast<std::size_t>(block_idx_) * static_cast<std::size_t>(wpb) +
+                               static_cast<std::size_t>(w);
+        for (std::size_t base = gw * tile; base < n; base += stride) {
+            const std::size_t count = std::min(tile, n - base);
+            WarpCtx warp(*this, static_cast<int>(std::min<std::size_t>(count, kWarpSize)));
+            fn(warp, base, count);
+        }
+    }
+}
+
+template <typename F>
+void BlockCtx::warp_tiles_local(std::size_t n, F&& fn) {
+    const auto wpb = static_cast<std::size_t>(warps_per_block());
+    const std::size_t tile = kWarpSize;
+    const std::size_t stride = wpb * tile;
+    for (std::size_t w = 0; w < wpb; ++w) {
+        for (std::size_t base = w * tile; base < n; base += stride) {
+            const std::size_t count = std::min(tile, n - base);
+            WarpCtx warp(*this, static_cast<int>(count));
+            fn(warp, base, count);
+        }
+    }
+}
+
+template <typename T>
+void WarpCtx::load(std::span<const T> src, std::size_t base, T* regs) const {
+    for (int l = 0; l < lanes_; ++l) regs[l] = src[base + static_cast<std::size_t>(l)];
+    blk_->counters_.global_bytes_read += static_cast<std::uint64_t>(lanes_) * sizeof(T);
+}
+
+template <typename T>
+void WarpCtx::store(std::span<T> dst, std::size_t base, const T* regs) const {
+    for (int l = 0; l < lanes_; ++l) dst[base + static_cast<std::size_t>(l)] = regs[l];
+    blk_->counters_.global_bytes_written += static_cast<std::uint64_t>(lanes_) * sizeof(T);
+}
+
+template <typename T>
+void WarpCtx::gather(std::span<const T> src, const std::size_t* idx, T* regs) const {
+    for (int l = 0; l < lanes_; ++l) regs[l] = src[idx[l]];
+    blk_->counters_.scattered_bytes_read += static_cast<std::uint64_t>(lanes_) * sizeof(T);
+}
+
+template <typename T>
+void WarpCtx::scatter(std::span<T> dst, const std::size_t* idx, const T* regs) const {
+    for (int l = 0; l < lanes_; ++l) dst[idx[l]] = regs[l];
+    blk_->counters_.scattered_bytes_written += static_cast<std::uint64_t>(lanes_) * sizeof(T);
+}
+
+template <typename T>
+void WarpCtx::store_compacted(std::span<T> dst, std::size_t pos, const bool* pred,
+                              const T* regs) const {
+    std::uint64_t written = 0;
+    for (int l = 0; l < lanes_; ++l) {
+        if (pred[l]) {
+            dst[pos + written] = regs[l];
+            ++written;
+        }
+    }
+    blk_->counters_.global_bytes_written += written * sizeof(T);
+}
+
+template <typename T>
+T WarpCtx::shfl(const T* regs, int src_lane) const {
+    ++blk_->counters_.warp_shuffles;
+    return regs[src_lane];
+}
+
+template <typename T>
+T WarpCtx::reduce_add(const T* regs) const {
+    // 5 shfl_down rounds on hardware, independent of the value count.
+    blk_->counters_.warp_shuffles += 5;
+    blk_->counters_.instructions += 5;
+    T sum{};
+    for (int l = 0; l < lanes_; ++l) sum += regs[l];
+    return sum;
+}
+
+template <typename T>
+void WarpCtx::inclusive_scan_add(T* regs) const {
+    // Kogge-Stone shfl_up ladder: 5 rounds.
+    blk_->counters_.warp_shuffles += 5;
+    blk_->counters_.instructions += 5;
+    T running{};
+    for (int l = 0; l < lanes_; ++l) {
+        running += regs[l];
+        regs[l] = running;
+    }
+}
+
+}  // namespace gpusel::simt

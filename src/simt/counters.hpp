@@ -1,0 +1,107 @@
+#pragma once
+// Event counters for the SIMT simulator.
+//
+// Every instrumented operation a kernel performs (global/shared memory
+// traffic, atomics, warp votes, barriers, abstract ALU work) is tallied into
+// a KernelCounters instance.  Counters are kept per block context while a
+// kernel runs -- so the hot path is a plain integer increment without any
+// synchronization -- and merged into the launch-wide KernelProfile when the
+// block retires.
+//
+// The timing model (timing.hpp) converts a KernelProfile into simulated
+// nanoseconds for a given ArchSpec.  The counters themselves are exact: they
+// are produced by executing the real algorithm on the real data.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace gpusel::simt {
+
+/// Exact event tallies for one kernel launch (or any aggregation thereof).
+struct KernelCounters {
+    // -- global memory traffic ------------------------------------------
+    /// Bytes read with warp-coalesced access patterns.
+    std::uint64_t global_bytes_read = 0;
+    /// Bytes written with warp-coalesced access patterns.
+    std::uint64_t global_bytes_written = 0;
+    /// Bytes read through gather (scattered) accesses.
+    std::uint64_t scattered_bytes_read = 0;
+    /// Bytes written through scatter accesses.
+    std::uint64_t scattered_bytes_written = 0;
+
+    // -- shared memory ---------------------------------------------------
+    /// Bytes moved to/from block shared memory (non-atomic accesses).
+    std::uint64_t shared_bytes_accessed = 0;
+
+    // -- atomics ----------------------------------------------------------
+    /// Atomic ops issued on shared-memory operands.
+    std::uint64_t shared_atomic_ops = 0;
+    /// Intra-warp same-address conflicts among shared atomics
+    /// (lanes beyond the first touching an address in the same warp op).
+    std::uint64_t shared_atomic_collisions = 0;
+    /// Atomic ops issued on global-memory operands.
+    std::uint64_t global_atomic_ops = 0;
+    /// Intra-warp same-address conflicts among global atomics.
+    std::uint64_t global_atomic_collisions = 0;
+
+    // -- warp / block level ops ------------------------------------------
+    /// Warp vote operations (__ballot_sync equivalents).
+    std::uint64_t warp_ballots = 0;
+    /// Warp shuffle/broadcast operations.
+    std::uint64_t warp_shuffles = 0;
+    /// Block-wide barriers (__syncthreads equivalents).
+    std::uint64_t block_barriers = 0;
+
+    // -- abstract compute --------------------------------------------------
+    /// Scalar instruction equivalents (comparisons, index arithmetic, ...).
+    std::uint64_t instructions = 0;
+
+    KernelCounters& operator+=(const KernelCounters& o) noexcept;
+    friend KernelCounters operator+(KernelCounters a, const KernelCounters& b) noexcept {
+        a += b;
+        return a;
+    }
+    bool operator==(const KernelCounters&) const = default;
+
+    /// Total global memory traffic in bytes (coalesced + scattered).
+    [[nodiscard]] std::uint64_t total_global_bytes() const noexcept {
+        return global_bytes_read + global_bytes_written + scattered_bytes_read +
+               scattered_bytes_written;
+    }
+    /// Total atomic operations in both memory spaces.
+    [[nodiscard]] std::uint64_t total_atomic_ops() const noexcept {
+        return shared_atomic_ops + global_atomic_ops;
+    }
+};
+
+std::ostream& operator<<(std::ostream& os, const KernelCounters& c);
+
+/// Where a kernel launch originated.  Device-side launches model CUDA
+/// Dynamic Parallelism (tail recursion stays on the GPU, Sec. IV-E of the
+/// paper) and are charged a different launch latency.
+enum class LaunchOrigin { host, device };
+
+/// Full record of one kernel launch: configuration, exact event counts and
+/// the simulated duration assigned by the timing model.
+struct KernelProfile {
+    std::string name;
+    int grid_dim = 0;
+    int block_dim = 0;
+    std::size_t shared_bytes = 0;
+    LaunchOrigin origin = LaunchOrigin::host;
+    /// Loop unrolling depth declared by the kernel (Sec. IV-H d); consumed
+    /// by the timing model's latency-hiding/occupancy terms.
+    int unroll = 1;
+    KernelCounters counters;
+    /// Simulated execution time (set by the Device at launch retirement).
+    double sim_ns = 0.0;
+
+    [[nodiscard]] std::uint64_t threads_launched() const noexcept {
+        return static_cast<std::uint64_t>(grid_dim) * static_cast<std::uint64_t>(block_dim);
+    }
+};
+
+std::ostream& operator<<(std::ostream& os, const KernelProfile& p);
+
+}  // namespace gpusel::simt

@@ -1,0 +1,88 @@
+#include "simt/device.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace gpusel::simt {
+
+Device::Device(ArchSpec spec, DeviceOptions opts)
+    : arch_(std::move(spec)), opts_(opts), pool_(opts.host_workers) {}
+
+KernelProfile Device::launch(std::string name, const LaunchConfig& cfg, const KernelFn& fn) {
+    if (cfg.grid_dim <= 0) throw std::invalid_argument("grid_dim must be positive");
+
+    KernelProfile profile;
+    profile.name = std::move(name);
+    profile.grid_dim = cfg.grid_dim;
+    profile.block_dim = cfg.block_dim;
+    profile.origin = cfg.origin;
+    profile.unroll = cfg.unroll;
+
+    const auto blocks = static_cast<std::size_t>(cfg.grid_dim);
+    std::vector<KernelCounters> per_block(blocks);
+    std::vector<std::size_t> shared_used(blocks, 0);
+    pool_.parallel_for(blocks, [&](std::size_t b) {
+        BlockCtx blk(arch_, static_cast<int>(b), cfg.grid_dim, cfg.block_dim,
+                     arch_.shared_mem_per_block);
+        fn(blk);
+        per_block[b] = blk.counters();
+        shared_used[b] = blk.shared_bytes_used();
+    });
+    for (std::size_t b = 0; b < blocks; ++b) {
+        profile.counters += per_block[b];
+        if (shared_used[b] > profile.shared_bytes) profile.shared_bytes = shared_used[b];
+    }
+
+    profile.sim_ns = simulate_time(arch_, profile).total_ns;
+    // In-order within the launch's stream; streams overlap.
+    const auto stream = static_cast<std::size_t>(cfg.stream);
+    if (stream >= stream_clock_.size()) throw std::invalid_argument("unknown stream");
+    stream_clock_[stream] += profile.sim_ns;
+    clock_ns_ = *std::max_element(stream_clock_.begin(), stream_clock_.end());
+    totals_ += profile.counters;
+    ++launch_count_;
+    if (opts_.record_profiles) profiles_.push_back(profile);
+    return profile;
+}
+
+int Device::create_stream() {
+    // A new stream cannot run work before it exists: it starts at the
+    // current device completion time (causality), and overlaps with
+    // everything launched afterwards.
+    stream_clock_.push_back(clock_ns_);
+    return static_cast<int>(stream_clock_.size() - 1);
+}
+
+double Device::stream_clock(int stream) const {
+    const auto s = static_cast<std::size_t>(stream);
+    if (s >= stream_clock_.size()) throw std::invalid_argument("unknown stream");
+    return stream_clock_[s];
+}
+
+void Device::wait_event(int stream, double event_ns) {
+    const auto s = static_cast<std::size_t>(stream);
+    if (s >= stream_clock_.size()) throw std::invalid_argument("unknown stream");
+    stream_clock_[s] = std::max(stream_clock_[s], event_ns);
+}
+
+void Device::synchronize() {
+    for (auto& c : stream_clock_) c = clock_ns_;
+}
+
+void Device::device_enqueue(ControlThunk thunk) { queue_.push_back(std::move(thunk)); }
+
+void Device::drain() {
+    if (draining_) return;  // re-entrant drain is a no-op; the outer loop continues
+    draining_ = true;
+    while (!queue_.empty()) {
+        ControlThunk t = std::move(queue_.front());
+        queue_.pop_front();
+        t(*this);
+    }
+    draining_ = false;
+}
+
+KernelCounters Device::counter_totals() const { return totals_; }
+
+}  // namespace gpusel::simt

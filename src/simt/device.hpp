@@ -1,0 +1,135 @@
+#pragma once
+// The simulated GPU device: kernel launches, the simulated clock, memory
+// allocation, profiles, and the dynamic-parallelism launch queue.
+//
+// A Device executes kernels (callables over BlockCtx) block-by-block,
+// merges the per-block event counters into a KernelProfile, asks the timing
+// model for a simulated duration, and advances the simulated clock.  The
+// device-side launch queue models CUDA Dynamic Parallelism (Sec. IV-E of
+// the paper): control thunks enqueued from "device code" run strictly in
+// order after the current kernel finished, exactly like tail-recursive
+// child launches on one CUDA stream, and their kernels are charged the
+// (cheaper) device-launch latency instead of a host round trip.
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simt/arch.hpp"
+#include "simt/block.hpp"
+#include "simt/counters.hpp"
+#include "simt/memory.hpp"
+#include "simt/thread_pool.hpp"
+#include "simt/timing.hpp"
+
+namespace gpusel::simt {
+
+/// Launch configuration (the <<<grid, block, shared, stream>>> tuple plus
+/// simulator-specific knobs).
+struct LaunchConfig {
+    int grid_dim = 1;
+    int block_dim = 256;
+    LaunchOrigin origin = LaunchOrigin::host;
+    /// Declared unroll depth, forwarded to the timing model (Sec. IV-H d).
+    int unroll = 1;
+    /// Stream to enqueue on (0 = default stream).  Launches on one stream
+    /// serialize; launches on different streams may overlap in simulated
+    /// time (see Device::elapsed_ns).
+    int stream = 0;
+};
+
+struct DeviceOptions {
+    /// Host worker threads used to execute blocks in parallel; 0 = inline
+    /// (deterministic, the default for tests and single-core hosts).
+    unsigned host_workers = 0;
+    /// Keep a full KernelProfile per launch (needed for breakdown figures);
+    /// disable for very long parameter sweeps to save host memory.
+    bool record_profiles = true;
+};
+
+class Device {
+public:
+    using KernelFn = std::function<void(BlockCtx&)>;
+    using ControlThunk = std::function<void(Device&)>;
+
+    explicit Device(ArchSpec spec, DeviceOptions opts = {});
+
+    [[nodiscard]] const ArchSpec& arch() const noexcept { return arch_; }
+    [[nodiscard]] AllocationTracker& tracker() noexcept { return tracker_; }
+
+    /// Allocates a global-memory array of n Ts.
+    template <typename T>
+    [[nodiscard]] DeviceBuffer<T> alloc(std::size_t n) {
+        return DeviceBuffer<T>(tracker_, n);
+    }
+
+    /// Launches a kernel: executes `fn` for each block, merges counters,
+    /// applies the timing model and advances the simulated clock.
+    /// Returns the launch's profile (a stable copy kept by the device when
+    /// profile recording is on).
+    KernelProfile launch(std::string name, const LaunchConfig& cfg, const KernelFn& fn);
+
+    /// Enqueues a device-side control thunk (dynamic parallelism).  Thunks
+    /// run in FIFO order from drain(); kernels they launch should use
+    /// LaunchOrigin::device.
+    void device_enqueue(ControlThunk thunk);
+    /// Runs queued control thunks (which may enqueue more) until the queue
+    /// is empty.  This is the simulator's equivalent of cudaDeviceSynchronize
+    /// after a dynamic-parallelism cascade.
+    void drain();
+
+    // ---- streams & events --------------------------------------------------
+    // The simulated clock is per stream: a launch on stream s starts when
+    // the previous work on s finished, so independent streams overlap
+    // (idealized full overlap, like concurrent kernels that fit the
+    // device side by side).  elapsed_ns() reports the latest completion
+    // over all streams (the wall-clock a host would observe after
+    // cudaDeviceSynchronize).
+
+    /// Creates a new stream and returns its id (>= 1; 0 is the default
+    /// stream, which always exists).
+    [[nodiscard]] int create_stream();
+    /// Simulated completion time of all work enqueued on one stream so far.
+    [[nodiscard]] double stream_clock(int stream) const;
+    /// Records an event on a stream: a timestamp of the work enqueued so
+    /// far.  Returns the event's simulated time.
+    [[nodiscard]] double record_event(int stream) const { return stream_clock(stream); }
+    /// Makes `stream` wait for an event timestamp (cudaStreamWaitEvent):
+    /// subsequent launches on `stream` start no earlier than `event_ns`.
+    void wait_event(int stream, double event_ns);
+    /// Host-side synchronization with every stream: advances all stream
+    /// clocks to the global completion time.
+    void synchronize();
+
+    // ---- simulated clock & bookkeeping -----------------------------------
+    [[nodiscard]] double elapsed_ns() const noexcept { return clock_ns_; }
+    void reset_clock() noexcept {
+        clock_ns_ = 0.0;
+        for (auto& c : stream_clock_) c = 0.0;
+    }
+    [[nodiscard]] const std::vector<KernelProfile>& profiles() const noexcept { return profiles_; }
+    void clear_profiles() { profiles_.clear(); }
+    /// Sum of all counters since the last clear_profiles()/construction.
+    [[nodiscard]] KernelCounters counter_totals() const;
+    /// Number of launches performed since construction (independent of
+    /// profile recording).
+    [[nodiscard]] std::uint64_t launch_count() const noexcept { return launch_count_; }
+
+private:
+    ArchSpec arch_;
+    DeviceOptions opts_;
+    AllocationTracker tracker_;
+    ThreadPool pool_;
+    std::deque<ControlThunk> queue_;
+    bool draining_ = false;
+    std::vector<KernelProfile> profiles_;
+    KernelCounters totals_;
+    double clock_ns_ = 0.0;                      ///< max completion over all streams
+    std::vector<double> stream_clock_ = {0.0};   ///< per-stream completion time
+    std::uint64_t launch_count_ = 0;
+};
+
+}  // namespace gpusel::simt

@@ -1,0 +1,94 @@
+#pragma once
+// Simulated device global memory.
+//
+// DeviceBuffer<T> is the only way kernels receive global-memory operands.
+// It owns host storage and registers its size with an AllocationTracker so
+// that the auxiliary-storage claims of the paper (SampleSelect <= n/4 bytes
+// of auxiliary storage for single precision, QuickSelect n/2, Sec. IV-A) can
+// be checked against actually-allocated bytes.
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gpusel::simt {
+
+/// Tracks current and peak simulated device-memory usage.
+class AllocationTracker {
+public:
+    void on_alloc(std::size_t bytes) noexcept {
+        current_ += bytes;
+        if (current_ > peak_) peak_ = current_;
+        ++alloc_count_;
+    }
+    void on_free(std::size_t bytes) noexcept {
+        assert(bytes <= current_);
+        current_ -= bytes;
+    }
+    /// Marks the current usage as the baseline; peak_above_baseline() then
+    /// reports only *auxiliary* storage allocated after this point.
+    void set_baseline() noexcept { baseline_ = current_; peak_ = current_; }
+    [[nodiscard]] std::size_t current() const noexcept { return current_; }
+    [[nodiscard]] std::size_t peak() const noexcept { return peak_; }
+    [[nodiscard]] std::size_t baseline() const noexcept { return baseline_; }
+    [[nodiscard]] std::size_t peak_above_baseline() const noexcept {
+        return peak_ > baseline_ ? peak_ - baseline_ : 0;
+    }
+    [[nodiscard]] std::uint64_t alloc_count() const noexcept { return alloc_count_; }
+
+private:
+    std::size_t current_ = 0;
+    std::size_t peak_ = 0;
+    std::size_t baseline_ = 0;
+    std::uint64_t alloc_count_ = 0;
+};
+
+/// Owning handle for a global-memory array of T.  Move-only; releases its
+/// bytes from the tracker on destruction.
+template <typename T>
+class DeviceBuffer {
+public:
+    DeviceBuffer() = default;
+    DeviceBuffer(AllocationTracker& tracker, std::size_t n) : tracker_(&tracker), data_(n) {
+        tracker_->on_alloc(bytes());
+    }
+    DeviceBuffer(DeviceBuffer&& o) noexcept : tracker_(o.tracker_), data_(std::move(o.data_)) {
+        o.tracker_ = nullptr;
+        o.data_.clear();
+    }
+    DeviceBuffer& operator=(DeviceBuffer&& o) noexcept {
+        if (this != &o) {
+            release();
+            tracker_ = o.tracker_;
+            data_ = std::move(o.data_);
+            o.tracker_ = nullptr;
+            o.data_.clear();
+        }
+        return *this;
+    }
+    DeviceBuffer(const DeviceBuffer&) = delete;
+    DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+    ~DeviceBuffer() { release(); }
+
+    [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+    [[nodiscard]] std::size_t bytes() const noexcept { return data_.size() * sizeof(T); }
+    [[nodiscard]] std::span<T> span() noexcept { return {data_.data(), data_.size()}; }
+    [[nodiscard]] std::span<const T> span() const noexcept { return {data_.data(), data_.size()}; }
+    [[nodiscard]] T* data() noexcept { return data_.data(); }
+    [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+    T& operator[](std::size_t i) noexcept { return data_[i]; }
+    const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+private:
+    void release() noexcept {
+        if (tracker_) tracker_->on_free(bytes());
+        tracker_ = nullptr;
+    }
+    AllocationTracker* tracker_ = nullptr;
+    std::vector<T> data_;
+};
+
+}  // namespace gpusel::simt

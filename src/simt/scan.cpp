@@ -1,0 +1,98 @@
+#include "simt/scan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "simt/timing.hpp"
+
+namespace gpusel::simt {
+
+namespace {
+
+/// Elements each block owns in the chunked scan.
+std::size_t chunk_size(std::size_t n, int grid) {
+    return (n + static_cast<std::size_t>(grid) - 1) / static_cast<std::size_t>(grid);
+}
+
+}  // namespace
+
+void exclusive_scan_i32(Device& dev, std::span<const std::int32_t> in,
+                        std::span<std::int32_t> out, LaunchOrigin origin, int block_dim,
+                        int stream) {
+    const std::size_t n = in.size();
+    if (out.size() != n) throw std::invalid_argument("scan: output size mismatch");
+    if (n == 0) return;
+
+    const int grid = suggest_grid(dev.arch(), n, block_dim);
+    const std::size_t chunk = chunk_size(n, grid);
+    auto block_sums = dev.alloc<std::int32_t>(static_cast<std::size_t>(grid));
+
+    // Phase 1: per-block chunk scans (in-chunk exclusive), block sums out.
+    dev.launch("scan_blocks",
+               {.grid_dim = grid, .block_dim = block_dim, .origin = origin, .stream = stream},
+               [&, n, chunk](BlockCtx& blk) {
+                   const auto b = static_cast<std::size_t>(blk.block_idx());
+                   const std::size_t lo = b * chunk;
+                   if (lo >= n) {
+                       block_sums[b] = 0;
+                       blk.charge_global_write(sizeof(std::int32_t));
+                       return;
+                   }
+                   const std::size_t hi = std::min(n, lo + chunk);
+                   std::int32_t running = 0;
+                   for (std::size_t i = lo; i < hi; ++i) {
+                       const std::int32_t v = in[i];
+                       out[i] = running;
+                       running += v;
+                   }
+                   block_sums[b] = running;
+                   const auto len = static_cast<std::uint64_t>(hi - lo);
+                   blk.charge_global_read(len * sizeof(std::int32_t));
+                   blk.charge_global_write((len + 1) * sizeof(std::int32_t));
+                   blk.charge_instr(len);
+               });
+
+    // Phase 2: scan of the block sums (grid <= a few hundred: one block).
+    dev.launch("scan_sums",
+               {.grid_dim = 1, .block_dim = block_dim, .origin = origin, .stream = stream},
+               [&, grid](BlockCtx& blk) {
+                   std::int32_t running = 0;
+                   for (int g = 0; g < grid; ++g) {
+                       const std::int32_t v = block_sums[static_cast<std::size_t>(g)];
+                       block_sums[static_cast<std::size_t>(g)] = running;
+                       running += v;
+                   }
+                   const auto len = static_cast<std::uint64_t>(grid);
+                   blk.charge_global_read(len * sizeof(std::int32_t));
+                   blk.charge_global_write(len * sizeof(std::int32_t));
+                   blk.charge_instr(len);
+               });
+
+    // Phase 3: add each block's offset to its chunk.
+    dev.launch("scan_add",
+               {.grid_dim = grid, .block_dim = block_dim, .origin = origin, .stream = stream},
+               [&, n, chunk](BlockCtx& blk) {
+                   const auto b = static_cast<std::size_t>(blk.block_idx());
+                   const std::size_t lo = b * chunk;
+                   if (lo >= n) return;
+                   const std::size_t hi = std::min(n, lo + chunk);
+                   const std::int32_t offset = block_sums[b];
+                   for (std::size_t i = lo; i < hi; ++i) out[i] += offset;
+                   const auto len = static_cast<std::uint64_t>(hi - lo);
+                   blk.charge_global_read((len + 1) * sizeof(std::int32_t));
+                   blk.charge_global_write(len * sizeof(std::int32_t));
+                   blk.charge_instr(len);
+               });
+}
+
+std::int64_t scan_total_i32(Device& dev, std::span<const std::int32_t> in,
+                            std::span<std::int32_t> out, LaunchOrigin origin, int block_dim,
+                            int stream) {
+    if (in.empty()) return 0;
+    const std::int32_t last_in = in.back();
+    exclusive_scan_i32(dev, in, out, origin, block_dim, stream);
+    return static_cast<std::int64_t>(out.back()) + last_in;
+}
+
+}  // namespace gpusel::simt

@@ -1,0 +1,90 @@
+#include "simt/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace gpusel::simt {
+
+ThreadPool::ThreadPool(unsigned workers) {
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+        threads_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& t : threads_) {
+        t.join();
+    }
+}
+
+void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {
+    if (count == 0) return;
+    if (threads_.empty()) {
+        for (std::size_t i = 0; i < count; ++i) fn(i);
+        return;
+    }
+    {
+        std::lock_guard lock(mutex_);
+        task_.fn = &fn;
+        task_.count = count;
+        task_.next = 0;
+        task_.done = 0;
+        task_.error = nullptr;
+        task_.active = true;
+    }
+    work_cv_.notify_all();
+    // The caller participates in the work too.
+    for (;;) {
+        std::size_t i;
+        {
+            std::lock_guard lock(mutex_);
+            if (task_.next >= task_.count) break;
+            i = task_.next++;
+        }
+        try {
+            fn(i);
+        } catch (...) {
+            std::lock_guard lock(mutex_);
+            if (!task_.error) task_.error = std::current_exception();
+        }
+        {
+            std::lock_guard lock(mutex_);
+            ++task_.done;
+        }
+    }
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [this] { return task_.done == task_.count; });
+    task_.active = false;
+    if (task_.error) std::rethrow_exception(task_.error);
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::size_t i;
+        const std::function<void(std::size_t)>* fn;
+        {
+            std::unique_lock lock(mutex_);
+            work_cv_.wait(lock, [this] { return stop_ || (task_.active && task_.next < task_.count); });
+            if (stop_) return;
+            i = task_.next++;
+            fn = task_.fn;
+        }
+        try {
+            (*fn)(i);
+        } catch (...) {
+            std::lock_guard lock(mutex_);
+            if (!task_.error) task_.error = std::current_exception();
+        }
+        {
+            std::lock_guard lock(mutex_);
+            if (++task_.done == task_.count) done_cv_.notify_all();
+        }
+    }
+}
+
+}  // namespace gpusel::simt

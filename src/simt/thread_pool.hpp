@@ -1,0 +1,56 @@
+#pragma once
+// Minimal host thread pool used to execute simulated thread blocks in
+// parallel.  Blocks are independent by construction (they communicate only
+// through global-memory atomics, which the simulator implements with
+// std::atomic_ref), so a flat parallel_for is all we need.
+//
+// The pool is optional: with `workers == 0` (the default on single-core
+// hosts) everything runs inline on the calling thread, which keeps unit
+// tests and event-count traces fully deterministic.
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <condition_variable>
+#include <thread>
+#include <vector>
+
+namespace gpusel::simt {
+
+class ThreadPool {
+public:
+    /// Creates a pool with `workers` threads; 0 means "execute inline".
+    explicit ThreadPool(unsigned workers = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] unsigned worker_count() const noexcept { return static_cast<unsigned>(threads_.size()); }
+
+    /// Runs fn(i) for all i in [0, count), distributing chunks over the
+    /// workers; blocks until every invocation finished.  Exceptions from fn
+    /// propagate to the caller (first one wins).
+    void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+private:
+    struct Task {
+        const std::function<void(std::size_t)>* fn = nullptr;
+        std::size_t count = 0;
+        std::size_t next = 0;      // guarded by mutex_
+        std::size_t done = 0;      // guarded by mutex_
+        std::exception_ptr error;  // guarded by mutex_
+        bool active = false;
+    };
+
+    void worker_loop();
+
+    std::vector<std::thread> threads_;
+    std::mutex mutex_;
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    Task task_;
+    bool stop_ = false;
+};
+
+}  // namespace gpusel::simt

@@ -1,0 +1,88 @@
+#include "simt/timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpusel::simt {
+
+TimingBreakdown simulate_time(const ArchSpec& arch, const KernelProfile& p) {
+    TimingBreakdown t;
+    const auto& c = p.counters;
+
+    // -- utilization: too few threads -> latency-bound, throughput scales
+    //    roughly linearly with resident parallelism.
+    const double threads = static_cast<double>(p.threads_launched());
+    const double peak_threads = static_cast<double>(arch.effective_threads_for_peak());
+    const double util = std::clamp(threads / peak_threads, 0.02, 1.0);
+
+    // -- unroll effects (Sec. IV-H d): deeper unrolling lets the compiler
+    //    overlap loads from consecutive iterations (better latency hiding),
+    //    but inflates register pressure and can reduce occupancy.
+    const double u = static_cast<double>(std::max(1, p.unroll));
+    const double mem_latency_eff = std::min(1.0, 0.88 + 0.04 * u);
+    const double occupancy_penalty = u >= 8.0 ? 1.06 : 1.0;
+
+    const double bw = arch.sustained_bytes_per_ns() * util * mem_latency_eff;
+    const double coalesced =
+        static_cast<double>(c.global_bytes_read + c.global_bytes_written);
+    const double scattered =
+        static_cast<double>(c.scattered_bytes_read + c.scattered_bytes_written);
+    t.mem_ns = occupancy_penalty *
+               (coalesced / bw + scattered / (bw * arch.scattered_bw_efficiency));
+
+    t.shared_mem_ns =
+        static_cast<double>(c.shared_bytes_accessed) / (arch.shared_bytes_per_ns * util);
+
+    const double shared_eff_ops = static_cast<double>(c.shared_atomic_ops) +
+                                  arch.shared_collision_penalty *
+                                      static_cast<double>(c.shared_atomic_collisions);
+    const double global_eff_ops = static_cast<double>(c.global_atomic_ops) +
+                                  arch.global_collision_penalty *
+                                      static_cast<double>(c.global_atomic_collisions);
+    t.atomic_ns = shared_eff_ops / (arch.shared_atomic_ops_per_ns * util) +
+                  global_eff_ops / (arch.global_atomic_ops_per_ns * util);
+
+    t.compute_ns = static_cast<double>(c.instructions) / (arch.instr_per_ns * util) +
+                   static_cast<double>(c.warp_ballots + c.warp_shuffles) /
+                       (arch.ballot_ops_per_ns * util);
+
+    // -- barriers: blocks beyond one resident wave serialize their barriers.
+    if (c.block_barriers > 0 && p.grid_dim > 0 && p.block_dim > 0) {
+        const int blocks_per_sm =
+            std::max(1, arch.max_resident_threads_per_sm / std::max(1, p.block_dim));
+        const int concurrent = std::max(1, std::min(p.grid_dim, arch.num_sms * blocks_per_sm));
+        const double waves = std::ceil(static_cast<double>(p.grid_dim) / concurrent);
+        const double per_block_barriers =
+            static_cast<double>(c.block_barriers) / static_cast<double>(p.grid_dim);
+        t.barrier_ns = per_block_barriers * waves * arch.barrier_ns;
+    }
+
+    t.launch_ns = p.origin == LaunchOrigin::host ? arch.host_launch_ns : arch.device_launch_ns;
+
+    t.body_ns = std::max({t.mem_ns, t.shared_mem_ns, t.atomic_ns, t.compute_ns});
+    if (t.body_ns == t.mem_ns) {
+        t.bottleneck = "mem";
+    } else if (t.body_ns == t.atomic_ns) {
+        t.bottleneck = "atomic";
+    } else if (t.body_ns == t.compute_ns) {
+        t.bottleneck = "compute";
+    } else {
+        t.bottleneck = "smem";
+    }
+    t.total_ns = t.launch_ns + t.body_ns + t.barrier_ns;
+    return t;
+}
+
+int suggest_grid(const ArchSpec& arch, std::size_t n, int block_dim, int unroll) {
+    const auto per_block =
+        static_cast<std::size_t>(block_dim) * static_cast<std::size_t>(std::max(1, unroll));
+    const std::size_t needed = (n + per_block - 1) / std::max<std::size_t>(1, per_block);
+    // Two resident blocks per SM saturate the device (grid-stride loops
+    // cover the rest); a small grid also keeps the per-block partial-count
+    // arrays of the shared-atomic hierarchy tiny, preserving the paper's
+    // n/4 auxiliary-storage bound (Sec. IV-A).
+    const std::size_t cap = static_cast<std::size_t>(arch.num_sms) * 2;
+    return static_cast<int>(std::clamp<std::size_t>(needed, 1, cap));
+}
+
+}  // namespace gpusel::simt

@@ -1,0 +1,48 @@
+#pragma once
+// Analytic timing model: converts the exact event counts of a kernel launch
+// into simulated nanoseconds for a given architecture.
+//
+// The model is a throughput/roofline hybrid:
+//   * memory, atomic and compute pipelines each get a duration from their
+//     event totals divided by a device-aggregate throughput;
+//   * the pipelines overlap, so the kernel body costs max(...) of them;
+//   * launch latency and serialized barrier waves are added on top;
+//   * a utilization factor < 1 penalizes launches with too few threads to
+//     saturate the device (latency-bound regime at small n);
+//   * the declared unroll depth slightly improves memory latency hiding and
+//     slightly hurts occupancy at large depths (Sec. IV-H d of the paper).
+//
+// All constants live in ArchSpec; see EXPERIMENTS.md "Calibration" for how
+// they were chosen to reproduce the paper's architectural contrasts.
+
+#include "simt/arch.hpp"
+#include "simt/counters.hpp"
+
+namespace gpusel::simt {
+
+/// Per-pipeline durations making up one kernel launch.
+struct TimingBreakdown {
+    double launch_ns = 0.0;
+    double mem_ns = 0.0;          ///< global-memory traffic
+    double shared_mem_ns = 0.0;   ///< shared-memory (non-atomic) traffic
+    double atomic_ns = 0.0;       ///< shared + global atomics incl. collisions
+    double compute_ns = 0.0;      ///< scalar instructions + votes + shuffles
+    double barrier_ns = 0.0;      ///< serialized barrier waves
+    double body_ns = 0.0;         ///< max of the overlapping pipelines
+    double total_ns = 0.0;        ///< launch + body + barriers
+
+    /// Which pipeline dominated the body (for reporting): "mem", "atomic",
+    /// "compute" or "smem".
+    const char* bottleneck = "mem";
+};
+
+/// Computes the simulated duration of a kernel launch.
+[[nodiscard]] TimingBreakdown simulate_time(const ArchSpec& arch, const KernelProfile& p);
+
+/// Suggested grid size for a data-parallel launch over n elements with the
+/// given block size and unroll depth: enough blocks for full occupancy, but
+/// capped so grid-stride loops amortize scheduling (the usual CUDA sizing
+/// heuristic).
+[[nodiscard]] int suggest_grid(const ArchSpec& arch, std::size_t n, int block_dim, int unroll = 1);
+
+}  // namespace gpusel::simt

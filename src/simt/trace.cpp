@@ -1,0 +1,66 @@
+#include "simt/trace.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace gpusel::simt {
+
+std::map<std::string, KernelAggregate> aggregate_by_name(
+    const std::vector<KernelProfile>& profiles) {
+    std::map<std::string, KernelAggregate> by;
+    for (const auto& p : profiles) {
+        auto& a = by[p.name];
+        ++a.launches;
+        a.total_ns += p.sim_ns;
+        a.counters += p.counters;
+    }
+    return by;
+}
+
+void write_chrome_trace(std::ostream& os, const std::vector<KernelProfile>& profiles) {
+    os << "{\"traceEvents\":[";
+    double clock_ns = 0.0;
+    bool first = true;
+    for (const auto& p : profiles) {
+        if (!first) os << ',';
+        first = false;
+        const auto& c = p.counters;
+        os << "{\"name\":\"" << p.name << "\",\"cat\":\"kernel\",\"ph\":\"X\""
+           << ",\"ts\":" << clock_ns / 1000.0 << ",\"dur\":" << p.sim_ns / 1000.0
+           << ",\"pid\":0,\"tid\":0,\"args\":{"
+           << "\"grid\":" << p.grid_dim << ",\"block\":" << p.block_dim
+           << ",\"origin\":\"" << (p.origin == LaunchOrigin::host ? "host" : "device") << "\""
+           << ",\"gmem_read\":" << c.global_bytes_read
+           << ",\"gmem_write\":" << c.global_bytes_written
+           << ",\"shared_atomics\":" << c.shared_atomic_ops
+           << ",\"global_atomics\":" << c.global_atomic_ops
+           << ",\"collisions\":" << c.shared_atomic_collisions + c.global_atomic_collisions
+           << ",\"ballots\":" << c.warp_ballots << "}}";
+        clock_ns += p.sim_ns;
+    }
+    os << "]}";
+}
+
+std::string format_timeline(const std::vector<KernelProfile>& profiles) {
+    const auto by = aggregate_by_name(profiles);
+    double total = 0.0;
+    for (const auto& [name, a] : by) total += a.total_ns;
+
+    // sort by descending total time
+    std::vector<std::pair<std::string, KernelAggregate>> rows(by.begin(), by.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& a, const auto& b) { return a.second.total_ns > b.second.total_ns; });
+
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(1);
+    for (const auto& [name, a] : rows) {
+        os << std::left << std::setw(16) << name << std::right << " x" << std::setw(5)
+           << a.launches << "  " << std::setw(12) << a.total_ns / 1000.0 << " us  "
+           << std::setw(5) << (total > 0 ? a.total_ns / total * 100.0 : 0.0) << "%\n";
+    }
+    return os.str();
+}
+
+}  // namespace gpusel::simt

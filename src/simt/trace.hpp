@@ -1,0 +1,37 @@
+#pragma once
+// Profile post-processing: per-kernel aggregation and a chrome://tracing
+// export of a device's launch history.  The simulated clock is sequential
+// (one in-order queue, like a single CUDA stream), so launch start times
+// are the running sum of previous durations.
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "simt/counters.hpp"
+
+namespace gpusel::simt {
+
+/// Aggregate statistics for all launches of one kernel name.
+struct KernelAggregate {
+    std::uint64_t launches = 0;
+    double total_ns = 0.0;
+    KernelCounters counters;
+};
+
+/// Groups a profile list by kernel name.
+[[nodiscard]] std::map<std::string, KernelAggregate> aggregate_by_name(
+    const std::vector<KernelProfile>& profiles);
+
+/// Writes the launch history in the Chrome trace-event JSON format
+/// (load via chrome://tracing or https://ui.perfetto.dev).  Timestamps are
+/// microseconds of simulated time; each launch also carries its event
+/// counters as arguments.
+void write_chrome_trace(std::ostream& os, const std::vector<KernelProfile>& profiles);
+
+/// Renders a compact text summary: one line per kernel name with launch
+/// count, total simulated time and share of the overall runtime.
+[[nodiscard]] std::string format_timeline(const std::vector<KernelProfile>& profiles);
+
+}  // namespace gpusel::simt

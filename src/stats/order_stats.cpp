@@ -1,0 +1,72 @@
+#include "stats/order_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gpusel::stats {
+
+template <typename T>
+T nth_element_reference(std::vector<T> data, std::size_t k) {
+    if (k >= data.size()) throw std::out_of_range("rank out of range");
+    std::nth_element(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(k), data.end());
+    return data[k];
+}
+
+template <typename T>
+std::size_t min_rank(std::span<const T> data, T v) {
+    std::size_t r = 0;
+    for (const T& x : data) {
+        if (x < v) ++r;
+    }
+    return r;
+}
+
+template <typename T>
+std::size_t multiplicity(std::span<const T> data, T v) {
+    std::size_t c = 0;
+    for (const T& x : data) {
+        if (x == v) ++c;
+    }
+    return c;
+}
+
+template <typename T>
+std::size_t rank_error(std::span<const T> data, T v, std::size_t k) {
+    const std::size_t lo = min_rank(data, v);
+    const std::size_t m = multiplicity(data, v);
+    if (m == 0) {
+        // v is not in the dataset (possible only for buggy or approximate
+        // results synthesised outside the element set); the rank interval
+        // degenerates to the insertion point lo.
+        return lo >= k ? lo - k : k - lo;
+    }
+    const std::size_t hi = lo + m - 1;
+    if (k >= lo && k <= hi) return 0;
+    return k < lo ? lo - k : k - hi;
+}
+
+template <typename T>
+double relative_rank_error(std::span<const T> data, T v, std::size_t k) {
+    if (data.empty()) throw std::invalid_argument("empty dataset");
+    return static_cast<double>(rank_error(data, v, k)) / static_cast<double>(data.size());
+}
+
+double sample_percentile_stddev(double p, std::size_t s) {
+    if (p < 0.0 || p > 1.0) throw std::invalid_argument("percentile out of [0,1]");
+    if (s == 0) throw std::invalid_argument("empty sample");
+    return std::sqrt(p * (1.0 - p) / static_cast<double>(s));
+}
+
+template float nth_element_reference<float>(std::vector<float>, std::size_t);
+template double nth_element_reference<double>(std::vector<double>, std::size_t);
+template std::size_t min_rank<float>(std::span<const float>, float);
+template std::size_t min_rank<double>(std::span<const double>, double);
+template std::size_t multiplicity<float>(std::span<const float>, float);
+template std::size_t multiplicity<double>(std::span<const double>, double);
+template std::size_t rank_error<float>(std::span<const float>, float, std::size_t);
+template std::size_t rank_error<double>(std::span<const double>, double, std::size_t);
+template double relative_rank_error<float>(std::span<const float>, float, std::size_t);
+template double relative_rank_error<double>(std::span<const double>, double, std::size_t);
+
+}  // namespace gpusel::stats

@@ -1,0 +1,52 @@
+#pragma once
+// Order-statistics utilities: exact reference selection (the paper verifies
+// against std::nth_element, Sec. V-A), rank semantics for duplicates, and
+// the rank-error metric of the approximate-selection evaluation (Fig. 10).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gpusel::stats {
+
+/// Exact k-th smallest element (0-based rank) via std::nth_element; the
+/// paper's correctness reference.
+template <typename T>
+[[nodiscard]] T nth_element_reference(std::vector<T> data, std::size_t k);
+
+/// Minimum rank of value v in data: the number of elements strictly smaller
+/// (the paper assigns duplicated elements their smallest rank, Sec. II).
+template <typename T>
+[[nodiscard]] std::size_t min_rank(std::span<const T> data, T v);
+
+/// Number of elements equal to v.
+template <typename T>
+[[nodiscard]] std::size_t multiplicity(std::span<const T> data, T v);
+
+/// Rank error of a selection result: 0 if v occupies rank k (i.e. k lies in
+/// v's rank interval [min_rank, min_rank + multiplicity)), otherwise the
+/// distance from k to the nearest end of that interval.
+template <typename T>
+[[nodiscard]] std::size_t rank_error(std::span<const T> data, T v, std::size_t k);
+
+/// Relative rank error |result_rank - k| / n as plotted in Fig. 10.
+template <typename T>
+[[nodiscard]] double relative_rank_error(std::span<const T> data, T v, std::size_t k);
+
+/// Asymptotic standard deviation of the relative rank of the p-percentile
+/// estimated from a sample of size s: sqrt(p (1 - p) / s)
+/// (Mosteller 1946, quoted in Sec. II-B of the paper).
+[[nodiscard]] double sample_percentile_stddev(double p, std::size_t s);
+
+extern template float nth_element_reference<float>(std::vector<float>, std::size_t);
+extern template double nth_element_reference<double>(std::vector<double>, std::size_t);
+extern template std::size_t min_rank<float>(std::span<const float>, float);
+extern template std::size_t min_rank<double>(std::span<const double>, double);
+extern template std::size_t multiplicity<float>(std::span<const float>, float);
+extern template std::size_t multiplicity<double>(std::span<const double>, double);
+extern template std::size_t rank_error<float>(std::span<const float>, float, std::size_t);
+extern template std::size_t rank_error<double>(std::span<const double>, double, std::size_t);
+extern template double relative_rank_error<float>(std::span<const float>, float, std::size_t);
+extern template double relative_rank_error<double>(std::span<const double>, double, std::size_t);
+
+}  // namespace gpusel::stats

@@ -1,0 +1,37 @@
+#include "stats/summary.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace gpusel::stats {
+
+void Accumulator::add(double x) noexcept {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        if (x < min_) min_ = x;
+        if (x > max_) max_ = x;
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double Accumulator::stddev() const noexcept {
+    if (n_ < 2) return 0.0;
+    return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+Summary Accumulator::summary() const noexcept {
+    return {.count = n_, .mean = mean_, .stddev = stddev(), .min = min_, .max = max_};
+}
+
+std::string format_mean_std(const Summary& s, int precision) {
+    std::ostringstream os;
+    os.precision(precision);
+    os << s.mean << " +/- " << s.stddev;
+    return os.str();
+}
+
+}  // namespace gpusel::stats

@@ -1,0 +1,41 @@
+#pragma once
+// Streaming summary statistics for benchmark reporting (the paper reports
+// the average over 10 repetitions along with the variation, Sec. V-B).
+
+#include <cstddef>
+#include <string>
+
+namespace gpusel::stats {
+
+struct Summary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+};
+
+/// Welford accumulator: numerically stable mean/variance in one pass.
+class Accumulator {
+public:
+    void add(double x) noexcept;
+    [[nodiscard]] Summary summary() const noexcept;
+    [[nodiscard]] std::size_t count() const noexcept { return n_; }
+    [[nodiscard]] double mean() const noexcept { return mean_; }
+    [[nodiscard]] double stddev() const noexcept;
+    [[nodiscard]] double min() const noexcept { return min_; }
+    [[nodiscard]] double max() const noexcept { return max_; }
+    void reset() noexcept { *this = Accumulator{}; }
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// "mean ± stddev" with engineering formatting, for table cells.
+[[nodiscard]] std::string format_mean_std(const Summary& s, int precision = 3);
+
+}  // namespace gpusel::stats

@@ -1,0 +1,93 @@
+// Tests for the benchmark-harness utilities (bench_util).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "bench_util/runner.hpp"
+#include "bench_util/table.hpp"
+
+namespace {
+
+using namespace gpusel::bench;
+
+TEST(Table, AlignedOutputContainsCells) {
+    Table t("demo");
+    t.set_header({"name", "value"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"b", "22222"});
+    std::ostringstream os;
+    t.print(os);
+    const auto s = os.str();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("22222"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTrip) {
+    Table t("x");
+    t.set_header({"a", "b"});
+    t.add_row({"1", "2"});
+    std::ostringstream os;
+    t.print_csv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Format, Engineering) {
+    EXPECT_EQ(fmt_eng(3.21e9, 2), "3.21e+09");
+}
+
+TEST(Format, FixedAndPct) {
+    EXPECT_EQ(fmt_fixed(1.23456, 2), "1.23");
+    EXPECT_EQ(fmt_pct(0.123456, 2), "12.35%");
+}
+
+TEST(EnvSize, DefaultAndOverride) {
+    ::unsetenv("GPUSEL_TEST_ENV");
+    EXPECT_EQ(env_size("GPUSEL_TEST_ENV", 7), 7u);
+    ::setenv("GPUSEL_TEST_ENV", "42", 1);
+    EXPECT_EQ(env_size("GPUSEL_TEST_ENV", 7), 42u);
+    ::setenv("GPUSEL_TEST_ENV", "junk", 1);
+    EXPECT_EQ(env_size("GPUSEL_TEST_ENV", 7), 7u);
+    ::unsetenv("GPUSEL_TEST_ENV");
+}
+
+TEST(Scale, FromEnvAndSizes) {
+    ::setenv("GPUSEL_BENCH_MIN_LOG_N", "10", 1);
+    ::setenv("GPUSEL_BENCH_MAX_LOG_N", "14", 1);
+    ::setenv("GPUSEL_BENCH_REPS", "5", 1);
+    const auto s = Scale::from_env();
+    EXPECT_EQ(s.min_log_n, 10u);
+    EXPECT_EQ(s.max_log_n, 14u);
+    EXPECT_EQ(s.reps, 5u);
+    EXPECT_EQ(s.sizes(), (std::vector<std::size_t>{1024, 4096, 16384}));
+    EXPECT_EQ(s.sizes(1).size(), 5u);
+    ::unsetenv("GPUSEL_BENCH_MIN_LOG_N");
+    ::unsetenv("GPUSEL_BENCH_MAX_LOG_N");
+    ::unsetenv("GPUSEL_BENCH_REPS");
+}
+
+TEST(Scale, ClampsInvertedRange) {
+    ::setenv("GPUSEL_BENCH_MIN_LOG_N", "20", 1);
+    ::setenv("GPUSEL_BENCH_MAX_LOG_N", "10", 1);
+    const auto s = Scale::from_env();
+    EXPECT_EQ(s.max_log_n, 20u);
+    ::unsetenv("GPUSEL_BENCH_MIN_LOG_N");
+    ::unsetenv("GPUSEL_BENCH_MAX_LOG_N");
+}
+
+TEST(RepeatNs, AggregatesAllReps) {
+    const auto s = repeat_ns(4, [](std::size_t r) { return static_cast<double>(r + 1); });
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_DOUBLE_EQ(s.mean, 2.5);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(Throughput, ElementsPerSecond) {
+    EXPECT_DOUBLE_EQ(throughput(1000, 1e9), 1000.0);  // 1000 elements in 1 s
+    EXPECT_DOUBLE_EQ(throughput(1, 1.0), 1e9);        // 1 element per ns
+}
+
+}  // namespace

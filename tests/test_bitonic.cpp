@@ -1,0 +1,148 @@
+// Unit tests for the bitonic sorting network (bitonic/bitonic.hpp).
+
+#include "bitonic/bitonic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "data/distributions.hpp"
+
+namespace {
+
+using namespace gpusel;
+
+TEST(NextPow2, Values) {
+    EXPECT_EQ(bitonic::next_pow2(1), 1u);
+    EXPECT_EQ(bitonic::next_pow2(2), 2u);
+    EXPECT_EQ(bitonic::next_pow2(3), 4u);
+    EXPECT_EQ(bitonic::next_pow2(1000), 1024u);
+    EXPECT_EQ(bitonic::next_pow2(1024), 1024u);
+}
+
+TEST(NetworkSteps, KnownCounts) {
+    EXPECT_EQ(bitonic::network_steps(1), 0);
+    EXPECT_EQ(bitonic::network_steps(2), 1);
+    EXPECT_EQ(bitonic::network_steps(4), 3);
+    EXPECT_EQ(bitonic::network_steps(8), 6);
+    EXPECT_EQ(bitonic::network_steps(1024), 55);
+}
+
+class BitonicSortSize : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitonicSortSize, HostNetworkSortsArbitrarySizes) {
+    const std::size_t n = GetParam();
+    auto v = data::generate<float>({.n = n, .dist = data::Distribution::uniform_real,
+                                    .seed = 100 + n});
+    auto expect = v;
+    std::sort(expect.begin(), expect.end());
+    bitonic::sort_network<float>(v);
+    EXPECT_EQ(v, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitonicSortSize,
+                         ::testing::Values(1u, 2u, 3u, 5u, 31u, 32u, 33u, 100u, 255u, 256u, 1000u,
+                                           1024u, 4095u, 4096u));
+
+TEST(BitonicKernel, SortsOnDevice) {
+    simt::Device dev(simt::arch_v100());
+    const std::size_t n = 1000;
+    auto buf = dev.alloc<float>(n);
+    auto v = data::generate<float>({.n = n, .dist = data::Distribution::uniform_real, .seed = 5});
+    std::copy(v.begin(), v.end(), buf.data());
+    bitonic::sort_on_device<float>(dev, buf.span(), n);
+    std::sort(v.begin(), v.end());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(buf[i], v[i]);
+}
+
+TEST(BitonicKernel, SortsDuplicatesAndDoubles) {
+    simt::Device dev(simt::arch_v100());
+    const std::size_t n = 512;
+    auto buf = dev.alloc<double>(n);
+    for (std::size_t i = 0; i < n; ++i) buf[i] = static_cast<double>(i % 7);
+    bitonic::sort_on_device<double>(dev, buf.span(), n);
+    EXPECT_TRUE(std::is_sorted(buf.data(), buf.data() + n));
+}
+
+TEST(BitonicKernel, ChargesOneBarrierPerStepPlusLoadSync) {
+    simt::Device dev(simt::arch_v100());
+    const std::size_t n = 256;
+    auto buf = dev.alloc<float>(n);
+    for (std::size_t i = 0; i < n; ++i) buf[i] = static_cast<float>(n - i);
+    bitonic::sort_on_device<float>(dev, buf.span(), n);
+    const auto& prof = dev.profiles().back();
+    const auto steps = static_cast<std::uint64_t>(bitonic::network_steps(256));
+    // one barrier after load/pad + one per network step
+    EXPECT_EQ(prof.counters.block_barriers, steps + 1);
+    // full payload moved in and out
+    EXPECT_EQ(prof.counters.global_bytes_read, n * sizeof(float));
+    EXPECT_EQ(prof.counters.global_bytes_written, n * sizeof(float));
+    // n/2 compare-exchanges per step
+    EXPECT_EQ(prof.counters.instructions, steps * (n / 2));
+}
+
+TEST(BitonicKernel, RejectsOversizedInput) {
+    simt::Device dev(simt::arch_v100());
+    auto buf = dev.alloc<float>(bitonic::kMaxSortSize + 1);
+    EXPECT_THROW(bitonic::sort_on_device<float>(dev, buf.span(), buf.size()), std::invalid_argument);
+}
+
+TEST(BitonicKernel, TrivialSizesNoop) {
+    simt::Device dev(simt::arch_v100());
+    auto buf = dev.alloc<float>(1);
+    buf[0] = 3.0f;
+    bitonic::sort_on_device<float>(dev, buf.span(), 1);
+    EXPECT_EQ(buf[0], 3.0f);
+}
+
+TEST(BatchedBitonic, SortsManySegmentsInOneLaunch) {
+    simt::Device dev(simt::arch_v100());
+    const std::size_t n = 10000;
+    auto buf = dev.alloc<float>(n);
+    auto v = data::generate<float>({.n = n, .dist = data::Distribution::uniform_real, .seed = 9});
+    std::copy(v.begin(), v.end(), buf.data());
+    // segments of varying length covering [0, n) plus a gap left unsorted
+    std::vector<bitonic::Segment> segs{{0, 1000}, {1000, 1}, {1001, 31}, {1032, 4000},
+                                       {6000, 4000}};
+    dev.clear_profiles();
+    bitonic::batched_sort_on_device<float>(dev, buf.span(), segs);
+    EXPECT_EQ(dev.launch_count(), 1u);
+    for (const auto& s : segs) {
+        EXPECT_TRUE(std::is_sorted(buf.data() + s.begin, buf.data() + s.begin + s.length))
+            << "segment at " << s.begin;
+    }
+    // the gap [10000-...] -- here [1032+4000=5032, 6000) -- is untouched
+    for (std::size_t i = 5032; i < 6000; ++i) EXPECT_EQ(buf[i], v[i]);
+}
+
+TEST(BatchedBitonic, EmptySegmentsNoop) {
+    simt::Device dev(simt::arch_v100());
+    auto buf = dev.alloc<float>(10);
+    bitonic::batched_sort_on_device<float>(dev, buf.span(), {});
+    EXPECT_EQ(dev.launch_count(), 0u);
+}
+
+TEST(BatchedBitonic, RejectsOversizedOrOutOfRange) {
+    simt::Device dev(simt::arch_v100());
+    auto buf = dev.alloc<float>(10000);
+    EXPECT_THROW(bitonic::batched_sort_on_device<float>(
+                     dev, buf.span(), {{0, bitonic::kMaxSortSize + 1}}),
+                 std::invalid_argument);
+    EXPECT_THROW(bitonic::batched_sort_on_device<float>(dev, buf.span(), {{9999, 2}}),
+                 std::invalid_argument);
+}
+
+TEST(BitonicHost, AlreadySortedStable) {
+    std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8};
+    bitonic::sort_network<double>(v);
+    EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(BitonicHost, AllEqual) {
+    std::vector<float> v(100, 2.5f);
+    bitonic::sort_network<float>(v);
+    for (float x : v) EXPECT_EQ(x, 2.5f);
+}
+
+}  // namespace

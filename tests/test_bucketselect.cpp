@@ -1,0 +1,120 @@
+// Tests for the BucketSelect baseline (Alabi et al.), including the
+// adversarial-distribution degradation that motivates SampleSelect
+// (Sec. V-D: "doesn't suffer from the existence of adversarial input
+// datasets").
+
+#include "baselines/bucketselect.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/distributions.hpp"
+#include "stats/order_stats.hpp"
+
+namespace {
+
+using namespace gpusel;
+using baselines::bucket_select;
+using baselines::BucketSelectConfig;
+
+class BucketSelectSweep : public ::testing::TestWithParam<data::Distribution> {};
+
+TEST_P(BucketSelectSweep, MatchesReferenceFloat) {
+    const std::size_t n = 1 << 14;
+    const auto data = data::generate<float>({.n = n, .dist = GetParam(), .seed = 41});
+    for (std::uint64_t rs = 0; rs < 3; ++rs) {
+        simt::Device dev(simt::arch_v100());
+        const std::size_t rank = data::random_rank(n, rs);
+        const auto res = bucket_select<float>(dev, data, rank, {});
+        EXPECT_EQ(stats::rank_error<float>(data, res.value, rank), 0u)
+            << to_string(GetParam()) << " rank " << rank;
+    }
+}
+
+TEST_P(BucketSelectSweep, MatchesReferenceDouble) {
+    const std::size_t n = 1 << 13;
+    const auto data = data::generate<double>({.n = n, .dist = GetParam(), .seed = 43});
+    simt::Device dev(simt::arch_v100());
+    const std::size_t rank = data::random_rank(n, 9);
+    const auto res = bucket_select<double>(dev, data, rank, {});
+    EXPECT_EQ(stats::rank_error<double>(data, res.value, rank), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistributions, BucketSelectSweep,
+                         ::testing::ValuesIn(data::all_distributions()),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(BucketSelect, AllEqualReturnsImmediately) {
+    simt::Device dev(simt::arch_v100());
+    const std::vector<float> data(1 << 14, 4.0f);
+    const auto res = bucket_select<float>(dev, data, 100, {});
+    EXPECT_EQ(res.value, 4.0f);
+    EXPECT_EQ(res.levels, 0u);
+}
+
+TEST(BucketSelect, UniformDataFewLevels) {
+    simt::Device dev(simt::arch_v100());
+    const std::size_t n = 1 << 17;
+    const auto data = data::generate<float>(
+        {.n = n, .dist = data::Distribution::uniform_real, .seed = 3});
+    const auto res = bucket_select<float>(dev, data, n / 2, {});
+    // uniform values: value-range splitting is near-optimal
+    EXPECT_LE(res.levels, 2u);
+}
+
+TEST(BucketSelect, AdversarialClusterNeedsManyMoreLevels) {
+    const std::size_t n = 1 << 16;
+    const auto uniform = data::generate<double>(
+        {.n = n, .dist = data::Distribution::uniform_real, .seed = 5});
+    const auto advers = data::generate<double>(
+        {.n = n, .dist = data::Distribution::adversarial_cluster, .seed = 5});
+    // pick a rank inside the cluster (99% of mass): the median qualifies
+    simt::Device du(simt::arch_v100());
+    const auto ru = bucket_select<double>(du, uniform, n / 2, {});
+    simt::Device da(simt::arch_v100());
+    const auto ra = bucket_select<double>(da, advers, n / 2, {});
+    EXPECT_EQ(stats::rank_error<double>(advers, ra.value, n / 2), 0u);
+    EXPECT_GE(ra.levels, ru.levels + 2);
+    EXPECT_GT(ra.sim_ns, 1.5 * ru.sim_ns);
+}
+
+TEST(BucketSelect, GlobalAtomicMode) {
+    simt::Device dev(simt::arch_v100());
+    const std::size_t n = 1 << 14;
+    const auto data = data::generate<float>(
+        {.n = n, .dist = data::Distribution::normal, .seed = 7});
+    BucketSelectConfig cfg;
+    cfg.atomic_space = simt::AtomicSpace::global;
+    const auto res = bucket_select<float>(dev, data, n / 4, cfg);
+    EXPECT_EQ(stats::rank_error<float>(data, res.value, n / 4), 0u);
+}
+
+TEST(BucketSelect, CheaperPerLevelThanSampleSelectCount) {
+    // The point of BucketSelect: bucket index arithmetic is trivial.  Its
+    // count kernel must charge fewer instruction-equivalents per element
+    // than SampleSelect's tree traversal.
+    simt::Device dev(simt::arch_v100());
+    const std::size_t n = 1 << 14;
+    const auto data = data::generate<float>(
+        {.n = n, .dist = data::Distribution::uniform_real, .seed = 11});
+    dev.clear_profiles();
+    (void)bucket_select<float>(dev, data, n / 2, {});
+    std::uint64_t bucket_count_instr = 0;
+    for (const auto& p : dev.profiles()) {
+        if (p.name == "bucket_count") {
+            bucket_count_instr = p.counters.instructions;
+            break;
+        }
+    }
+    ASSERT_GT(bucket_count_instr, 0u);
+    EXPECT_LE(bucket_count_instr, 3 * n + 1024);  // ~3 instr/element
+}
+
+TEST(BucketSelect, InvalidConfigThrows) {
+    simt::Device dev(simt::arch_v100());
+    const std::vector<float> data{1, 2, 3};
+    BucketSelectConfig bad;
+    bad.num_buckets = 1;
+    EXPECT_THROW((void)bucket_select<float>(dev, data, 0, bad), std::invalid_argument);
+}
+
+}  // namespace

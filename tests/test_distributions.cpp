@@ -1,0 +1,177 @@
+// Unit tests for the dataset generators (data/distributions.hpp).
+
+#include "data/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace {
+
+using gpusel::data::DatasetSpec;
+using gpusel::data::Distribution;
+using gpusel::data::generate;
+using gpusel::data::random_rank;
+
+template <typename T>
+std::size_t count_distinct(std::vector<T> v) {
+    std::sort(v.begin(), v.end());
+    return static_cast<std::size_t>(std::unique(v.begin(), v.end()) - v.begin());
+}
+
+TEST(Distributions, SizeMatchesSpec) {
+    for (auto dist : gpusel::data::all_distributions()) {
+        const auto v = generate<float>({.n = 1000, .dist = dist, .seed = 1});
+        EXPECT_EQ(v.size(), 1000u) << to_string(dist);
+    }
+}
+
+TEST(Distributions, EmptySpecGivesEmpty) {
+    EXPECT_TRUE(generate<float>({.n = 0}).empty());
+}
+
+TEST(Distributions, Deterministic) {
+    const DatasetSpec spec{.n = 512, .dist = Distribution::uniform_real, .seed = 99};
+    EXPECT_EQ(generate<double>(spec), generate<double>(spec));
+}
+
+TEST(Distributions, SeedChangesData) {
+    const auto a = generate<float>({.n = 512, .dist = Distribution::uniform_real, .seed = 1});
+    const auto b = generate<float>({.n = 512, .dist = Distribution::uniform_real, .seed = 2});
+    EXPECT_NE(a, b);
+}
+
+TEST(Distributions, UniformDistinctAllDistinct) {
+    const auto v = generate<double>({.n = 4096, .dist = Distribution::uniform_distinct,
+                                     .distinct_values = 0, .seed = 5});
+    EXPECT_EQ(count_distinct(v), 4096u);
+}
+
+class DistinctValueCount : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DistinctValueCount, ProducesAtMostDDistinct) {
+    const std::size_t d = GetParam();
+    const auto v = generate<float>({.n = 1 << 14, .dist = Distribution::uniform_distinct,
+                                    .distinct_values = d, .seed = 7});
+    const std::size_t got = count_distinct(v);
+    EXPECT_LE(got, d);
+    // With n >> d every value should actually appear.
+    EXPECT_GE(got, d - d / 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperValues, DistinctValueCount,
+                         ::testing::Values(1u, 16u, 128u, 1024u));
+
+TEST(Distributions, SortedAscendingIsSorted) {
+    const auto v = generate<float>({.n = 1000, .dist = Distribution::sorted_ascending});
+    EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(Distributions, SortedDescendingIsReverseSorted) {
+    const auto v = generate<float>({.n = 1000, .dist = Distribution::sorted_descending});
+    EXPECT_TRUE(std::is_sorted(v.rbegin(), v.rend()));
+}
+
+TEST(Distributions, OrganPipeSymmetric) {
+    const auto v = generate<float>({.n = 10, .dist = Distribution::organ_pipe});
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        EXPECT_EQ(v[i], v[v.size() - 1 - i]);
+    }
+}
+
+TEST(Distributions, AdversarialClusterConcentrated) {
+    const auto v =
+        generate<double>({.n = 1 << 14, .dist = Distribution::adversarial_cluster, .seed = 3});
+    const auto [mn, mx] = std::minmax_element(v.begin(), v.end());
+    const double range = *mx - *mn;
+    // Count elements within 1% of the range around the cluster at 0.5.
+    std::size_t inside = 0;
+    for (double x : v) {
+        if (x >= 0.5 && x < 0.5 + range * 0.01) ++inside;
+    }
+    EXPECT_GE(inside, v.size() * 95 / 100);
+}
+
+TEST(Distributions, AdversarialGeometricPositiveAndSpread) {
+    const auto v =
+        generate<double>({.n = 4096, .dist = Distribution::adversarial_geometric, .seed = 3});
+    for (double x : v) EXPECT_GT(x, 0.0);
+    const auto [mn, mx] = std::minmax_element(v.begin(), v.end());
+    EXPECT_GT(*mx / *mn, 1e9);  // many orders of magnitude
+}
+
+TEST(Distributions, NormalMeanNearZero) {
+    const auto v = generate<double>({.n = 1 << 16, .dist = Distribution::normal, .seed = 21});
+    double sum = 0;
+    for (double x : v) sum += x;
+    EXPECT_NEAR(sum / static_cast<double>(v.size()), 0.0, 0.02);
+}
+
+TEST(Distributions, ExponentialNonNegativeMeanNearOne) {
+    const auto v = generate<double>({.n = 1 << 16, .dist = Distribution::exponential, .seed = 2});
+    double sum = 0;
+    for (double x : v) {
+        EXPECT_GE(x, 0.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / static_cast<double>(v.size()), 1.0, 0.05);
+}
+
+TEST(Distributions, ZipfHeavilyDuplicatedHead) {
+    const auto v = generate<float>({.n = 1 << 16, .dist = Distribution::zipf, .seed = 9});
+    // rank-1 value (1.0) should dominate: a Zipf(1.1) head holds >> 1/65536
+    std::size_t ones = 0;
+    for (float x : v) {
+        EXPECT_GE(x, 1.0f);
+        EXPECT_LE(x, 65536.0f);
+        if (x == 1.0f) ++ones;
+    }
+    EXPECT_GT(ones, v.size() / 20);  // head concentration
+}
+
+TEST(Distributions, ZipfMonotoneFrequencies) {
+    const auto v = generate<float>({.n = 1 << 16, .dist = Distribution::zipf, .seed = 10});
+    std::size_t c1 = 0;
+    std::size_t c16 = 0;
+    for (float x : v) {
+        if (x == 1.0f) ++c1;
+        if (x == 16.0f) ++c16;
+    }
+    EXPECT_GT(c1, c16);
+}
+
+TEST(Distributions, LognormalPositiveSkewed) {
+    const auto v = generate<double>({.n = 1 << 16, .dist = Distribution::lognormal, .seed = 11});
+    double sum = 0;
+    std::size_t below_one = 0;
+    for (double x : v) {
+        EXPECT_GT(x, 0.0);
+        sum += x;
+        if (x < 1.0) ++below_one;
+    }
+    const double mean = sum / static_cast<double>(v.size());
+    // median is 1 but mean = exp(sigma^2/2) = e^2 ~ 7.4: strong skew
+    EXPECT_GT(mean, 3.0);
+    EXPECT_NEAR(static_cast<double>(below_one) / static_cast<double>(v.size()), 0.5, 0.02);
+}
+
+TEST(RandomRank, InRangeAndDeterministic) {
+    for (std::uint64_t seed = 0; seed < 50; ++seed) {
+        const std::size_t r = random_rank(1000, seed);
+        EXPECT_LT(r, 1000u);
+        EXPECT_EQ(r, random_rank(1000, seed));
+    }
+}
+
+TEST(RandomRank, ThrowsOnEmpty) {
+    EXPECT_THROW((void)random_rank(0, 1), std::invalid_argument);
+}
+
+TEST(Distributions, ToStringCoversAll) {
+    for (auto d : gpusel::data::all_distributions()) {
+        EXPECT_NE(to_string(d), "unknown");
+    }
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+// Unit tests for order-statistics utilities (stats/order_stats.hpp).
+
+#include "stats/order_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using namespace gpusel::stats;
+
+TEST(NthElementReference, SimpleRanks) {
+    std::vector<float> v{5, 1, 4, 2, 3};
+    EXPECT_EQ(nth_element_reference(v, 0), 1.0f);
+    EXPECT_EQ(nth_element_reference(v, 2), 3.0f);
+    EXPECT_EQ(nth_element_reference(v, 4), 5.0f);
+}
+
+TEST(NthElementReference, OutOfRangeThrows) {
+    std::vector<float> v{1, 2};
+    EXPECT_THROW((void)nth_element_reference(v, 2), std::out_of_range);
+}
+
+TEST(MinRank, CountsStrictlySmaller) {
+    const std::vector<double> v{1, 2, 2, 3};
+    EXPECT_EQ(min_rank<double>(v, 1.0), 0u);
+    EXPECT_EQ(min_rank<double>(v, 2.0), 1u);
+    EXPECT_EQ(min_rank<double>(v, 3.0), 3u);
+    EXPECT_EQ(min_rank<double>(v, 100.0), 4u);
+}
+
+TEST(Multiplicity, CountsEqual) {
+    const std::vector<double> v{1, 2, 2, 3};
+    EXPECT_EQ(multiplicity<double>(v, 2.0), 2u);
+    EXPECT_EQ(multiplicity<double>(v, 5.0), 0u);
+}
+
+TEST(RankError, ZeroInsideRankInterval) {
+    // value 2 occupies ranks 1 and 2.
+    const std::vector<double> v{1, 2, 2, 3};
+    EXPECT_EQ(rank_error<double>(v, 2.0, 1), 0u);
+    EXPECT_EQ(rank_error<double>(v, 2.0, 2), 0u);
+}
+
+TEST(RankError, DistanceOutsideInterval) {
+    const std::vector<double> v{1, 2, 2, 3};
+    EXPECT_EQ(rank_error<double>(v, 2.0, 0), 1u);
+    EXPECT_EQ(rank_error<double>(v, 2.0, 3), 1u);
+    EXPECT_EQ(rank_error<double>(v, 1.0, 3), 3u);
+}
+
+TEST(RankError, ValueNotPresentUsesInsertionPoint) {
+    const std::vector<double> v{1, 3};
+    EXPECT_EQ(rank_error<double>(v, 2.0, 1), 0u);  // insertion point 1
+    EXPECT_EQ(rank_error<double>(v, 2.0, 0), 1u);
+}
+
+TEST(RelativeRankError, NormalizedByN) {
+    const std::vector<double> v{1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(relative_rank_error<double>(v, 1.0, 2), 0.5);
+}
+
+TEST(RelativeRankError, EmptyThrows) {
+    const std::vector<double> v;
+    EXPECT_THROW((void)relative_rank_error<double>(v, 1.0, 0), std::invalid_argument);
+}
+
+TEST(SamplePercentileStddev, MostellerFormula) {
+    // sd = sqrt(p(1-p)/s)
+    EXPECT_DOUBLE_EQ(sample_percentile_stddev(0.5, 100), 0.05);
+    EXPECT_NEAR(sample_percentile_stddev(0.1, 1000), std::sqrt(0.09 / 1000.0), 1e-12);
+}
+
+TEST(SamplePercentileStddev, EdgesAreZero) {
+    EXPECT_DOUBLE_EQ(sample_percentile_stddev(0.0, 10), 0.0);
+    EXPECT_DOUBLE_EQ(sample_percentile_stddev(1.0, 10), 0.0);
+}
+
+TEST(SamplePercentileStddev, InvalidArguments) {
+    EXPECT_THROW((void)sample_percentile_stddev(-0.1, 10), std::invalid_argument);
+    EXPECT_THROW((void)sample_percentile_stddev(1.1, 10), std::invalid_argument);
+    EXPECT_THROW((void)sample_percentile_stddev(0.5, 0), std::invalid_argument);
+}
+
+TEST(SamplePercentileStddev, DecreasesWithSampleSize) {
+    EXPECT_GT(sample_percentile_stddev(0.3, 100), sample_percentile_stddev(0.3, 1000));
+}
+
+}  // namespace

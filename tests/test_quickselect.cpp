@@ -1,0 +1,167 @@
+// Tests for the QuickSelect baseline (Sec. IV-F) and the branchless
+// bipartition kernel of Fig. 5.
+
+#include "baselines/quickselect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "data/distributions.hpp"
+#include "stats/order_stats.hpp"
+
+namespace {
+
+using namespace gpusel;
+using baselines::quick_select;
+using core::QuickSelectConfig;
+
+TEST(QuickSelect, SmallInput) {
+    simt::Device dev(simt::arch_v100());
+    const std::vector<float> data{9, 4, 6, 1, 3};
+    for (std::size_t k = 0; k < data.size(); ++k) {
+        EXPECT_EQ(quick_select<float>(dev, data, k, {}).value,
+                  stats::nth_element_reference(data, k));
+    }
+}
+
+class QuickSelectSweep
+    : public ::testing::TestWithParam<std::tuple<data::Distribution, simt::AtomicSpace>> {};
+
+TEST_P(QuickSelectSweep, MatchesReference) {
+    const auto [dist, space] = GetParam();
+    const std::size_t n = 1 << 14;
+    const auto data = data::generate<float>({.n = n, .dist = dist, .seed = 13});
+    QuickSelectConfig cfg;
+    cfg.atomic_space = space;
+    for (std::uint64_t rs = 0; rs < 3; ++rs) {
+        simt::Device dev(simt::arch_v100());
+        const std::size_t rank = data::random_rank(n, rs);
+        const auto res = quick_select<float>(dev, data, rank, cfg);
+        EXPECT_EQ(stats::rank_error<float>(data, res.value, rank), 0u)
+            << to_string(dist) << " rank " << rank;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, QuickSelectSweep,
+    ::testing::Combine(::testing::ValuesIn(data::all_distributions()),
+                       ::testing::Values(simt::AtomicSpace::shared, simt::AtomicSpace::global)),
+    [](const auto& info) {
+        return to_string(std::get<0>(info.param)) +
+               (std::get<1>(info.param) == simt::AtomicSpace::shared ? "_shared" : "_global");
+    });
+
+TEST(QuickSelect, AllEqualTerminatesImmediately) {
+    simt::Device dev(simt::arch_v100());
+    const std::vector<float> data(1 << 14, 7.0f);
+    const auto res = quick_select<float>(dev, data, 5000, {});
+    EXPECT_EQ(res.value, 7.0f);
+    EXPECT_TRUE(res.equality_exit);
+    EXPECT_EQ(res.levels, 1u);
+}
+
+TEST(QuickSelect, DuplicateSweep) {
+    const std::size_t n = 1 << 14;
+    for (std::size_t d : {1u, 16u, 128u, 1024u}) {
+        const auto data = data::generate<float>({.n = n,
+                                                 .dist = data::Distribution::uniform_distinct,
+                                                 .distinct_values = d,
+                                                 .seed = 17});
+        simt::Device dev(simt::arch_v100());
+        const std::size_t rank = data::random_rank(n, d);
+        const auto res = quick_select<float>(dev, data, rank, {});
+        EXPECT_EQ(stats::rank_error<float>(data, res.value, rank), 0u) << "d=" << d;
+    }
+}
+
+TEST(QuickSelect, MoreLevelsThanSampleSelect) {
+    // A single pivot halves the input; 256 splitters cut it by ~256x --
+    // QuickSelect must need clearly more recursion levels (Sec. IV-F).
+    simt::Device dev(simt::arch_v100());
+    const std::size_t n = 1 << 18;
+    const auto data = data::generate<float>(
+        {.n = n, .dist = data::Distribution::uniform_real, .seed = 19});
+    const auto res = quick_select<float>(dev, data, n / 2, {});
+    EXPECT_GE(res.levels, 4u);
+}
+
+TEST(QuickSelect, WarpAggregationSameResult) {
+    const std::size_t n = 1 << 14;
+    const auto data = data::generate<double>(
+        {.n = n, .dist = data::Distribution::normal, .seed = 23});
+    QuickSelectConfig agg;
+    agg.warp_aggregation = true;
+    simt::Device d1(simt::arch_v100());
+    simt::Device d2(simt::arch_v100());
+    EXPECT_EQ(quick_select<double>(d1, data, n / 3, {}).value,
+              quick_select<double>(d2, data, n / 3, agg).value);
+}
+
+TEST(BipartitionKernel, Fig5SemanticsSmallerLeftRestRight) {
+    simt::Device dev(simt::arch_v100());
+    const std::size_t n = 1 << 12;
+    const auto data = data::generate<float>(
+        {.n = n, .dist = data::Distribution::uniform_real, .seed = 29});
+    auto out = dev.alloc<float>(n);
+    auto counters = dev.alloc<std::int32_t>(2);
+    counters[0] = counters[1] = 0;
+    const float pivot = 0.5f;
+    baselines::bipartition_kernel<float>(dev, data, pivot, out.span(), counters.span(), {},
+                                         simt::LaunchOrigin::host);
+    const auto l = static_cast<std::size_t>(counters[0]);
+    const auto r = static_cast<std::size_t>(counters[1]);
+    EXPECT_EQ(l + r, n);
+    for (std::size_t i = 0; i < l; ++i) ASSERT_LT(out[i], pivot);
+    for (std::size_t i = l; i < n; ++i) ASSERT_GE(out[i], pivot);
+    // the output is a permutation of the input
+    std::vector<float> got(out.data(), out.data() + n);
+    std::vector<float> expect(data);
+    std::sort(got.begin(), got.end());
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(got, expect);
+}
+
+TEST(BipartitionKernel, CollisionsConcentratedOnTwoCounters) {
+    simt::Device dev(simt::arch_v100());
+    const std::size_t n = 1 << 12;
+    const auto data = data::generate<float>(
+        {.n = n, .dist = data::Distribution::uniform_real, .seed = 31});
+    auto out = dev.alloc<float>(n);
+    auto counters = dev.alloc<std::int32_t>(2);
+    counters[0] = counters[1] = 0;
+    QuickSelectConfig cfg;
+    cfg.atomic_space = simt::AtomicSpace::global;
+    cfg.warp_aggregation = false;
+    dev.clear_profiles();
+    baselines::bipartition_kernel<float>(dev, data, 0.5f, out.span(), counters.span(), cfg,
+                                         simt::LaunchOrigin::host);
+    const auto& c = dev.profiles().back().counters;
+    EXPECT_EQ(c.global_atomic_ops, n);
+    // 32 lanes onto <= 2 addresses: at least 30 collisions per warp
+    EXPECT_GE(c.global_atomic_collisions, n / 32 * 30);
+}
+
+TEST(QuickSelect, AuxiliaryStorageBounded) {
+    // Sec. IV-A: QuickSelect needs ~n/2 elements of auxiliary storage on
+    // average; the first level allocates at most one side of the partition.
+    simt::Device dev(simt::arch_v100());
+    const std::size_t n = 1 << 16;
+    const auto data = data::generate<float>(
+        {.n = n, .dist = data::Distribution::uniform_real, .seed = 37});
+    const auto res = quick_select<float>(dev, data, n / 2, {});
+    // never more than one full copy; typically about half
+    EXPECT_LE(res.aux_bytes, n * sizeof(float));
+}
+
+TEST(QuickSelect, InvalidInputs) {
+    simt::Device dev(simt::arch_v100());
+    const std::vector<float> data{1, 2};
+    EXPECT_THROW((void)quick_select<float>(dev, data, 2, {}), std::out_of_range);
+    QuickSelectConfig bad;
+    bad.block_dim = 33;
+    EXPECT_THROW((void)quick_select<float>(dev, data, 0, bad), std::invalid_argument);
+}
+
+}  // namespace

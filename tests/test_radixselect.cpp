@@ -1,0 +1,107 @@
+// Tests for the RadixSelect baseline (Alabi et al.): key monotonicity,
+// correctness, and the fixed level count of the MSD digit recursion.
+
+#include "baselines/radixselect.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/distributions.hpp"
+#include "data/rng.hpp"
+#include "stats/order_stats.hpp"
+
+namespace {
+
+using namespace gpusel;
+using baselines::radix_key;
+using baselines::radix_select;
+using baselines::RadixSelectConfig;
+
+TEST(RadixKey, MonotonicFloat) {
+    const float values[] = {-1e30f, -5.0f, -1.0f, -0.5f, 0.0f, 0.5f, 1.0f, 5.0f, 1e30f};
+    for (std::size_t i = 0; i + 1 < std::size(values); ++i) {
+        EXPECT_LT(radix_key(values[i]), radix_key(values[i + 1]))
+            << values[i] << " vs " << values[i + 1];
+    }
+    // Known caveat of the bit trick: -0.0 sorts before +0.0 even though
+    // they compare equal -- harmless for selection of either.
+    EXPECT_LT(radix_key(-0.0f), radix_key(0.0f));
+}
+
+TEST(RadixKey, MonotonicDouble) {
+    data::Xoshiro256 rng(3);
+    for (int t = 0; t < 1000; ++t) {
+        const double a = (rng.uniform() - 0.5) * 1e6;
+        const double b = (rng.uniform() - 0.5) * 1e6;
+        if (a < b) {
+            EXPECT_LT(radix_key(a), radix_key(b));
+        } else if (b < a) {
+            EXPECT_LT(radix_key(b), radix_key(a));
+        }
+    }
+}
+
+class RadixSelectSweep : public ::testing::TestWithParam<data::Distribution> {};
+
+TEST_P(RadixSelectSweep, MatchesReference) {
+    const std::size_t n = 1 << 14;
+    const auto data = data::generate<float>({.n = n, .dist = GetParam(), .seed = 47});
+    for (std::uint64_t rs = 0; rs < 2; ++rs) {
+        simt::Device dev(simt::arch_v100());
+        const std::size_t rank = data::random_rank(n, rs);
+        const auto res = radix_select<float>(dev, data, rank, {});
+        EXPECT_EQ(stats::rank_error<float>(data, res.value, rank), 0u)
+            << to_string(GetParam()) << " rank " << rank;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistributions, RadixSelectSweep,
+                         ::testing::ValuesIn(data::all_distributions()),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(RadixSelect, DoublePrecision) {
+    const std::size_t n = 1 << 13;
+    const auto data = data::generate<double>(
+        {.n = n, .dist = data::Distribution::normal, .seed = 53});
+    simt::Device dev(simt::arch_v100());
+    const auto res = radix_select<double>(dev, data, n / 2, {});
+    EXPECT_EQ(stats::rank_error<double>(data, res.value, n / 2), 0u);
+}
+
+TEST(RadixSelect, NegativeValues) {
+    simt::Device dev(simt::arch_v100());
+    std::vector<float> data;
+    for (int i = -5000; i < 5000; ++i) data.push_back(static_cast<float>(i) * 0.25f);
+    const auto res = radix_select<float>(dev, data, 100, {});
+    EXPECT_EQ(res.value, stats::nth_element_reference(data, 100));
+}
+
+TEST(RadixSelect, LevelCountBoundedByKeyWidth) {
+    simt::Device dev(simt::arch_v100());
+    const std::size_t n = 1 << 16;
+    const auto data = data::generate<float>(
+        {.n = n, .dist = data::Distribution::adversarial_cluster, .seed = 3});
+    const auto res = radix_select<float>(dev, data, n / 2, {});
+    // float keys are 32 bits, 8 bits per level -> at most 4 digit levels
+    EXPECT_LE(res.levels, 4u);
+}
+
+TEST(RadixSelect, AllEqual) {
+    simt::Device dev(simt::arch_v100());
+    const std::vector<float> data(1 << 13, -2.5f);
+    const auto res = radix_select<float>(dev, data, 42, {});
+    EXPECT_EQ(res.value, -2.5f);
+}
+
+TEST(RadixSelect, GlobalAtomicsAndWarpAggregation) {
+    const std::size_t n = 1 << 14;
+    const auto data = data::generate<float>(
+        {.n = n, .dist = data::Distribution::exponential, .seed = 59});
+    RadixSelectConfig cfg;
+    cfg.atomic_space = simt::AtomicSpace::global;
+    cfg.warp_aggregation = true;
+    simt::Device dev(simt::arch_v100());
+    const auto res = radix_select<float>(dev, data, n / 5, cfg);
+    EXPECT_EQ(stats::rank_error<float>(data, res.value, n / 5), 0u);
+}
+
+}  // namespace

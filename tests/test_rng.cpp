@@ -1,0 +1,97 @@
+// Unit tests for the deterministic RNG substrate (data/rng.hpp).
+
+#include "data/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace {
+
+using gpusel::data::SplitMix64;
+using gpusel::data::Xoshiro256;
+
+TEST(SplitMix64, DeterministicAcrossInstances) {
+    SplitMix64 a(42);
+    SplitMix64 b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+    SplitMix64 a(1);
+    SplitMix64 b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next()) ++equal;
+    }
+    EXPECT_EQ(equal, 0);
+}
+
+TEST(SplitMix64, KnownFirstValue) {
+    // Reference value of splitmix64(seed=0) from the published algorithm.
+    SplitMix64 sm(0);
+    EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+}
+
+TEST(Xoshiro256, Deterministic) {
+    Xoshiro256 a(7);
+    Xoshiro256 b(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(a(), b());
+    }
+}
+
+TEST(Xoshiro256, UniformIsInUnitInterval) {
+    Xoshiro256 rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Xoshiro256, UniformMeanRoughlyHalf) {
+    Xoshiro256 rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, BoundedStaysInBound) {
+    Xoshiro256 rng(5);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL, 1ULL << 40}) {
+        for (int i = 0; i < 1000; ++i) {
+            EXPECT_LT(rng.bounded(bound), bound);
+        }
+    }
+}
+
+TEST(Xoshiro256, BoundedOneAlwaysZero) {
+    Xoshiro256 rng(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(rng.bounded(1), 0u);
+    }
+}
+
+TEST(Xoshiro256, BoundedCoversSmallRange) {
+    Xoshiro256 rng(13);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) seen.insert(rng.bounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro256, BoundedRoughlyUniform) {
+    Xoshiro256 rng(17);
+    std::vector<int> hist(16, 0);
+    const int n = 160000;
+    for (int i = 0; i < n; ++i) ++hist[rng.bounded(16)];
+    for (int h : hist) {
+        EXPECT_NEAR(h, n / 16, n / 16 / 5);  // within 20%
+    }
+}
+
+}  // namespace

@@ -1,0 +1,136 @@
+// Unit tests for the splitter sample kernel (core/sample_kernel.hpp),
+// including the Mosteller sample-percentile property of Sec. II-B.
+
+#include "core/sample_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/distributions.hpp"
+#include "stats/order_stats.hpp"
+
+namespace {
+
+using namespace gpusel;
+using core::SampleSelectConfig;
+
+TEST(SampleKernel, SplittersSortedAndFromData) {
+    simt::Device dev(simt::arch_v100());
+    const auto data = data::generate<float>(
+        {.n = 1 << 14, .dist = data::Distribution::uniform_real, .seed = 4});
+    SampleSelectConfig cfg;
+    cfg.num_buckets = 64;
+    const auto tree = core::sample_splitters<float>(dev, data, cfg, simt::LaunchOrigin::host);
+    EXPECT_EQ(tree.num_buckets, 64);
+    EXPECT_TRUE(std::is_sorted(tree.splitters.begin(), tree.splitters.end()));
+    // every splitter is an actual data element (sampling, not synthesis)
+    for (float s : tree.splitters) {
+        EXPECT_NE(std::find(data.begin(), data.end(), s), data.end());
+    }
+}
+
+TEST(SampleKernel, DeterministicForFixedSeed) {
+    simt::Device dev(simt::arch_v100());
+    const auto data = data::generate<float>(
+        {.n = 1 << 12, .dist = data::Distribution::uniform_real, .seed = 9});
+    SampleSelectConfig cfg;
+    cfg.num_buckets = 32;
+    cfg.seed = 5;
+    const auto a = core::sample_splitters<float>(dev, data, cfg, simt::LaunchOrigin::host, 1);
+    const auto b = core::sample_splitters<float>(dev, data, cfg, simt::LaunchOrigin::host, 1);
+    EXPECT_EQ(a.splitters, b.splitters);
+    const auto c = core::sample_splitters<float>(dev, data, cfg, simt::LaunchOrigin::host, 2);
+    EXPECT_NE(a.splitters, c.splitters);
+}
+
+TEST(SampleKernel, ChargesScatteredSampleReads) {
+    simt::Device dev(simt::arch_v100());
+    const auto data = data::generate<float>(
+        {.n = 1 << 12, .dist = data::Distribution::uniform_real, .seed = 9});
+    SampleSelectConfig cfg;
+    cfg.num_buckets = 64;
+    cfg.sample_size = 512;
+    (void)core::sample_splitters<float>(dev, data, cfg, simt::LaunchOrigin::host);
+    const auto& prof = dev.profiles().back();
+    EXPECT_EQ(prof.name, "sample");
+    EXPECT_EQ(prof.counters.scattered_bytes_read, 512 * sizeof(float));
+    EXPECT_GT(prof.counters.block_barriers, 0u);  // bitonic steps
+}
+
+// Property test: the relative rank of the sampled p-percentile splitter is
+// asymptotically N(p, p(1-p)/s) (Mosteller 1946).  With many independent
+// trials the observed deviations must stay within a few predicted sigmas.
+class SamplePercentileProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SamplePercentileProperty, SplitterRanksNearTheoreticalPercentiles) {
+    const int sample_size = GetParam();
+    simt::Device dev(simt::arch_v100());
+    const std::size_t n = 1 << 14;
+    const auto data =
+        data::generate<double>({.n = n, .dist = data::Distribution::uniform_real, .seed = 31});
+    SampleSelectConfig cfg;
+    cfg.num_buckets = 16;
+    cfg.sample_size = sample_size;
+
+    const int trials = 24;
+    int violations = 0;
+    for (int t = 0; t < trials; ++t) {
+        const auto tree = core::sample_splitters<double>(
+            dev, data, cfg, simt::LaunchOrigin::host, static_cast<std::uint64_t>(t));
+        for (std::size_t i = 1; i < 16; ++i) {
+            const double p = static_cast<double>(i) / 16.0;
+            const double sd = stats::sample_percentile_stddev(
+                p, static_cast<std::size_t>(sample_size));
+            const double rel_rank =
+                static_cast<double>(stats::min_rank<double>(data, tree.splitters[i - 1])) /
+                static_cast<double>(n);
+            if (std::abs(rel_rank - p) > 4.0 * sd + 1.0 / sample_size) ++violations;
+        }
+    }
+    // 4-sigma violations should be very rare (allow a couple out of 360).
+    EXPECT_LE(violations, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(SampleSizes, SamplePercentileProperty, ::testing::Values(256, 1024, 4096));
+
+TEST(SampleKernel, LargerSampleGivesTighterPercentiles) {
+    simt::Device dev(simt::arch_v100());
+    const std::size_t n = 1 << 14;
+    const auto data =
+        data::generate<double>({.n = n, .dist = data::Distribution::uniform_real, .seed = 8});
+    auto spread = [&](int s) {
+        SampleSelectConfig cfg;
+        cfg.num_buckets = 16;
+        cfg.sample_size = s;
+        double total = 0;
+        for (int t = 0; t < 16; ++t) {
+            const auto tree = core::sample_splitters<double>(
+                dev, data, cfg, simt::LaunchOrigin::host, static_cast<std::uint64_t>(t));
+            for (std::size_t i = 1; i < 16; ++i) {
+                const double p = static_cast<double>(i) / 16.0;
+                const double rel =
+                    static_cast<double>(stats::min_rank<double>(data, tree.splitters[i - 1])) /
+                    static_cast<double>(n);
+                total += (rel - p) * (rel - p);
+            }
+        }
+        return total;
+    };
+    EXPECT_LT(spread(4096), spread(64));
+}
+
+TEST(SampleKernel, DuplicateHeavyDataYieldsEqualityBuckets) {
+    simt::Device dev(simt::arch_v100());
+    const auto data = data::generate<float>({.n = 1 << 14,
+                                             .dist = data::Distribution::uniform_distinct,
+                                             .distinct_values = 4,
+                                             .seed = 12});
+    SampleSelectConfig cfg;
+    cfg.num_buckets = 256;
+    const auto tree = core::sample_splitters<float>(dev, data, cfg, simt::LaunchOrigin::host);
+    const auto eq = std::count(tree.equality.begin(), tree.equality.end(), std::uint8_t{1});
+    EXPECT_GE(eq, 3);  // each heavy value should collapse into an equality bucket
+}
+
+}  // namespace

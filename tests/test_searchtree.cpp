@@ -1,0 +1,128 @@
+// Unit tests for the splitter search tree (core/searchtree.hpp), including
+// the duplicate-splitter equality-bucket semantics of Sec. IV-C.
+
+#include "core/searchtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "data/rng.hpp"
+
+namespace {
+
+using gpusel::core::SearchTree;
+
+TEST(SearchTree, RejectsWrongSplitterCount) {
+    EXPECT_THROW((void)SearchTree<float>::build({1, 2}), std::invalid_argument);  // 2 != 2^h-1
+    EXPECT_NO_THROW((void)SearchTree<float>::build({1, 2, 3}));
+    EXPECT_NO_THROW((void)SearchTree<float>::build({1}));
+}
+
+TEST(SearchTree, RejectsUnsortedSplitters) {
+    EXPECT_THROW((void)SearchTree<float>::build({3, 2, 1}), std::invalid_argument);
+}
+
+TEST(SearchTree, BasicBucketBoundaries) {
+    // splitters 10,20,30 -> buckets (-inf,10) [10,20) [20,30) [30,inf)
+    const auto t = SearchTree<double>::build({10, 20, 30});
+    EXPECT_EQ(t.num_buckets, 4);
+    EXPECT_EQ(t.height, 2);
+    EXPECT_EQ(t.find_bucket(5), 0);
+    EXPECT_EQ(t.find_bucket(10), 1);  // element == splitter goes right
+    EXPECT_EQ(t.find_bucket(15), 1);
+    EXPECT_EQ(t.find_bucket(20), 2);
+    EXPECT_EQ(t.find_bucket(29.999), 2);
+    EXPECT_EQ(t.find_bucket(30), 3);
+    EXPECT_EQ(t.find_bucket(1e9), 3);
+}
+
+TEST(SearchTree, MatchesLinearScanOnRandomSplitters) {
+    gpusel::data::Xoshiro256 rng(77);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<double> sp(255);
+        for (auto& s : sp) s = rng.uniform() * 1000.0;
+        std::sort(sp.begin(), sp.end());
+        const auto t = SearchTree<double>::build(sp);
+        for (int q = 0; q < 200; ++q) {
+            const double x = rng.uniform() * 1200.0 - 100.0;
+            // reference: bucket = #splitters <= x (all distinct here)
+            const auto ref = static_cast<std::int32_t>(
+                std::upper_bound(sp.begin(), sp.end(), x) - sp.begin());
+            ASSERT_EQ(t.find_bucket(x), ref) << "x=" << x;
+        }
+    }
+}
+
+TEST(SearchTree, HeapLayoutInOrderIsSorted) {
+    const auto t = SearchTree<float>::build({1, 2, 3, 4, 5, 6, 7});
+    // root must be the median
+    EXPECT_EQ(t.nodes[0], 4.0f);
+    EXPECT_EQ(t.nodes[1], 2.0f);
+    EXPECT_EQ(t.nodes[2], 6.0f);
+}
+
+TEST(SearchTree, NoEqualityBucketsWithoutDuplicates) {
+    const auto t = SearchTree<float>::build({1, 2, 3});
+    EXPECT_TRUE(std::all_of(t.equality.begin(), t.equality.end(),
+                            [](std::uint8_t e) { return e == 0; }));
+}
+
+TEST(SearchTree, DuplicateSplittersFormEqualityBucket) {
+    // splitters 5,5,9: duplicate run at indices 0..1, value 5.
+    const auto t = SearchTree<double>::build({5, 5, 9});
+    // bucket 1 (between splitter 0 and 1) collapses to exactly {5}
+    EXPECT_EQ(t.equality[0], 0);
+    EXPECT_EQ(t.equality[1], 1);
+    EXPECT_EQ(t.equality[2], 0);
+    EXPECT_EQ(t.equality[3], 0);
+    EXPECT_EQ(t.find_bucket(4.0), 0);
+    EXPECT_EQ(t.find_bucket(5.0), 1);   // equality bucket
+    EXPECT_EQ(t.find_bucket(6.0), 2);
+    EXPECT_EQ(t.find_bucket(9.0), 3);
+    // the equality bucket's value is splitters[bucket-1]
+    EXPECT_EQ(t.splitters[0], 5.0);
+}
+
+TEST(SearchTree, AllSplittersEqual) {
+    const auto t = SearchTree<double>::build({7, 7, 7, 7, 7, 7, 7});
+    EXPECT_EQ(t.find_bucket(6.0), 0);
+    const auto eq_bucket = t.find_bucket(7.0);
+    EXPECT_EQ(t.equality[static_cast<std::size_t>(eq_bucket)], 1);
+    EXPECT_EQ(t.find_bucket(8.0), 7);  // last bucket
+    // everything below the run is bucket 0, everything above is bucket b-1
+    EXPECT_EQ(eq_bucket, 6);  // bucket left of the last duplicate splitter
+}
+
+TEST(SearchTree, MultipleDuplicateRuns) {
+    const auto t = SearchTree<double>::build({2, 2, 5, 5, 5, 8, 9});
+    const auto b2 = t.find_bucket(2.0);
+    const auto b5 = t.find_bucket(5.0);
+    EXPECT_EQ(t.equality[static_cast<std::size_t>(b2)], 1);
+    EXPECT_EQ(t.equality[static_cast<std::size_t>(b5)], 1);
+    EXPECT_NE(b2, b5);
+    // elements strictly between the runs land in non-equality buckets
+    const auto b3 = t.find_bucket(3.0);
+    EXPECT_EQ(t.equality[static_cast<std::size_t>(b3)], 0);
+    EXPECT_GT(b3, b2);
+    EXPECT_LT(b3, b5);
+    EXPECT_EQ(t.find_bucket(8.5), t.find_bucket(8.0));
+}
+
+TEST(SearchTree, EqualityBucketCapturesAllDuplicatesInData) {
+    // Simulates the d=1 dataset: every sampled splitter equals v.
+    const double v = 3.25;
+    std::vector<double> sp(63, v);
+    const auto t = SearchTree<double>::build(sp);
+    const auto bucket = t.find_bucket(v);
+    EXPECT_EQ(t.equality[static_cast<std::size_t>(bucket)], 1);
+    EXPECT_EQ(t.splitters[static_cast<std::size_t>(bucket) - 1], v);
+}
+
+TEST(SearchTree, DeviceBytesAccountsNodesAndFlags) {
+    const auto t = SearchTree<float>::build({1, 2, 3, 4, 5, 6, 7});
+    EXPECT_EQ(t.device_bytes(), 7 * sizeof(float) + 7);
+}
+
+}  // namespace

@@ -1,0 +1,68 @@
+// Unit tests for the Welford summary accumulator (stats/summary.hpp).
+
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+namespace {
+
+using gpusel::stats::Accumulator;
+
+TEST(Accumulator, EmptySummary) {
+    Accumulator a;
+    const auto s = a.summary();
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.mean, 0.0);
+    EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+    Accumulator a;
+    a.add(5.0);
+    const auto s = a.summary();
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_DOUBLE_EQ(s.mean, 5.0);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+    EXPECT_DOUBLE_EQ(s.min, 5.0);
+    EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Accumulator, KnownMeanAndStddev) {
+    Accumulator a;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    // sample stddev of this classic dataset: sqrt(32/7)
+    EXPECT_NEAR(a.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+}
+
+TEST(Accumulator, ResetClears) {
+    Accumulator a;
+    a.add(1.0);
+    a.add(2.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    a.add(10.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 10.0);
+}
+
+TEST(Accumulator, NumericallyStableForLargeOffsets) {
+    Accumulator a;
+    const double off = 1e12;
+    for (double x : {off + 1.0, off + 2.0, off + 3.0}) a.add(x);
+    EXPECT_NEAR(a.mean(), off + 2.0, 1e-3);
+    EXPECT_NEAR(a.stddev(), 1.0, 1e-6);
+}
+
+TEST(FormatMeanStd, ContainsBothNumbers) {
+    Accumulator a;
+    a.add(1.0);
+    a.add(3.0);
+    const auto s = gpusel::stats::format_mean_std(a.summary());
+    EXPECT_NE(s.find("2"), std::string::npos);
+    EXPECT_NE(s.find("+/-"), std::string::npos);
+}
+
+}  // namespace
