@@ -21,7 +21,8 @@ using namespace gpusel;
 void BM_CountKernel(benchmark::State& state) {
     const auto n = static_cast<std::size_t>(state.range(0));
     const bool warp_agg = state.range(1) != 0;
-    simt::Device dev(simt::arch_v100(), {.record_profiles = false});
+    simt::Device dev(simt::arch_v100(), {.host_workers = simt::default_host_workers(),
+                                         .record_profiles = false});
     const auto data = data::generate<float>(
         {.n = n, .dist = data::Distribution::uniform_real, .seed = 1});
     core::SampleSelectConfig cfg;
@@ -39,7 +40,12 @@ void BM_CountKernel(benchmark::State& state) {
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                             static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_CountKernel)->Args({1 << 16, 0})->Args({1 << 16, 1})->Args({1 << 20, 0});
+BENCHMARK(BM_CountKernel)
+    ->Args({1 << 16, 0})
+    ->Args({1 << 16, 1})
+    ->Args({1 << 20, 0})
+    ->Args({1 << 22, 0})
+    ->Args({1 << 22, 1});
 
 void BM_SampleSelectEndToEnd(benchmark::State& state) {
     const auto n = static_cast<std::size_t>(state.range(0));

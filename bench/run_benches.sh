@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Runs the simulator-overhead benchmark suite and records the results as
+# JSON under results/.  Usage:
+#
+#   bench/run_benches.sh [build-dir] [out-json]
+#
+# Defaults: build-dir = ./build, out-json = results/BENCH_simulator.json.
+# Environment knobs understood by the binaries themselves:
+#   GPUSEL_SIMD=off|sse2|avx2    cap the lane-vector tier (default: fastest)
+#   GPUSEL_WORKERS=N             host worker threads (default: cores - 1)
+#
+# The committed results/BENCH_simulator_seed.json holds the pre-SIMD seed
+# baseline measured on the same host; compare items_per_second against it.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+out_json="${2:-${repo_root}/results/BENCH_simulator.json}"
+bench_bin="${build_dir}/bench/bench_simulator_overhead"
+
+if [[ ! -x "${bench_bin}" ]]; then
+    echo "error: ${bench_bin} not found -- build first:" >&2
+    echo "  cmake -B '${build_dir}' -S '${repo_root}' && cmake --build '${build_dir}' -j" >&2
+    exit 1
+fi
+
+mkdir -p "$(dirname "${out_json}")"
+echo "running ${bench_bin} -> ${out_json}"
+"${bench_bin}" \
+    --benchmark_out="${out_json}" \
+    --benchmark_out_format=json \
+    --benchmark_min_time=1 \
+    "$@" >/dev/null 2>&1 || {
+    # benchmark rejects positional args forwarded from $1/$2; rerun plain.
+    "${bench_bin}" \
+        --benchmark_out="${out_json}" \
+        --benchmark_out_format=json \
+        --benchmark_min_time=1 >/dev/null
+}
+
+# One-line summary of the headline counter (items/sec per benchmark).
+python3 - "${out_json}" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for b in doc.get("benchmarks", []):
+    ips = b.get("items_per_second")
+    if ips is not None:
+        print(f'{b["name"]:40s} {ips / 1e6:10.1f} M items/s')
+PY
+echo "wrote ${out_json}"

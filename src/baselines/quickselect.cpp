@@ -8,6 +8,7 @@
 #include "core/count_kernel.hpp"
 #include "core/reduce_kernel.hpp"
 #include "data/rng.hpp"
+#include "simt/simd.hpp"
 #include "simt/timing.hpp"
 
 namespace gpusel::baselines {
@@ -80,9 +81,8 @@ int tripartition_count(simt::Device& dev, std::span<const T> data, T pivot,
                 T elems[simt::kWarpSize];
                 std::int32_t side[simt::kWarpSize];
                 w.load(data, base, elems);
-                for (int l = 0; l < w.lanes(); ++l) {
-                    side[l] = elems[l] < pivot ? kSmaller : (elems[l] == pivot ? kEqual : kLarger);
-                }
+                // side: kSmaller / kEqual / kLarger (0/1/2), vectorized
+                simt::simd::tripartition_sides(elems, pivot, w.lanes(), side);
                 w.add_instr(2 * static_cast<std::uint64_t>(w.lanes()));
                 if (cfg.warp_aggregation) {
                     w.atomic_add_aggregated(space, counters, side, /*index_bits=*/2);
@@ -136,8 +136,10 @@ void extract_side(simt::Device& dev, std::span<const T> data, T pivot, std::int3
                 const std::int32_t zeros[simt::kWarpSize] = {};
                 std::int32_t off[simt::kWarpSize];
                 w.load(data, base, elems);
-                for (int l = 0; l < w.lanes(); ++l) {
-                    pred[l] = side == kSmaller ? elems[l] < pivot : pivot < elems[l];
+                if (side == kSmaller) {
+                    simt::simd::pred_lt(elems, pivot, w.lanes(), pred);
+                } else {
+                    simt::simd::pred_gt(elems, pivot, w.lanes(), pred);
                 }
                 w.add_instr(static_cast<std::uint64_t>(w.lanes()));
                 // compaction offsets: always ballot-aggregated (see filter)
@@ -179,9 +181,7 @@ void bipartition_kernel(simt::Device& dev, std::span<const T> data, T pivot, std
                 std::int32_t which[simt::kWarpSize];
                 std::int32_t off[simt::kWarpSize];
                 w.load(data, base, elems);
-                for (int l = 0; l < w.lanes(); ++l) {
-                    which[l] = elems[l] < pivot ? 0 : 1;
-                }
+                simt::simd::bipartition_sides(elems, pivot, w.lanes(), which);
                 w.add_instr(static_cast<std::uint64_t>(w.lanes()));
                 w.fetch_add(simt::AtomicSpace::global, counters.subspan(0, 2), which, off,
                             aggregate, /*index_bits=*/1);

@@ -22,6 +22,7 @@
 
 #include "simt/block.hpp"
 #include "simt/device.hpp"
+#include "simt/simd.hpp"
 
 namespace gpusel::bitonic {
 
@@ -49,21 +50,15 @@ namespace detail {
 
 /// Runs the bitonic network schedule over `m` (power-of-two) elements,
 /// invoking step(stride_j, block_k) ordering decisions via the canonical
-/// ij-partner formulation.  Used by both the host reference and the kernel.
+/// ij-partner formulation.  Used by both the host reference and the kernel;
+/// each (k, j) step executes through the simd lane-vector layer (strides
+/// narrower than the vector width fall back to the scalar pair loop), with
+/// identical comparison/swap decisions on every tier.
 template <typename T>
 void run_network(T* a, std::size_t m) {
     for (std::size_t k = 2; k <= m; k <<= 1) {
         for (std::size_t j = k >> 1; j > 0; j >>= 1) {
-            for (std::size_t i = 0; i < m; ++i) {
-                const std::size_t partner = i ^ j;
-                if (partner > i) {
-                    const bool ascending = (i & k) == 0;
-                    if ((a[i] > a[partner]) == ascending) {
-                        using std::swap;
-                        swap(a[i], a[partner]);
-                    }
-                }
-            }
+            simt::simd::bitonic_step(a, m, j, k);
         }
     }
 }

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "simt/simd.hpp"
 #include "simt/timing.hpp"
 
 namespace gpusel::core {
@@ -27,6 +28,9 @@ template <typename T>
 struct SharedTree {
     std::span<const T> nodes;
     std::span<const std::uint8_t> leq;
+    /// Host-side int32 mirror of `leq` for the vectorized traversal
+    /// (uncharged scratch: the simulated shared reads stay the uint8 ones).
+    const std::int32_t* leq32;
     std::int32_t height;
     std::int32_t num_buckets;
 };
@@ -41,24 +45,17 @@ SharedTree<T> stage_tree(simt::BlockCtx& blk, const SearchTree<T>& tree) {
     blk.charge_global_read(tree.device_bytes());
     blk.charge_shared(tree.device_bytes());
     blk.sync();
-    return {sh_nodes, sh_leq, tree.height, tree.num_buckets};
+    return {sh_nodes, sh_leq, tree.leq32.data(), tree.height, tree.num_buckets};
 }
 
-/// Per-lane search-tree traversal for one warp tile (the Fig. 4 loop).
-/// Charges `height` instruction-equivalents and the shared-memory node
-/// reads per lane.
+/// Search-tree traversal for one warp tile (the Fig. 4 loop), all lanes
+/// advanced level by level through the simd lane-vector layer.  Charges
+/// `height` instruction-equivalents and the shared-memory node reads per
+/// lane -- per tile, identically for every execution tier.
 template <typename T>
 void traverse_tile(simt::WarpCtx& w, const SharedTree<T>& t, const T* elems,
                    std::int32_t* bucket) {
-    for (int l = 0; l < w.lanes(); ++l) {
-        std::int32_t i = 0;
-        for (std::int32_t lev = 0; lev < t.height; ++lev) {
-            const auto ui = static_cast<std::size_t>(i);
-            const bool left = t.leq[ui] ? !(t.nodes[ui] < elems[l]) : (elems[l] < t.nodes[ui]);
-            i = 2 * i + (left ? 1 : 2);
-        }
-        bucket[l] = i - (t.num_buckets - 1);
-    }
+    simt::simd::traverse_tree(t.nodes.data(), t.leq32, t.height, elems, w.lanes(), bucket);
     const auto lanes = static_cast<std::uint64_t>(w.lanes());
     const auto h = static_cast<std::uint64_t>(t.height);
     w.add_instr(lanes * h);
@@ -109,16 +106,26 @@ int count_kernel(simt::Device& dev, std::span<const T> data, const SearchTree<T>
             const auto space =
                 shared_mode ? simt::AtomicSpace::shared : simt::AtomicSpace::global;
 
+            // One warp revisits the array every `stride` elements; with the
+            // grid capped at 2 blocks/SM that stride is far beyond any
+            // prefetcher's reach, so hint the next tile explicitly (pure
+            // host-side latency hiding, no simulated events involved).
+            const std::size_t stride = static_cast<std::size_t>(grid) *
+                                       static_cast<std::size_t>(cfg.block_dim) *
+                                       static_cast<std::size_t>(std::max(1, cfg.unroll));
             blk.warp_tiles(n, [&](simt::WarpCtx& w, std::size_t base, std::size_t) {
                 T elems[simt::kWarpSize];
                 std::int32_t bucket[simt::kWarpSize];
+                if (base + stride < n) {
+                    __builtin_prefetch(data.data() + base + stride);
+                    __builtin_prefetch(data.data() + base + stride + 16);
+                    if (write_oracles) __builtin_prefetch(oracles.data() + base + stride, 1);
+                }
                 w.load(data, base, elems);
                 traverse_tile(w, t, elems, bucket);
                 if (write_oracles) {
                     std::uint8_t by[simt::kWarpSize];
-                    for (int l = 0; l < w.lanes(); ++l) {
-                        by[l] = static_cast<std::uint8_t>(bucket[l]);
-                    }
+                    simt::simd::pack_low_bytes(bucket, w.lanes(), by);
                     w.store(oracles, base, by);
                 }
                 if (cfg.warp_aggregation) {

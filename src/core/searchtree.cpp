@@ -63,6 +63,7 @@ SearchTree<T> SearchTree<T>::build(std::vector<T> sorted_splitters) {
     for (std::size_t j = 0; j < m; ++j) {
         if (is_last_dup(j)) t.equality[j] = 1;  // bucket j sits left of splitter j
     }
+    t.leq32.assign(t.leq.begin(), t.leq.end());
     return t;
 }
 

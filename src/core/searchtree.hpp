@@ -33,6 +33,9 @@ struct SearchTree {
     std::vector<T> nodes;
     /// Per node: compare with `<=` instead of `<` (duplicate-splitter trick).
     std::vector<std::uint8_t> leq;
+    /// `leq` widened to int32 for the vectorized traversal (32-bit gathers);
+    /// host-side mirror, not part of device_bytes().
+    std::vector<std::int32_t> leq32;
     /// The sorted splitters; size b-1.  splitters[i] separates bucket i
     /// from bucket i+1.
     std::vector<T> splitters;

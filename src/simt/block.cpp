@@ -3,7 +3,19 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "simt/simd.hpp"
+
 namespace gpusel::simt {
+
+namespace {
+/// Per-thread reusable shared-memory arena.  Blocks run to completion on
+/// one host thread, so at most one BlockCtx per thread normally exists;
+/// reusing the buffer avoids a 48-96 KiB allocate-and-zero per simulated
+/// block.  The in-use flag guards the rare nested-BlockCtx case (a kernel
+/// body constructing another block), which falls back to a private buffer.
+thread_local std::vector<std::byte> tl_arena;
+thread_local bool tl_arena_in_use = false;
+}  // namespace
 
 BlockCtx::BlockCtx(const ArchSpec& arch, int block_idx, int grid_dim, int block_dim,
                    std::size_t shared_limit)
@@ -12,13 +24,27 @@ BlockCtx::BlockCtx(const ArchSpec& arch, int block_idx, int grid_dim, int block_
       grid_dim_(grid_dim),
       block_dim_(block_dim),
       shared_limit_(shared_limit) {
-    shared_mem_.resize(shared_limit_);
     if (block_dim <= 0 || block_dim % kWarpSize != 0) {
         throw std::invalid_argument("block_dim must be a positive multiple of the warp size");
     }
     if (block_dim > arch.max_threads_per_block) {
         throw std::invalid_argument("block_dim exceeds max_threads_per_block");
     }
+    // Claim the arena only after validation: a throwing constructor never
+    // runs the destructor that would release the in-use flag.
+    if (!tl_arena_in_use) {
+        tl_arena_in_use = true;
+        using_tl_arena_ = true;
+        if (tl_arena.size() < shared_limit_) tl_arena.resize(shared_limit_);
+        shared_mem_ = tl_arena.data();
+    } else {
+        own_mem_.resize(shared_limit_);
+        shared_mem_ = own_mem_.data();
+    }
+}
+
+BlockCtx::~BlockCtx() {
+    if (using_tl_arena_) tl_arena_in_use = false;
 }
 
 int BlockCtx::distinct(const std::int32_t* idx, int n, std::size_t universe) {
@@ -70,7 +96,18 @@ inline std::int32_t apply_fetch_add(AtomicSpace space, std::int32_t& ctr, std::i
 void WarpCtx::atomic_add(AtomicSpace space, std::span<std::int32_t> counters,
                          const std::int32_t* bucket, std::int32_t val) const {
     auto& c = blk_->counters_;
-    const int d = blk_->distinct(bucket, lanes_, counters.size());
+    int d;
+    if (space == AtomicSpace::shared && counters.size() <= simd::kMaxHistogramBins) {
+        // Shared-space counters are block-private (blocks run sequentially
+        // on one thread), so the adds need no atomic_ref; the fused
+        // accumulate also returns the distinct count in the same pass.
+        d = simd::histogram_accumulate(counters.data(), counters.size(), bucket, val, lanes_);
+    } else {
+        d = blk_->distinct(bucket, lanes_, counters.size());
+        for (int l = 0; l < lanes_; ++l) {
+            apply_fetch_add(space, counters[static_cast<std::size_t>(bucket[l])], val);
+        }
+    }
     const auto ops = static_cast<std::uint64_t>(lanes_);
     const auto coll = static_cast<std::uint64_t>(lanes_ - d);
     if (space == AtomicSpace::shared) {
@@ -79,9 +116,6 @@ void WarpCtx::atomic_add(AtomicSpace space, std::span<std::int32_t> counters,
     } else {
         c.global_atomic_ops += ops;
         c.global_atomic_collisions += coll;
-    }
-    for (int l = 0; l < lanes_; ++l) {
-        apply_fetch_add(space, counters[static_cast<std::size_t>(bucket[l])], val);
     }
 }
 
@@ -92,10 +126,26 @@ void WarpCtx::atomic_add_aggregated(AtomicSpace space, std::span<std::int32_t> c
     // Fig. 6: one ballot per bucket-index bit to intersect the lane masks.
     c.warp_ballots += static_cast<std::uint64_t>(index_bits);
 
+    if (space == AtomicSpace::shared && counters.size() <= simd::kMaxHistogramBins) {
+        // Block-private counters: the per-group aggregated adds sum to the
+        // same per-bucket totals as a plain histogram, and the group count
+        // is the distinct count, so the fused pass covers both.
+        const int groups =
+            simd::histogram_accumulate(counters.data(), counters.size(), bucket, val, lanes_);
+        c.shared_atomic_ops += static_cast<std::uint64_t>(groups);
+        return;
+    }
+
     // Group lanes by bucket; the group leader issues a single atomic with
-    // the aggregated value.  One pass using the epoch scratch.
+    // the aggregated value.  One pass using the epoch scratch; slot_ maps
+    // a marked bucket to its group index, so the pass is O(lanes) instead
+    // of O(lanes * groups).
     auto& mark = blk_->mark_;
-    if (mark.size() < counters.size()) mark.resize(counters.size(), 0);
+    auto& slot = blk_->slot_;
+    if (mark.size() < counters.size()) {
+        mark.resize(counters.size(), 0);
+        slot.resize(counters.size(), 0);
+    }
     ++blk_->epoch_;
     if (blk_->epoch_ == 0) {
         std::fill(mark.begin(), mark.end(), 0);
@@ -109,17 +159,12 @@ void WarpCtx::atomic_add_aggregated(AtomicSpace space, std::span<std::int32_t> c
         const auto b = static_cast<std::size_t>(bucket[l]);
         if (mark[b] != blk_->epoch_) {
             mark[b] = blk_->epoch_;
+            slot[b] = groups;
             group_bucket[groups] = bucket[l];
             group_val[groups] = val;
             ++groups;
         } else {
-            // find the group (small linear scan; groups <= 32)
-            for (int g = 0; g < groups; ++g) {
-                if (group_bucket[g] == bucket[l]) {
-                    group_val[g] += val;
-                    break;
-                }
-            }
+            group_val[slot[b]] += val;
         }
     }
     if (space == AtomicSpace::shared) {

@@ -117,6 +117,7 @@ class BlockCtx {
 public:
     BlockCtx(const ArchSpec& arch, int block_idx, int grid_dim, int block_dim,
              std::size_t shared_limit);
+    ~BlockCtx();
 
     BlockCtx(const BlockCtx&) = delete;
     BlockCtx& operator=(const BlockCtx&) = delete;
@@ -185,10 +186,21 @@ private:
     int block_dim_;
     std::size_t shared_limit_;
     std::size_t shared_used_ = 0;
-    std::vector<std::byte> shared_mem_;
+    /// Simulated shared-memory arena.  Normally a reused thread-local
+    /// buffer (blocks are constructed and destroyed on the executing
+    /// worker, and allocating + zeroing 48-96 KiB per block dominated
+    /// small-kernel launches); falls back to a private allocation when a
+    /// second BlockCtx is live on the same thread.  shared_array() zeroes
+    /// the handed-out region, so kernels still observe zero-initialized
+    /// shared memory either way.
+    std::byte* shared_mem_ = nullptr;
+    std::vector<std::byte> own_mem_;
+    bool using_tl_arena_ = false;
     KernelCounters counters_;
-    // epoch-marking scratch for distinct() -- O(warp) per call.
+    // epoch-marking scratch for distinct()/aggregation -- O(warp) per call;
+    // slot_ maps a marked bucket to its group index within the current call.
     std::vector<std::uint32_t> mark_;
+    std::vector<std::int32_t> slot_;
     std::uint32_t epoch_ = 0;
 };
 
@@ -203,10 +215,13 @@ std::span<T> BlockCtx::shared_array(std::size_t n) {
         throw std::runtime_error("shared memory capacity exceeded: need " + std::to_string(end) +
                                  " bytes, block limit is " + std::to_string(shared_limit_));
     }
-    // The arena is allocated at full capacity in the constructor, so spans
-    // handed out earlier stay valid (resizing here would invalidate them).
+    // The arena is sized at full capacity in the constructor, so spans
+    // handed out earlier stay valid.  Zero the new region: the arena is
+    // reused across blocks, and kernels are entitled to fresh (zeroed)
+    // shared memory per block.
     shared_used_ = end;
-    return {reinterpret_cast<T*>(shared_mem_.data() + offset), n};
+    std::memset(shared_mem_ + offset, 0, end - offset);
+    return {reinterpret_cast<T*>(shared_mem_ + offset), n};
 }
 
 template <typename F>

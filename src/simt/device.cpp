@@ -1,10 +1,21 @@
 #include "simt/device.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 namespace gpusel::simt {
+
+unsigned default_host_workers() noexcept {
+    if (const char* env = std::getenv("GPUSEL_WORKERS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 0 && v <= 1024) return static_cast<unsigned>(v);
+    }
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc > 1 ? hc - 1 : 0;
+}
 
 Device::Device(ArchSpec spec, DeviceOptions opts)
     : arch_(std::move(spec)), opts_(opts), pool_(opts.host_workers) {}

@@ -1,0 +1,41 @@
+#pragma once
+// Minimal non-owning, non-allocating callable reference (the C++26
+// std::function_ref shape, reduced to what the simulator needs).
+//
+// ThreadPool::parallel_for runs one short-lived callable across many
+// blocks; std::function would heap-allocate and virtual-dispatch per
+// launch.  function_ref is two words -- an opaque object pointer and a
+// thunk -- so passing a lambda is free and the call inlines to an
+// indirect jump.  The referenced callable must outlive the function_ref
+// (trivially true for parallel_for, which returns before its argument
+// dies).
+
+#include <type_traits>
+#include <utility>
+
+namespace gpusel::simt {
+
+template <typename Signature>
+class function_ref;
+
+template <typename R, typename... Args>
+class function_ref<R(Args...)> {
+public:
+    template <typename F,
+              typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, function_ref> &&
+                                          std::is_invocable_r_v<R, F&, Args...>>>
+    function_ref(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+        : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+          call_([](void* obj, Args... args) -> R {
+              return (*static_cast<std::remove_reference_t<F>*>(obj))(
+                  std::forward<Args>(args)...);
+          }) {}
+
+    R operator()(Args... args) const { return call_(obj_, std::forward<Args>(args)...); }
+
+private:
+    void* obj_;
+    R (*call_)(void*, Args...);
+};
+
+}  // namespace gpusel::simt

@@ -1,0 +1,1018 @@
+#pragma once
+// Portable lane-vector layer for the SIMT simulator's warp hot loops.
+//
+// The simulator models a 32-lane warp; on the host that tile maps exactly
+// onto x86 vector registers (2 x 16-lane AVX-512, 4 x 8-lane AVX2, 8 x
+// 4-lane SSE2 for floats).  This header provides the small set of
+// *semantics-exact* tile primitives the three hot loops need -- masked
+// compares, blends, gathers from (simulated) shared memory, search-tree
+// traversal, bitonic compare-exchange and a horizontal
+// histogram-accumulate -- each with a scalar fallback that is the original
+// per-lane loop.
+//
+// Contract: every primitive is bit-identical to its scalar fallback on all
+// inputs, including NaN and duplicate handling (compares use the exact
+// predicate of the scalar code, e.g. `!(v < e)` maps to _CMP_NLT_UQ so that
+// unordered operands take the same branch).  Event charging is not done
+// here: callers charge per *tile* (see WarpCtx::add_instr etc.), so the
+// counters do not depend on which tier executed the arithmetic.
+//
+// Tier selection:
+//   * compile time: the best tier the build enables (CMake probes AVX2 and
+//     AVX-512 with check_cxx_source_runs; see the top-level CMakeLists).
+//   * run time: capped by the GPUSEL_SIMD environment variable
+//     ("off"/"0"/"scalar", "sse2", "avx2", "avx512"; unset = fastest) and a
+//     defensive __builtin_cpu_supports check.  Tests flip tiers in-process
+//     via set_level()/set_enabled().
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#if !defined(GPUSEL_SIMD_DISABLE)
+#if defined(__AVX512F__)
+#define GPUSEL_SIMD_AVX512 1
+#endif
+#if defined(__AVX2__)
+#define GPUSEL_SIMD_AVX2 1
+#endif
+#if defined(__SSE2__) || defined(_M_X64) || (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
+#define GPUSEL_SIMD_SSE2 1
+#endif
+#endif
+
+#if defined(GPUSEL_SIMD_AVX512) || defined(GPUSEL_SIMD_AVX2) || defined(GPUSEL_SIMD_SSE2)
+#include <immintrin.h>
+#endif
+
+namespace gpusel::simt::simd {
+
+/// One simulated warp tile: the vector primitives below operate on up to
+/// this many lanes (the fast paths require exactly kTileLanes).
+inline constexpr int kTileLanes = 32;
+
+/// Largest counter array histogram_accumulate()/distinct_count() accept;
+/// larger universes must use the caller's own scratch (BlockCtx::distinct).
+inline constexpr std::size_t kMaxHistogramBins = 4096;
+
+enum class Level : int { scalar = 0, sse2 = 1, avx2 = 2, avx512 = 3 };
+
+/// Best tier compiled into this binary.
+[[nodiscard]] constexpr Level compiled_level() noexcept {
+#if defined(GPUSEL_SIMD_AVX512)
+    return Level::avx512;
+#elif defined(GPUSEL_SIMD_AVX2)
+    return Level::avx2;
+#elif defined(GPUSEL_SIMD_SSE2)
+    return Level::sse2;
+#else
+    return Level::scalar;
+#endif
+}
+
+/// Tier used by the dispatch functions right now (compiled tier, capped by
+/// GPUSEL_SIMD / set_level / CPU support).
+[[nodiscard]] Level active_level() noexcept;
+/// Caps the active tier (tests sweep scalar vs. vector in one process).
+void set_level(Level cap) noexcept;
+/// set_enabled(false) == set_level(scalar); set_enabled(true) removes the cap.
+void set_enabled(bool on) noexcept;
+[[nodiscard]] inline bool enabled() noexcept { return active_level() != Level::scalar; }
+[[nodiscard]] const char* level_name(Level l) noexcept;
+
+// ===========================================================================
+// Scalar reference tier (always available; the vector tiers must match it
+// bit for bit).
+// ===========================================================================
+
+namespace scalar {
+
+/// Search-tree traversal in "level-local index" form: j_{L+1} = 2 j_L + r.
+/// Identical decisions to SearchTree::find_bucket (j == i - (2^h - 1)).
+template <typename T>
+inline void traverse_tree(const T* nodes, const std::int32_t* leq, std::int32_t height,
+                          const T* elems, int lanes, std::int32_t* bucket) {
+    for (int l = 0; l < lanes; ++l) {
+        const T e = elems[l];
+        std::int32_t j = 0;
+        for (std::int32_t lev = 0; lev < height; ++lev) {
+            const std::size_t idx = (std::size_t{1} << lev) - 1 + static_cast<std::size_t>(j);
+            const bool left = leq[idx] ? !(nodes[idx] < e) : (e < nodes[idx]);
+            j = 2 * j + (left ? 0 : 1);
+        }
+        bucket[l] = j;
+    }
+}
+
+template <typename T>
+inline void bipartition_sides(const T* elems, T pivot, int lanes, std::int32_t* side) {
+    for (int l = 0; l < lanes; ++l) side[l] = elems[l] < pivot ? 0 : 1;
+}
+
+template <typename T>
+inline void tripartition_sides(const T* elems, T pivot, int lanes, std::int32_t* side) {
+    for (int l = 0; l < lanes; ++l) {
+        side[l] = elems[l] < pivot ? 0 : (elems[l] == pivot ? 1 : 2);
+    }
+}
+
+template <typename T>
+inline std::uint32_t cmp_lt_mask(const T* elems, T pivot, int lanes) {
+    std::uint32_t m = 0;
+    for (int l = 0; l < lanes; ++l) {
+        if (elems[l] < pivot) m |= (1u << l);
+    }
+    return m;
+}
+
+template <typename T>
+inline std::uint32_t cmp_eq_mask(const T* elems, T pivot, int lanes) {
+    std::uint32_t m = 0;
+    for (int l = 0; l < lanes; ++l) {
+        if (elems[l] == pivot) m |= (1u << l);
+    }
+    return m;
+}
+
+template <typename T>
+inline void blend(const T* a, const T* b, std::uint32_t take_b, int lanes, T* out) {
+    for (int l = 0; l < lanes; ++l) out[l] = (take_b >> l) & 1u ? b[l] : a[l];
+}
+
+template <typename T>
+inline void gather(const T* table, const std::int32_t* idx, int lanes, T* out) {
+    for (int l = 0; l < lanes; ++l) out[l] = table[idx[l]];
+}
+
+inline void pack_low_bytes(const std::int32_t* v, int lanes, std::uint8_t* out) {
+    for (int l = 0; l < lanes; ++l) out[l] = static_cast<std::uint8_t>(v[l]);
+}
+
+/// One (k, j) step of the bitonic network over m (pow2) elements --
+/// exactly detail::run_network's inner loop.
+template <typename T>
+inline void bitonic_step(T* a, std::size_t m, std::size_t j, std::size_t k) {
+    for (std::size_t i = 0; i < m; ++i) {
+        const std::size_t partner = i ^ j;
+        if (partner > i) {
+            const bool ascending = (i & k) == 0;
+            if ((a[i] > a[partner]) == ascending) {
+                const T tmp = a[i];
+                a[i] = a[partner];
+                a[partner] = tmp;
+            }
+        }
+    }
+}
+
+}  // namespace scalar
+
+// ===========================================================================
+// Horizontal histogram-accumulate (bitset membership; scalar arithmetic --
+// scatter-with-conflicts does not vectorize profitably, but the bitset
+// beats the epoch-array used previously by keeping state in registers).
+// ===========================================================================
+
+/// Number of distinct values among bucket[0..lanes) (all < num_bins).
+/// Requires num_bins <= kMaxHistogramBins.
+inline int distinct_count(const std::int32_t* bucket, int lanes, std::size_t num_bins) {
+    std::uint64_t words[kMaxHistogramBins / 64];
+    const std::size_t nw = (num_bins + 63) / 64;
+    std::memset(words, 0, nw * sizeof(std::uint64_t));
+    int d = 0;
+    for (int l = 0; l < lanes; ++l) {
+        const auto b = static_cast<std::uint32_t>(bucket[l]);
+        const std::uint64_t bit = std::uint64_t{1} << (b & 63u);
+        d += (words[b >> 6] & bit) == 0 ? 1 : 0;
+        words[b >> 6] |= bit;
+    }
+    return d;
+}
+
+/// counters[bucket[l]] += val for every lane (plain adds: the shared-memory
+/// atomic flavour, where one block owns the counters); returns the distinct
+/// count for collision accounting.  Requires num_bins <= kMaxHistogramBins.
+inline int histogram_accumulate(std::int32_t* counters, std::size_t num_bins,
+                                const std::int32_t* bucket, std::int32_t val, int lanes) {
+    std::uint64_t words[kMaxHistogramBins / 64];
+    const std::size_t nw = (num_bins + 63) / 64;
+    std::memset(words, 0, nw * sizeof(std::uint64_t));
+    int d = 0;
+    for (int l = 0; l < lanes; ++l) {
+        const auto b = static_cast<std::uint32_t>(bucket[l]);
+        const std::uint64_t bit = std::uint64_t{1} << (b & 63u);
+        d += (words[b >> 6] & bit) == 0 ? 1 : 0;
+        words[b >> 6] |= bit;
+        counters[b] += val;
+    }
+    return d;
+}
+
+// ===========================================================================
+// SSE2 tier (x86-64 baseline): 4-lane compares/blends.  Tree traversal has
+// no gather pre-AVX2, so it stays scalar at this tier.
+// ===========================================================================
+
+#if defined(GPUSEL_SIMD_SSE2)
+namespace sse2 {
+
+inline __m128 blend_ps(__m128 a, __m128 b, __m128 mask) {
+    return _mm_or_ps(_mm_and_ps(mask, b), _mm_andnot_ps(mask, a));
+}
+inline __m128d blend_pd(__m128d a, __m128d b, __m128d mask) {
+    return _mm_or_pd(_mm_and_pd(mask, b), _mm_andnot_pd(mask, a));
+}
+
+inline void tripartition_sides(const float* elems, float pivot, int lanes, std::int32_t* side) {
+    const __m128 p = _mm_set1_ps(pivot);
+    const __m128i two = _mm_set1_epi32(2);
+    int l = 0;
+    for (; l + 4 <= lanes; l += 4) {
+        const __m128 e = _mm_loadu_ps(elems + l);
+        const __m128i lt = _mm_castps_si128(_mm_cmplt_ps(e, p));
+        const __m128i eq = _mm_castps_si128(_mm_cmpeq_ps(e, p));
+        // lt: 2+(-1-1)=0, eq: 2+(-1)=1, else 2 (masks are 0 / -1).
+        const __m128i s = _mm_add_epi32(two, _mm_add_epi32(_mm_add_epi32(lt, lt), eq));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(side + l), s);
+    }
+    if (l < lanes) scalar::tripartition_sides(elems + l, pivot, lanes - l, side + l);
+}
+
+inline void tripartition_sides(const double* elems, double pivot, int lanes,
+                               std::int32_t* side) {
+    const __m128d p = _mm_set1_pd(pivot);
+    int l = 0;
+    for (; l + 2 <= lanes; l += 2) {
+        const __m128d e = _mm_loadu_pd(elems + l);
+        const __m128i lt = _mm_castpd_si128(_mm_cmplt_pd(e, p));
+        const __m128i eq = _mm_castpd_si128(_mm_cmpeq_pd(e, p));
+        // Per 64-bit lane: 2 + 2*lt + eq, then keep the low 32 bits.
+        const __m128i s =
+            _mm_add_epi64(_mm_set1_epi64x(2), _mm_add_epi64(_mm_add_epi64(lt, lt), eq));
+        side[l] = static_cast<std::int32_t>(_mm_cvtsi128_si32(s));
+        side[l + 1] = static_cast<std::int32_t>(_mm_cvtsi128_si32(_mm_srli_si128(s, 8)));
+    }
+    if (l < lanes) scalar::tripartition_sides(elems + l, pivot, lanes - l, side + l);
+}
+
+inline std::uint32_t cmp_lt_mask(const float* elems, float pivot, int lanes) {
+    const __m128 p = _mm_set1_ps(pivot);
+    std::uint32_t m = 0;
+    int l = 0;
+    for (; l + 4 <= lanes; l += 4) {
+        const auto bits =
+            static_cast<std::uint32_t>(_mm_movemask_ps(_mm_cmplt_ps(_mm_loadu_ps(elems + l), p)));
+        m |= bits << l;
+    }
+    if (l < lanes) m |= scalar::cmp_lt_mask(elems + l, pivot, lanes - l) << l;
+    return m;
+}
+
+inline std::uint32_t cmp_lt_mask(const double* elems, double pivot, int lanes) {
+    const __m128d p = _mm_set1_pd(pivot);
+    std::uint32_t m = 0;
+    int l = 0;
+    for (; l + 2 <= lanes; l += 2) {
+        const auto bits = static_cast<std::uint32_t>(
+            _mm_movemask_pd(_mm_cmplt_pd(_mm_loadu_pd(elems + l), p)));
+        m |= bits << l;
+    }
+    if (l < lanes) m |= scalar::cmp_lt_mask(elems + l, pivot, lanes - l) << l;
+    return m;
+}
+
+inline std::uint32_t cmp_eq_mask(const float* elems, float pivot, int lanes) {
+    const __m128 p = _mm_set1_ps(pivot);
+    std::uint32_t m = 0;
+    int l = 0;
+    for (; l + 4 <= lanes; l += 4) {
+        const auto bits =
+            static_cast<std::uint32_t>(_mm_movemask_ps(_mm_cmpeq_ps(_mm_loadu_ps(elems + l), p)));
+        m |= bits << l;
+    }
+    if (l < lanes) m |= scalar::cmp_eq_mask(elems + l, pivot, lanes - l) << l;
+    return m;
+}
+
+inline std::uint32_t cmp_eq_mask(const double* elems, double pivot, int lanes) {
+    const __m128d p = _mm_set1_pd(pivot);
+    std::uint32_t m = 0;
+    int l = 0;
+    for (; l + 2 <= lanes; l += 2) {
+        const auto bits = static_cast<std::uint32_t>(
+            _mm_movemask_pd(_mm_cmpeq_pd(_mm_loadu_pd(elems + l), p)));
+        m |= bits << l;
+    }
+    if (l < lanes) m |= scalar::cmp_eq_mask(elems + l, pivot, lanes - l) << l;
+    return m;
+}
+
+inline void pack_low_bytes(const std::int32_t* v, int lanes, std::uint8_t* out) {
+    int l = 0;
+    for (; l + 16 <= lanes; l += 16) {
+        const __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + l));
+        const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + l + 4));
+        const __m128i c = _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + l + 8));
+        const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + l + 12));
+        const __m128i lo = _mm_packs_epi32(a, b);
+        const __m128i hi = _mm_packs_epi32(c, d);
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(out + l), _mm_packus_epi16(lo, hi));
+    }
+    if (l < lanes) scalar::pack_low_bytes(v + l, lanes - l, out + l);
+}
+
+/// Vector half of one bitonic (k, j) step for strides j >= vector width;
+/// smaller strides take the scalar loop.  Swap condition is the exact
+/// scalar predicate ((a > b) == ascending), so results (incl. -0.0 / NaN
+/// placement) match the scalar network bit for bit.
+inline void bitonic_step(float* a, std::size_t m, std::size_t j, std::size_t k) {
+    if (j < 4) {
+        scalar::bitonic_step(a, m, j, k);
+        return;
+    }
+    for (std::size_t base = 0; base < m; base += 2 * j) {
+        const bool ascending = (base & k) == 0;
+        for (std::size_t off = base; off < base + j; off += 4) {
+            const __m128 lo = _mm_loadu_ps(a + off);
+            const __m128 hi = _mm_loadu_ps(a + off + j);
+            const __m128 gt = _mm_cmpgt_ps(lo, hi);
+            // swap iff (lo > hi) == ascending
+            const __m128 swp = ascending ? gt : _mm_cmpngt_ps(lo, hi);
+            _mm_storeu_ps(a + off, blend_ps(lo, hi, swp));
+            _mm_storeu_ps(a + off + j, blend_ps(hi, lo, swp));
+        }
+    }
+}
+
+inline void bitonic_step(double* a, std::size_t m, std::size_t j, std::size_t k) {
+    if (j < 2) {
+        scalar::bitonic_step(a, m, j, k);
+        return;
+    }
+    for (std::size_t base = 0; base < m; base += 2 * j) {
+        const bool ascending = (base & k) == 0;
+        for (std::size_t off = base; off < base + j; off += 2) {
+            const __m128d lo = _mm_loadu_pd(a + off);
+            const __m128d hi = _mm_loadu_pd(a + off + j);
+            const __m128d gt = _mm_cmpgt_pd(lo, hi);
+            const __m128d swp = ascending ? gt : _mm_cmpngt_pd(lo, hi);
+            _mm_storeu_pd(a + off, blend_pd(lo, hi, swp));
+            _mm_storeu_pd(a + off + j, blend_pd(hi, lo, swp));
+        }
+    }
+}
+
+}  // namespace sse2
+#endif  // GPUSEL_SIMD_SSE2
+
+// ===========================================================================
+// AVX2 tier: 8-lane float tiles with in-register table permutes for the
+// upper search-tree levels and hardware gathers below them.
+// ===========================================================================
+
+#if defined(GPUSEL_SIMD_AVX2)
+namespace avx2 {
+
+/// 32-lane float search-tree traversal.  Level L's nodes occupy the
+/// contiguous heap slice [2^L-1, 2^L+1-1), so small levels resolve with
+/// permutes on in-register tables (x86-simd-sort style) and only deep
+/// levels pay for gathers.
+inline void traverse_tree(const float* nodes, const std::int32_t* leq, std::int32_t height,
+                          const float* elems, std::int32_t* bucket) {
+    const __m256i one = _mm256_set1_epi32(1);
+    const __m256i zero = _mm256_setzero_si256();
+    __m256 e[4];
+    __m256i j[4];
+    for (int v = 0; v < 4; ++v) {
+        e[v] = _mm256_loadu_ps(elems + 8 * v);
+        j[v] = _mm256_setzero_si256();
+    }
+    for (std::int32_t lev = 0; lev < height; ++lev) {
+        const std::size_t size = std::size_t{1} << lev;
+        const float* tab = nodes + (size - 1);
+        const std::int32_t* qtab = leq + (size - 1);
+        __m256 t0, t1;
+        __m256i q0, q1;
+        if (size <= 8) {
+            // Masked load keeps the read inside the node array when the
+            // level is narrower than one vector.
+            const __m256i lm = _mm256_cmpgt_epi32(
+                _mm256_set1_epi32(static_cast<std::int32_t>(size)),
+                _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7));
+            t0 = _mm256_maskload_ps(tab, lm);
+            q0 = _mm256_maskload_epi32(qtab, lm);
+            t1 = t0;
+            q1 = q0;
+        } else if (size == 16) {
+            t0 = _mm256_loadu_ps(tab);
+            t1 = _mm256_loadu_ps(tab + 8);
+            q0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(qtab));
+            q1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(qtab + 8));
+        }
+        for (int v = 0; v < 4; ++v) {
+            __m256 node;
+            __m256i q;
+            if (size <= 8) {
+                node = _mm256_permutevar8x32_ps(t0, j[v]);
+                q = _mm256_permutevar8x32_epi32(q0, j[v]);
+            } else if (size == 16) {
+                // Select between the two 8-entry halves by index bit 3.
+                const __m256 sel = _mm256_castsi256_ps(_mm256_slli_epi32(j[v], 28));
+                node = _mm256_blendv_ps(_mm256_permutevar8x32_ps(t0, j[v]),
+                                        _mm256_permutevar8x32_ps(t1, j[v]), sel);
+                q = _mm256_castps_si256(
+                    _mm256_blendv_ps(_mm256_castsi256_ps(_mm256_permutevar8x32_epi32(q0, j[v])),
+                                     _mm256_castsi256_ps(_mm256_permutevar8x32_epi32(q1, j[v])),
+                                     sel));
+            } else {
+                node = _mm256_i32gather_ps(tab, j[v], 4);
+                q = _mm256_i32gather_epi32(qtab, j[v], 4);
+            }
+            // left = leq ? !(node < e) : (e < node); unordered (NaN)
+            // operands take the same side as the scalar predicates.
+            const __m256 nlt = _mm256_cmp_ps(node, e[v], _CMP_NLT_UQ);
+            const __m256 lt = _mm256_cmp_ps(e[v], node, _CMP_LT_OQ);
+            const __m256i not_leq = _mm256_cmpeq_epi32(q, zero);
+            const __m256i left =
+                _mm256_or_si256(_mm256_and_si256(not_leq, _mm256_castps_si256(lt)),
+                                _mm256_andnot_si256(not_leq, _mm256_castps_si256(nlt)));
+            // j = 2*j + (left ? 0 : 1): left mask is -1, so 1 + left is it.
+            j[v] = _mm256_add_epi32(_mm256_add_epi32(j[v], j[v]), _mm256_add_epi32(one, left));
+        }
+    }
+    for (int v = 0; v < 4; ++v) {
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(bucket + 8 * v), j[v]);
+    }
+}
+
+/// 32-lane double traversal: 4-lane gathers at every level (no wide
+/// permute tables pre-AVX-512; gathers still beat the scalar chain).
+inline void traverse_tree(const double* nodes, const std::int32_t* leq, std::int32_t height,
+                          const double* elems, std::int32_t* bucket) {
+    const __m128i one = _mm_set1_epi32(1);
+    const __m128i zero = _mm_setzero_si128();
+    // Narrows a 4x64-bit compare mask to 4x32 lanes.
+    const __m256i narrow_idx = _mm256_setr_epi32(0, 2, 4, 6, 0, 2, 4, 6);
+    for (int v = 0; v < 8; ++v) {
+        const __m256d e = _mm256_loadu_pd(elems + 4 * v);
+        __m128i j = _mm_setzero_si128();
+        for (std::int32_t lev = 0; lev < height; ++lev) {
+            const std::size_t size = std::size_t{1} << lev;
+            const double* tab = nodes + (size - 1);
+            const std::int32_t* qtab = leq + (size - 1);
+            const __m256d node = _mm256_i32gather_pd(tab, j, 8);
+            const __m128i q = _mm_i32gather_epi32(qtab, j, 4);
+            const __m256d nlt = _mm256_cmp_pd(node, e, _CMP_NLT_UQ);
+            const __m256d lt = _mm256_cmp_pd(e, node, _CMP_LT_OQ);
+            const __m128i nlt32 = _mm256_castsi256_si128(
+                _mm256_permutevar8x32_epi32(_mm256_castpd_si256(nlt), narrow_idx));
+            const __m128i lt32 = _mm256_castsi256_si128(
+                _mm256_permutevar8x32_epi32(_mm256_castpd_si256(lt), narrow_idx));
+            const __m128i not_leq = _mm_cmpeq_epi32(q, zero);
+            const __m128i left = _mm_or_si128(_mm_and_si128(not_leq, lt32),
+                                              _mm_andnot_si128(not_leq, nlt32));
+            j = _mm_add_epi32(_mm_add_epi32(j, j), _mm_add_epi32(one, left));
+        }
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(bucket + 4 * v), j);
+    }
+}
+
+inline void bipartition_sides(const float* elems, float pivot, int lanes, std::int32_t* side) {
+    const __m256 p = _mm256_set1_ps(pivot);
+    const __m256i one = _mm256_set1_epi32(1);
+    int l = 0;
+    for (; l + 8 <= lanes; l += 8) {
+        const __m256 e = _mm256_loadu_ps(elems + l);
+        const __m256i lt = _mm256_castps_si256(_mm256_cmp_ps(e, p, _CMP_LT_OQ));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(side + l), _mm256_add_epi32(one, lt));
+    }
+    if (l < lanes) scalar::bipartition_sides(elems + l, pivot, lanes - l, side + l);
+}
+
+inline void bipartition_sides(const double* elems, double pivot, int lanes,
+                              std::int32_t* side) {
+    const __m256d p = _mm256_set1_pd(pivot);
+    const __m128i one = _mm_set1_epi32(1);
+    const __m256i narrow_idx = _mm256_setr_epi32(0, 2, 4, 6, 0, 2, 4, 6);
+    int l = 0;
+    for (; l + 4 <= lanes; l += 4) {
+        const __m256d e = _mm256_loadu_pd(elems + l);
+        const __m256d lt = _mm256_cmp_pd(e, p, _CMP_LT_OQ);
+        const __m128i lt32 = _mm256_castsi256_si128(
+            _mm256_permutevar8x32_epi32(_mm256_castpd_si256(lt), narrow_idx));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(side + l), _mm_add_epi32(one, lt32));
+    }
+    if (l < lanes) scalar::bipartition_sides(elems + l, pivot, lanes - l, side + l);
+}
+
+inline void tripartition_sides(const float* elems, float pivot, int lanes, std::int32_t* side) {
+    const __m256 p = _mm256_set1_ps(pivot);
+    const __m256i two = _mm256_set1_epi32(2);
+    int l = 0;
+    for (; l + 8 <= lanes; l += 8) {
+        const __m256 e = _mm256_loadu_ps(elems + l);
+        const __m256i lt = _mm256_castps_si256(_mm256_cmp_ps(e, p, _CMP_LT_OQ));
+        const __m256i eq = _mm256_castps_si256(_mm256_cmp_ps(e, p, _CMP_EQ_OQ));
+        const __m256i s = _mm256_add_epi32(two, _mm256_add_epi32(_mm256_add_epi32(lt, lt), eq));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(side + l), s);
+    }
+    if (l < lanes) scalar::tripartition_sides(elems + l, pivot, lanes - l, side + l);
+}
+
+inline void tripartition_sides(const double* elems, double pivot, int lanes,
+                               std::int32_t* side) {
+    const __m256d p = _mm256_set1_pd(pivot);
+    const __m128i two = _mm_set1_epi32(2);
+    const __m256i narrow_idx = _mm256_setr_epi32(0, 2, 4, 6, 0, 2, 4, 6);
+    int l = 0;
+    for (; l + 4 <= lanes; l += 4) {
+        const __m256d e = _mm256_loadu_pd(elems + l);
+        const __m256d lt = _mm256_cmp_pd(e, p, _CMP_LT_OQ);
+        const __m256d eq = _mm256_cmp_pd(e, p, _CMP_EQ_OQ);
+        const __m128i lt32 = _mm256_castsi256_si128(
+            _mm256_permutevar8x32_epi32(_mm256_castpd_si256(lt), narrow_idx));
+        const __m128i eq32 = _mm256_castsi256_si128(
+            _mm256_permutevar8x32_epi32(_mm256_castpd_si256(eq), narrow_idx));
+        const __m128i s = _mm_add_epi32(two, _mm_add_epi32(_mm_add_epi32(lt32, lt32), eq32));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(side + l), s);
+    }
+    if (l < lanes) scalar::tripartition_sides(elems + l, pivot, lanes - l, side + l);
+}
+
+inline std::uint32_t cmp_lt_mask(const float* elems, float pivot, int lanes) {
+    const __m256 p = _mm256_set1_ps(pivot);
+    std::uint32_t m = 0;
+    int l = 0;
+    for (; l + 8 <= lanes; l += 8) {
+        const auto bits = static_cast<std::uint32_t>(
+            _mm256_movemask_ps(_mm256_cmp_ps(_mm256_loadu_ps(elems + l), p, _CMP_LT_OQ)));
+        m |= bits << l;
+    }
+    if (l < lanes) m |= scalar::cmp_lt_mask(elems + l, pivot, lanes - l) << l;
+    return m;
+}
+
+inline std::uint32_t cmp_lt_mask(const double* elems, double pivot, int lanes) {
+    const __m256d p = _mm256_set1_pd(pivot);
+    std::uint32_t m = 0;
+    int l = 0;
+    for (; l + 4 <= lanes; l += 4) {
+        const auto bits = static_cast<std::uint32_t>(
+            _mm256_movemask_pd(_mm256_cmp_pd(_mm256_loadu_pd(elems + l), p, _CMP_LT_OQ)));
+        m |= bits << l;
+    }
+    if (l < lanes) m |= scalar::cmp_lt_mask(elems + l, pivot, lanes - l) << l;
+    return m;
+}
+
+inline std::uint32_t cmp_eq_mask(const float* elems, float pivot, int lanes) {
+    const __m256 p = _mm256_set1_ps(pivot);
+    std::uint32_t m = 0;
+    int l = 0;
+    for (; l + 8 <= lanes; l += 8) {
+        const auto bits = static_cast<std::uint32_t>(
+            _mm256_movemask_ps(_mm256_cmp_ps(_mm256_loadu_ps(elems + l), p, _CMP_EQ_OQ)));
+        m |= bits << l;
+    }
+    if (l < lanes) m |= scalar::cmp_eq_mask(elems + l, pivot, lanes - l) << l;
+    return m;
+}
+
+inline std::uint32_t cmp_eq_mask(const double* elems, double pivot, int lanes) {
+    const __m256d p = _mm256_set1_pd(pivot);
+    std::uint32_t m = 0;
+    int l = 0;
+    for (; l + 4 <= lanes; l += 4) {
+        const auto bits = static_cast<std::uint32_t>(
+            _mm256_movemask_pd(_mm256_cmp_pd(_mm256_loadu_pd(elems + l), p, _CMP_EQ_OQ)));
+        m |= bits << l;
+    }
+    if (l < lanes) m |= scalar::cmp_eq_mask(elems + l, pivot, lanes - l) << l;
+    return m;
+}
+
+inline void pack_low_bytes(const std::int32_t* v, int lanes, std::uint8_t* out) {
+    if (lanes == 32) {
+        const auto* p = reinterpret_cast<const __m256i*>(v);
+        const __m256i a = _mm256_loadu_si256(p);
+        const __m256i b = _mm256_loadu_si256(p + 1);
+        const __m256i c = _mm256_loadu_si256(p + 2);
+        const __m256i d = _mm256_loadu_si256(p + 3);
+        // packs interleave 128-bit lanes; one cross-lane permute restores
+        // element order of the 32 bytes.
+        const __m256i w16a = _mm256_packs_epi32(a, b);
+        const __m256i w16b = _mm256_packs_epi32(c, d);
+        const __m256i w8 = _mm256_packus_epi16(w16a, w16b);
+        const __m256i fix = _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out),
+                            _mm256_permutevar8x32_epi32(w8, fix));
+        return;
+    }
+    scalar::pack_low_bytes(v, lanes, out);
+}
+
+inline void bitonic_step(float* a, std::size_t m, std::size_t j, std::size_t k) {
+    if (j < 8) {
+#if defined(GPUSEL_SIMD_SSE2)
+        sse2::bitonic_step(a, m, j, k);
+#else
+        scalar::bitonic_step(a, m, j, k);
+#endif
+        return;
+    }
+    for (std::size_t base = 0; base < m; base += 2 * j) {
+        const bool ascending = (base & k) == 0;
+        for (std::size_t off = base; off < base + j; off += 8) {
+            const __m256 lo = _mm256_loadu_ps(a + off);
+            const __m256 hi = _mm256_loadu_ps(a + off + j);
+            const __m256 swp = ascending ? _mm256_cmp_ps(lo, hi, _CMP_GT_OQ)
+                                         : _mm256_cmp_ps(lo, hi, _CMP_NGT_UQ);
+            _mm256_storeu_ps(a + off, _mm256_blendv_ps(lo, hi, swp));
+            _mm256_storeu_ps(a + off + j, _mm256_blendv_ps(hi, lo, swp));
+        }
+    }
+}
+
+inline void bitonic_step(double* a, std::size_t m, std::size_t j, std::size_t k) {
+    if (j < 4) {
+#if defined(GPUSEL_SIMD_SSE2)
+        sse2::bitonic_step(a, m, j, k);
+#else
+        scalar::bitonic_step(a, m, j, k);
+#endif
+        return;
+    }
+    for (std::size_t base = 0; base < m; base += 2 * j) {
+        const bool ascending = (base & k) == 0;
+        for (std::size_t off = base; off < base + j; off += 4) {
+            const __m256d lo = _mm256_loadu_pd(a + off);
+            const __m256d hi = _mm256_loadu_pd(a + off + j);
+            const __m256d swp = ascending ? _mm256_cmp_pd(lo, hi, _CMP_GT_OQ)
+                                          : _mm256_cmp_pd(lo, hi, _CMP_NGT_UQ);
+            _mm256_storeu_pd(a + off, _mm256_blendv_pd(lo, hi, swp));
+            _mm256_storeu_pd(a + off + j, _mm256_blendv_pd(hi, lo, swp));
+        }
+    }
+}
+
+inline void gather(const float* table, const std::int32_t* idx, int lanes, float* out) {
+    int l = 0;
+    for (; l + 8 <= lanes; l += 8) {
+        const __m256i j = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + l));
+        _mm256_storeu_ps(out + l, _mm256_i32gather_ps(table, j, 4));
+    }
+    if (l < lanes) scalar::gather(table + 0, idx + l, lanes - l, out + l);
+}
+
+inline void gather(const double* table, const std::int32_t* idx, int lanes, double* out) {
+    int l = 0;
+    for (; l + 4 <= lanes; l += 4) {
+        const __m128i j = _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + l));
+        _mm256_storeu_pd(out + l, _mm256_i32gather_pd(table, j, 8));
+    }
+    if (l < lanes) scalar::gather(table + 0, idx + l, lanes - l, out + l);
+}
+
+}  // namespace avx2
+#endif  // GPUSEL_SIMD_AVX2
+
+// ===========================================================================
+// AVX-512 tier: 16-lane float tiles; tree levels up to 32 entries resolve
+// with vpermps/vpermi2ps, deeper levels gather.  Only AVX-512F (+AVX2 for
+// the 32-bit double-index helpers) instructions are used.
+// ===========================================================================
+
+#if defined(GPUSEL_SIMD_AVX512)
+namespace avx512 {
+
+inline void traverse_tree(const float* nodes, const std::int32_t* leq, std::int32_t height,
+                          const float* elems, std::int32_t* bucket) {
+    const __m512i one = _mm512_set1_epi32(1);
+    __m512 e[2];
+    __m512i j[2];
+    for (int v = 0; v < 2; ++v) {
+        e[v] = _mm512_loadu_ps(elems + 16 * v);
+        j[v] = _mm512_setzero_si512();
+    }
+    for (std::int32_t lev = 0; lev < height; ++lev) {
+        const std::size_t size = std::size_t{1} << lev;
+        const float* tab = nodes + (size - 1);
+        const std::int32_t* qtab = leq + (size - 1);
+        __m512 t0{}, t1{};
+        __m512i q0{}, q1{};
+        if (size <= 16) {
+            const __mmask16 lm =
+                size >= 16 ? static_cast<__mmask16>(0xffff)
+                           : static_cast<__mmask16>((1u << size) - 1u);
+            t0 = _mm512_maskz_loadu_ps(lm, tab);
+            q0 = _mm512_maskz_loadu_epi32(lm, qtab);
+        } else if (size == 32) {
+            t0 = _mm512_loadu_ps(tab);
+            t1 = _mm512_loadu_ps(tab + 16);
+            q0 = _mm512_loadu_si512(qtab);
+            q1 = _mm512_loadu_si512(qtab + 16);
+        }
+        for (int v = 0; v < 2; ++v) {
+            __m512 node;
+            __m512i q;
+            if (size <= 16) {
+                node = _mm512_permutexvar_ps(j[v], t0);
+                q = _mm512_permutexvar_epi32(j[v], q0);
+            } else if (size == 32) {
+                node = _mm512_permutex2var_ps(t0, j[v], t1);
+                q = _mm512_permutex2var_epi32(q0, j[v], q1);
+            } else {
+                node = _mm512_i32gather_ps(j[v], tab, 4);
+                q = _mm512_i32gather_epi32(j[v], qtab, 4);
+            }
+            const __mmask16 is_leq = _mm512_test_epi32_mask(q, q);
+            const __mmask16 nlt = _mm512_cmp_ps_mask(node, e[v], _CMP_NLT_UQ);
+            const __mmask16 lt = _mm512_cmp_ps_mask(e[v], node, _CMP_LT_OQ);
+            const auto left = static_cast<__mmask16>((is_leq & nlt) | (~is_leq & lt));
+            j[v] = _mm512_add_epi32(j[v], j[v]);
+            j[v] = _mm512_mask_add_epi32(j[v], static_cast<__mmask16>(~left), j[v], one);
+        }
+    }
+    for (int v = 0; v < 2; ++v) {
+        _mm512_storeu_si512(bucket + 16 * v, j[v]);
+    }
+}
+
+inline void traverse_tree(const double* nodes, const std::int32_t* leq, std::int32_t height,
+                          const double* elems, std::int32_t* bucket) {
+    const __m512i one = _mm512_set1_epi64(1);
+    for (int v = 0; v < 4; ++v) {
+        const __m512d e = _mm512_loadu_pd(elems + 8 * v);
+        __m512i j = _mm512_setzero_si512();  // 8 x 64-bit local indices
+        for (std::int32_t lev = 0; lev < height; ++lev) {
+            const std::size_t size = std::size_t{1} << lev;
+            const double* tab = nodes + (size - 1);
+            const std::int32_t* qtab = leq + (size - 1);
+            const __m256i j32 = _mm512_cvtepi64_epi32(j);
+            const __m512d node = _mm512_i32gather_pd(j32, tab, 8);
+            const __m256i q32 = _mm256_i32gather_epi32(qtab, j32, 4);
+            const __m512i q = _mm512_cvtepi32_epi64(q32);
+            const __mmask8 is_leq = _mm512_test_epi64_mask(q, q);
+            const __mmask8 nlt = _mm512_cmp_pd_mask(node, e, _CMP_NLT_UQ);
+            const __mmask8 lt = _mm512_cmp_pd_mask(e, node, _CMP_LT_OQ);
+            const auto left = static_cast<__mmask8>((is_leq & nlt) | (~is_leq & lt));
+            j = _mm512_add_epi64(j, j);
+            j = _mm512_mask_add_epi64(j, static_cast<__mmask8>(~left), j, one);
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(bucket + 8 * v),
+                            _mm512_cvtepi64_epi32(j));
+    }
+}
+
+inline void pack_low_bytes(const std::int32_t* v, int lanes, std::uint8_t* out) {
+    if (lanes == 32) {
+        const __m512i a = _mm512_loadu_si512(v);
+        const __m512i b = _mm512_loadu_si512(v + 16);
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(out), _mm512_cvtepi32_epi8(a));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16), _mm512_cvtepi32_epi8(b));
+        return;
+    }
+    scalar::pack_low_bytes(v, lanes, out);
+}
+
+inline void bitonic_step(float* a, std::size_t m, std::size_t j, std::size_t k) {
+    if (j < 16) {
+#if defined(GPUSEL_SIMD_AVX2)
+        avx2::bitonic_step(a, m, j, k);
+#else
+        scalar::bitonic_step(a, m, j, k);
+#endif
+        return;
+    }
+    for (std::size_t base = 0; base < m; base += 2 * j) {
+        const bool ascending = (base & k) == 0;
+        for (std::size_t off = base; off < base + j; off += 16) {
+            const __m512 lo = _mm512_loadu_ps(a + off);
+            const __m512 hi = _mm512_loadu_ps(a + off + j);
+            const __mmask16 swp = ascending ? _mm512_cmp_ps_mask(lo, hi, _CMP_GT_OQ)
+                                            : _mm512_cmp_ps_mask(lo, hi, _CMP_NGT_UQ);
+            _mm512_storeu_ps(a + off, _mm512_mask_blend_ps(swp, lo, hi));
+            _mm512_storeu_ps(a + off + j, _mm512_mask_blend_ps(swp, hi, lo));
+        }
+    }
+}
+
+inline void bitonic_step(double* a, std::size_t m, std::size_t j, std::size_t k) {
+    if (j < 8) {
+#if defined(GPUSEL_SIMD_AVX2)
+        avx2::bitonic_step(a, m, j, k);
+#else
+        scalar::bitonic_step(a, m, j, k);
+#endif
+        return;
+    }
+    for (std::size_t base = 0; base < m; base += 2 * j) {
+        const bool ascending = (base & k) == 0;
+        for (std::size_t off = base; off < base + j; off += 8) {
+            const __m512d lo = _mm512_loadu_pd(a + off);
+            const __m512d hi = _mm512_loadu_pd(a + off + j);
+            const __mmask8 swp = ascending ? _mm512_cmp_pd_mask(lo, hi, _CMP_GT_OQ)
+                                           : _mm512_cmp_pd_mask(lo, hi, _CMP_NGT_UQ);
+            _mm512_storeu_pd(a + off, _mm512_mask_blend_pd(swp, lo, hi));
+            _mm512_storeu_pd(a + off + j, _mm512_mask_blend_pd(swp, hi, lo));
+        }
+    }
+}
+
+}  // namespace avx512
+#endif  // GPUSEL_SIMD_AVX512
+
+// ===========================================================================
+// Dispatch layer: runtime-tier switch in front of the implementations.
+// All functions accept any lane count; fast paths engage on full tiles.
+// ===========================================================================
+
+/// Element types the vector tiers implement; anything else takes the
+/// scalar reference path unconditionally.
+template <typename T>
+inline constexpr bool kVectorizable = std::is_same_v<T, float> || std::is_same_v<T, double>;
+
+/// Search-tree traversal over one warp tile.  `leq32` is the tree's leq
+/// byte array widened to int32 (0 / nonzero) for vector gathers; `bucket`
+/// receives the *bucket index* (leaf-local form, == heap index - (2^h - 1)).
+template <typename T>
+inline void traverse_tree(const T* nodes, const std::int32_t* leq32, std::int32_t height,
+                          const T* elems, int lanes, std::int32_t* bucket) {
+    if constexpr (kVectorizable<T>) {
+        const Level lvl = active_level();
+#if defined(GPUSEL_SIMD_AVX512)
+        if (lvl >= Level::avx512 && lanes == kTileLanes) {
+            avx512::traverse_tree(nodes, leq32, height, elems, bucket);
+            return;
+        }
+#endif
+#if defined(GPUSEL_SIMD_AVX2)
+        if (lvl >= Level::avx2 && lanes == kTileLanes) {
+            avx2::traverse_tree(nodes, leq32, height, elems, bucket);
+            return;
+        }
+#endif
+        (void)lvl;
+    }
+    scalar::traverse_tree(nodes, leq32, height, elems, lanes, bucket);
+}
+
+/// side[l] = elems[l] < pivot ? 0 : 1 (quickselect bipartition).
+template <typename T>
+inline void bipartition_sides(const T* elems, T pivot, int lanes, std::int32_t* side) {
+    if constexpr (kVectorizable<T>) {
+#if defined(GPUSEL_SIMD_AVX2)
+        if (active_level() >= Level::avx2) {
+            avx2::bipartition_sides(elems, pivot, lanes, side);
+            return;
+        }
+#endif
+    }
+    scalar::bipartition_sides(elems, pivot, lanes, side);
+}
+
+/// side[l] = 0 (smaller) / 1 (equal) / 2 (larger) vs. the pivot.
+template <typename T>
+inline void tripartition_sides(const T* elems, T pivot, int lanes, std::int32_t* side) {
+    if constexpr (kVectorizable<T>) {
+        const Level lvl = active_level();
+#if defined(GPUSEL_SIMD_AVX2)
+        if (lvl >= Level::avx2) {
+            avx2::tripartition_sides(elems, pivot, lanes, side);
+            return;
+        }
+#endif
+#if defined(GPUSEL_SIMD_SSE2)
+        if (lvl >= Level::sse2) {
+            sse2::tripartition_sides(elems, pivot, lanes, side);
+            return;
+        }
+#endif
+        (void)lvl;
+    }
+    scalar::tripartition_sides(elems, pivot, lanes, side);
+}
+
+/// Lane mask of elems[l] < pivot (masked compare; bit l set when true).
+template <typename T>
+inline std::uint32_t cmp_lt_mask(const T* elems, T pivot, int lanes) {
+    if constexpr (kVectorizable<T>) {
+        const Level lvl = active_level();
+#if defined(GPUSEL_SIMD_AVX2)
+        if (lvl >= Level::avx2) return avx2::cmp_lt_mask(elems, pivot, lanes);
+#endif
+#if defined(GPUSEL_SIMD_SSE2)
+        if (lvl >= Level::sse2) return sse2::cmp_lt_mask(elems, pivot, lanes);
+#endif
+        (void)lvl;
+    }
+    return scalar::cmp_lt_mask(elems, pivot, lanes);
+}
+
+/// Lane mask of elems[l] == pivot.
+template <typename T>
+inline std::uint32_t cmp_eq_mask(const T* elems, T pivot, int lanes) {
+    if constexpr (kVectorizable<T>) {
+        const Level lvl = active_level();
+#if defined(GPUSEL_SIMD_AVX2)
+        if (lvl >= Level::avx2) return avx2::cmp_eq_mask(elems, pivot, lanes);
+#endif
+#if defined(GPUSEL_SIMD_SSE2)
+        if (lvl >= Level::sse2) return sse2::cmp_eq_mask(elems, pivot, lanes);
+#endif
+        (void)lvl;
+    }
+    return scalar::cmp_eq_mask(elems, pivot, lanes);
+}
+
+/// out[l] = take_b bit l ? b[l] : a[l].
+template <typename T>
+inline void blend(const T* a, const T* b, std::uint32_t take_b, int lanes, T* out) {
+    scalar::blend(a, b, take_b, lanes, out);
+}
+
+/// out[l] = table[idx[l]] (gather from a staged shared-memory array).
+template <typename T>
+inline void gather(const T* table, const std::int32_t* idx, int lanes, T* out) {
+    if constexpr (kVectorizable<T>) {
+#if defined(GPUSEL_SIMD_AVX2)
+        if (active_level() >= Level::avx2) {
+            avx2::gather(table, idx, lanes, out);
+            return;
+        }
+#endif
+    }
+    scalar::gather(table, idx, lanes, out);
+}
+
+/// pred[l] = elems[l] < pivot, expanded to a bool array.
+template <typename T>
+inline void pred_lt(const T* elems, T pivot, int lanes, bool* pred) {
+    const std::uint32_t m = cmp_lt_mask(elems, pivot, lanes);
+    for (int l = 0; l < lanes; ++l) pred[l] = ((m >> l) & 1u) != 0;
+}
+
+/// pred[l] = pivot < elems[l].
+template <typename T>
+inline void pred_gt(const T* elems, T pivot, int lanes, bool* pred) {
+    // pivot < e has the same NaN behaviour evaluated lane-wise either way.
+    for (int l = 0; l < lanes; ++l) pred[l] = pivot < elems[l];
+}
+
+/// out[l] = uint8(v[l]) -- oracle-byte narrowing; values must be in [0, 255].
+inline void pack_low_bytes(const std::int32_t* v, int lanes, std::uint8_t* out) {
+    const Level lvl = active_level();
+#if defined(GPUSEL_SIMD_AVX512)
+    if (lvl >= Level::avx512) {
+        avx512::pack_low_bytes(v, lanes, out);
+        return;
+    }
+#endif
+#if defined(GPUSEL_SIMD_AVX2)
+    if (lvl >= Level::avx2) {
+        avx2::pack_low_bytes(v, lanes, out);
+        return;
+    }
+#endif
+#if defined(GPUSEL_SIMD_SSE2)
+    if (lvl >= Level::sse2) {
+        sse2::pack_low_bytes(v, lanes, out);
+        return;
+    }
+#endif
+    (void)lvl;
+    scalar::pack_low_bytes(v, lanes, out);
+}
+
+/// One (k, j) compare-exchange step of the bitonic network on m (pow2)
+/// elements.  Strides >= the vector width run vectorized; the last
+/// log2(width) strides take the scalar pair loop.
+template <typename T>
+inline void bitonic_step(T* a, std::size_t m, std::size_t j, std::size_t k) {
+    if constexpr (kVectorizable<T>) {
+        const Level lvl = active_level();
+#if defined(GPUSEL_SIMD_AVX512)
+        if (lvl >= Level::avx512) {
+            avx512::bitonic_step(a, m, j, k);
+            return;
+        }
+#endif
+#if defined(GPUSEL_SIMD_AVX2)
+        if (lvl >= Level::avx2) {
+            avx2::bitonic_step(a, m, j, k);
+            return;
+        }
+#endif
+#if defined(GPUSEL_SIMD_SSE2)
+        if (lvl >= Level::sse2) {
+            sse2::bitonic_step(a, m, j, k);
+            return;
+        }
+#endif
+        (void)lvl;
+    }
+    scalar::bitonic_step(a, m, j, k);
+}
+
+}  // namespace gpusel::simt::simd

@@ -1,13 +1,15 @@
 #include "simt/thread_pool.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <stdexcept>
 
 namespace gpusel::simt {
 
-ThreadPool::ThreadPool(unsigned workers) {
+ThreadPool::ThreadPool(unsigned workers) : slots_(workers + 1) {
     threads_.reserve(workers);
     for (unsigned i = 0; i < workers; ++i) {
-        threads_.emplace_back([this] { worker_loop(); });
+        threads_.emplace_back([this, i] { worker_loop(i); });
     }
 }
 
@@ -22,68 +24,139 @@ ThreadPool::~ThreadPool() {
     }
 }
 
-void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {
+void ThreadPool::parallel_for(std::size_t count, function_ref<void(std::size_t)> fn) {
     if (count == 0) return;
     if (threads_.empty()) {
         for (std::size_t i = 0; i < count; ++i) fn(i);
         return;
     }
+    if (count > std::numeric_limits<std::uint32_t>::max()) {
+        throw std::invalid_argument("parallel_for: count exceeds the packed-range limit");
+    }
+
     {
         std::lock_guard lock(mutex_);
-        task_.fn = &fn;
-        task_.count = count;
-        task_.next = 0;
-        task_.done = 0;
-        task_.error = nullptr;
-        task_.active = true;
+        error_ = nullptr;
+    }
+    done_.store(0, std::memory_order_relaxed);
+    count_.store(count, std::memory_order_relaxed);
+    fn_.store(&fn, std::memory_order_relaxed);
+
+    // Static partition into one contiguous range per participant; the
+    // release stores publish the task state above to anyone whose
+    // take/steal CAS acquires the slot.
+    const std::size_t participants = slots_.size();
+    const std::size_t base = count / participants;
+    const std::size_t rem = count % participants;
+    std::size_t next = 0;
+    for (std::size_t p = 0; p < participants; ++p) {
+        const std::size_t len = base + (p < rem ? 1 : 0);
+        slots_[p].range.store(pack(static_cast<std::uint32_t>(next),
+                                   static_cast<std::uint32_t>(next + len)),
+                              std::memory_order_release);
+        next += len;
+    }
+    {
+        std::lock_guard lock(mutex_);
+        ++generation_;
     }
     work_cv_.notify_all();
-    // The caller participates in the work too.
-    for (;;) {
-        std::size_t i;
-        {
-            std::lock_guard lock(mutex_);
-            if (task_.next >= task_.count) break;
-            i = task_.next++;
-        }
-        try {
-            fn(i);
-        } catch (...) {
-            std::lock_guard lock(mutex_);
-            if (!task_.error) task_.error = std::current_exception();
-        }
-        {
-            std::lock_guard lock(mutex_);
-            ++task_.done;
-        }
-    }
+
+    // The caller participates with the last slot.
+    run_work(participants - 1);
+
     std::unique_lock lock(mutex_);
-    done_cv_.wait(lock, [this] { return task_.done == task_.count; });
-    task_.active = false;
-    if (task_.error) std::rethrow_exception(task_.error);
+    done_cv_.wait(lock, [&] { return done_.load(std::memory_order_acquire) == count; });
+    if (error_) {
+        std::exception_ptr e = error_;
+        error_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(e);
+    }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::record_error() noexcept {
+    std::lock_guard lock(mutex_);
+    if (!error_) error_ = std::current_exception();
+}
+
+void ThreadPool::run_work(std::size_t self) {
+    const std::size_t participants = slots_.size();
     for (;;) {
-        std::size_t i;
-        const std::function<void(std::size_t)>* fn;
+        std::size_t begin = 0;
+        std::size_t end = 0;
+        bool got = false;
+
+        // Own range first: take a chunk off the front (a quarter of what
+        // remains, so early chunks are large and the tail self-balances).
+        {
+            Slot& s = slots_[self];
+            std::uint64_t r = s.range.load(std::memory_order_acquire);
+            while (cursor_of(r) < end_of(r)) {
+                const std::uint32_t cur = cursor_of(r);
+                const std::uint32_t e = end_of(r);
+                const std::uint32_t c = std::max<std::uint32_t>(1, (e - cur) / 4);
+                if (s.range.compare_exchange_weak(r, pack(cur + c, e),
+                                                  std::memory_order_acq_rel,
+                                                  std::memory_order_acquire)) {
+                    begin = cur;
+                    end = cur + c;
+                    got = true;
+                    break;
+                }
+            }
+        }
+
+        // Otherwise steal the back half of the first non-empty range.
+        if (!got) {
+            for (std::size_t k = 1; k < participants && !got; ++k) {
+                Slot& s = slots_[(self + k) % participants];
+                std::uint64_t r = s.range.load(std::memory_order_acquire);
+                while (cursor_of(r) < end_of(r)) {
+                    const std::uint32_t cur = cursor_of(r);
+                    const std::uint32_t e = end_of(r);
+                    const std::uint32_t c = (e - cur + 1) / 2;
+                    if (s.range.compare_exchange_weak(r, pack(cur, e - c),
+                                                      std::memory_order_acq_rel,
+                                                      std::memory_order_acquire)) {
+                        begin = e - c;
+                        end = e;
+                        got = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if (!got) return;
+
+        // Load fn AFTER the successful take: the slot's release store
+        // happened after the fn/count stores of its generation, so a
+        // participant that raced into the next task calls the right one.
+        const auto* fn = fn_.load(std::memory_order_acquire);
+        try {
+            for (std::size_t i = begin; i < end; ++i) (*fn)(i);
+        } catch (...) {
+            record_error();
+        }
+        const std::size_t chunk = end - begin;
+        if (done_.fetch_add(chunk, std::memory_order_acq_rel) + chunk ==
+            count_.load(std::memory_order_relaxed)) {
+            std::lock_guard lock(mutex_);
+            done_cv_.notify_all();
+        }
+    }
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+    std::uint64_t seen = 0;
+    for (;;) {
         {
             std::unique_lock lock(mutex_);
-            work_cv_.wait(lock, [this] { return stop_ || (task_.active && task_.next < task_.count); });
+            work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
             if (stop_) return;
-            i = task_.next++;
-            fn = task_.fn;
+            seen = generation_;
         }
-        try {
-            (*fn)(i);
-        } catch (...) {
-            std::lock_guard lock(mutex_);
-            if (!task_.error) task_.error = std::current_exception();
-        }
-        {
-            std::lock_guard lock(mutex_);
-            if (++task_.done == task_.count) done_cv_.notify_all();
-        }
+        run_work(self);
     }
 }
 

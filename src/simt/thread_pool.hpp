@@ -1,19 +1,33 @@
 #pragma once
-// Minimal host thread pool used to execute simulated thread blocks in
-// parallel.  Blocks are independent by construction (they communicate only
-// through global-memory atomics, which the simulator implements with
-// std::atomic_ref), so a flat parallel_for is all we need.
+// Chunked work-stealing host thread pool used to execute simulated thread
+// blocks in parallel.  Blocks are independent by construction (they
+// communicate only through global-memory atomics, which the simulator
+// implements with std::atomic_ref), so a flat parallel_for is all we need
+// -- but block costs are uneven (grid-stride tails, per-block trees), so
+// static partitioning with stealing beats both a single shared counter
+// (one CAS per block serializes small blocks) and static-only splits.
+//
+// Design: each participant (worker threads + the calling thread) owns a
+// slot holding a packed [cursor, end) index range.  Owners take chunks
+// from the front of their own range; idle participants steal the back half
+// of the largest remaining range.  Both operations are single CAS's on one
+// 64-bit word.  Event-count determinism does not depend on the schedule:
+// per-block KernelCounters are merged in block order by the Device.
 //
 // The pool is optional: with `workers == 0` (the default on single-core
 // hosts) everything runs inline on the calling thread, which keeps unit
 // tests and event-count traces fully deterministic.
 
-#include <cstddef>
-#include <functional>
-#include <mutex>
+#include <atomic>
 #include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "simt/function_ref.hpp"
 
 namespace gpusel::simt {
 
@@ -26,31 +40,55 @@ public:
     ThreadPool(const ThreadPool&) = delete;
     ThreadPool& operator=(const ThreadPool&) = delete;
 
-    [[nodiscard]] unsigned worker_count() const noexcept { return static_cast<unsigned>(threads_.size()); }
+    [[nodiscard]] unsigned worker_count() const noexcept {
+        return static_cast<unsigned>(threads_.size());
+    }
 
-    /// Runs fn(i) for all i in [0, count), distributing chunks over the
-    /// workers; blocks until every invocation finished.  Exceptions from fn
-    /// propagate to the caller (first one wins).
-    void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+    /// Runs fn(i) for all i in [0, count), distributing chunked index
+    /// ranges over the workers (the caller participates); blocks until
+    /// every invocation finished.  Exceptions from fn propagate to the
+    /// caller (first one wins); the remaining indices still execute.
+    void parallel_for(std::size_t count, function_ref<void(std::size_t)> fn);
 
 private:
-    struct Task {
-        const std::function<void(std::size_t)>* fn = nullptr;
-        std::size_t count = 0;
-        std::size_t next = 0;      // guarded by mutex_
-        std::size_t done = 0;      // guarded by mutex_
-        std::exception_ptr error;  // guarded by mutex_
-        bool active = false;
+    /// One participant's index range, packed cursor:32 | end:32 so both
+    /// bounds move under a single CAS.  Padded to its own cache line.
+    struct alignas(64) Slot {
+        std::atomic<std::uint64_t> range{0};
     };
 
-    void worker_loop();
+    static constexpr std::uint64_t pack(std::uint32_t cur, std::uint32_t end) noexcept {
+        return (static_cast<std::uint64_t>(cur) << 32) | end;
+    }
+    static constexpr std::uint32_t cursor_of(std::uint64_t r) noexcept {
+        return static_cast<std::uint32_t>(r >> 32);
+    }
+    static constexpr std::uint32_t end_of(std::uint64_t r) noexcept {
+        return static_cast<std::uint32_t>(r);
+    }
+
+    void worker_loop(std::size_t self);
+    /// Drains work for participant `self`: own chunks first, then steals.
+    void run_work(std::size_t self);
+    void record_error() noexcept;
 
     std::vector<std::thread> threads_;
+    std::vector<Slot> slots_;  ///< one per participant (workers + caller)
+
+    // Published task state.  The slot stores (release) happen after these
+    // writes; a successful take/steal (acquire) therefore sees them.  The
+    // referenced function_ref lives on the caller's stack for the whole
+    // task (parallel_for returns only after the last index completed).
+    std::atomic<const function_ref<void(std::size_t)>*> fn_{nullptr};
+    std::atomic<std::size_t> done_{0};
+    std::atomic<std::size_t> count_{0};
+
     std::mutex mutex_;
     std::condition_variable work_cv_;
     std::condition_variable done_cv_;
-    Task task_;
-    bool stop_ = false;
+    std::uint64_t generation_ = 0;  ///< guarded by mutex_
+    std::exception_ptr error_;      ///< guarded by mutex_
+    bool stop_ = false;             ///< guarded by mutex_
 };
 
 }  // namespace gpusel::simt

@@ -1,0 +1,307 @@
+// Parameterized equivalence tests for the simd lane-vector layer: every
+// vector tier the build + host supports must produce bit-identical results
+// to the scalar reference -- oracles, bucket totals and KernelCounters are
+// part of the simulator's observable contract, so "close" is not enough.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "core/count_kernel.hpp"
+#include "core/sample_kernel.hpp"
+#include "core/searchtree.hpp"
+#include "data/distributions.hpp"
+#include "simt/device.hpp"
+#include "simt/simd.hpp"
+
+namespace {
+
+using namespace gpusel;
+using simt::simd::Level;
+
+/// Random values in [-4, 4) with the float special cases (NaN, +-inf,
+/// +-0) planted so every comparison path is exercised.
+template <typename T>
+std::vector<T> random_values(std::size_t n, std::uint64_t seed, bool specials = true) {
+    std::mt19937 rng(static_cast<std::mt19937::result_type>(seed));
+    std::uniform_real_distribution<T> dist(T(-4), T(4));
+    std::vector<T> v(n);
+    for (auto& x : v) x = dist(rng);
+    if (specials && n >= 8) {
+        v[1] = std::numeric_limits<T>::quiet_NaN();
+        v[3] = std::numeric_limits<T>::infinity();
+        v[5] = -std::numeric_limits<T>::infinity();
+        v[6] = T(-0.0);
+        v[7] = T(0.0);
+    }
+    return v;
+}
+
+/// Runs `fn` once at `lvl` and once at the scalar tier, restoring the
+/// ambient cap afterwards.
+template <typename Fn>
+void at_level(Level lvl, Fn&& fn) {
+    simt::simd::set_level(lvl);
+    fn();
+    simt::simd::set_enabled(true);
+}
+
+class SimdEquivalence : public ::testing::TestWithParam<Level> {
+protected:
+    void SetUp() override {
+        simt::simd::set_level(GetParam());
+        const bool supported = simt::simd::active_level() == GetParam();
+        simt::simd::set_enabled(true);
+        if (!supported) {
+            GTEST_SKIP() << "tier " << simt::simd::level_name(GetParam())
+                         << " not available in this build/host";
+        }
+    }
+    void TearDown() override { simt::simd::set_enabled(true); }
+};
+
+template <typename T>
+void check_traverse(Level lvl) {
+    std::mt19937 rng(7);
+    for (const int height : {1, 2, 3, 4, 5, 6, 8}) {
+        const auto b = std::size_t{1} << height;
+        std::vector<T> splitters = random_values<T>(b - 1, static_cast<std::uint64_t>(100 + height), /*specials=*/false);
+        std::sort(splitters.begin(), splitters.end());
+        const auto tree = core::SearchTree<T>::build(splitters);
+        ASSERT_EQ(tree.leq32.size(), tree.leq.size());
+        for (const int lanes : {1, 3, 17, 31, 32}) {
+            const auto elems = random_values<T>(32, rng());
+            std::int32_t got[32];
+            std::int32_t want[32];
+            at_level(lvl, [&] {
+                simt::simd::traverse_tree(tree.nodes.data(), tree.leq32.data(), tree.height,
+                                          elems.data(), lanes, got);
+            });
+            at_level(Level::scalar, [&] {
+                simt::simd::traverse_tree(tree.nodes.data(), tree.leq32.data(), tree.height,
+                                          elems.data(), lanes, want);
+            });
+            for (int l = 0; l < lanes; ++l) {
+                ASSERT_EQ(got[l], want[l]) << "height=" << height << " lanes=" << lanes
+                                           << " lane=" << l << " elem=" << elems[static_cast<std::size_t>(l)];
+                ASSERT_GE(got[l], 0);
+                ASSERT_LT(got[l], static_cast<std::int32_t>(b));
+            }
+        }
+    }
+}
+
+TEST_P(SimdEquivalence, TraverseTreeFloat) { check_traverse<float>(GetParam()); }
+TEST_P(SimdEquivalence, TraverseTreeDouble) { check_traverse<double>(GetParam()); }
+
+template <typename T>
+void check_partitions(Level lvl) {
+    std::mt19937 rng(11);
+    const T pivots[] = {T(0), T(-0.0), T(1.25), std::numeric_limits<T>::infinity(),
+                        std::numeric_limits<T>::quiet_NaN()};
+    for (const int lanes : {1, 5, 16, 29, 32}) {
+        for (const T pivot : pivots) {
+            const auto elems = random_values<T>(32, rng());
+            std::int32_t tri_got[32], tri_want[32], bi_got[32], bi_want[32];
+            std::uint32_t lt_got, lt_want, eq_got, eq_want;
+            bool plt_got[32], plt_want[32], pgt_got[32], pgt_want[32];
+            at_level(lvl, [&] {
+                simt::simd::tripartition_sides(elems.data(), pivot, lanes, tri_got);
+                simt::simd::bipartition_sides(elems.data(), pivot, lanes, bi_got);
+                lt_got = simt::simd::cmp_lt_mask(elems.data(), pivot, lanes);
+                eq_got = simt::simd::cmp_eq_mask(elems.data(), pivot, lanes);
+                simt::simd::pred_lt(elems.data(), pivot, lanes, plt_got);
+                simt::simd::pred_gt(elems.data(), pivot, lanes, pgt_got);
+            });
+            at_level(Level::scalar, [&] {
+                simt::simd::tripartition_sides(elems.data(), pivot, lanes, tri_want);
+                simt::simd::bipartition_sides(elems.data(), pivot, lanes, bi_want);
+                lt_want = simt::simd::cmp_lt_mask(elems.data(), pivot, lanes);
+                eq_want = simt::simd::cmp_eq_mask(elems.data(), pivot, lanes);
+                simt::simd::pred_lt(elems.data(), pivot, lanes, plt_want);
+                simt::simd::pred_gt(elems.data(), pivot, lanes, pgt_want);
+            });
+            EXPECT_EQ(lt_got, lt_want) << "pivot=" << pivot << " lanes=" << lanes;
+            EXPECT_EQ(eq_got, eq_want) << "pivot=" << pivot << " lanes=" << lanes;
+            for (int l = 0; l < lanes; ++l) {
+                ASSERT_EQ(tri_got[l], tri_want[l]) << "lane " << l << " pivot " << pivot;
+                ASSERT_EQ(bi_got[l], bi_want[l]) << "lane " << l << " pivot " << pivot;
+                ASSERT_EQ(plt_got[l], plt_want[l]) << "lane " << l << " pivot " << pivot;
+                ASSERT_EQ(pgt_got[l], pgt_want[l]) << "lane " << l << " pivot " << pivot;
+            }
+        }
+    }
+}
+
+TEST_P(SimdEquivalence, PartitionsAndMasksFloat) { check_partitions<float>(GetParam()); }
+TEST_P(SimdEquivalence, PartitionsAndMasksDouble) { check_partitions<double>(GetParam()); }
+
+TEST_P(SimdEquivalence, GatherBlendPack) {
+    std::mt19937 rng(13);
+    const auto table = random_values<float>(64, rng());
+    const auto a = random_values<float>(32, rng());
+    const auto b = random_values<float>(32, rng());
+    std::vector<std::int32_t> idx(32);
+    for (auto& i : idx) i = static_cast<std::int32_t>(rng() % 64);
+    std::vector<std::int32_t> bytes(32);
+    for (auto& v : bytes) v = static_cast<std::int32_t>(rng() % 256);
+    for (const int lanes : {1, 9, 24, 32}) {
+        const auto take_b = static_cast<std::uint32_t>(rng());
+        float g_got[32], g_want[32], bl_got[32], bl_want[32];
+        std::uint8_t p_got[32], p_want[32];
+        at_level(GetParam(), [&] {
+            simt::simd::gather(table.data(), idx.data(), lanes, g_got);
+            simt::simd::blend(a.data(), b.data(), take_b, lanes, bl_got);
+            simt::simd::pack_low_bytes(bytes.data(), lanes, p_got);
+        });
+        at_level(Level::scalar, [&] {
+            simt::simd::gather(table.data(), idx.data(), lanes, g_want);
+            simt::simd::blend(a.data(), b.data(), take_b, lanes, bl_want);
+            simt::simd::pack_low_bytes(bytes.data(), lanes, p_want);
+        });
+        EXPECT_EQ(std::memcmp(g_got, g_want, sizeof(float) * static_cast<std::size_t>(lanes)), 0);
+        EXPECT_EQ(std::memcmp(bl_got, bl_want, sizeof(float) * static_cast<std::size_t>(lanes)), 0);
+        EXPECT_EQ(std::memcmp(p_got, p_want, static_cast<std::size_t>(lanes)), 0);
+    }
+}
+
+template <typename T>
+void check_bitonic(Level lvl) {
+    std::mt19937 rng(17);
+    for (const std::size_t m : {std::size_t{32}, std::size_t{64}, std::size_t{256}}) {
+        auto ref = random_values<T>(m, rng());
+        auto vec = ref;
+        for (std::size_t k = 2; k <= m; k *= 2) {
+            for (std::size_t j = k / 2; j >= 1; j /= 2) {
+                at_level(lvl, [&] { simt::simd::bitonic_step(vec.data(), m, j, k); });
+                at_level(Level::scalar, [&] { simt::simd::bitonic_step(ref.data(), m, j, k); });
+                // Bit-exact after every single network step, NaNs included.
+                ASSERT_EQ(std::memcmp(vec.data(), ref.data(), m * sizeof(T)), 0)
+                    << "m=" << m << " k=" << k << " j=" << j;
+            }
+        }
+    }
+}
+
+TEST_P(SimdEquivalence, BitonicNetworkFloat) { check_bitonic<float>(GetParam()); }
+TEST_P(SimdEquivalence, BitonicNetworkDouble) { check_bitonic<double>(GetParam()); }
+
+TEST_P(SimdEquivalence, HistogramAccumulate) {
+    std::mt19937 rng(19);
+    for (const std::size_t bins : {std::size_t{2}, std::size_t{256}, std::size_t{1024}}) {
+        for (const int lanes : {1, 7, 32}) {
+            std::vector<std::int32_t> bucket(static_cast<std::size_t>(lanes));
+            for (auto& b : bucket) b = static_cast<std::int32_t>(rng() % bins);
+            std::vector<std::int32_t> got(bins, 0);
+            std::vector<std::int32_t> want(bins, 0);
+            int d_got = 0;
+            int d_want = 0;
+            at_level(GetParam(), [&] {
+                d_got = simt::simd::histogram_accumulate(got.data(), bins, bucket.data(), 1,
+                                                         lanes);
+            });
+            at_level(Level::scalar, [&] {
+                d_want = simt::simd::histogram_accumulate(want.data(), bins, bucket.data(), 1,
+                                                          lanes);
+            });
+            EXPECT_EQ(d_got, d_want);
+            EXPECT_EQ(got, want);
+        }
+    }
+}
+
+/// Full count-kernel pipeline: oracles, per-block bucket counts and the
+/// exact KernelCounters must match the scalar tier across distributions
+/// and both atomic strategies.
+struct CountRun {
+    std::vector<std::uint8_t> oracles;
+    std::vector<std::int32_t> block_counts;
+    simt::KernelCounters totals;
+};
+
+CountRun run_count(const std::vector<float>& data, bool warp_agg) {
+    simt::Device dev(simt::arch_v100(), {.record_profiles = false});
+    core::SampleSelectConfig cfg;
+    cfg.warp_aggregation = warp_agg;
+    const auto tree =
+        core::sample_splitters<float>(dev, data, cfg, simt::LaunchOrigin::host);
+    auto oracles = dev.alloc<std::uint8_t>(data.size());
+    auto totals = dev.alloc<std::int32_t>(static_cast<std::size_t>(tree.num_buckets));
+    const int grid = simt::suggest_grid(dev.arch(), data.size(), cfg.block_dim, cfg.unroll);
+    auto block_counts = dev.alloc<std::int32_t>(static_cast<std::size_t>(grid) *
+                                                static_cast<std::size_t>(tree.num_buckets));
+    core::count_kernel<float>(dev, data, tree, oracles.span(), totals.span(),
+                              block_counts.span(), cfg, simt::LaunchOrigin::host);
+    return {{oracles.span().begin(), oracles.span().end()},
+            {block_counts.span().begin(), block_counts.span().end()},
+            dev.counter_totals()};
+}
+
+TEST_P(SimdEquivalence, CountKernelPipeline) {
+    const data::Distribution dists[] = {
+        data::Distribution::uniform_real, data::Distribution::uniform_distinct,
+        data::Distribution::normal, data::Distribution::sorted_ascending};
+    for (const auto dist : dists) {
+        const auto data =
+            data::generate<float>({.n = 1 << 14, .dist = dist, .distinct_values = 64, .seed = 5});
+        for (const bool agg : {false, true}) {
+            CountRun got, want;
+            at_level(GetParam(), [&] { got = run_count(data, agg); });
+            at_level(Level::scalar, [&] { want = run_count(data, agg); });
+            EXPECT_EQ(got.oracles, want.oracles)
+                << "dist=" << static_cast<int>(dist) << " agg=" << agg;
+            EXPECT_EQ(got.block_counts, want.block_counts)
+                << "dist=" << static_cast<int>(dist) << " agg=" << agg;
+            EXPECT_EQ(got.totals, want.totals)
+                << "dist=" << static_cast<int>(dist) << " agg=" << agg;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tiers, SimdEquivalence,
+                         ::testing::Values(Level::scalar, Level::sse2, Level::avx2,
+                                           Level::avx512),
+                         [](const ::testing::TestParamInfo<Level>& pinfo) {
+                             return simt::simd::level_name(pinfo.param);
+                         });
+
+/// The parallel block scheduler must not change any observable event
+/// count: per-block counters are merged in block order regardless of which
+/// host thread ran the block.
+TEST(SimdWorkers, ParallelMatchesInline) {
+    const auto data = data::generate<float>(
+        {.n = 1 << 15, .dist = data::Distribution::uniform_real, .seed = 23});
+    auto run = [&](unsigned workers, bool agg) {
+        simt::Device dev(simt::arch_v100(),
+                         {.host_workers = workers, .record_profiles = false});
+        core::SampleSelectConfig cfg;
+        cfg.warp_aggregation = agg;
+        const auto tree =
+            core::sample_splitters<float>(dev, data, cfg, simt::LaunchOrigin::host);
+        auto oracles = dev.alloc<std::uint8_t>(data.size());
+        auto totals = dev.alloc<std::int32_t>(static_cast<std::size_t>(tree.num_buckets));
+        const int grid =
+            simt::suggest_grid(dev.arch(), data.size(), cfg.block_dim, cfg.unroll);
+        auto block_counts = dev.alloc<std::int32_t>(
+            static_cast<std::size_t>(grid) * static_cast<std::size_t>(tree.num_buckets));
+        core::count_kernel<float>(dev, data, tree, oracles.span(), totals.span(),
+                                  block_counts.span(), cfg, simt::LaunchOrigin::host);
+        return std::pair{std::vector<std::uint8_t>(oracles.span().begin(), oracles.span().end()),
+                         dev.counter_totals()};
+    };
+    for (const bool agg : {false, true}) {
+        const auto [oracles0, totals0] = run(0, agg);
+        for (const unsigned workers : {1u, 3u, 7u}) {
+            const auto [oraclesN, totalsN] = run(workers, agg);
+            EXPECT_EQ(oraclesN, oracles0) << "workers=" << workers << " agg=" << agg;
+            EXPECT_EQ(totalsN, totals0) << "workers=" << workers << " agg=" << agg;
+        }
+    }
+}
+
+}  // namespace
