@@ -51,15 +51,58 @@ void BM_SampleSelectEndToEnd(benchmark::State& state) {
     const auto n = static_cast<std::size_t>(state.range(0));
     const auto data = data::generate<float>(
         {.n = n, .dist = data::Distribution::uniform_real, .seed = 2});
+    std::uint64_t allocs = 0;
+    std::uint64_t reuses = 0;
+    std::size_t aux_bytes = 0;
     for (auto _ : state) {
         simt::Device dev(simt::arch_v100(), {.record_profiles = false});
         auto res = core::sample_select<float>(dev, data, n / 2, {});
         benchmark::DoNotOptimize(res.value);
+        allocs += dev.tracker().alloc_count();
+        reuses += dev.tracker().reuse_count();
+        aux_bytes = res.aux_bytes;
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                             static_cast<std::int64_t>(n));
+    const auto iters = static_cast<double>(state.iterations());
+    state.counters["allocs_per_iter"] = static_cast<double>(allocs) / iters;
+    state.counters["reuses_per_iter"] = static_cast<double>(reuses) / iters;
+    state.counters["peak_aux_bytes"] = static_cast<double>(aux_bytes);
 }
 BENCHMARK(BM_SampleSelectEndToEnd)->Arg(1 << 16)->Arg(1 << 18);
+
+// Same workload with the device -- and therefore the memory pool -- hoisted
+// out of the loop: every selection after the first draws its scratch from
+// the arena's free lists, so allocs_per_iter collapses (the pool's value
+// proposition) while the simulated event stream stays identical.
+void BM_SampleSelectWarmPool(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto data = data::generate<float>(
+        {.n = n, .dist = data::Distribution::uniform_real, .seed = 2});
+    simt::Device dev(simt::arch_v100(), {.record_profiles = false});
+    {
+        // Warm the size classes once outside the timed region.
+        auto warm = core::sample_select<float>(dev, data, n / 2, {});
+        benchmark::DoNotOptimize(warm.value);
+    }
+    const std::uint64_t a0 = dev.tracker().alloc_count();
+    const std::uint64_t r0 = dev.tracker().reuse_count();
+    std::size_t aux_bytes = 0;
+    for (auto _ : state) {
+        auto res = core::sample_select<float>(dev, data, n / 2, {});
+        benchmark::DoNotOptimize(res.value);
+        aux_bytes = res.aux_bytes;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+    const auto iters = static_cast<double>(state.iterations());
+    state.counters["allocs_per_iter"] =
+        static_cast<double>(dev.tracker().alloc_count() - a0) / iters;
+    state.counters["reuses_per_iter"] =
+        static_cast<double>(dev.tracker().reuse_count() - r0) / iters;
+    state.counters["peak_aux_bytes"] = static_cast<double>(aux_bytes);
+}
+BENCHMARK(BM_SampleSelectWarmPool)->Arg(1 << 16)->Arg(1 << 18);
 
 void BM_QuickSelectEndToEnd(benchmark::State& state) {
     const auto n = static_cast<std::size_t>(state.range(0));

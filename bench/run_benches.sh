@@ -38,13 +38,22 @@ echo "running ${bench_bin} -> ${out_json}"
         --benchmark_min_time=1 >/dev/null
 }
 
-# One-line summary of the headline counter (items/sec per benchmark).
+# One-line summary per benchmark: items/sec plus, where the benchmark
+# records them, the memory-pool counters (backing allocations and pool
+# reuses per iteration, tracker peak_above_baseline in bytes).  All
+# counters also land verbatim in the JSON for regression tooling.
 python3 - "${out_json}" <<'PY'
 import json, sys
 doc = json.load(open(sys.argv[1]))
 for b in doc.get("benchmarks", []):
     ips = b.get("items_per_second")
-    if ips is not None:
-        print(f'{b["name"]:40s} {ips / 1e6:10.1f} M items/s')
+    if ips is None:
+        continue
+    line = f'{b["name"]:40s} {ips / 1e6:10.1f} M items/s'
+    if "allocs_per_iter" in b:
+        line += (f'  allocs/iter={b["allocs_per_iter"]:6.1f}'
+                 f'  reuses/iter={b.get("reuses_per_iter", 0.0):6.1f}'
+                 f'  peak_aux={int(b.get("peak_aux_bytes", 0))}B')
+    print(line)
 PY
 echo "wrote ${out_json}"

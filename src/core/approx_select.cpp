@@ -3,10 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "core/count_kernel.hpp"
-#include "core/reduce_kernel.hpp"
-#include "core/sample_kernel.hpp"
-#include "simt/timing.hpp"
+#include "core/pipeline.hpp"
 
 namespace gpusel::core {
 
@@ -21,32 +18,19 @@ ApproxMultiResult<T> approx_multi_select(simt::Device& dev, std::span<const T> i
         if (n == 0 || r >= n) throw std::out_of_range("rank out of range");
     }
     const auto b = static_cast<std::size_t>(cfg.num_buckets);
-    const bool shared_mode = cfg.atomic_space == simt::AtomicSpace::shared;
     const auto origin = simt::LaunchOrigin::host;
 
     const double t0 = dev.elapsed_ns();
     const std::uint64_t l0 = dev.launch_count();
 
-    const SearchTree<T> tree = sample_splitters<T>(dev, input, cfg, origin);
-
-    auto totals = dev.alloc<std::int32_t>(b);
-    const int grid = simt::suggest_grid(dev.arch(), n, cfg.block_dim, cfg.unroll);
-    simt::DeviceBuffer<std::int32_t> block_counts;
-    if (shared_mode) {
-        block_counts = dev.alloc<std::int32_t>(static_cast<std::size_t>(grid) * b);
-    } else {
-        launch_memset32(dev, totals.span(), origin, cfg.stream);
-    }
-    // No oracle write: the single-level variant never filters.
-    count_kernel<T>(dev, input, tree, /*oracles=*/{}, totals.span(), block_counts.span(), cfg,
-                    origin);
-    if (shared_mode) {
-        reduce_kernel(dev, block_counts.span(), grid, cfg.num_buckets, totals.span(),
-                      /*keep_block_offsets=*/false, origin, cfg.block_dim, cfg.stream);
-    }
-    auto prefix = dev.alloc<std::int32_t>(b + 1);
-    (void)select_bucket_kernel(dev, totals.span(), prefix.span(), ranks.front(), origin,
-                               cfg.stream);
+    // Single count-only level: no oracle write (this variant never
+    // filters), no per-block offsets kept.
+    PipelineContext ctx(dev, cfg);
+    const auto lv = run_bucket_level<T>(
+        ctx, input, ranks.front(), origin, /*salt=*/0,
+        {.write_oracles = false, .keep_block_offsets = false, .locate = true});
+    const auto totals = lv.totals_span();
+    const auto prefix = lv.prefix_span();
 
     std::size_t max_bucket = 0;
     for (std::size_t i = 0; i < b; ++i) {
@@ -70,7 +54,7 @@ ApproxMultiResult<T> approx_multi_select(simt::Device& dev, std::span<const T> i
             }
         }
         auto& p = res.points[q];
-        p.value = tree.splitters[best - 1];
+        p.value = lv.tree.splitters[best - 1];
         p.splitter_rank = static_cast<std::size_t>(prefix[best]);
         p.rank_error = best_err;
         p.max_bucket = max_bucket;
@@ -95,8 +79,8 @@ ApproxResult<T> approx_select_device(simt::Device& dev, std::span<const T> data,
 template <typename T>
 ApproxResult<T> approx_select(simt::Device& dev, std::span<const T> input, std::size_t rank,
                               const SampleSelectConfig& cfg) {
-    auto buf = dev.alloc<T>(input.size());
-    std::copy(input.begin(), input.end(), buf.data());
+    PipelineContext ctx(dev, cfg);
+    auto buf = DataHolder<T>::stage(ctx, input);
     return approx_select_device<T>(dev, buf.span(), rank, cfg);
 }
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "bitonic/bitonic.hpp"
+#include "core/pipeline.hpp"
 #include "core/sample_select.hpp"
 #include "simt/timing.hpp"
 
@@ -70,9 +71,9 @@ BatchedSelectResult<T> batched_select(simt::Device& dev, std::span<const T> flat
 
     // Copy the batch to the device (as elsewhere, the transfer is not part
     // of the timed selection).
-    auto dflat = dev.alloc<T>(flat.size());
-    std::copy(flat.begin(), flat.end(), dflat.data());
-    auto dout = dev.alloc<T>(m);
+    PipelineContext ctx(dev, cfg);
+    auto dflat = DataHolder<T>::stage(ctx, flat);
+    auto dout = ctx.scratch<T>(m);
 
     BatchedSelectResult<T> res;
     res.values.resize(m);
@@ -98,17 +99,22 @@ BatchedSelectResult<T> batched_select(simt::Device& dev, std::span<const T> flat
     }
 
     if (!sb.empty()) {
-        batched_kernel<T>(dev, std::span<const T>(dflat.span()), sb, sl, sr, dout.span(), slot,
-                          cfg.block_dim);
+        batched_kernel<T>(dev, dflat.span(), sb, sl, sr, dout.span(), slot, cfg.block_dim);
         for (std::size_t j = 0; j < slot.size(); ++j) res.values[slot[j]] = dout[slot[j]];
     }
     res.batched_sequences = sb.size();
 
+    // Oversized sequences run the full recursive pipeline on their own
+    // pooled staging buffer; each releases it back to the arena, so one
+    // block (per size class) serves the whole batch.
     for (const std::size_t i : long_seqs) {
         const std::size_t len = offsets[i + 1] - offsets[i];
-        auto seq = dev.alloc<T>(len);
-        std::copy(dflat.data() + offsets[i], dflat.data() + offsets[i + 1], seq.data());
-        res.values[i] = sample_select_device<T>(dev, std::move(seq), ranks[i], cfg).value;
+        auto seq = DataHolder<T>::acquire(ctx, len);
+        const auto src = dflat.span();
+        std::copy(src.begin() + static_cast<std::ptrdiff_t>(offsets[i]),
+                  src.begin() + static_cast<std::ptrdiff_t>(offsets[i + 1]),
+                  seq.span().begin());
+        res.values[i] = sample_select_staged<T>(dev, std::move(seq), ranks[i], cfg).value;
     }
     res.recursive_sequences = long_seqs.size();
 

@@ -2,9 +2,7 @@
 
 #include <stdexcept>
 
-#include "core/count_kernel.hpp"
-#include "core/reduce_kernel.hpp"
-#include "core/sample_kernel.hpp"
+#include "core/pipeline.hpp"
 #include "simt/scan.hpp"
 #include "simt/timing.hpp"
 
@@ -17,7 +15,6 @@ EquiDepthHistogram<T> equi_depth_histogram(simt::Device& dev, std::span<const T>
     const std::size_t n = data.size();
     if (n == 0) throw std::invalid_argument("histogram of an empty dataset");
     const auto b = static_cast<std::size_t>(cfg.num_buckets);
-    const bool shared_mode = cfg.atomic_space == simt::AtomicSpace::shared;
     const auto origin = simt::LaunchOrigin::host;
 
     EquiDepthHistogram<T> h;
@@ -25,28 +22,19 @@ EquiDepthHistogram<T> equi_depth_histogram(simt::Device& dev, std::span<const T>
     const double t0 = dev.elapsed_ns();
     const std::uint64_t l0 = dev.launch_count();
 
-    h.tree = sample_splitters<T>(dev, data, cfg, origin);
+    // Count-only pipeline level: no oracles, no per-block offsets, and no
+    // select-bucket (there is no rank to locate).
+    PipelineContext ctx(dev, cfg);
+    const auto lv = run_bucket_level<T>(
+        ctx, data, /*rank=*/0, origin, /*salt=*/0,
+        {.write_oracles = false, .keep_block_offsets = false, .locate = false});
+    h.tree = lv.tree;
     h.boundaries = h.tree.splitters;
-
-    auto totals = dev.alloc<std::int32_t>(b);
-    const int grid = simt::suggest_grid(dev.arch(), n, cfg.block_dim, cfg.unroll);
-    simt::DeviceBuffer<std::int32_t> block_counts;
-    if (shared_mode) {
-        block_counts = dev.alloc<std::int32_t>(static_cast<std::size_t>(grid) * b);
-    } else {
-        launch_memset32(dev, totals.span(), origin, cfg.stream);
-    }
-    count_kernel<T>(dev, data, h.tree, /*oracles=*/{}, totals.span(), block_counts.span(), cfg,
-                    origin);
-    if (shared_mode) {
-        reduce_kernel(dev, block_counts.span(), grid, cfg.num_buckets, totals.span(),
-                      /*keep_block_offsets=*/false, origin, cfg.block_dim, cfg.stream);
-    }
+    const auto totals = lv.totals_span();
 
     // Cumulative counts via the device scan substrate.
-    auto prefix = dev.alloc<std::int32_t>(b);
-    simt::exclusive_scan_i32(dev, totals.span(), prefix.span(), origin, cfg.block_dim,
-                             cfg.stream);
+    auto prefix = ctx.scratch<std::int32_t>(b);
+    simt::exclusive_scan_i32(dev, totals, prefix.span(), origin, cfg.block_dim, cfg.stream);
 
     h.counts.resize(b);
     h.cumulative.resize(b + 1);
@@ -70,8 +58,8 @@ RankQueryResult<T> rank_of(simt::Device& dev, std::span<const T> data, T v,
     if (n == 0) return res;
 
     // Tripartition histogram {smaller, equal, larger(, pad)}.
-    auto totals = dev.alloc<std::int32_t>(4);
-    launch_memset32(dev, totals.span(), simt::LaunchOrigin::host, cfg.stream);
+    PipelineContext ctx(dev, cfg);
+    auto totals = ctx.zeroed_i32(4, simt::LaunchOrigin::host);
     const int grid = simt::suggest_grid(dev.arch(), n, cfg.block_dim, cfg.unroll);
     dev.launch("rank_count",
                {.grid_dim = grid, .block_dim = cfg.block_dim,

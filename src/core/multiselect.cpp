@@ -4,12 +4,7 @@
 #include <map>
 #include <stdexcept>
 
-#include "bitonic/bitonic.hpp"
-#include "core/count_kernel.hpp"
-#include "core/filter_kernel.hpp"
-#include "core/reduce_kernel.hpp"
-#include "core/sample_kernel.hpp"
-#include "simt/timing.hpp"
+#include "core/pipeline.hpp"
 
 namespace gpusel::core {
 
@@ -21,40 +16,30 @@ struct Target {
     std::size_t out_slot;
 };
 
+/// Tree descent: one bucketing level shared by all targets in `buf`, then
+/// recursion per populated bucket.  Unlike the linear sample_select
+/// descent, children branch, so each child gets its own pooled holder
+/// (released back to the pool when its subtree is done) instead of the
+/// two-buffer ping-pong.
 template <typename T>
-void solve(simt::Device& dev, simt::DeviceBuffer<T> buf, std::vector<Target> targets,
-           const SampleSelectConfig& cfg, std::size_t depth, MultiSelectResult<T>& res) {
+void solve(const PipelineContext& ctx, DataHolder<T> buf, std::vector<Target> targets,
+           std::size_t depth, MultiSelectResult<T>& res) {
+    const SampleSelectConfig& cfg = ctx.cfg();
     const std::size_t n = buf.size();
     res.max_depth = std::max(res.max_depth, depth);
     const auto origin = depth == 0 ? simt::LaunchOrigin::host : simt::LaunchOrigin::device;
 
     if (n <= cfg.base_case_size) {
-        bitonic::sort_on_device<T>(dev, buf.span(), n, origin, cfg.block_dim);
-        for (const Target& t : targets) res.values[t.out_slot] = buf[t.rank];
+        sort_base_case<T>(ctx, buf.span(), origin);
+        for (const Target& t : targets) res.values[t.out_slot] = buf.span()[t.rank];
         return;
     }
 
+    const auto lv =
+        run_bucket_level<T>(ctx, buf.span(), targets.front().rank, origin, depth * 977);
     const auto b = static_cast<std::size_t>(cfg.num_buckets);
-    const bool shared_mode = cfg.atomic_space == simt::AtomicSpace::shared;
-
-    const SearchTree<T> tree = sample_splitters<T>(dev, buf.span(), cfg, origin, depth * 977);
-    auto oracles = dev.alloc<std::uint8_t>(n);
-    auto totals = dev.alloc<std::int32_t>(b);
-    const int grid = simt::suggest_grid(dev.arch(), n, cfg.block_dim, cfg.unroll);
-    simt::DeviceBuffer<std::int32_t> block_counts;
-    if (shared_mode) {
-        block_counts = dev.alloc<std::int32_t>(static_cast<std::size_t>(grid) * b);
-    } else {
-        launch_memset32(dev, totals.span(), origin);
-    }
-    count_kernel<T>(dev, buf.span(), tree, oracles.span(), totals.span(), block_counts.span(),
-                    cfg, origin);
-    if (shared_mode) {
-        reduce_kernel(dev, block_counts.span(), grid, cfg.num_buckets, totals.span(),
-                      /*keep_block_offsets=*/true, origin, cfg.block_dim);
-    }
-    auto prefix = dev.alloc<std::int32_t>(b + 1);
-    (void)select_bucket_kernel(dev, totals.span(), prefix.span(), targets.front().rank, origin);
+    const auto prefix = lv.prefix_span();
+    const auto totals = lv.totals_span();
 
     // Group target ranks by bucket.
     std::map<std::int32_t, std::vector<Target>> by_bucket;
@@ -72,8 +57,9 @@ void solve(simt::Device& dev, simt::DeviceBuffer<T> buf, std::vector<Target> tar
 
     for (auto& [bucket, sub] : by_bucket) {
         const auto ub = static_cast<std::size_t>(bucket);
-        if (tree.equality[ub]) {
-            for (const Target& t : sub) res.values[t.out_slot] = tree.splitters[ub - 1];
+        if (lv.tree.equality[ub]) {
+            const T v = lv.equality_value(bucket);
+            for (const Target& t : sub) res.values[t.out_slot] = v;
             continue;
         }
         const auto bucket_size = static_cast<std::size_t>(totals[ub]);
@@ -82,15 +68,9 @@ void solve(simt::Device& dev, simt::DeviceBuffer<T> buf, std::vector<Target> tar
             // different salt by recursing on a copy (bounded by depth cap).
             if (depth > 64) throw std::runtime_error("multi_select: no partition progress");
         }
-        auto out = dev.alloc<T>(bucket_size);
-        simt::DeviceBuffer<std::int32_t> cursor;
-        if (!shared_mode) {
-            cursor = dev.alloc<std::int32_t>(1);
-            launch_memset32(dev, cursor.span(), origin);
-        }
-        filter_kernel<T>(dev, buf.span(), oracles.span(), bucket, out.span(), block_counts.span(),
-                         cfg.num_buckets, cursor.span(), cfg, origin, grid);
-        solve(dev, std::move(out), std::move(sub), cfg, depth + 1, res);
+        auto child = DataHolder<T>::acquire(ctx, bucket_size);
+        filter_bucket<T>(ctx, buf.span(), lv, bucket, child.span(), origin);
+        solve(ctx, std::move(child), std::move(sub), depth + 1, res);
     }
 }
 
@@ -107,8 +87,8 @@ MultiSelectResult<T> multi_select(simt::Device& dev, std::span<const T> input,
         if (r >= n) throw std::out_of_range("rank out of range");
     }
 
-    auto buf = dev.alloc<T>(n);
-    std::copy(input.begin(), input.end(), buf.data());
+    PipelineContext ctx(dev, cfg);
+    auto buf = DataHolder<T>::stage(ctx, input);
 
     MultiSelectResult<T> res;
     res.values.resize(ranks.size());
@@ -117,7 +97,7 @@ MultiSelectResult<T> multi_select(simt::Device& dev, std::span<const T> input,
 
     const double t0 = dev.elapsed_ns();
     const std::uint64_t l0 = dev.launch_count();
-    solve(dev, std::move(buf), std::move(targets), cfg, 0, res);
+    solve(ctx, std::move(buf), std::move(targets), 0, res);
     res.sim_ns = dev.elapsed_ns() - t0;
     res.launches = dev.launch_count() - l0;
     return res;

@@ -1,0 +1,167 @@
+#include "core/pipeline.hpp"
+
+#include <stdexcept>
+
+#include "bitonic/bitonic.hpp"
+#include "core/count_kernel.hpp"
+#include "core/filter_kernel.hpp"
+#include "core/reduce_kernel.hpp"
+#include "core/sample_kernel.hpp"
+#include "simt/timing.hpp"
+
+namespace gpusel::core {
+
+PipelinePlan PipelinePlan::make(const simt::Device& dev, std::size_t n,
+                                const SampleSelectConfig& cfg, bool write_oracles) {
+    PipelinePlan p;
+    p.n = n;
+    p.num_buckets = static_cast<std::size_t>(cfg.num_buckets);
+    p.grid = simt::suggest_grid(dev.arch(), n, cfg.block_dim, cfg.unroll);
+    p.shared_mode = cfg.atomic_space == simt::AtomicSpace::shared;
+    p.write_oracles = write_oracles;
+    return p;
+}
+
+simt::PooledBuffer<std::int32_t> PipelineContext::zeroed_i32(std::size_t n,
+                                                             simt::LaunchOrigin origin) const {
+    auto buf = scratch<std::int32_t>(n);
+    launch_memset32(dev(), buf.span(), origin, cfg().stream);
+    return buf;
+}
+
+template <typename T>
+T LevelOutcome<T>::equality_value(std::int32_t b) const {
+    const auto ub = static_cast<std::size_t>(b);
+    if (b <= 0 || ub >= tree.equality.size() || tree.equality[ub] == 0) {
+        throw std::logic_error(
+            "equality_value: bucket has no left splitter or is not an equality bucket");
+    }
+    return tree.splitters[ub - 1];
+}
+
+template <typename T>
+LevelOutcome<T> run_bucket_level(const PipelineContext& ctx, std::span<const T> data,
+                                 std::size_t rank, simt::LaunchOrigin origin, std::uint64_t salt,
+                                 const LevelOptions& opt) {
+    simt::Device& dev = ctx.dev();
+    const SampleSelectConfig& cfg = ctx.cfg();
+    const std::size_t n = data.size();
+    const PipelinePlan plan = PipelinePlan::make(dev, n, cfg, opt.write_oracles);
+
+    LevelOutcome<T> lv;
+    lv.grid = plan.grid;
+    lv.tree = sample_splitters<T>(dev, data, cfg, origin, salt);
+
+    if (opt.write_oracles) lv.oracles = ctx.scratch<std::uint8_t>(n);
+    lv.totals = ctx.scratch<std::int32_t>(plan.num_buckets);
+    if (plan.shared_mode) {
+        lv.block_counts = ctx.scratch<std::int32_t>(plan.block_counts_len());
+    } else {
+        launch_memset32(dev, lv.totals.span(), origin, cfg.stream);
+    }
+
+    const int used_grid = count_kernel<T>(dev, data, lv.tree, lv.oracles.span(),
+                                          lv.totals.span(), lv.block_counts.span(), cfg, origin);
+    if (used_grid != plan.grid) throw std::logic_error("pipeline: grid sizing mismatch");
+
+    if (plan.shared_mode) {
+        reduce_kernel(dev, lv.block_counts.span(), plan.grid, cfg.num_buckets, lv.totals.span(),
+                      opt.keep_block_offsets, origin, cfg.block_dim, cfg.stream);
+    }
+
+    if (opt.locate) {
+        lv.prefix = ctx.scratch<std::int32_t>(plan.num_buckets + 1);
+        lv.bucket = select_bucket_kernel(dev, lv.totals.span(), lv.prefix.span(), rank, origin,
+                                         cfg.stream);
+        const auto ub = static_cast<std::size_t>(lv.bucket);
+        lv.equality = lv.tree.equality[ub] != 0;
+        lv.bucket_size = static_cast<std::size_t>(lv.totals[ub]);
+        lv.rank_offset = static_cast<std::size_t>(lv.prefix[ub]);
+        lv.rank_above = n - static_cast<std::size_t>(lv.prefix[ub + 1]);
+    }
+    return lv;
+}
+
+template <typename T>
+void filter_bucket(const PipelineContext& ctx, std::span<const T> data, const LevelOutcome<T>& lv,
+                   std::int32_t bucket, std::span<T> out, simt::LaunchOrigin origin) {
+    simt::Device& dev = ctx.dev();
+    const SampleSelectConfig& cfg = ctx.cfg();
+    simt::PooledBuffer<std::int32_t> cursor;
+    if (!ctx.shared_mode()) cursor = ctx.zeroed_i32(1, origin);
+    filter_kernel<T>(dev, data, lv.oracles.span(), bucket, out, lv.block_counts.span(),
+                     cfg.num_buckets, cursor.span(), cfg, origin, lv.grid);
+}
+
+template <typename T>
+void filter_topk(const PipelineContext& ctx, std::span<const T> data, const LevelOutcome<T>& lv,
+                 std::span<T> out, std::span<T> acc, std::int32_t acc_fill,
+                 simt::LaunchOrigin origin) {
+    simt::Device& dev = ctx.dev();
+    const SampleSelectConfig& cfg = ctx.cfg();
+    auto cursors = ctx.scratch<std::int32_t>(2);
+    // Cursor seeding is fused into the controller step in a real
+    // implementation; the two scalar writes are not charged.
+    cursors[0] = 0;
+    cursors[1] = acc_fill;
+    filter_fused_topk_kernel<T>(dev, data, lv.oracles.span(), lv.bucket, out, acc,
+                                lv.block_counts.span(), cfg.num_buckets, cursors.span(), cfg,
+                                origin, lv.grid);
+}
+
+template <typename T>
+void launch_copy(simt::Device& dev, std::span<const T> src, std::size_t src_base,
+                 std::span<T> dst, std::size_t dst_base, std::size_t count,
+                 simt::LaunchOrigin origin, int block_dim, int stream) {
+    if (count == 0) return;
+    const int grid = simt::suggest_grid(dev.arch(), count, block_dim);
+    dev.launch("copy",
+               {.grid_dim = grid, .block_dim = block_dim, .origin = origin, .stream = stream},
+               [=](simt::BlockCtx& blk) {
+                   blk.warp_tiles(count, [&](simt::WarpCtx& w, std::size_t base, std::size_t) {
+                       T regs[simt::kWarpSize];
+                       w.load(src, src_base + base, regs);
+                       w.store(dst, dst_base + base, regs);
+                   });
+               });
+}
+
+template <typename T>
+void sort_base_case(const PipelineContext& ctx, std::span<T> data, simt::LaunchOrigin origin) {
+    bitonic::sort_on_device<T>(ctx.dev(), data, data.size(), origin, ctx.cfg().block_dim,
+                               ctx.cfg().stream);
+}
+
+template struct LevelOutcome<float>;
+template struct LevelOutcome<double>;
+template LevelOutcome<float> run_bucket_level<float>(const PipelineContext&,
+                                                     std::span<const float>, std::size_t,
+                                                     simt::LaunchOrigin, std::uint64_t,
+                                                     const LevelOptions&);
+template LevelOutcome<double> run_bucket_level<double>(const PipelineContext&,
+                                                       std::span<const double>, std::size_t,
+                                                       simt::LaunchOrigin, std::uint64_t,
+                                                       const LevelOptions&);
+template void filter_bucket<float>(const PipelineContext&, std::span<const float>,
+                                   const LevelOutcome<float>&, std::int32_t, std::span<float>,
+                                   simt::LaunchOrigin);
+template void filter_bucket<double>(const PipelineContext&, std::span<const double>,
+                                    const LevelOutcome<double>&, std::int32_t, std::span<double>,
+                                    simt::LaunchOrigin);
+template void filter_topk<float>(const PipelineContext&, std::span<const float>,
+                                 const LevelOutcome<float>&, std::span<float>, std::span<float>,
+                                 std::int32_t, simt::LaunchOrigin);
+template void filter_topk<double>(const PipelineContext&, std::span<const double>,
+                                  const LevelOutcome<double>&, std::span<double>,
+                                  std::span<double>, std::int32_t, simt::LaunchOrigin);
+template void launch_copy<float>(simt::Device&, std::span<const float>, std::size_t,
+                                 std::span<float>, std::size_t, std::size_t, simt::LaunchOrigin,
+                                 int, int);
+template void launch_copy<double>(simt::Device&, std::span<const double>, std::size_t,
+                                  std::span<double>, std::size_t, std::size_t, simt::LaunchOrigin,
+                                  int, int);
+template void sort_base_case<float>(const PipelineContext&, std::span<float>, simt::LaunchOrigin);
+template void sort_base_case<double>(const PipelineContext&, std::span<double>,
+                                     simt::LaunchOrigin);
+
+}  // namespace gpusel::core

@@ -1,0 +1,345 @@
+#pragma once
+// The SelectionPipeline layer: shared orchestration for every selection
+// front-end (exact, approximate, multi-rank, batched fallback, top-k,
+// quantile dispatch and sample-sort).
+//
+// The paper's algorithms all run the same bucketing level -- sample
+// splitters -> count -> (reduce) -> select-bucket -> filter (Sec. IV-B,
+// Fig. 3) -- and differ only in how they descend through buckets: exact
+// selection follows one bucket, multiselect a whole tree of them, top-k
+// keeps the upper buckets, approximate selection and histograms stop after
+// the count.  This header factors the level into one executor so front-ends
+// express only their descent policy:
+//
+//   * PipelinePlan      -- static shape of one level (grid size, buffer
+//                          lengths) for an input size and config.
+//   * PipelineContext   -- a device + config pair handing out *pooled*
+//                          scratch buffers on the selection's stream (see
+//                          simt/pool.hpp).  Zero-on-acquire goes through
+//                          zeroed_i32(), which still launches the simulated
+//                          memset so event counts are unchanged.
+//   * run_bucket_level  -- the level executor; returns a LevelOutcome
+//                          owning the level's pooled buffers.
+//   * filter_bucket / filter_topk -- bucket extraction on top of an
+//                          outcome.
+//   * DataHolder/PingPong -- the two data buffers ping-ponged across
+//                          recursion levels instead of a fresh `out`
+//                          allocation per level (Sec. IV-A: auxiliary
+//                          storage stays <= n/4 bytes for float).
+//   * SelectionPipeline -- the linear-descent driver (one bucket per
+//                          level) used by sample_select and top-k.
+//
+// Event-count contract: for a given front-end and config the kernel launch
+// sequence (names, grids, origins, streams) is byte-identical to the
+// pre-pipeline code, so golden event counts and simulated timings are
+// unchanged; only host-side allocation behavior differs.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+
+#include "core/config.hpp"
+#include "core/searchtree.hpp"
+#include "simt/device.hpp"
+#include "simt/pool.hpp"
+
+namespace gpusel::core {
+
+/// Static shape of one bucketing level.
+struct PipelinePlan {
+    std::size_t n = 0;
+    std::size_t num_buckets = 0;
+    int grid = 0;
+    bool shared_mode = false;
+    bool write_oracles = true;
+
+    [[nodiscard]] static PipelinePlan make(const simt::Device& dev, std::size_t n,
+                                           const SampleSelectConfig& cfg,
+                                           bool write_oracles = true);
+
+    /// Length of the per-block partial-counts buffer (0 in global mode).
+    [[nodiscard]] std::size_t block_counts_len() const {
+        return shared_mode ? static_cast<std::size_t>(grid) * num_buckets : 0;
+    }
+    /// Auxiliary bytes one level keeps live at its filter step (oracles +
+    /// totals + block counts + prefix), excluding the output bucket whose
+    /// size is data-dependent.  Used by the Sec. IV-A bound test.
+    [[nodiscard]] std::size_t scratch_bytes() const {
+        return (write_oracles ? n : 0) +
+               (num_buckets + block_counts_len() + num_buckets + 1) * sizeof(std::int32_t);
+    }
+};
+
+/// A device + config pair that hands out pooled scratch on the selection's
+/// stream.  Cheap to construct; one per selection invocation.
+class PipelineContext {
+public:
+    PipelineContext(simt::Device& dev, const SampleSelectConfig& cfg) : dev_(&dev), cfg_(&cfg) {}
+
+    [[nodiscard]] simt::Device& dev() const noexcept { return *dev_; }
+    [[nodiscard]] const SampleSelectConfig& cfg() const noexcept { return *cfg_; }
+    [[nodiscard]] bool shared_mode() const noexcept {
+        return cfg_->atomic_space == simt::AtomicSpace::shared;
+    }
+
+    /// Pooled scratch ordered on the selection's stream.
+    template <typename U>
+    [[nodiscard]] simt::PooledBuffer<U> scratch(std::size_t n) const {
+        return dev_->pooled<U>(n, cfg_->stream);
+    }
+    /// Zero-on-acquire: pooled int32 scratch zeroed by the simulated memset
+    /// kernel (the launch is kept so event counts match hand-zeroed code).
+    [[nodiscard]] simt::PooledBuffer<std::int32_t> zeroed_i32(std::size_t n,
+                                                              simt::LaunchOrigin origin) const;
+
+private:
+    simt::Device* dev_;
+    const SampleSelectConfig* cfg_;
+};
+
+/// Knobs of the level executor (defaults = exact selection).
+struct LevelOptions {
+    /// Write per-element bucket oracles (needed by any later filter).
+    bool write_oracles = true;
+    /// Keep per-block exclusive prefix sums in block_counts (shared mode;
+    /// needed by filter/scatter, skipped by count-only variants).
+    bool keep_block_offsets = true;
+    /// Run select_bucket to locate `rank` and fill prefix/bucket metadata.
+    bool locate = true;
+};
+
+/// Everything one bucketing level produced; owns the level's pooled
+/// buffers (they return to the pool on destruction).
+template <typename T>
+struct LevelOutcome {
+    SearchTree<T> tree;
+    int grid = 0;
+    /// Bucket containing the requested rank (locate only).
+    std::int32_t bucket = -1;
+    bool equality = false;          ///< located bucket is an equality bucket
+    std::size_t bucket_size = 0;    ///< totals[bucket]
+    std::size_t rank_offset = 0;    ///< prefix[bucket]: rank rebase for descent
+    std::size_t rank_above = 0;     ///< n - prefix[bucket+1]: elements in higher buckets
+
+    simt::PooledBuffer<std::uint8_t> oracles;
+    simt::PooledBuffer<std::int32_t> totals;
+    simt::PooledBuffer<std::int32_t> block_counts;
+    simt::PooledBuffer<std::int32_t> prefix;
+
+    [[nodiscard]] std::span<const std::int32_t> totals_span() const { return totals.span(); }
+    [[nodiscard]] std::span<const std::int32_t> prefix_span() const { return prefix.span(); }
+
+    /// The value every element of equality bucket `b` holds (Sec. IV-C
+    /// early exit).  Bucket 0 has no left splitter -- by construction
+    /// SearchTree::build never marks it as an equality bucket, so hitting
+    /// it here means corrupted metadata and throws instead of underflowing
+    /// splitters[b - 1].
+    [[nodiscard]] T equality_value(std::int32_t b) const;
+};
+
+/// Runs one bucketing level over `data`: sample splitters -> count ->
+/// (reduce in shared mode) -> select-bucket (when opt.locate).
+template <typename T>
+[[nodiscard]] LevelOutcome<T> run_bucket_level(const PipelineContext& ctx,
+                                               std::span<const T> data, std::size_t rank,
+                                               simt::LaunchOrigin origin, std::uint64_t salt = 0,
+                                               const LevelOptions& opt = {});
+
+/// Extracts `bucket`'s elements into `out` (sized to the bucket).
+template <typename T>
+void filter_bucket(const PipelineContext& ctx, std::span<const T> data,
+                   const LevelOutcome<T>& lv, std::int32_t bucket, std::span<T> out,
+                   simt::LaunchOrigin origin);
+
+/// Fused top-k extraction (Sec. IV-I): target bucket into `out`, all
+/// higher-bucket elements appended to `acc` starting at slot `acc_fill`.
+template <typename T>
+void filter_topk(const PipelineContext& ctx, std::span<const T> data, const LevelOutcome<T>& lv,
+                 std::span<T> out, std::span<T> acc, std::int32_t acc_fill,
+                 simt::LaunchOrigin origin);
+
+/// Coalesced device copy: dst[dst_base + i] = src[src_base + i].
+template <typename T>
+void launch_copy(simt::Device& dev, std::span<const T> src, std::size_t src_base,
+                 std::span<T> dst, std::size_t dst_base, std::size_t count,
+                 simt::LaunchOrigin origin, int block_dim, int stream = 0);
+
+/// Base case (Sec. IV-D): bitonic-sorts `data` in place on the selection's
+/// stream.
+template <typename T>
+void sort_base_case(const PipelineContext& ctx, std::span<T> data, simt::LaunchOrigin origin);
+
+/// A data buffer for pipeline descent: either an adopted DeviceBuffer (the
+/// caller's input) or a pooled block, viewed at a logical length that can
+/// shrink as the recursion descends while the backing checkout is reused.
+template <typename T>
+class DataHolder {
+public:
+    DataHolder() = default;
+
+    /// Takes ownership of a caller-provided device buffer.
+    [[nodiscard]] static DataHolder adopt(simt::DeviceBuffer<T> buf) {
+        DataHolder h;
+        h.len_ = buf.size();
+        h.owned_ = std::move(buf);
+        return h;
+    }
+    /// Wraps an existing pooled checkout at logical length n.
+    [[nodiscard]] static DataHolder from_pooled(simt::PooledBuffer<T> buf) {
+        DataHolder h;
+        h.len_ = buf.size();
+        h.pooled_ = std::move(buf);
+        return h;
+    }
+    /// Acquires a pooled buffer of n elements.
+    [[nodiscard]] static DataHolder acquire(const PipelineContext& ctx, std::size_t n) {
+        return from_pooled(ctx.scratch<T>(n));
+    }
+    /// Stages host input into a pooled buffer (an untimed host->device
+    /// transfer, as everywhere in this simulator).
+    [[nodiscard]] static DataHolder stage(const PipelineContext& ctx, std::span<const T> input) {
+        auto h = acquire(ctx, input.size());
+        std::copy(input.begin(), input.end(), h.span().begin());
+        return h;
+    }
+
+    [[nodiscard]] std::span<T> span() noexcept {
+        return owned_.empty() && pooled_.empty() ? std::span<T>{}
+               : owned_.empty() ? std::span<T>{pooled_.data(), len_}
+                                : std::span<T>{owned_.data(), len_};
+    }
+    [[nodiscard]] std::span<const T> span() const noexcept {
+        return const_cast<DataHolder*>(this)->span();
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return len_; }
+    [[nodiscard]] bool empty() const noexcept { return len_ == 0; }
+    /// Elements the backing storage can hold (>= size()).
+    [[nodiscard]] std::size_t capacity() const noexcept {
+        return !owned_.empty() ? owned_.size() : pooled_.capacity();
+    }
+    /// Shrinks the logical length without touching the backing storage.
+    void view(std::size_t n) noexcept { len_ = n <= capacity() ? n : capacity(); }
+
+private:
+    simt::DeviceBuffer<T> owned_;
+    simt::PooledBuffer<T> pooled_;
+    std::size_t len_ = 0;
+};
+
+/// The two data buffers of a linear bucket descent.  Level L filters its
+/// bucket from the active buffer into the inactive one, then flips; the
+/// adopted input buffer itself becomes a write target from level 2 on, so
+/// a whole selection touches at most two data allocations.
+template <typename T>
+class PingPong {
+public:
+    void reset(DataHolder<T> input) {
+        slot_[0] = std::move(input);
+        slot_[1] = DataHolder<T>{};
+        active_ = 0;
+    }
+    [[nodiscard]] std::span<T> data() noexcept { return slot_[active_].span(); }
+    [[nodiscard]] std::span<const T> data() const noexcept { return slot_[active_].span(); }
+    [[nodiscard]] std::size_t size() const noexcept { return slot_[active_].size(); }
+
+    /// The inactive slot viewed at n elements, (re)acquired only if its
+    /// backing is too small -- after the first level it never is, because
+    /// buckets shrink strictly.
+    [[nodiscard]] std::span<T> back(const PipelineContext& ctx, std::size_t n) {
+        DataHolder<T>& s = slot_[1 - active_];
+        if (s.capacity() < n) {
+            s = DataHolder<T>{};  // release before acquiring: the pool may hand the block back
+            s = DataHolder<T>::acquire(ctx, n);
+        }
+        s.view(n);
+        return s.span();
+    }
+    /// Makes the inactive slot (filled to n elements) the active buffer.
+    void flip(std::size_t n) {
+        slot_[1 - active_].view(n);
+        active_ = 1 - active_;
+    }
+
+private:
+    DataHolder<T> slot_[2];
+    int active_ = 0;
+};
+
+/// Linear-descent driver: one located bucket per level, ping-pong data
+/// buffers.  sample_select and top-k are thin policies over this; variants
+/// with other descent shapes (multiselect's bucket tree, approximate
+/// selection's count-only level) use run_bucket_level/filter_bucket
+/// directly with their own buffer management.
+template <typename T>
+class SelectionPipeline {
+public:
+    SelectionPipeline(simt::Device& dev, const SampleSelectConfig& cfg) : ctx_(dev, cfg) {}
+
+    [[nodiscard]] const PipelineContext& context() const noexcept { return ctx_; }
+    void reset(DataHolder<T> input) { data_.reset(std::move(input)); }
+    [[nodiscard]] std::span<const T> data() const noexcept { return data_.data(); }
+    [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+    [[nodiscard]] T value_at(std::size_t i) const noexcept { return data_.data()[i]; }
+
+    /// Runs one bucketing level over the current data buffer.
+    [[nodiscard]] LevelOutcome<T> run_level(std::size_t rank, simt::LaunchOrigin origin,
+                                            std::uint64_t salt, const LevelOptions& opt = {}) {
+        return run_bucket_level<T>(ctx_, data_.data(), rank, origin, salt, opt);
+    }
+    /// Filters the located bucket into the back buffer and descends.
+    void descend(const LevelOutcome<T>& lv, simt::LaunchOrigin origin) {
+        auto out = data_.back(ctx_, lv.bucket_size);
+        filter_bucket<T>(ctx_, data_.data(), lv, lv.bucket, out, origin);
+        data_.flip(lv.bucket_size);
+    }
+    /// Top-k descent: fused filter into the back buffer + accumulator.
+    void descend_topk(const LevelOutcome<T>& lv, std::span<T> acc, std::int32_t acc_fill,
+                      simt::LaunchOrigin origin) {
+        auto out = data_.back(ctx_, lv.bucket_size);
+        filter_topk<T>(ctx_, data_.data(), lv, out, acc, acc_fill, origin);
+        data_.flip(lv.bucket_size);
+    }
+    /// Bitonic-sorts the current buffer in place (the recursion base case).
+    void sort_base_case(simt::LaunchOrigin origin) {
+        core::sort_base_case<T>(ctx_, data_.data(), origin);
+    }
+
+private:
+    PipelineContext ctx_;
+    PingPong<T> data_;
+};
+
+extern template struct LevelOutcome<float>;
+extern template struct LevelOutcome<double>;
+extern template LevelOutcome<float> run_bucket_level<float>(const PipelineContext&,
+                                                            std::span<const float>, std::size_t,
+                                                            simt::LaunchOrigin, std::uint64_t,
+                                                            const LevelOptions&);
+extern template LevelOutcome<double> run_bucket_level<double>(const PipelineContext&,
+                                                              std::span<const double>,
+                                                              std::size_t, simt::LaunchOrigin,
+                                                              std::uint64_t, const LevelOptions&);
+extern template void filter_bucket<float>(const PipelineContext&, std::span<const float>,
+                                          const LevelOutcome<float>&, std::int32_t,
+                                          std::span<float>, simt::LaunchOrigin);
+extern template void filter_bucket<double>(const PipelineContext&, std::span<const double>,
+                                           const LevelOutcome<double>&, std::int32_t,
+                                           std::span<double>, simt::LaunchOrigin);
+extern template void filter_topk<float>(const PipelineContext&, std::span<const float>,
+                                        const LevelOutcome<float>&, std::span<float>,
+                                        std::span<float>, std::int32_t, simt::LaunchOrigin);
+extern template void filter_topk<double>(const PipelineContext&, std::span<const double>,
+                                         const LevelOutcome<double>&, std::span<double>,
+                                         std::span<double>, std::int32_t, simt::LaunchOrigin);
+extern template void launch_copy<float>(simt::Device&, std::span<const float>, std::size_t,
+                                        std::span<float>, std::size_t, std::size_t,
+                                        simt::LaunchOrigin, int, int);
+extern template void launch_copy<double>(simt::Device&, std::span<const double>, std::size_t,
+                                         std::span<double>, std::size_t, std::size_t,
+                                         simt::LaunchOrigin, int, int);
+extern template void sort_base_case<float>(const PipelineContext&, std::span<float>,
+                                           simt::LaunchOrigin);
+extern template void sort_base_case<double>(const PipelineContext&, std::span<double>,
+                                            simt::LaunchOrigin);
+
+}  // namespace gpusel::core

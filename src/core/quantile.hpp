@@ -1,9 +1,11 @@
 #pragma once
 // Quantile convenience layer over the selection algorithms: maps q in [0,1]
 // to a 0-based rank with an explicit tie-breaking method and dispatches to
-// exact SampleSelect, the approximate variant, or the multi-rank driver.
-// ("Quantile selection in order statistics" is the first application the
-// paper's introduction lists.)
+// exact SampleSelect, the approximate variant, or the multi-rank driver —
+// all of which execute their bucketing levels through core::SelectionPipeline
+// (see docs/architecture.md), so quantile queries share the pooled device
+// arena with every other front-end.  ("Quantile selection in order
+// statistics" is the first application the paper's introduction lists.)
 
 #include <cstddef>
 #include <span>

@@ -3,12 +3,7 @@
 #include <memory>
 #include <stdexcept>
 
-#include "bitonic/bitonic.hpp"
-#include "core/count_kernel.hpp"
-#include "core/filter_kernel.hpp"
-#include "core/reduce_kernel.hpp"
-#include "core/sample_kernel.hpp"
-#include "simt/timing.hpp"
+#include "core/pipeline.hpp"
 
 namespace gpusel::core {
 
@@ -16,72 +11,45 @@ namespace {
 
 template <typename T>
 struct SelectState {
-    simt::DeviceBuffer<T> buf;
+    SampleSelectConfig cfg;   // the pipeline keeps a pointer; pin the copy first
+    SelectionPipeline<T> pipe;
     std::size_t rank = 0;
     std::size_t level = 0;
     std::size_t resample_tries = 0;
-    SampleSelectConfig cfg;
     SelectResult<T> result;
     bool done = false;
+
+    SelectState(simt::Device& dev, const SampleSelectConfig& c) : cfg(c), pipe(dev, cfg) {}
 };
 
 /// Executes one recursion level; returns true while more levels remain.
 template <typename T>
-bool run_level(simt::Device& dev, SelectState<T>& st) {
-    const std::size_t n = st.buf.size();
+bool run_level(SelectState<T>& st) {
+    const std::size_t n = st.pipe.size();
     const auto origin =
         st.level == 0 ? simt::LaunchOrigin::host : simt::LaunchOrigin::device;
 
     if (n <= st.cfg.base_case_size) {
         // Base case (Sec. IV-D): bitonic sort in shared memory, pick rank.
-        bitonic::sort_on_device<T>(dev, st.buf.span(), n, origin, st.cfg.block_dim,
-                                   st.cfg.stream);
-        st.result.value = st.buf[st.rank];
+        st.pipe.sort_base_case(origin);
+        st.result.value = st.pipe.value_at(st.rank);
         st.done = true;
         return false;
     }
 
-    const auto b = static_cast<std::size_t>(st.cfg.num_buckets);
-    const bool shared_mode = st.cfg.atomic_space == simt::AtomicSpace::shared;
+    const auto lv =
+        st.pipe.run_level(st.rank, origin, st.level * 977 + st.resample_tries * 7919);
 
-    const SearchTree<T> tree = sample_splitters<T>(
-        dev, st.buf.span(), st.cfg, origin, st.level * 977 + st.resample_tries * 7919);
-
-    auto oracles = dev.alloc<std::uint8_t>(n);
-    auto totals = dev.alloc<std::int32_t>(b);
-    const int grid = simt::suggest_grid(dev.arch(), n, st.cfg.block_dim, st.cfg.unroll);
-    simt::DeviceBuffer<std::int32_t> block_counts;
-    if (shared_mode) {
-        block_counts = dev.alloc<std::int32_t>(static_cast<std::size_t>(grid) * b);
-    } else {
-        launch_memset32(dev, totals.span(), origin, st.cfg.stream);
-    }
-
-    const int used_grid = count_kernel<T>(dev, st.buf.span(), tree, oracles.span(), totals.span(),
-                                          block_counts.span(), st.cfg, origin);
-    if (used_grid != grid) throw std::logic_error("grid sizing mismatch");
-
-    if (shared_mode) {
-        reduce_kernel(dev, block_counts.span(), grid, st.cfg.num_buckets, totals.span(),
-                      /*keep_block_offsets=*/true, origin, st.cfg.block_dim, st.cfg.stream);
-    }
-
-    auto prefix = dev.alloc<std::int32_t>(b + 1);
-    const std::int32_t bucket =
-        select_bucket_kernel(dev, totals.span(), prefix.span(), st.rank, origin, st.cfg.stream);
-    const auto ub = static_cast<std::size_t>(bucket);
-
-    if (tree.equality[ub]) {
+    if (lv.equality) {
         // Equality bucket: every element equals the splitter -- done.
-        st.result.value = tree.splitters[ub - 1];
+        st.result.value = lv.equality_value(lv.bucket);
         st.result.equality_exit = true;
         ++st.result.levels;
         st.done = true;
         return false;
     }
 
-    const auto bucket_size = static_cast<std::size_t>(totals[ub]);
-    if (bucket_size == n) {
+    if (lv.bucket_size == n) {
         // No progress (pathological sample).  Resample with a new salt; by
         // construction this can only happen a bounded number of times.
         if (++st.resample_tries > 8) {
@@ -91,17 +59,8 @@ bool run_level(simt::Device& dev, SelectState<T>& st) {
     }
     st.resample_tries = 0;
 
-    auto out = dev.alloc<T>(bucket_size);
-    simt::DeviceBuffer<std::int32_t> cursor;
-    if (!shared_mode) {
-        cursor = dev.alloc<std::int32_t>(1);
-        launch_memset32(dev, cursor.span(), origin, st.cfg.stream);
-    }
-    filter_kernel<T>(dev, st.buf.span(), oracles.span(), bucket, out.span(), block_counts.span(),
-                     st.cfg.num_buckets, cursor.span(), st.cfg, origin, grid);
-
-    st.rank -= static_cast<std::size_t>(prefix[ub]);
-    st.buf = std::move(out);
+    st.pipe.descend(lv, origin);
+    st.rank -= lv.rank_offset;
     ++st.level;
     ++st.result.levels;
     return true;
@@ -110,23 +69,22 @@ bool run_level(simt::Device& dev, SelectState<T>& st) {
 template <typename T>
 void enqueue_level(simt::Device& dev, std::shared_ptr<SelectState<T>> st) {
     dev.device_enqueue([st](simt::Device& d) {
-        if (run_level(d, *st)) enqueue_level(d, st);
+        if (run_level(*st)) enqueue_level(d, st);
     });
 }
 
 }  // namespace
 
 template <typename T>
-SelectResult<T> sample_select_device(simt::Device& dev, simt::DeviceBuffer<T> data,
-                                     std::size_t rank, const SampleSelectConfig& cfg) {
+SelectResult<T> sample_select_staged(simt::Device& dev, DataHolder<T> data, std::size_t rank,
+                                     const SampleSelectConfig& cfg) {
     cfg.validate(/*exact=*/true);
     const std::size_t n = data.size();
     if (n == 0 || rank >= n) throw std::out_of_range("rank out of range");
 
-    auto st = std::make_shared<SelectState<T>>();
-    st->buf = std::move(data);
+    auto st = std::make_shared<SelectState<T>>(dev, cfg);
+    st->pipe.reset(std::move(data));
     st->rank = rank;
-    st->cfg = cfg;
 
     dev.tracker().set_baseline();
     const double t0 = dev.elapsed_ns();
@@ -141,11 +99,16 @@ SelectResult<T> sample_select_device(simt::Device& dev, simt::DeviceBuffer<T> da
 }
 
 template <typename T>
+SelectResult<T> sample_select_device(simt::Device& dev, simt::DeviceBuffer<T> data,
+                                     std::size_t rank, const SampleSelectConfig& cfg) {
+    return sample_select_staged<T>(dev, DataHolder<T>::adopt(std::move(data)), rank, cfg);
+}
+
+template <typename T>
 SelectResult<T> sample_select(simt::Device& dev, std::span<const T> input, std::size_t rank,
                               const SampleSelectConfig& cfg) {
-    auto buf = dev.alloc<T>(input.size());
-    std::copy(input.begin(), input.end(), buf.data());
-    return sample_select_device<T>(dev, std::move(buf), rank, cfg);
+    PipelineContext ctx(dev, cfg);
+    return sample_select_staged<T>(dev, DataHolder<T>::stage(ctx, input), rank, cfg);
 }
 
 template SelectResult<float> sample_select<float>(simt::Device&, std::span<const float>,
@@ -156,6 +119,10 @@ template SelectResult<float> sample_select_device<float>(simt::Device&, simt::De
                                                          std::size_t, const SampleSelectConfig&);
 template SelectResult<double> sample_select_device<double>(simt::Device&,
                                                            simt::DeviceBuffer<double>,
+                                                           std::size_t, const SampleSelectConfig&);
+template SelectResult<float> sample_select_staged<float>(simt::Device&, DataHolder<float>,
+                                                         std::size_t, const SampleSelectConfig&);
+template SelectResult<double> sample_select_staged<double>(simt::Device&, DataHolder<double>,
                                                            std::size_t, const SampleSelectConfig&);
 
 }  // namespace gpusel::core

@@ -10,6 +10,7 @@
 #include <span>
 
 #include "core/config.hpp"
+#include "core/pipeline.hpp"
 #include "simt/device.hpp"
 #include "simt/memory.hpp"
 
@@ -40,10 +41,19 @@ template <typename T>
 [[nodiscard]] SelectResult<T> sample_select(simt::Device& dev, std::span<const T> input,
                                             std::size_t rank, const SampleSelectConfig& cfg);
 
-/// Device-resident variant: consumes `data` (the algorithm overwrites
-/// nothing in it, but its lifetime is managed by the recursion state).
+/// Device-resident variant: consumes `data` (the buffer is recycled as a
+/// ping-pong scratch target from level 2 on, so its contents are not
+/// preserved).
 template <typename T>
 [[nodiscard]] SelectResult<T> sample_select_device(simt::Device& dev, simt::DeviceBuffer<T> data,
+                                                   std::size_t rank,
+                                                   const SampleSelectConfig& cfg);
+
+/// Lowest-level entry: selects from an already-staged pipeline data holder
+/// (adopted device buffer or pooled block).  Used by the batched and top-k
+/// front-ends to feed pooled buffers into the same descent.
+template <typename T>
+[[nodiscard]] SelectResult<T> sample_select_staged(simt::Device& dev, DataHolder<T> data,
                                                    std::size_t rank,
                                                    const SampleSelectConfig& cfg);
 
@@ -58,6 +68,12 @@ extern template SelectResult<float> sample_select_device<float>(simt::Device&,
 extern template SelectResult<double> sample_select_device<double>(simt::Device&,
                                                                   simt::DeviceBuffer<double>,
                                                                   std::size_t,
+                                                                  const SampleSelectConfig&);
+extern template SelectResult<float> sample_select_staged<float>(simt::Device&, DataHolder<float>,
+                                                                std::size_t,
+                                                                const SampleSelectConfig&);
+extern template SelectResult<double> sample_select_staged<double>(simt::Device&,
+                                                                  DataHolder<double>, std::size_t,
                                                                   const SampleSelectConfig&);
 
 }  // namespace gpusel::core

@@ -3,9 +3,7 @@
 #include <stdexcept>
 
 #include "bitonic/bitonic.hpp"
-#include "core/count_kernel.hpp"
-#include "core/reduce_kernel.hpp"
-#include "core/sample_kernel.hpp"
+#include "core/pipeline.hpp"
 #include "simt/timing.hpp"
 
 namespace gpusel::core {
@@ -60,54 +58,31 @@ void scatter_all_kernel(simt::Device& dev, std::span<const T> data,
         });
 }
 
-/// Copies src -> dst (same size) with a grid-stride copy kernel.
-template <typename T>
-void copy_back(simt::Device& dev, std::span<const T> src, std::span<T> dst,
-               simt::LaunchOrigin origin, int block_dim) {
-    const std::size_t n = src.size();
-    if (n == 0) return;
-    const int grid = simt::suggest_grid(dev.arch(), n, block_dim);
-    dev.launch("copy", {.grid_dim = grid, .block_dim = block_dim, .origin = origin},
-               [=](simt::BlockCtx& blk) {
-                   blk.warp_tiles(n, [&](simt::WarpCtx& w, std::size_t base, std::size_t) {
-                       T regs[simt::kWarpSize];
-                       w.load(src, base, regs);
-                       w.store(dst, base, regs);
-                   });
-               });
-}
-
 /// Sorts `data` ascending in place, using `scratch` (same size) as the
 /// scatter target of each level.
 template <typename T>
-void sort_segment(simt::Device& dev, std::span<T> data, std::span<T> scratch,
-                  const SampleSelectConfig& cfg, std::size_t depth, SortResult<T>& res) {
+void sort_segment(const PipelineContext& ctx, std::span<T> data, std::span<T> scratch,
+                  std::size_t depth, SortResult<T>& res) {
+    simt::Device& dev = ctx.dev();
+    const SampleSelectConfig& cfg = ctx.cfg();
     const std::size_t n = data.size();
     res.max_depth = std::max(res.max_depth, depth);
     if (depth > 64) throw std::runtime_error("sample_sort: recursion depth cap hit");
     const auto origin = depth == 0 ? simt::LaunchOrigin::host : simt::LaunchOrigin::device;
 
     if (n <= cfg.base_case_size) {
-        bitonic::sort_on_device<T>(dev, data, n, origin, cfg.block_dim);
+        sort_base_case<T>(ctx, data, origin);
         return;
     }
 
+    // Every-bucket level: rank 0 is located only for its prefix table.
+    const auto lv = run_bucket_level<T>(ctx, std::span<const T>(data), /*rank=*/0, origin,
+                                        depth * 977);
     const auto b = static_cast<std::size_t>(cfg.num_buckets);
-    const SearchTree<T> tree =
-        sample_splitters<T>(dev, std::span<const T>(data), cfg, origin, depth * 977);
-    auto oracles = dev.alloc<std::uint8_t>(n);
-    auto totals = dev.alloc<std::int32_t>(b);
-    const int grid = simt::suggest_grid(dev.arch(), n, cfg.block_dim, cfg.unroll);
-    auto block_counts = dev.alloc<std::int32_t>(static_cast<std::size_t>(grid) * b);
-    count_kernel<T>(dev, std::span<const T>(data), tree, oracles.span(), totals.span(),
-                    block_counts.span(), cfg, origin);
-    reduce_kernel(dev, block_counts.span(), grid, cfg.num_buckets, totals.span(),
-                  /*keep_block_offsets=*/true, origin, cfg.block_dim);
-    auto prefix = dev.alloc<std::int32_t>(b + 1);
-    (void)select_bucket_kernel(dev, totals.span(), prefix.span(), 0, origin);
+    const auto prefix = lv.prefix_span();
 
-    scatter_all_kernel<T>(dev, std::span<const T>(data), oracles.span(), block_counts.span(),
-                          prefix.span(), scratch, tree, cfg, origin, grid);
+    scatter_all_kernel<T>(dev, std::span<const T>(data), lv.oracles.span(),
+                          lv.block_counts.span(), prefix, scratch, lv.tree, cfg, origin, lv.grid);
 
     // Small child buckets are sorted by ONE batched bitonic launch (one
     // block per bucket); only oversized buckets recurse.
@@ -117,18 +92,18 @@ void sort_segment(simt::Device& dev, std::span<T> data, std::span<T> scratch,
         const auto lo = static_cast<std::size_t>(prefix[i]);
         const auto hi = static_cast<std::size_t>(prefix[i + 1]);
         const std::size_t len = hi - lo;
-        if (len <= 1 || tree.equality[i]) continue;  // equality buckets are sorted
+        if (len <= 1 || lv.tree.equality[i]) continue;  // equality buckets are sorted
         if (len == n) {
             // Degenerate sample: retry the whole segment with a new salt.
-            sort_segment(dev, scratch, data, cfg, depth + 1, res);
-            copy_back<T>(dev, std::span<const T>(scratch), data, origin, cfg.block_dim);
+            sort_segment(ctx, scratch, data, depth + 1, res);
+            launch_copy<T>(dev, std::span<const T>(scratch), 0, data, 0, n, origin,
+                           cfg.block_dim, cfg.stream);
             return;
         }
         if (len <= bitonic::kMaxSortSize) {
             small.push_back({lo, len});
         } else {
-            sort_segment(dev, scratch.subspan(lo, len), data.subspan(lo, len), cfg, depth + 1,
-                         res);
+            sort_segment(ctx, scratch.subspan(lo, len), data.subspan(lo, len), depth + 1, res);
         }
     }
     if (!small.empty()) {
@@ -136,7 +111,8 @@ void sort_segment(simt::Device& dev, std::span<T> data, std::span<T> scratch,
         bitonic::batched_sort_on_device<T>(dev, scratch, small, origin, cfg.block_dim,
                                            cfg.stream);
     }
-    copy_back<T>(dev, std::span<const T>(scratch), data, origin, cfg.block_dim);
+    launch_copy<T>(dev, std::span<const T>(scratch), 0, data, 0, n, origin, cfg.block_dim,
+                   cfg.stream);
 }
 
 }  // namespace
@@ -151,17 +127,18 @@ SortResult<T> sample_sort(simt::Device& dev, std::span<const T> input,
     sort_cfg.validate(/*exact=*/true);
 
     const std::size_t n = input.size();
-    auto buf = dev.alloc<T>(n);
-    auto scratch = dev.alloc<T>(n);
-    std::copy(input.begin(), input.end(), buf.data());
+    PipelineContext ctx(dev, sort_cfg);
+    auto buf = DataHolder<T>::stage(ctx, input);
+    auto scratch = DataHolder<T>::acquire(ctx, n);
 
     SortResult<T> res;
     const double t0 = dev.elapsed_ns();
     const std::uint64_t l0 = dev.launch_count();
-    if (n > 0) sort_segment<T>(dev, buf.span(), scratch.span(), sort_cfg, 0, res);
+    if (n > 0) sort_segment<T>(ctx, buf.span(), scratch.span(), 0, res);
     res.sim_ns = dev.elapsed_ns() - t0;
     res.launches = dev.launch_count() - l0;
-    res.sorted.assign(buf.data(), buf.data() + n);
+    const auto sorted = buf.span();
+    res.sorted.assign(sorted.begin(), sorted.end());
     return res;
 }
 

@@ -2,37 +2,11 @@
 
 #include <stdexcept>
 
-#include "bitonic/bitonic.hpp"
-#include "core/count_kernel.hpp"
 #include "core/histogram.hpp"
-#include "core/filter_kernel.hpp"
-#include "core/reduce_kernel.hpp"
-#include "core/sample_kernel.hpp"
+#include "core/pipeline.hpp"
 #include "core/sample_select.hpp"
-#include "simt/timing.hpp"
 
 namespace gpusel::core {
-
-namespace {
-
-/// Copies src[src_base .. src_base+count) to dst[dst_base ..) (coalesced).
-template <typename T>
-void launch_copy(simt::Device& dev, std::span<const T> src, std::size_t src_base, std::span<T> dst,
-                 std::size_t dst_base, std::size_t count, simt::LaunchOrigin origin,
-                 int block_dim) {
-    if (count == 0) return;
-    const int grid = simt::suggest_grid(dev.arch(), count, block_dim);
-    dev.launch("copy", {.grid_dim = grid, .block_dim = block_dim, .origin = origin},
-               [=](simt::BlockCtx& blk) {
-                   blk.warp_tiles(count, [&](simt::WarpCtx& w, std::size_t base, std::size_t) {
-                       T regs[simt::kWarpSize];
-                       w.load(src, src_base + base, regs);
-                       w.store(dst, dst_base + base, regs);
-                   });
-               });
-}
-
-}  // namespace
 
 template <typename T>
 TopKResult<T> topk_largest(simt::Device& dev, std::span<const T> input, std::size_t k,
@@ -41,86 +15,56 @@ TopKResult<T> topk_largest(simt::Device& dev, std::span<const T> input, std::siz
     const std::size_t n0 = input.size();
     if (k == 0 || k > n0) throw std::out_of_range("k must be in [1, n]");
 
-    auto buf = dev.alloc<T>(n0);
-    std::copy(input.begin(), input.end(), buf.data());
-    auto acc = dev.alloc<T>(k);
+    SelectionPipeline<T> pipe(dev, cfg);
+    pipe.reset(DataHolder<T>::stage(pipe.context(), input));
+    auto acc = pipe.context().template scratch<T>(k);
 
     TopKResult<T> res;
     const double t0 = dev.elapsed_ns();
     const std::uint64_t l0 = dev.launch_count();
 
-    std::size_t remaining = k;  // top elements still to secure from buf
+    std::size_t remaining = k;  // top elements still to secure from the buffer
     std::size_t fill = 0;       // next free slot in acc
-    const auto b = static_cast<std::size_t>(cfg.num_buckets);
-    const bool shared_mode = cfg.atomic_space == simt::AtomicSpace::shared;
 
     for (std::size_t level = 0;; ++level) {
         const auto origin = level == 0 ? simt::LaunchOrigin::host : simt::LaunchOrigin::device;
-        const std::size_t n = buf.size();
+        const std::size_t n = pipe.size();
         const std::size_t threshold_rank = n - remaining;
 
         if (n <= cfg.base_case_size) {
-            bitonic::sort_on_device<T>(dev, buf.span(), n, origin, cfg.block_dim);
-            launch_copy<T>(dev, buf.span(), threshold_rank, acc.span(), fill, remaining, origin,
-                           cfg.block_dim);
-            res.threshold = buf[threshold_rank];
+            pipe.sort_base_case(origin);
+            launch_copy<T>(dev, pipe.data(), threshold_rank, acc.span(), fill, remaining, origin,
+                           cfg.block_dim, cfg.stream);
+            res.threshold = pipe.value_at(threshold_rank);
             fill += remaining;
             break;
         }
 
-        const SearchTree<T> tree =
-            sample_splitters<T>(dev, buf.span(), cfg, origin, level * 977);
-        auto oracles = dev.alloc<std::uint8_t>(n);
-        auto totals = dev.alloc<std::int32_t>(b);
-        const int grid = simt::suggest_grid(dev.arch(), n, cfg.block_dim, cfg.unroll);
-        simt::DeviceBuffer<std::int32_t> block_counts;
-        if (shared_mode) {
-            block_counts = dev.alloc<std::int32_t>(static_cast<std::size_t>(grid) * b);
-        } else {
-            launch_memset32(dev, totals.span(), origin);
-        }
-        count_kernel<T>(dev, buf.span(), tree, oracles.span(), totals.span(), block_counts.span(),
-                        cfg, origin);
-        if (shared_mode) {
-            reduce_kernel(dev, block_counts.span(), grid, cfg.num_buckets, totals.span(),
-                          /*keep_block_offsets=*/true, origin, cfg.block_dim);
-        }
-        auto prefix = dev.alloc<std::int32_t>(b + 1);
-        const std::int32_t bucket =
-            select_bucket_kernel(dev, totals.span(), prefix.span(), threshold_rank, origin);
-        const auto ub = static_cast<std::size_t>(bucket);
+        const auto lv = pipe.run_level(threshold_rank, origin, level * 977);
         ++res.levels;
 
-        const auto cnt_upper = n - static_cast<std::size_t>(prefix[ub + 1]);
+        const std::size_t cnt_upper = lv.rank_above;
         const std::size_t needed_from_bucket = remaining - cnt_upper;
-        const auto bucket_size = static_cast<std::size_t>(totals[ub]);
+        const std::size_t bucket_size = lv.bucket_size;
 
-        auto out = dev.alloc<T>(bucket_size);
-        auto cursors = dev.alloc<std::int32_t>(2);
-        // Cursor seeding is fused into the controller step in a real
-        // implementation; the two scalar writes are not charged.
-        cursors[0] = 0;
-        cursors[1] = static_cast<std::int32_t>(fill);
-        filter_fused_topk_kernel<T>(dev, buf.span(), oracles.span(), bucket, out.span(),
-                                    acc.span(), block_counts.span(), cfg.num_buckets,
-                                    cursors.span(), cfg, origin, grid);
+        // Fused filter (Sec. IV-I): target bucket to the back buffer, all
+        // higher buckets straight into the accumulator.
+        pipe.descend_topk(lv, acc.span(), static_cast<std::int32_t>(fill), origin);
         fill += cnt_upper;
 
-        if (tree.equality[ub]) {
+        if (lv.equality) {
             // Every bucket element equals the splitter: take as many as
             // still needed and finish.
-            const T v = tree.splitters[ub - 1];
-            launch_copy<T>(dev, std::span<const T>(out.span()), 0, acc.span(), fill,
-                           needed_from_bucket, origin, cfg.block_dim);
+            res.threshold = lv.equality_value(lv.bucket);
+            launch_copy<T>(dev, pipe.data(), 0, acc.span(), fill, needed_from_bucket, origin,
+                           cfg.block_dim, cfg.stream);
             fill += needed_from_bucket;
-            res.threshold = v;
             break;
         }
         if (bucket_size == n) {
             throw std::runtime_error("topk_largest: no partition progress");
         }
         remaining = needed_from_bucket;
-        buf = std::move(out);
     }
 
     if (fill != k) throw std::logic_error("topk_largest: accumulator fill mismatch");
@@ -137,19 +81,20 @@ TopKResult<T> topk_smallest(simt::Device& dev, std::span<const T> input, std::si
     if (k == 0 || k > n) throw std::out_of_range("k must be in [1, n]");
 
     // Negate on the device (one streaming pass, charged).
-    auto neg = dev.alloc<T>(n);
-    std::copy(input.begin(), input.end(), neg.data());
+    PipelineContext ctx(dev, cfg);
+    auto neg = DataHolder<T>::stage(ctx, input);
     const double t0 = dev.elapsed_ns();
     const std::uint64_t l0 = dev.launch_count();
     const int grid = simt::suggest_grid(dev.arch(), n, cfg.block_dim);
+    auto span = neg.span();
     dev.launch("negate", {.grid_dim = grid, .block_dim = cfg.block_dim},
-               [&neg, n](simt::BlockCtx& blk) {
+               [span, n](simt::BlockCtx& blk) {
                    blk.warp_tiles(n, [&](simt::WarpCtx& w, std::size_t base, std::size_t) {
                        T regs[simt::kWarpSize];
-                       w.load(std::span<const T>(neg.span()), base, regs);
+                       w.load(std::span<const T>(span), base, regs);
                        for (int l = 0; l < w.lanes(); ++l) regs[l] = -regs[l];
                        w.add_instr(static_cast<std::uint64_t>(w.lanes()));
-                       w.store(neg.span(), base, regs);
+                       w.store(span, base, regs);
                    });
                });
     auto res = topk_largest<T>(dev, std::span<const T>(neg.span()), k, cfg);
@@ -166,45 +111,44 @@ TopKIndexResult<T> topk_largest_with_indices(simt::Device& dev, std::span<const 
     const std::size_t n = input.size();
     if (k == 0 || k > n) throw std::out_of_range("k must be in [1, n]");
 
-    auto data = dev.alloc<T>(n);
-    std::copy(input.begin(), input.end(), data.data());
+    PipelineContext ctx(dev, cfg);
+    auto data = DataHolder<T>::stage(ctx, input);
     const double t0 = dev.elapsed_ns();
     const std::uint64_t l0 = dev.launch_count();
 
     // 1. threshold = element of ascending rank n-k (the k-th largest);
     //    selection consumes a device-side copy so `data` stays intact for
     //    the gather pass.
-    auto copy = dev.alloc<T>(n);
-    launch_copy<T>(dev, std::span<const T>(data.span()), 0, copy.span(), 0, n,
-                   simt::LaunchOrigin::host, cfg.block_dim);
-    const T threshold =
-        sample_select_device<T>(dev, std::move(copy), n - k, cfg).value;
+    auto copy = DataHolder<T>::acquire(ctx, n);
+    launch_copy<T>(dev, data.span(), 0, copy.span(), 0, n, simt::LaunchOrigin::host,
+                   cfg.block_dim, cfg.stream);
+    const T threshold = sample_select_staged<T>(dev, std::move(copy), n - k, cfg).value;
 
     // 2. how many elements exceed the threshold / equal it.
-    const auto rq = rank_of<T>(dev, std::span<const T>(data.span()), threshold, cfg);
+    const auto rq = rank_of<T>(dev, data.span(), threshold, cfg);
     const std::size_t n_gt = n - rq.less - rq.equal;
     const std::size_t eq_needed = k - n_gt;
 
     // 3. gather pass: strictly-greater elements take slots [0, n_gt); the
     //    first eq_needed threshold-equal elements (extraction order) fill
     //    [n_gt, k).
-    auto out_vals = dev.alloc<T>(k);
-    auto out_idx = dev.alloc<std::int32_t>(k);
-    auto cursors = dev.alloc<std::int32_t>(2);
-    launch_memset32(dev, cursors.span(), simt::LaunchOrigin::device, cfg.stream);
+    auto out_vals = ctx.scratch<T>(k);
+    auto out_idx = ctx.scratch<std::int32_t>(k);
+    auto cursors = ctx.zeroed_i32(2, simt::LaunchOrigin::device);
     const int grid = simt::suggest_grid(dev.arch(), n, cfg.block_dim, cfg.unroll);
+    const auto dspan = std::span<const T>(data.span());
     dev.launch(
         "topk_gather",
         {.grid_dim = grid, .block_dim = cfg.block_dim, .origin = simt::LaunchOrigin::device,
          .unroll = cfg.unroll, .stream = cfg.stream},
-        [&, n, threshold, n_gt, eq_needed](simt::BlockCtx& blk) {
+        [&, n, threshold, n_gt, eq_needed, dspan](simt::BlockCtx& blk) {
             blk.warp_tiles(n, [&](simt::WarpCtx& w, std::size_t base, std::size_t) {
                 T elems[simt::kWarpSize];
                 bool gt[simt::kWarpSize];
                 bool eq[simt::kWarpSize];
                 const std::int32_t zeros[simt::kWarpSize] = {};
                 std::int32_t off[simt::kWarpSize];
-                w.load(std::span<const T>(data.span()), base, elems);
+                w.load(dspan, base, elems);
                 for (int l = 0; l < w.lanes(); ++l) {
                     gt[l] = threshold < elems[l];
                     eq[l] = elems[l] == threshold;

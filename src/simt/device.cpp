@@ -18,7 +18,9 @@ unsigned default_host_workers() noexcept {
 }
 
 Device::Device(ArchSpec spec, DeviceOptions opts)
-    : arch_(std::move(spec)), opts_(opts), pool_(opts.host_workers) {}
+    : arch_(std::move(spec)), opts_(opts), pool_(opts.host_workers) {
+    mem_pool_.set_stream_clock([this](int stream) { return stream_clock(stream); });
+}
 
 KernelProfile Device::launch(std::string name, const LaunchConfig& cfg, const KernelFn& fn) {
     if (cfg.grid_dim <= 0) throw std::invalid_argument("grid_dim must be positive");

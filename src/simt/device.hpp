@@ -22,6 +22,7 @@
 #include "simt/block.hpp"
 #include "simt/counters.hpp"
 #include "simt/memory.hpp"
+#include "simt/pool.hpp"
 #include "simt/thread_pool.hpp"
 #include "simt/timing.hpp"
 
@@ -63,14 +64,28 @@ public:
     using ControlThunk = std::function<void(Device&)>;
 
     explicit Device(ArchSpec spec, DeviceOptions opts = {});
+    // The memory pool's clock hook captures `this`; the device is pinned.
+    Device(const Device&) = delete;
+    Device& operator=(const Device&) = delete;
+    Device(Device&&) = delete;
+    Device& operator=(Device&&) = delete;
 
     [[nodiscard]] const ArchSpec& arch() const noexcept { return arch_; }
     [[nodiscard]] AllocationTracker& tracker() noexcept { return tracker_; }
+    /// The device's stream-aware memory arena (see simt/pool.hpp).
+    [[nodiscard]] MemoryPool& pool() noexcept { return mem_pool_; }
 
-    /// Allocates a global-memory array of n Ts.
+    /// Allocates a global-memory array of n Ts (fresh, non-pooled backing;
+    /// prefer pooled() for scratch that is released and re-acquired).
     template <typename T>
     [[nodiscard]] DeviceBuffer<T> alloc(std::size_t n) {
         return DeviceBuffer<T>(tracker_, n);
+    }
+
+    /// Checks out a pooled global-memory array of n Ts, ordered on `stream`.
+    template <typename T>
+    [[nodiscard]] PooledBuffer<T> pooled(std::size_t n, int stream = 0, bool zeroed = false) {
+        return PooledBuffer<T>(mem_pool_, n, stream, zeroed);
     }
 
     /// Launches a kernel: executes `fn` for each block, merges counters,
@@ -129,6 +144,7 @@ private:
     ArchSpec arch_;
     DeviceOptions opts_;
     AllocationTracker tracker_;
+    MemoryPool mem_pool_{tracker_};
     ThreadPool pool_;
     std::deque<ControlThunk> queue_;
     bool draining_ = false;

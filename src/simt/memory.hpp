@@ -16,14 +16,36 @@
 namespace gpusel::simt {
 
 /// Tracks current and peak simulated device-memory usage.
+///
+/// Two notions are kept apart so the memory pool can be measured honestly:
+/// *in-use* bytes (current/peak/baseline -- what the paper's auxiliary-
+/// storage bounds are about) and *backing allocations* (alloc_count -- how
+/// often fresh device memory had to be carved out).  A pool hit re-enters
+/// use via on_reuse (counted in current/peak, not in alloc_count); a buffer
+/// returning to a pool free list leaves use via on_recycle without being a
+/// real deallocation.
 class AllocationTracker {
 public:
+    /// Fresh backing allocation entering use.
     void on_alloc(std::size_t bytes) noexcept {
         current_ += bytes;
         if (current_ > peak_) peak_ = current_;
         ++alloc_count_;
     }
+    /// In-use bytes whose backing is actually destroyed.
     void on_free(std::size_t bytes) noexcept {
+        assert(bytes <= current_);
+        current_ -= bytes;
+    }
+    /// Pooled backing re-entering use (pool hit): counts toward the in-use
+    /// peak, not toward alloc_count.
+    void on_reuse(std::size_t bytes) noexcept {
+        current_ += bytes;
+        if (current_ > peak_) peak_ = current_;
+        ++reuse_count_;
+    }
+    /// In-use bytes returning to a pool free list (backing retained).
+    void on_recycle(std::size_t bytes) noexcept {
         assert(bytes <= current_);
         current_ -= bytes;
     }
@@ -36,13 +58,17 @@ public:
     [[nodiscard]] std::size_t peak_above_baseline() const noexcept {
         return peak_ > baseline_ ? peak_ - baseline_ : 0;
     }
+    /// Fresh backing allocations (DeviceBuffer constructions + pool misses).
     [[nodiscard]] std::uint64_t alloc_count() const noexcept { return alloc_count_; }
+    /// Pool hits: acquisitions served from a free list.
+    [[nodiscard]] std::uint64_t reuse_count() const noexcept { return reuse_count_; }
 
 private:
     std::size_t current_ = 0;
     std::size_t peak_ = 0;
     std::size_t baseline_ = 0;
     std::uint64_t alloc_count_ = 0;
+    std::uint64_t reuse_count_ = 0;
 };
 
 /// Owning handle for a global-memory array of T.  Move-only; releases its

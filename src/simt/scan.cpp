@@ -26,7 +26,7 @@ void exclusive_scan_i32(Device& dev, std::span<const std::int32_t> in,
 
     const int grid = suggest_grid(dev.arch(), n, block_dim);
     const std::size_t chunk = chunk_size(n, grid);
-    auto block_sums = dev.alloc<std::int32_t>(static_cast<std::size_t>(grid));
+    auto block_sums = dev.pooled<std::int32_t>(static_cast<std::size_t>(grid), stream);
 
     // Phase 1: per-block chunk scans (in-chunk exclusive), block sums out.
     dev.launch("scan_blocks",
