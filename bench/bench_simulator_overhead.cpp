@@ -13,6 +13,7 @@
 #include "core/sample_kernel.hpp"
 #include "core/sample_select.hpp"
 #include "data/distributions.hpp"
+#include "simt/fault.hpp"
 
 namespace {
 
@@ -103,6 +104,44 @@ void BM_SampleSelectWarmPool(benchmark::State& state) {
     state.counters["peak_aux_bytes"] = static_cast<double>(aux_bytes);
 }
 BENCHMARK(BM_SampleSelectWarmPool)->Arg(1 << 16)->Arg(1 << 18);
+
+// Selection under an injected 2% alloc/launch fault schedule: measures the
+// wall-clock cost of the bounded-retry machinery (docs/robustness.md) and
+// surfaces the Device's RobustnessCounters in the JSON so the self-healing
+// rate is tracked alongside throughput.  recovered_frac < 1 would mean the
+// retry budget no longer absorbs this fault rate -- a robustness regression.
+void BM_SampleSelectUnderFaults(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto data = data::generate<float>(
+        {.n = n, .dist = data::Distribution::uniform_real, .seed = 5});
+    simt::FaultSpec spec;
+    spec.seed = 17;
+    spec.alloc_rate = 0.02;
+    spec.launch_rate = 0.02;
+    std::uint64_t recovered = 0;
+    std::uint64_t total = 0;
+    simt::RobustnessCounters rc;
+    for (auto _ : state) {
+        simt::Device dev(simt::arch_v100(), {.record_profiles = false});
+        spec.seed += 1;  // a fresh deterministic schedule per iteration
+        dev.set_faults(spec);
+        auto res = core::try_sample_select<float>(dev, data, n / 2, {});
+        benchmark::DoNotOptimize(res);
+        if (res.ok()) ++recovered;
+        ++total;
+        rc += dev.robustness();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+    const auto iters = static_cast<double>(state.iterations());
+    state.counters["alloc_retries_per_iter"] = static_cast<double>(rc.alloc_retries) / iters;
+    state.counters["launch_retries_per_iter"] = static_cast<double>(rc.launch_retries) / iters;
+    state.counters["resamples_per_iter"] = static_cast<double>(rc.resamples) / iters;
+    state.counters["fallbacks_per_iter"] = static_cast<double>(rc.fallbacks) / iters;
+    state.counters["recovered_frac"] =
+        total ? static_cast<double>(recovered) / static_cast<double>(total) : 1.0;
+}
+BENCHMARK(BM_SampleSelectUnderFaults)->Arg(1 << 16)->Arg(1 << 18);
 
 void BM_QuickSelectEndToEnd(benchmark::State& state) {
     const auto n = static_cast<std::size_t>(state.range(0));

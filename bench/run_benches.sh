@@ -40,8 +40,11 @@ echo "running ${bench_bin} -> ${out_json}"
 
 # One-line summary per benchmark: items/sec plus, where the benchmark
 # records them, the memory-pool counters (backing allocations and pool
-# reuses per iteration, tracker peak_above_baseline in bytes).  All
-# counters also land verbatim in the JSON for regression tooling.
+# reuses per iteration, tracker peak_above_baseline in bytes) and the
+# robustness counters (fault retries / resamples / fallbacks per iteration
+# and the fraction of fault-injected runs that recovered, see
+# docs/robustness.md).  All counters also land verbatim in the JSON for
+# regression tooling.
 python3 - "${out_json}" <<'PY'
 import json, sys
 doc = json.load(open(sys.argv[1]))
@@ -54,6 +57,11 @@ for b in doc.get("benchmarks", []):
         line += (f'  allocs/iter={b["allocs_per_iter"]:6.1f}'
                  f'  reuses/iter={b.get("reuses_per_iter", 0.0):6.1f}'
                  f'  peak_aux={int(b.get("peak_aux_bytes", 0))}B')
+    if "recovered_frac" in b:
+        line += (f'  retries/iter={b.get("alloc_retries_per_iter", 0.0) + b.get("launch_retries_per_iter", 0.0):6.2f}'
+                 f'  resamples/iter={b.get("resamples_per_iter", 0.0):5.2f}'
+                 f'  fallbacks/iter={b.get("fallbacks_per_iter", 0.0):5.2f}'
+                 f'  recovered={b["recovered_frac"]:5.1%}')
     print(line)
 PY
 echo "wrote ${out_json}"

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "core/float_order.hpp"
 #include "core/searchtree.hpp"
 #include "data/rng.hpp"
 
@@ -15,7 +16,10 @@ CpuSelectResult<T> cpu_nth_element(std::span<const T> input, std::size_t rank) {
     if (rank >= input.size()) throw std::out_of_range("rank out of range");
     std::vector<T> copy(input.begin(), input.end());
     const auto t0 = std::chrono::steady_clock::now();
-    std::nth_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(rank), copy.end());
+    // Ordered under the same NaN-largest total order the device pipeline
+    // uses (docs/robustness.md), so references agree on NaN-laced inputs.
+    std::nth_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(rank), copy.end(),
+                     [](T a, T b) { return core::total_less(a, b); });
     const auto t1 = std::chrono::steady_clock::now();
     return {copy[static_cast<std::size_t>(rank)],
             std::chrono::duration<double, std::nano>(t1 - t0).count()};
@@ -26,6 +30,12 @@ T serial_sample_select(std::span<const T> input, std::size_t rank, int num_bucke
                        int sample_size, std::uint64_t seed) {
     if (rank >= input.size()) throw std::out_of_range("rank out of range");
     std::vector<T> buf(input.begin(), input.end());
+    // Same NaN staging pre-pass as the device front-ends: a rank inside the
+    // NaN tail answers the quiet-NaN representative, the recursion below
+    // only ever sees numeric keys.
+    const std::size_t nan_count = core::partition_nans_to_back(std::span<T>(buf));
+    if (rank >= buf.size() - nan_count) return core::quiet_nan<T>();
+    buf.resize(buf.size() - nan_count);
     data::Xoshiro256 rng(seed);
     const auto b = static_cast<std::size_t>(num_buckets);
 

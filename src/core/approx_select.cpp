@@ -2,62 +2,114 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
+#include "core/float_order.hpp"
 #include "core/pipeline.hpp"
 
 namespace gpusel::core {
 
 template <typename T>
-ApproxMultiResult<T> approx_multi_select(simt::Device& dev, std::span<const T> input,
-                                         std::span<const std::size_t> ranks,
-                                         const SampleSelectConfig& cfg) {
-    cfg.validate(/*exact=*/false);
-    const std::size_t n = input.size();
-    if (ranks.empty()) return {};
-    for (const std::size_t r : ranks) {
-        if (n == 0 || r >= n) throw std::out_of_range("rank out of range");
+Result<ApproxMultiResult<T>> try_approx_multi_select(simt::Device& dev, std::span<const T> input,
+                                                     std::span<const std::size_t> ranks,
+                                                     const SampleSelectConfig& cfg) {
+    try {
+        cfg.validate(/*exact=*/false);
+    } catch (const std::invalid_argument& e) {
+        return Status::failure(SelectError::invalid_argument, e.what());
     }
-    const auto b = static_cast<std::size_t>(cfg.num_buckets);
+    const std::size_t n = input.size();
+    if (ranks.empty()) return ApproxMultiResult<T>{};
+    for (const std::size_t r : ranks) {
+        if (n == 0 || r >= n) {
+            return Status::failure(SelectError::rank_out_of_range, "rank out of range");
+        }
+    }
     const auto origin = simt::LaunchOrigin::host;
+    PipelineContext ctx(dev, cfg);
 
+    // NaN staging pre-pass: the counting level must not see NaN keys, so
+    // when any exist the level runs over a compacted copy (staged only in
+    // that case -- clean inputs keep the zero-copy path).  Ranks inside
+    // the NaN tail answer quiet NaN with zero rank error.
+    const std::size_t nan_count = count_nan_keys(input);
+    DataHolder<T> compacted;
+    std::span<const T> level_data = input;
+    if (nan_count > 0) {
+        if (cfg.nan_policy == NanPolicy::reject) {
+            return Status::failure(SelectError::nan_keys_rejected,
+                                   "approx_select: input contains NaN keys");
+        }
+        Status staged =
+            with_fault_retry(ctx, [&] { compacted = DataHolder<T>::stage(ctx, input); });
+        if (!staged.ok()) return staged;
+        (void)partition_nans_to_back(compacted.span());
+        compacted.view(n - nan_count);
+        level_data = compacted.span();
+    }
+    const std::size_t n_num = n - nan_count;
+
+    ApproxMultiResult<T> res;
+    res.points.resize(ranks.size());
     const double t0 = dev.elapsed_ns();
     const std::uint64_t l0 = dev.launch_count();
 
-    // Single count-only level: no oracle write (this variant never
-    // filters), no per-block offsets kept.
-    PipelineContext ctx(dev, cfg);
-    const auto lv = run_bucket_level<T>(
-        ctx, input, ranks.front(), origin, /*salt=*/0,
-        {.write_oracles = false, .keep_block_offsets = false, .locate = true});
-    const auto totals = lv.totals_span();
-    const auto prefix = lv.prefix_span();
+    if (n_num > 0) {
+        const auto b = static_cast<std::size_t>(cfg.num_buckets);
+        // The locate rank only picks lv.bucket (unused here); clamp it into
+        // the numeric prefix so the select-bucket kernel stays in range.
+        const std::size_t locate_rank = ranks.front() < n_num ? ranks.front() : n_num - 1;
 
-    std::size_t max_bucket = 0;
-    for (std::size_t i = 0; i < b; ++i) {
-        max_bucket = std::max(max_bucket, static_cast<std::size_t>(totals[i]));
-    }
+        // Single count-only level: no oracle write (this variant never
+        // filters), no per-block offsets kept.
+        auto lvres = try_run_bucket_level<T>(
+            ctx, level_data, locate_rank, origin, /*salt=*/0,
+            {.write_oracles = false, .keep_block_offsets = false, .locate = true});
+        if (!lvres.ok()) return lvres.status();
+        const LevelOutcome<T> lv = lvres.take();
+        const auto totals = lv.totals_span();
+        const auto prefix = lv.prefix_span();
 
-    // Splitter ranks are r_i = prefix[i] for i = 1..b-1; answer every target
-    // rank from the same prefix table.
-    ApproxMultiResult<T> res;
-    res.points.resize(ranks.size());
-    for (std::size_t q = 0; q < ranks.size(); ++q) {
-        const std::size_t rank = ranks[q];
-        std::size_t best = 1;
-        std::size_t best_err = static_cast<std::size_t>(-1);
-        for (std::size_t i = 1; i < b; ++i) {
-            const auto r = static_cast<std::size_t>(prefix[i]);
-            const std::size_t err = r > rank ? r - rank : rank - r;
-            if (err < best_err) {
-                best_err = err;
-                best = i;
-            }
+        std::size_t max_bucket = 0;
+        for (std::size_t i = 0; i < b; ++i) {
+            max_bucket = std::max(max_bucket, static_cast<std::size_t>(totals[i]));
         }
-        auto& p = res.points[q];
-        p.value = lv.tree.splitters[best - 1];
-        p.splitter_rank = static_cast<std::size_t>(prefix[best]);
-        p.rank_error = best_err;
-        p.max_bucket = max_bucket;
+
+        // Splitter ranks are r_i = prefix[i] for i = 1..b-1; answer every
+        // target rank from the same prefix table.
+        for (std::size_t q = 0; q < ranks.size(); ++q) {
+            const std::size_t rank = ranks[q];
+            auto& p = res.points[q];
+            if (rank >= n_num) {
+                p.value = quiet_nan<T>();
+                p.splitter_rank = rank;
+                p.rank_error = 0;
+                p.max_bucket = max_bucket;
+                continue;
+            }
+            std::size_t best = 1;
+            std::size_t best_err = static_cast<std::size_t>(-1);
+            for (std::size_t i = 1; i < b; ++i) {
+                const auto r = static_cast<std::size_t>(prefix[i]);
+                const std::size_t err = r > rank ? r - rank : rank - r;
+                if (err < best_err) {
+                    best_err = err;
+                    best = i;
+                }
+            }
+            p.value = lv.tree.splitters[best - 1];
+            p.splitter_rank = static_cast<std::size_t>(prefix[best]);
+            p.rank_error = best_err;
+            p.max_bucket = max_bucket;
+        }
+    } else {
+        // All keys are NaN: every rank answers the NaN representative.
+        for (std::size_t q = 0; q < ranks.size(); ++q) {
+            auto& p = res.points[q];
+            p.value = quiet_nan<T>();
+            p.splitter_rank = ranks[q];
+            p.rank_error = 0;
+        }
     }
     res.sim_ns = dev.elapsed_ns() - t0;
     res.launches = dev.launch_count() - l0;
@@ -66,6 +118,26 @@ ApproxMultiResult<T> approx_multi_select(simt::Device& dev, std::span<const T> i
         p.launches = res.launches;
     }
     return res;
+}
+
+template <typename T>
+ApproxMultiResult<T> approx_multi_select(simt::Device& dev, std::span<const T> input,
+                                         std::span<const std::size_t> ranks,
+                                         const SampleSelectConfig& cfg) {
+    return try_approx_multi_select<T>(dev, input, ranks, cfg).take_or_throw();
+}
+
+template <typename T>
+Result<ApproxResult<T>> try_approx_select(simt::Device& dev, std::span<const T> input,
+                                          std::size_t rank, const SampleSelectConfig& cfg) {
+    PipelineContext ctx(dev, cfg);
+    DataHolder<T> buf;
+    Status s = with_fault_retry(ctx, [&] { buf = DataHolder<T>::stage(ctx, input); });
+    if (!s.ok()) return s;
+    const std::size_t ranks[] = {rank};
+    auto multi = try_approx_multi_select<T>(dev, std::span<const T>(buf.span()), ranks, cfg);
+    if (!multi.ok()) return multi.status();
+    return multi.value().points.front();
 }
 
 template <typename T>
@@ -79,11 +151,22 @@ ApproxResult<T> approx_select_device(simt::Device& dev, std::span<const T> data,
 template <typename T>
 ApproxResult<T> approx_select(simt::Device& dev, std::span<const T> input, std::size_t rank,
                               const SampleSelectConfig& cfg) {
-    PipelineContext ctx(dev, cfg);
-    auto buf = DataHolder<T>::stage(ctx, input);
-    return approx_select_device<T>(dev, buf.span(), rank, cfg);
+    return try_approx_select<T>(dev, input, rank, cfg).take_or_throw();
 }
 
+template Result<ApproxMultiResult<float>> try_approx_multi_select<float>(
+    simt::Device&, std::span<const float>, std::span<const std::size_t>,
+    const SampleSelectConfig&);
+template Result<ApproxMultiResult<double>> try_approx_multi_select<double>(
+    simt::Device&, std::span<const double>, std::span<const std::size_t>,
+    const SampleSelectConfig&);
+template Result<ApproxResult<float>> try_approx_select<float>(simt::Device&,
+                                                              std::span<const float>, std::size_t,
+                                                              const SampleSelectConfig&);
+template Result<ApproxResult<double>> try_approx_select<double>(simt::Device&,
+                                                                std::span<const double>,
+                                                                std::size_t,
+                                                                const SampleSelectConfig&);
 template ApproxMultiResult<float> approx_multi_select<float>(simt::Device&,
                                                              std::span<const float>,
                                                              std::span<const std::size_t>,

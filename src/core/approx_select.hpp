@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/status.hpp"
 #include "simt/device.hpp"
 
 namespace gpusel::core {
@@ -53,12 +54,41 @@ template <typename T>
                                                        std::span<const std::size_t> ranks,
                                                        const SampleSelectConfig& cfg);
 
+/// Fault-hardened variants: typed Status for bad arguments, out-of-range
+/// ranks, rejected NaN keys and exhausted fault retries.  Under
+/// NanPolicy::propagate_largest a rank inside the NaN tail answers quiet
+/// NaN with zero rank error (every tail element is NaN).
+template <typename T>
+[[nodiscard]] Result<ApproxMultiResult<T>> try_approx_multi_select(
+    simt::Device& dev, std::span<const T> input, std::span<const std::size_t> ranks,
+    const SampleSelectConfig& cfg);
+
+template <typename T>
+[[nodiscard]] Result<ApproxResult<T>> try_approx_select(simt::Device& dev,
+                                                        std::span<const T> input,
+                                                        std::size_t rank,
+                                                        const SampleSelectConfig& cfg);
+
 /// Device-resident variant (does not copy the input).
 template <typename T>
 [[nodiscard]] ApproxResult<T> approx_select_device(simt::Device& dev, std::span<const T> data,
                                                    std::size_t rank,
                                                    const SampleSelectConfig& cfg);
 
+extern template Result<ApproxMultiResult<float>> try_approx_multi_select<float>(
+    simt::Device&, std::span<const float>, std::span<const std::size_t>,
+    const SampleSelectConfig&);
+extern template Result<ApproxMultiResult<double>> try_approx_multi_select<double>(
+    simt::Device&, std::span<const double>, std::span<const std::size_t>,
+    const SampleSelectConfig&);
+extern template Result<ApproxResult<float>> try_approx_select<float>(simt::Device&,
+                                                                     std::span<const float>,
+                                                                     std::size_t,
+                                                                     const SampleSelectConfig&);
+extern template Result<ApproxResult<double>> try_approx_select<double>(simt::Device&,
+                                                                       std::span<const double>,
+                                                                       std::size_t,
+                                                                       const SampleSelectConfig&);
 extern template ApproxMultiResult<float> approx_multi_select<float>(
     simt::Device&, std::span<const float>, std::span<const std::size_t>,
     const SampleSelectConfig&);

@@ -1,8 +1,10 @@
 #include "core/batched_select.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "bitonic/bitonic.hpp"
+#include "core/float_order.hpp"
 #include "core/pipeline.hpp"
 #include "core/sample_select.hpp"
 #include "simt/timing.hpp"
@@ -48,49 +50,85 @@ void batched_kernel(simt::Device& dev, std::span<const T> flat,
 }  // namespace
 
 template <typename T>
-BatchedSelectResult<T> batched_select(simt::Device& dev, std::span<const T> flat,
-                                      std::span<const std::size_t> offsets,
-                                      std::span<const std::size_t> ranks,
-                                      const SampleSelectConfig& cfg) {
-    cfg.validate(/*exact=*/true);
+Result<BatchedSelectResult<T>> try_batched_select(simt::Device& dev, std::span<const T> flat,
+                                                  std::span<const std::size_t> offsets,
+                                                  std::span<const std::size_t> ranks,
+                                                  const SampleSelectConfig& cfg) {
+    try {
+        cfg.validate(/*exact=*/true);
+    } catch (const std::invalid_argument& e) {
+        return Status::failure(SelectError::invalid_argument, e.what());
+    }
     if (offsets.size() < 2 || ranks.size() != offsets.size() - 1) {
-        throw std::invalid_argument("batched_select: need offsets of size m+1 and m ranks");
+        return Status::failure(SelectError::invalid_argument,
+                               "batched_select: need offsets of size m+1 and m ranks");
     }
     if (offsets.front() != 0 || offsets.back() != flat.size()) {
-        throw std::invalid_argument("batched_select: offsets must span the flat array");
+        return Status::failure(SelectError::invalid_argument,
+                               "batched_select: offsets must span the flat array");
     }
     const std::size_t m = ranks.size();
     for (std::size_t i = 0; i < m; ++i) {
         if (offsets[i + 1] < offsets[i]) {
-            throw std::invalid_argument("batched_select: offsets must be non-decreasing");
+            return Status::failure(SelectError::invalid_argument,
+                                   "batched_select: offsets must be non-decreasing");
         }
         const std::size_t len = offsets[i + 1] - offsets[i];
-        if (len == 0) throw std::invalid_argument("batched_select: empty sequence");
-        if (ranks[i] >= len) throw std::out_of_range("batched_select: rank out of range");
+        if (len == 0) {
+            return Status::failure(SelectError::empty_input, "batched_select: empty sequence");
+        }
+        if (ranks[i] >= len) {
+            return Status::failure(SelectError::rank_out_of_range,
+                                   "batched_select: rank out of range");
+        }
     }
 
     // Copy the batch to the device (as elsewhere, the transfer is not part
     // of the timed selection).
     PipelineContext ctx(dev, cfg);
-    auto dflat = DataHolder<T>::stage(ctx, flat);
-    auto dout = ctx.scratch<T>(m);
+    DataHolder<T> dflat;
+    simt::PooledBuffer<T> dout;
+    Status s = with_fault_retry(ctx, [&] {
+        dflat = DataHolder<T>::stage(ctx, flat);
+        dout = ctx.scratch<T>(m);
+    });
+    if (!s.ok()) return s;
 
     BatchedSelectResult<T> res;
     res.values.resize(m);
+
+    // NaN staging pre-pass, per sequence: each segment of the device copy is
+    // partitioned so its NaN keys form the segment tail (a no-op on clean
+    // data).  Kernels then only ever see the numeric prefix of a sequence.
+    std::vector<std::size_t> len_num(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        const std::size_t len = offsets[i + 1] - offsets[i];
+        const std::size_t nan_c = partition_nans_to_back(dflat.span().subspan(offsets[i], len));
+        res.nan_count += nan_c;
+        len_num[i] = len - nan_c;
+    }
+    if (res.nan_count > 0 && cfg.nan_policy == NanPolicy::reject) {
+        return Status::failure(SelectError::nan_keys_rejected,
+                               "batched_select: input contains NaN keys");
+    }
+
     const double t0 = dev.elapsed_ns();
     const std::uint64_t l0 = dev.launch_count();
 
-    // Split by the single-block sorting capacity.
+    // Split by the single-block sorting capacity of the *numeric* prefix; a
+    // rank inside a sequence's NaN tail answers quiet NaN outright and takes
+    // neither path.
     std::vector<std::size_t> sb;
     std::vector<std::size_t> sl;
     std::vector<std::size_t> sr;
     std::vector<std::size_t> slot;
     std::vector<std::size_t> long_seqs;
     for (std::size_t i = 0; i < m; ++i) {
-        const std::size_t len = offsets[i + 1] - offsets[i];
-        if (len <= bitonic::kMaxSortSize) {
+        if (ranks[i] >= len_num[i]) {
+            res.values[i] = quiet_nan<T>();
+        } else if (len_num[i] <= bitonic::kMaxSortSize) {
             sb.push_back(offsets[i]);
-            sl.push_back(len);
+            sl.push_back(len_num[i]);
             sr.push_back(ranks[i]);
             slot.push_back(i);
         } else {
@@ -99,7 +137,12 @@ BatchedSelectResult<T> batched_select(simt::Device& dev, std::span<const T> flat
     }
 
     if (!sb.empty()) {
-        batched_kernel<T>(dev, dflat.span(), sb, sl, sr, dout.span(), slot, cfg.block_dim);
+        // Launch faults fire before any block runs, so a retry re-launches
+        // the identical grid with no partial writes to undo.
+        s = with_fault_retry(ctx, [&] {
+            batched_kernel<T>(dev, dflat.span(), sb, sl, sr, dout.span(), slot, cfg.block_dim);
+        });
+        if (!s.ok()) return s;
         for (std::size_t j = 0; j < slot.size(); ++j) res.values[slot[j]] = dout[slot[j]];
     }
     res.batched_sequences = sb.size();
@@ -108,13 +151,18 @@ BatchedSelectResult<T> batched_select(simt::Device& dev, std::span<const T> flat
     // pooled staging buffer; each releases it back to the arena, so one
     // block (per size class) serves the whole batch.
     for (const std::size_t i : long_seqs) {
-        const std::size_t len = offsets[i + 1] - offsets[i];
-        auto seq = DataHolder<T>::acquire(ctx, len);
-        const auto src = dflat.span();
-        std::copy(src.begin() + static_cast<std::ptrdiff_t>(offsets[i]),
-                  src.begin() + static_cast<std::ptrdiff_t>(offsets[i + 1]),
-                  seq.span().begin());
-        res.values[i] = sample_select_staged<T>(dev, std::move(seq), ranks[i], cfg).value;
+        DataHolder<T> seq;
+        s = with_fault_retry(ctx, [&] {
+            seq = DataHolder<T>::acquire(ctx, len_num[i]);
+            const auto src = dflat.span();
+            std::copy(src.begin() + static_cast<std::ptrdiff_t>(offsets[i]),
+                      src.begin() + static_cast<std::ptrdiff_t>(offsets[i] + len_num[i]),
+                      seq.span().begin());
+        });
+        if (!s.ok()) return s;
+        auto sub = try_sample_select_staged<T>(dev, std::move(seq), ranks[i], cfg);
+        if (!sub.ok()) return sub.status();
+        res.values[i] = sub.value().value;
     }
     res.recursive_sequences = long_seqs.size();
 
@@ -123,6 +171,20 @@ BatchedSelectResult<T> batched_select(simt::Device& dev, std::span<const T> flat
     return res;
 }
 
+template <typename T>
+BatchedSelectResult<T> batched_select(simt::Device& dev, std::span<const T> flat,
+                                      std::span<const std::size_t> offsets,
+                                      std::span<const std::size_t> ranks,
+                                      const SampleSelectConfig& cfg) {
+    return try_batched_select<T>(dev, flat, offsets, ranks, cfg).take_or_throw();
+}
+
+template Result<BatchedSelectResult<float>> try_batched_select<float>(
+    simt::Device&, std::span<const float>, std::span<const std::size_t>,
+    std::span<const std::size_t>, const SampleSelectConfig&);
+template Result<BatchedSelectResult<double>> try_batched_select<double>(
+    simt::Device&, std::span<const double>, std::span<const std::size_t>,
+    std::span<const std::size_t>, const SampleSelectConfig&);
 template BatchedSelectResult<float> batched_select<float>(simt::Device&, std::span<const float>,
                                                           std::span<const std::size_t>,
                                                           std::span<const std::size_t>,

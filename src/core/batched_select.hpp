@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/status.hpp"
 #include "simt/device.hpp"
 
 namespace gpusel::core {
@@ -30,7 +31,17 @@ struct BatchedSelectResult {
     std::size_t recursive_sequences = 0;
     double sim_ns = 0.0;
     std::uint64_t launches = 0;
+    /// NaN keys across the whole batch (each sequence gets its own staging
+    /// pre-pass; a rank inside a sequence's NaN tail answers quiet NaN).
+    std::size_t nan_count = 0;
 };
+
+/// Fault-hardened batched selection: malformed batch shapes and
+/// out-of-range ranks come back as a typed Status instead of exceptions.
+template <typename T>
+[[nodiscard]] Result<BatchedSelectResult<T>> try_batched_select(
+    simt::Device& dev, std::span<const T> flat, std::span<const std::size_t> offsets,
+    std::span<const std::size_t> ranks, const SampleSelectConfig& cfg);
 
 /// Selects ranks[i] from the i-th sequence of a CSR-style batch:
 /// sequence i occupies flat[offsets[i] .. offsets[i+1]).
@@ -43,6 +54,12 @@ template <typename T>
                                                     std::span<const std::size_t> ranks,
                                                     const SampleSelectConfig& cfg);
 
+extern template Result<BatchedSelectResult<float>> try_batched_select<float>(
+    simt::Device&, std::span<const float>, std::span<const std::size_t>,
+    std::span<const std::size_t>, const SampleSelectConfig&);
+extern template Result<BatchedSelectResult<double>> try_batched_select<double>(
+    simt::Device&, std::span<const double>, std::span<const std::size_t>,
+    std::span<const std::size_t>, const SampleSelectConfig&);
 extern template BatchedSelectResult<float> batched_select<float>(simt::Device&,
                                                                  std::span<const float>,
                                                                  std::span<const std::size_t>,

@@ -20,6 +20,17 @@ inline constexpr int kMaxExactBuckets = 256;
 /// by shared memory only (b <= 1024 on older GPUs, Sec. V-G).
 inline constexpr int kMaxApproxBuckets = 1024;
 
+/// What a selection does when float keys contain NaN (docs/robustness.md).
+/// The default places all NaNs at the top of the total order
+/// (-inf < ... < -0 == +0 < ... < +inf < NaN, all NaNs mutually equal),
+/// matching the IEEE totalOrder direction for positive NaNs.
+enum class NanPolicy {
+    /// NaNs sort above +inf; a rank inside the NaN tail yields quiet NaN.
+    propagate_largest,
+    /// Any NaN key fails the call with SelectError::nan_keys_rejected.
+    reject,
+};
+
 struct SampleSelectConfig {
     /// Number of buckets b (power of two).
     int num_buckets = 256;
@@ -43,6 +54,23 @@ struct SampleSelectConfig {
     /// (0 = default stream); independent selections on different streams
     /// overlap in simulated time.
     int stream = 0;
+    /// Guaranteed-progress policy: stalled levels (the rank bucket did not
+    /// shrink) retried with a fresh splitter sample before the descent
+    /// falls back to deterministic median-of-9 tripartition levels.
+    /// 0 = fall back on the first stall.
+    int max_stalled_levels = 4;
+    /// Hard cap on total bucketing levels (including resampled and
+    /// fallback levels); exceeding it fails with
+    /// SelectError::depth_exceeded, so every input provably terminates.
+    int max_levels = 128;
+    /// NaN key handling for float/double inputs (docs/robustness.md).
+    NanPolicy nan_policy = NanPolicy::propagate_largest;
+    /// Diagnostics/testing: skip sampling entirely and descend through the
+    /// deterministic fallback levels from the start.  Exercises the
+    /// guaranteed-progress path, which healthy sampled descents can never
+    /// reach (a sampled splitter always carves off its own equality
+    /// bucket, so a level never stalls naturally).
+    bool force_fallback = false;
 
     [[nodiscard]] int effective_sample_size() const noexcept {
         if (sample_size > 0) return sample_size;
@@ -78,6 +106,8 @@ struct SampleSelectConfig {
         if (base_case_size < 2 || base_case_size > 4096) {
             fail("base_case_size must be in [2, 4096] (bitonic sort capacity)");
         }
+        if (max_stalled_levels < 0) fail("max_stalled_levels must be >= 0");
+        if (max_levels < 1) fail("max_levels must be >= 1");
     }
 };
 

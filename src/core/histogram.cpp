@@ -1,7 +1,9 @@
 #include "core/histogram.hpp"
 
 #include <stdexcept>
+#include <utility>
 
+#include "core/float_order.hpp"
 #include "core/pipeline.hpp"
 #include "simt/scan.hpp"
 #include "simt/timing.hpp"
@@ -9,13 +11,42 @@
 namespace gpusel::core {
 
 template <typename T>
-EquiDepthHistogram<T> equi_depth_histogram(simt::Device& dev, std::span<const T> data,
-                                           const SampleSelectConfig& cfg) {
-    cfg.validate(/*exact=*/false);
+Result<EquiDepthHistogram<T>> try_equi_depth_histogram(simt::Device& dev, std::span<const T> data,
+                                                       const SampleSelectConfig& cfg) {
+    try {
+        cfg.validate(/*exact=*/false);
+    } catch (const std::invalid_argument& e) {
+        return Status::failure(SelectError::invalid_argument, e.what());
+    }
     const std::size_t n = data.size();
-    if (n == 0) throw std::invalid_argument("histogram of an empty dataset");
+    if (n == 0) {
+        return Status::failure(SelectError::empty_input, "histogram of an empty dataset");
+    }
     const auto b = static_cast<std::size_t>(cfg.num_buckets);
     const auto origin = simt::LaunchOrigin::host;
+    PipelineContext ctx(dev, cfg);
+
+    // NaN keys cannot enter the count kernel (its tree traversal assumes
+    // the total order).  They belong in the last bucket -- where
+    // find_bucket sends a NaN probe -- so the level runs over a compacted
+    // copy and the NaN count is added to that bucket afterwards.  The copy
+    // is staged only when NaNs exist, so clean inputs keep the zero-copy
+    // path and its event stream.
+    const std::size_t nan_count = count_nan_keys(data);
+    DataHolder<T> compacted;
+    if (nan_count > 0) {
+        if (cfg.nan_policy == NanPolicy::reject) {
+            return Status::failure(SelectError::nan_keys_rejected,
+                                   "equi_depth_histogram: input contains NaN keys");
+        }
+        Status staged = with_fault_retry(ctx, [&] {
+            compacted = DataHolder<T>::stage(ctx, data);
+        });
+        if (!staged.ok()) return staged;
+        (void)partition_nans_to_back(compacted.span());
+        compacted.view(n - nan_count);
+        data = compacted.span();
+    }
 
     EquiDepthHistogram<T> h;
     h.n = n;
@@ -24,17 +55,22 @@ EquiDepthHistogram<T> equi_depth_histogram(simt::Device& dev, std::span<const T>
 
     // Count-only pipeline level: no oracles, no per-block offsets, and no
     // select-bucket (there is no rank to locate).
-    PipelineContext ctx(dev, cfg);
-    const auto lv = run_bucket_level<T>(
+    auto lvres = try_run_bucket_level<T>(
         ctx, data, /*rank=*/0, origin, /*salt=*/0,
         {.write_oracles = false, .keep_block_offsets = false, .locate = false});
+    if (!lvres.ok()) return lvres.status();
+    const LevelOutcome<T> lv = lvres.take();
     h.tree = lv.tree;
     h.boundaries = h.tree.splitters;
     const auto totals = lv.totals_span();
 
     // Cumulative counts via the device scan substrate.
-    auto prefix = ctx.scratch<std::int32_t>(b);
-    simt::exclusive_scan_i32(dev, totals, prefix.span(), origin, cfg.block_dim, cfg.stream);
+    simt::PooledBuffer<std::int32_t> prefix;
+    Status s = with_fault_retry(ctx, [&] {
+        prefix = ctx.scratch<std::int32_t>(b);
+        simt::exclusive_scan_i32(dev, totals, prefix.span(), origin, cfg.block_dim, cfg.stream);
+    });
+    if (!s.ok()) return s;
 
     h.counts.resize(b);
     h.cumulative.resize(b + 1);
@@ -42,6 +78,7 @@ EquiDepthHistogram<T> equi_depth_histogram(simt::Device& dev, std::span<const T>
         h.counts[i] = totals[i];
         h.cumulative[i] = prefix[i];
     }
+    h.counts[b - 1] += static_cast<std::int64_t>(nan_count);
     h.cumulative[b] = static_cast<std::int64_t>(n);
 
     h.sim_ns = dev.elapsed_ns() - t0;
@@ -50,41 +87,70 @@ EquiDepthHistogram<T> equi_depth_histogram(simt::Device& dev, std::span<const T>
 }
 
 template <typename T>
-RankQueryResult<T> rank_of(simt::Device& dev, std::span<const T> data, T v,
-                           const SampleSelectConfig& cfg) {
+EquiDepthHistogram<T> equi_depth_histogram(simt::Device& dev, std::span<const T> data,
+                                           const SampleSelectConfig& cfg) {
+    return try_equi_depth_histogram<T>(dev, data, cfg).take_or_throw();
+}
+
+template <typename T>
+Result<RankQueryResult<T>> try_rank_of(simt::Device& dev, std::span<const T> data, T v,
+                                       const SampleSelectConfig& cfg) {
     const std::size_t n = data.size();
     RankQueryResult<T> res;
     const double t0 = dev.elapsed_ns();
     if (n == 0) return res;
 
-    // Tripartition histogram {smaller, equal, larger(, pad)}.
     PipelineContext ctx(dev, cfg);
-    auto totals = ctx.zeroed_i32(4, simt::LaunchOrigin::host);
-    const int grid = simt::suggest_grid(dev.arch(), n, cfg.block_dim, cfg.unroll);
-    dev.launch("rank_count",
-               {.grid_dim = grid, .block_dim = cfg.block_dim,
-                .origin = simt::LaunchOrigin::host, .unroll = cfg.unroll,
-                .stream = cfg.stream},
-               [&, n, v](simt::BlockCtx& blk) {
-                   blk.warp_tiles(n, [&](simt::WarpCtx& w, std::size_t base, std::size_t) {
-                       T elems[simt::kWarpSize];
-                       std::int32_t side[simt::kWarpSize];
-                       w.load(data, base, elems);
-                       for (int l = 0; l < w.lanes(); ++l) {
-                           side[l] = elems[l] < v ? 0 : (elems[l] == v ? 1 : 2);
-                       }
-                       w.add_instr(2 * static_cast<std::uint64_t>(w.lanes()));
-                       // 2-bit aggregation: three possible targets
-                       w.atomic_add_aggregated(simt::AtomicSpace::global, totals.span(), side,
-                                               2);
+    Status s = with_fault_retry(ctx, [&] {
+        // Tripartition histogram {smaller, equal, larger(, pad)} under the
+        // total order: NaN keys compare greater than any numeric v, and a
+        // NaN v equals exactly the NaN keys (identical decisions to plain
+        // </== on NaN-free data).
+        auto totals = ctx.zeroed_i32(4, simt::LaunchOrigin::host);
+        const int grid = simt::suggest_grid(dev.arch(), n, cfg.block_dim, cfg.unroll);
+        dev.launch("rank_count",
+                   {.grid_dim = grid, .block_dim = cfg.block_dim,
+                    .origin = simt::LaunchOrigin::host, .unroll = cfg.unroll,
+                    .stream = cfg.stream},
+                   [&, n, v](simt::BlockCtx& blk) {
+                       blk.warp_tiles(n, [&](simt::WarpCtx& w, std::size_t base, std::size_t) {
+                           T elems[simt::kWarpSize];
+                           std::int32_t side[simt::kWarpSize];
+                           w.load(data, base, elems);
+                           for (int l = 0; l < w.lanes(); ++l) {
+                               side[l] = total_less(elems[l], v)
+                                             ? 0
+                                             : (total_equal(elems[l], v) ? 1 : 2);
+                           }
+                           w.add_instr(2 * static_cast<std::uint64_t>(w.lanes()));
+                           // 2-bit aggregation: three possible targets
+                           w.atomic_add_aggregated(simt::AtomicSpace::global, totals.span(), side,
+                                                   2);
+                       });
                    });
-               });
-    res.less = static_cast<std::size_t>(totals[0]);
-    res.equal = static_cast<std::size_t>(totals[1]);
+        res.less = static_cast<std::size_t>(totals[0]);
+        res.equal = static_cast<std::size_t>(totals[1]);
+    });
+    if (!s.ok()) return s;
     res.sim_ns = dev.elapsed_ns() - t0;
     return res;
 }
 
+template <typename T>
+RankQueryResult<T> rank_of(simt::Device& dev, std::span<const T> data, T v,
+                           const SampleSelectConfig& cfg) {
+    return try_rank_of<T>(dev, data, v, cfg).take_or_throw();
+}
+
+template Result<EquiDepthHistogram<float>> try_equi_depth_histogram<float>(
+    simt::Device&, std::span<const float>, const SampleSelectConfig&);
+template Result<EquiDepthHistogram<double>> try_equi_depth_histogram<double>(
+    simt::Device&, std::span<const double>, const SampleSelectConfig&);
+template Result<RankQueryResult<float>> try_rank_of<float>(simt::Device&, std::span<const float>,
+                                                           float, const SampleSelectConfig&);
+template Result<RankQueryResult<double>> try_rank_of<double>(simt::Device&,
+                                                             std::span<const double>, double,
+                                                             const SampleSelectConfig&);
 template EquiDepthHistogram<float> equi_depth_histogram<float>(simt::Device&,
                                                                std::span<const float>,
                                                                const SampleSelectConfig&);

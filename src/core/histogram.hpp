@@ -17,6 +17,7 @@
 
 #include "core/config.hpp"
 #include "core/searchtree.hpp"
+#include "core/status.hpp"
 #include "simt/device.hpp"
 
 namespace gpusel::core {
@@ -55,6 +56,13 @@ struct EquiDepthHistogram {
     }
 };
 
+/// Fault-hardened histogram: empty input and bad config come back as a
+/// typed Status; NaN keys (float/double) land in the last bucket, exactly
+/// where find_bucket sends a NaN probe, or fail under NanPolicy::reject.
+template <typename T>
+[[nodiscard]] Result<EquiDepthHistogram<T>> try_equi_depth_histogram(
+    simt::Device& dev, std::span<const T> data, const SampleSelectConfig& cfg);
+
 /// Builds an equi-depth histogram with cfg.num_buckets buckets (counting
 /// pass + device scan for the cumulative sums).
 template <typename T>
@@ -71,11 +79,28 @@ struct RankQueryResult {
     double sim_ns = 0.0;
 };
 
+/// Fault-hardened rank query; `v` may be NaN (it equals exactly the NaN
+/// keys and exceeds every numeric key, per the total order).
+template <typename T>
+[[nodiscard]] Result<RankQueryResult<T>> try_rank_of(simt::Device& dev, std::span<const T> data,
+                                                     T v, const SampleSelectConfig& cfg = {});
+
 /// Exact rank of `v` in `data` via one counting pass.
 template <typename T>
 [[nodiscard]] RankQueryResult<T> rank_of(simt::Device& dev, std::span<const T> data, T v,
                                          const SampleSelectConfig& cfg = {});
 
+extern template Result<EquiDepthHistogram<float>> try_equi_depth_histogram<float>(
+    simt::Device&, std::span<const float>, const SampleSelectConfig&);
+extern template Result<EquiDepthHistogram<double>> try_equi_depth_histogram<double>(
+    simt::Device&, std::span<const double>, const SampleSelectConfig&);
+extern template Result<RankQueryResult<float>> try_rank_of<float>(simt::Device&,
+                                                                  std::span<const float>, float,
+                                                                  const SampleSelectConfig&);
+extern template Result<RankQueryResult<double>> try_rank_of<double>(simt::Device&,
+                                                                    std::span<const double>,
+                                                                    double,
+                                                                    const SampleSelectConfig&);
 extern template EquiDepthHistogram<float> equi_depth_histogram<float>(simt::Device&,
                                                                       std::span<const float>,
                                                                       const SampleSelectConfig&);

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <map>
 #include <stdexcept>
+#include <utility>
 
+#include "core/float_order.hpp"
 #include "core/pipeline.hpp"
 
 namespace gpusel::core {
@@ -21,23 +23,43 @@ struct Target {
 /// descent, children branch, so each child gets its own pooled holder
 /// (released back to the pool when its subtree is done) instead of the
 /// two-buffer ping-pong.
+///
+/// `stalls` counts consecutive no-progress levels on this path; past
+/// cfg.max_stalled_levels the node runs the deterministic tripartition
+/// level instead of sampling (guaranteed progress, docs/robustness.md).
 template <typename T>
-void solve(const PipelineContext& ctx, DataHolder<T> buf, std::vector<Target> targets,
-           std::size_t depth, MultiSelectResult<T>& res) {
+Status solve(const PipelineContext& ctx, DataHolder<T> buf, std::vector<Target> targets,
+             std::size_t depth, std::size_t stalls, MultiSelectResult<T>& res) {
     const SampleSelectConfig& cfg = ctx.cfg();
     const std::size_t n = buf.size();
     res.max_depth = std::max(res.max_depth, depth);
     const auto origin = depth == 0 ? simt::LaunchOrigin::host : simt::LaunchOrigin::device;
 
     if (n <= cfg.base_case_size) {
-        sort_base_case<T>(ctx, buf.span(), origin);
+        Status s = with_fault_retry(ctx, [&] { sort_base_case<T>(ctx, buf.span(), origin); });
+        if (!s.ok()) return s;
         for (const Target& t : targets) res.values[t.out_slot] = buf.span()[t.rank];
-        return;
+        return Status::success();
+    }
+    if (depth >= static_cast<std::size_t>(cfg.max_levels)) {
+        return Status::failure(SelectError::depth_exceeded,
+                               "multi_select: max_levels recursion depth exceeded");
     }
 
-    const auto lv =
-        run_bucket_level<T>(ctx, buf.span(), targets.front().rank, origin, depth * 977);
-    const auto b = static_cast<std::size_t>(cfg.num_buckets);
+    const bool use_fallback =
+        cfg.force_fallback || stalls > static_cast<std::size_t>(cfg.max_stalled_levels);
+    auto lvres =
+        use_fallback
+            ? try_run_pivot_level<T>(ctx, buf.span(), targets.front().rank, origin)
+            : try_run_bucket_level<T>(ctx, buf.span(), targets.front().rank, origin, depth * 977);
+    if (!lvres.ok()) return lvres.status();
+    const LevelOutcome<T> lv = lvres.take();
+    if (use_fallback) {
+        ++res.fallback_levels;
+        ++ctx.dev().robustness().fallback_levels;
+    }
+
+    const auto b = static_cast<std::size_t>(lv.tree.num_buckets);
     const auto prefix = lv.prefix_span();
     const auto totals = lv.totals_span();
 
@@ -63,46 +85,110 @@ void solve(const PipelineContext& ctx, DataHolder<T> buf, std::vector<Target> ta
             continue;
         }
         const auto bucket_size = static_cast<std::size_t>(totals[ub]);
+        std::size_t child_stalls = 0;
         if (bucket_size == n) {
-            // Pathological sample; fall back to a fresh single level with a
-            // different salt by recursing on a copy (bounded by depth cap).
-            if (depth > 64) throw std::runtime_error("multi_select: no partition progress");
+            // Stalled level (pathological sample; all targets fell into one
+            // full-size bucket).  Recursing re-samples with a depth-based
+            // salt; past the budget the child switches to the fallback.
+            if (use_fallback) {
+                // The tripartition tree's equality bucket is non-empty by
+                // construction, so this means broken invariants.
+                return Status::failure(
+                    SelectError::no_progress,
+                    "multi_select: deterministic fallback level failed to shrink the bucket");
+            }
+            ++res.resamples;
+            ++ctx.dev().robustness().resamples;
+            child_stalls = stalls + 1;
+            if (child_stalls == static_cast<std::size_t>(cfg.max_stalled_levels) + 1) {
+                ++ctx.dev().robustness().fallbacks;
+            }
         }
-        auto child = DataHolder<T>::acquire(ctx, bucket_size);
-        filter_bucket<T>(ctx, buf.span(), lv, bucket, child.span(), origin);
-        solve(ctx, std::move(child), std::move(sub), depth + 1, res);
+        DataHolder<T> child;
+        Status s = with_fault_retry(ctx, [&] {
+            child = DataHolder<T>::acquire(ctx, bucket_size);
+            filter_bucket<T>(ctx, buf.span(), lv, bucket, child.span(), origin);
+        });
+        if (!s.ok()) return s;
+        s = solve(ctx, std::move(child), std::move(sub), depth + 1, child_stalls, res);
+        if (!s.ok()) return s;
     }
+    return Status::success();
 }
 
 }  // namespace
 
 template <typename T>
-MultiSelectResult<T> multi_select(simt::Device& dev, std::span<const T> input,
-                                  std::span<const std::size_t> ranks,
-                                  const SampleSelectConfig& cfg) {
-    cfg.validate(/*exact=*/true);
+Result<MultiSelectResult<T>> try_multi_select(simt::Device& dev, std::span<const T> input,
+                                              std::span<const std::size_t> ranks,
+                                              const SampleSelectConfig& cfg) {
+    try {
+        cfg.validate(/*exact=*/true);
+    } catch (const std::invalid_argument& e) {
+        return Status::failure(SelectError::invalid_argument, e.what());
+    }
     const std::size_t n = input.size();
-    if (ranks.empty()) return {};
+    if (ranks.empty()) return MultiSelectResult<T>{};
     for (std::size_t r : ranks) {
-        if (r >= n) throw std::out_of_range("rank out of range");
+        if (r >= n) {
+            return Status::failure(SelectError::rank_out_of_range, "rank out of range");
+        }
     }
 
     PipelineContext ctx(dev, cfg);
-    auto buf = DataHolder<T>::stage(ctx, input);
+    DataHolder<T> buf;
+    Status s = with_fault_retry(ctx, [&] { buf = DataHolder<T>::stage(ctx, input); });
+    if (!s.ok()) return s;
 
     MultiSelectResult<T> res;
     res.values.resize(ranks.size());
-    std::vector<Target> targets(ranks.size());
-    for (std::size_t i = 0; i < ranks.size(); ++i) targets[i] = {ranks[i], i};
+
+    // NaN staging pre-pass: ranks inside the NaN tail of the total order
+    // answer quiet NaN; the rest descend over the non-NaN prefix.
+    const std::size_t nan_count = partition_nans_to_back(buf.span());
+    if (nan_count > 0 && cfg.nan_policy == NanPolicy::reject) {
+        return Status::failure(SelectError::nan_keys_rejected,
+                               "multi_select: input contains NaN keys");
+    }
+    const std::size_t n_num = n - nan_count;
+    std::vector<Target> targets;
+    targets.reserve(ranks.size());
+    for (std::size_t i = 0; i < ranks.size(); ++i) {
+        if (ranks[i] >= n_num) {
+            res.values[i] = quiet_nan<T>();
+        } else {
+            targets.push_back({ranks[i], i});
+        }
+    }
+    res.nan_count = nan_count;
+    buf.view(n_num);
 
     const double t0 = dev.elapsed_ns();
     const std::uint64_t l0 = dev.launch_count();
-    solve(ctx, std::move(buf), std::move(targets), 0, res);
+    if (!targets.empty()) {
+        s = solve(ctx, std::move(buf), std::move(targets), 0, 0, res);
+        if (!s.ok()) return s;
+    }
     res.sim_ns = dev.elapsed_ns() - t0;
     res.launches = dev.launch_count() - l0;
     return res;
 }
 
+template <typename T>
+MultiSelectResult<T> multi_select(simt::Device& dev, std::span<const T> input,
+                                  std::span<const std::size_t> ranks,
+                                  const SampleSelectConfig& cfg) {
+    return try_multi_select<T>(dev, input, ranks, cfg).take_or_throw();
+}
+
+template Result<MultiSelectResult<float>> try_multi_select<float>(simt::Device&,
+                                                                  std::span<const float>,
+                                                                  std::span<const std::size_t>,
+                                                                  const SampleSelectConfig&);
+template Result<MultiSelectResult<double>> try_multi_select<double>(simt::Device&,
+                                                                    std::span<const double>,
+                                                                    std::span<const std::size_t>,
+                                                                    const SampleSelectConfig&);
 template MultiSelectResult<float> multi_select<float>(simt::Device&, std::span<const float>,
                                                       std::span<const std::size_t>,
                                                       const SampleSelectConfig&);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/status.hpp"
 #include "simt/device.hpp"
 
 namespace gpusel::core {
@@ -24,7 +25,21 @@ struct MultiSelectResult {
     std::uint64_t launches = 0;
     /// Deepest recursion level reached.
     std::size_t max_depth = 0;
+    /// Guaranteed-progress accounting (docs/robustness.md).
+    std::size_t resamples = 0;
+    std::size_t fallback_levels = 0;
+    /// NaN keys found by the staging pre-pass; ranks inside the NaN tail
+    /// answer quiet NaN.
+    std::size_t nan_count = 0;
 };
+
+/// Fault-hardened multi-rank selection: every failure mode as a typed
+/// Status instead of an exception.
+template <typename T>
+[[nodiscard]] Result<MultiSelectResult<T>> try_multi_select(simt::Device& dev,
+                                                            std::span<const T> input,
+                                                            std::span<const std::size_t> ranks,
+                                                            const SampleSelectConfig& cfg);
 
 /// Selects all requested order statistics of `input`.
 template <typename T>
@@ -32,6 +47,12 @@ template <typename T>
                                                 std::span<const std::size_t> ranks,
                                                 const SampleSelectConfig& cfg);
 
+extern template Result<MultiSelectResult<float>> try_multi_select<float>(
+    simt::Device&, std::span<const float>, std::span<const std::size_t>,
+    const SampleSelectConfig&);
+extern template Result<MultiSelectResult<double>> try_multi_select<double>(
+    simt::Device&, std::span<const double>, std::span<const std::size_t>,
+    const SampleSelectConfig&);
 extern template MultiSelectResult<float> multi_select<float>(simt::Device&,
                                                              std::span<const float>,
                                                              std::span<const std::size_t>,

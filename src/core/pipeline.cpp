@@ -1,9 +1,11 @@
 #include "core/pipeline.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "bitonic/bitonic.hpp"
 #include "core/count_kernel.hpp"
+#include "core/float_order.hpp"
 #include "core/filter_kernel.hpp"
 #include "core/reduce_kernel.hpp"
 #include "core/sample_kernel.hpp"
@@ -39,38 +41,48 @@ T LevelOutcome<T>::equality_value(std::int32_t b) const {
     return tree.splitters[ub - 1];
 }
 
+namespace {
+
+/// The count -> (reduce) -> select-bucket tail of a level, shared by the
+/// sampled level (b = cfg.num_buckets splitters) and the deterministic
+/// fallback level (a 4-bucket tripartition tree).  Buffer lengths follow
+/// the *tree's* bucket count -- identical to cfg.num_buckets on the
+/// sampled path, so its event stream and pool traffic are unchanged.
 template <typename T>
-LevelOutcome<T> run_bucket_level(const PipelineContext& ctx, std::span<const T> data,
-                                 std::size_t rank, simt::LaunchOrigin origin, std::uint64_t salt,
-                                 const LevelOptions& opt) {
+LevelOutcome<T> finish_level(const PipelineContext& ctx, std::span<const T> data,
+                             std::size_t rank, simt::LaunchOrigin origin, SearchTree<T> tree,
+                             const LevelOptions& opt) {
     simt::Device& dev = ctx.dev();
     const SampleSelectConfig& cfg = ctx.cfg();
     const std::size_t n = data.size();
-    const PipelinePlan plan = PipelinePlan::make(dev, n, cfg, opt.write_oracles);
+    const auto num_buckets = static_cast<std::size_t>(tree.num_buckets);
+    const bool shared_mode = ctx.shared_mode();
+    const int grid = simt::suggest_grid(dev.arch(), n, cfg.block_dim, cfg.unroll);
 
     LevelOutcome<T> lv;
-    lv.grid = plan.grid;
-    lv.tree = sample_splitters<T>(dev, data, cfg, origin, salt);
+    lv.grid = grid;
+    lv.tree = std::move(tree);
 
     if (opt.write_oracles) lv.oracles = ctx.scratch<std::uint8_t>(n);
-    lv.totals = ctx.scratch<std::int32_t>(plan.num_buckets);
-    if (plan.shared_mode) {
-        lv.block_counts = ctx.scratch<std::int32_t>(plan.block_counts_len());
+    lv.totals = ctx.scratch<std::int32_t>(num_buckets);
+    if (shared_mode) {
+        lv.block_counts = ctx.scratch<std::int32_t>(static_cast<std::size_t>(grid) * num_buckets);
     } else {
         launch_memset32(dev, lv.totals.span(), origin, cfg.stream);
     }
 
     const int used_grid = count_kernel<T>(dev, data, lv.tree, lv.oracles.span(),
                                           lv.totals.span(), lv.block_counts.span(), cfg, origin);
-    if (used_grid != plan.grid) throw std::logic_error("pipeline: grid sizing mismatch");
+    if (used_grid != grid) throw std::logic_error("pipeline: grid sizing mismatch");
 
-    if (plan.shared_mode) {
-        reduce_kernel(dev, lv.block_counts.span(), plan.grid, cfg.num_buckets, lv.totals.span(),
-                      opt.keep_block_offsets, origin, cfg.block_dim, cfg.stream);
+    if (shared_mode) {
+        reduce_kernel(dev, lv.block_counts.span(), grid, static_cast<int>(num_buckets),
+                      lv.totals.span(), opt.keep_block_offsets, origin, cfg.block_dim,
+                      cfg.stream);
     }
 
     if (opt.locate) {
-        lv.prefix = ctx.scratch<std::int32_t>(plan.num_buckets + 1);
+        lv.prefix = ctx.scratch<std::int32_t>(num_buckets + 1);
         lv.bucket = select_bucket_kernel(dev, lv.totals.span(), lv.prefix.span(), rank, origin,
                                          cfg.stream);
         const auto ub = static_cast<std::size_t>(lv.bucket);
@@ -82,6 +94,109 @@ LevelOutcome<T> run_bucket_level(const PipelineContext& ctx, std::span<const T> 
     return lv;
 }
 
+/// Deterministic pivot for the guaranteed-progress fallback: the median of
+/// 9 elements at fixed strided positions, fetched by a tiny single-block
+/// kernel (charged like the sampler's gather, Sec. IV-D pivot selection).
+/// No randomness: the same buffer always yields the same pivot.
+template <typename T>
+T deterministic_pivot(simt::Device& dev, std::span<const T> data, const SampleSelectConfig& cfg,
+                      simt::LaunchOrigin origin) {
+    const std::size_t n = data.size();
+    constexpr std::size_t kProbes = 9;
+    T pivot{};
+    dev.launch("pivot_sample",
+               {.grid_dim = 1, .block_dim = cfg.block_dim, .origin = origin, .unroll = 1,
+                .stream = cfg.stream},
+               [&, n](simt::BlockCtx& blk) {
+                   T probes[kProbes];
+                   for (std::size_t i = 0; i < kProbes; ++i) {
+                       // Odd-numerator strides cover the whole range without
+                       // touching the (possibly adversarial) extremes.
+                       probes[i] = data[(2 * i + 1) * n / (2 * kProbes)];
+                   }
+                   // Total order: identical to `<` on the NaN-free data the
+                   // front-ends stage, but safe if a host caller skips the
+                   // NaN pre-pass.
+                   std::sort(std::begin(probes), std::end(probes),
+                             [](T a, T b) { return total_less(a, b); });
+                   pivot = probes[kProbes / 2];
+                   // 9 scattered reads, a fixed sorting network, one publish.
+                   blk.counters().scattered_bytes_read += kProbes * sizeof(T);
+                   blk.charge_instr(kProbes * kProbes);
+                   blk.charge_global_write(sizeof(T));
+               });
+    return pivot;
+}
+
+}  // namespace
+
+template <typename T>
+LevelOutcome<T> run_bucket_level(const PipelineContext& ctx, std::span<const T> data,
+                                 std::size_t rank, simt::LaunchOrigin origin, std::uint64_t salt,
+                                 const LevelOptions& opt) {
+    auto tree = sample_splitters<T>(ctx.dev(), data, ctx.cfg(), origin, salt);
+    return finish_level<T>(ctx, data, rank, origin, std::move(tree), opt);
+}
+
+template <typename T>
+LevelOutcome<T> run_pivot_level(const PipelineContext& ctx, std::span<const T> data,
+                                std::size_t rank, simt::LaunchOrigin origin,
+                                const LevelOptions& opt) {
+    const T p = deterministic_pivot<T>(ctx.dev(), data, ctx.cfg(), origin);
+    // Three equal splitters -> 4 buckets: {< p} split in two, the equality
+    // bucket {== p} (non-empty: the pivot came from the data), and {> p}.
+    auto tree = SearchTree<T>::build({p, p, p});
+    return finish_level<T>(ctx, data, rank, origin, std::move(tree), opt);
+}
+
+namespace {
+
+/// Shared retry loop of the try_ level executors.  `attempt_salt(a)` gives
+/// the sample salt for attempt `a` (0-based); attempt 0 must be the
+/// caller's salt so fault-free runs are byte-identical.
+template <typename T, typename RunFn>
+Result<LevelOutcome<T>> retry_level(const PipelineContext& ctx, RunFn&& run) {
+    for (int attempt = 0;; ++attempt) {
+        try {
+            return run(attempt);
+        } catch (const simt::AllocFault& e) {
+            if (attempt + 1 >= kFaultRetryAttempts) {
+                return Status::failure(SelectError::allocation_failed, e.what());
+            }
+            ctx.dev().pool().trim();
+            ++ctx.dev().robustness().alloc_retries;
+        } catch (const simt::LaunchFault& e) {
+            if (attempt + 1 >= kFaultRetryAttempts) {
+                return Status::failure(SelectError::launch_failed, e.what());
+            }
+            ++ctx.dev().robustness().launch_retries;
+        }
+    }
+}
+
+}  // namespace
+
+template <typename T>
+Result<LevelOutcome<T>> try_run_bucket_level(const PipelineContext& ctx, std::span<const T> data,
+                                             std::size_t rank, simt::LaunchOrigin origin,
+                                             std::uint64_t salt, const LevelOptions& opt) {
+    return retry_level<T>(ctx, [&](int attempt) {
+        // Retries re-sample with a fresh salt: if the fault hit mid-level
+        // the partial work is discarded and the level reruns end to end.
+        const std::uint64_t attempt_salt =
+            salt + static_cast<std::uint64_t>(attempt) * std::uint64_t{0x9e3779b9};
+        return run_bucket_level<T>(ctx, data, rank, origin, attempt_salt, opt);
+    });
+}
+
+template <typename T>
+Result<LevelOutcome<T>> try_run_pivot_level(const PipelineContext& ctx, std::span<const T> data,
+                                            std::size_t rank, simt::LaunchOrigin origin,
+                                            const LevelOptions& opt) {
+    return retry_level<T>(
+        ctx, [&](int) { return run_pivot_level<T>(ctx, data, rank, origin, opt); });
+}
+
 template <typename T>
 void filter_bucket(const PipelineContext& ctx, std::span<const T> data, const LevelOutcome<T>& lv,
                    std::int32_t bucket, std::span<T> out, simt::LaunchOrigin origin) {
@@ -89,8 +204,10 @@ void filter_bucket(const PipelineContext& ctx, std::span<const T> data, const Le
     const SampleSelectConfig& cfg = ctx.cfg();
     simt::PooledBuffer<std::int32_t> cursor;
     if (!ctx.shared_mode()) cursor = ctx.zeroed_i32(1, origin);
+    // Bucket count comes from the level's own tree: cfg.num_buckets for a
+    // sampled level, 4 for the deterministic fallback tripartition.
     filter_kernel<T>(dev, data, lv.oracles.span(), bucket, out, lv.block_counts.span(),
-                     cfg.num_buckets, cursor.span(), cfg, origin, lv.grid);
+                     lv.tree.num_buckets, cursor.span(), cfg, origin, lv.grid);
 }
 
 template <typename T>
@@ -105,7 +222,7 @@ void filter_topk(const PipelineContext& ctx, std::span<const T> data, const Leve
     cursors[0] = 0;
     cursors[1] = acc_fill;
     filter_fused_topk_kernel<T>(dev, data, lv.oracles.span(), lv.bucket, out, acc,
-                                lv.block_counts.span(), cfg.num_buckets, cursors.span(), cfg,
+                                lv.block_counts.span(), lv.tree.num_buckets, cursors.span(), cfg,
                                 origin, lv.grid);
 }
 
@@ -142,6 +259,30 @@ template LevelOutcome<double> run_bucket_level<double>(const PipelineContext&,
                                                        std::span<const double>, std::size_t,
                                                        simt::LaunchOrigin, std::uint64_t,
                                                        const LevelOptions&);
+template LevelOutcome<float> run_pivot_level<float>(const PipelineContext&,
+                                                    std::span<const float>, std::size_t,
+                                                    simt::LaunchOrigin, const LevelOptions&);
+template LevelOutcome<double> run_pivot_level<double>(const PipelineContext&,
+                                                      std::span<const double>, std::size_t,
+                                                      simt::LaunchOrigin, const LevelOptions&);
+template Result<LevelOutcome<float>> try_run_bucket_level<float>(const PipelineContext&,
+                                                                 std::span<const float>,
+                                                                 std::size_t, simt::LaunchOrigin,
+                                                                 std::uint64_t,
+                                                                 const LevelOptions&);
+template Result<LevelOutcome<double>> try_run_bucket_level<double>(const PipelineContext&,
+                                                                   std::span<const double>,
+                                                                   std::size_t, simt::LaunchOrigin,
+                                                                   std::uint64_t,
+                                                                   const LevelOptions&);
+template Result<LevelOutcome<float>> try_run_pivot_level<float>(const PipelineContext&,
+                                                                std::span<const float>,
+                                                                std::size_t, simt::LaunchOrigin,
+                                                                const LevelOptions&);
+template Result<LevelOutcome<double>> try_run_pivot_level<double>(const PipelineContext&,
+                                                                  std::span<const double>,
+                                                                  std::size_t, simt::LaunchOrigin,
+                                                                  const LevelOptions&);
 template void filter_bucket<float>(const PipelineContext&, std::span<const float>,
                                    const LevelOutcome<float>&, std::int32_t, std::span<float>,
                                    simt::LaunchOrigin);

@@ -34,16 +34,32 @@
 // pre-pipeline code, so golden event counts and simulated timings are
 // unchanged; only host-side allocation behavior differs.
 
+// Robustness (docs/robustness.md): injected faults surface here as
+// simt::AllocFault / simt::LaunchFault.  Both are thrown *before* any side
+// effect (no clock advance, no counter merge, no reservation), so every
+// step of a level is safe to retry verbatim.  The try_* level executors
+// and the with_fault_retry wrapper implement the bounded-retry policy --
+// alloc failure: pool trim + retry; launch failure: rerun (the level
+// executors rerun the whole level with a fresh sample salt) -- and convert
+// exhaustion into a typed Status instead of an escaping exception.
+
 #include <cstdint>
 #include <span>
 #include <utility>
 
 #include "core/config.hpp"
 #include "core/searchtree.hpp"
+#include "core/status.hpp"
 #include "simt/device.hpp"
+#include "simt/fault.hpp"
 #include "simt/pool.hpp"
 
 namespace gpusel::core {
+
+/// Attempts per step under injected faults (initial try + retries).  Covers
+/// the default transient-burst lengths; longer bursts are treated as
+/// permanent and surface as allocation_failed / launch_failed.
+inline constexpr int kFaultRetryAttempts = 4;
 
 /// Static shape of one bucketing level.
 struct PipelinePlan {
@@ -144,6 +160,66 @@ template <typename T>
                                                std::span<const T> data, std::size_t rank,
                                                simt::LaunchOrigin origin, std::uint64_t salt = 0,
                                                const LevelOptions& opt = {});
+
+/// Deterministic guaranteed-progress level: pivot = median of 9
+/// deterministically strided elements, splitters {p, p, p} -> a 4-bucket
+/// tripartition tree whose equality bucket (all elements == p, at least
+/// the sampled occurrences) guarantees the non-equality buckets shrink.
+/// Used after the resampling budget is exhausted; no randomness involved,
+/// so it cannot stall twice the same way.
+template <typename T>
+[[nodiscard]] LevelOutcome<T> run_pivot_level(const PipelineContext& ctx, std::span<const T> data,
+                                              std::size_t rank, simt::LaunchOrigin origin,
+                                              const LevelOptions& opt = {});
+
+/// Fault-hardened run_bucket_level: retries the whole level (with a fresh
+/// sample salt) on injected launch faults and after a pool trim on
+/// injected allocation faults, at most kFaultRetryAttempts times; the
+/// first attempt uses `salt` verbatim, so fault-free event streams are
+/// unchanged.  Exhaustion returns launch_failed / allocation_failed.
+template <typename T>
+[[nodiscard]] Result<LevelOutcome<T>> try_run_bucket_level(const PipelineContext& ctx,
+                                                           std::span<const T> data,
+                                                           std::size_t rank,
+                                                           simt::LaunchOrigin origin,
+                                                           std::uint64_t salt = 0,
+                                                           const LevelOptions& opt = {});
+
+/// Fault-hardened run_pivot_level (the pivot is deterministic, so retries
+/// rerun it verbatim).
+template <typename T>
+[[nodiscard]] Result<LevelOutcome<T>> try_run_pivot_level(const PipelineContext& ctx,
+                                                          std::span<const T> data,
+                                                          std::size_t rank,
+                                                          simt::LaunchOrigin origin,
+                                                          const LevelOptions& opt = {});
+
+/// Runs `step` under the bounded-retry fault policy: injected allocation
+/// faults trigger a pool trim + retry, injected launch faults a plain
+/// retry (every launch faults before any side effect, so reruns are safe),
+/// each up to kFaultRetryAttempts attempts.  Returns success, or the typed
+/// error the exhausted fault maps to.  Recovered retries are tallied into
+/// Device::robustness().
+template <typename F>
+[[nodiscard]] Status with_fault_retry(const PipelineContext& ctx, F&& step) {
+    for (int attempt = 1;; ++attempt) {
+        try {
+            step();
+            return Status::success();
+        } catch (const simt::AllocFault& e) {
+            if (attempt >= kFaultRetryAttempts) {
+                return Status::failure(SelectError::allocation_failed, e.what());
+            }
+            ctx.dev().pool().trim();  // give fragmented idle blocks back
+            ++ctx.dev().robustness().alloc_retries;
+        } catch (const simt::LaunchFault& e) {
+            if (attempt >= kFaultRetryAttempts) {
+                return Status::failure(SelectError::launch_failed, e.what());
+            }
+            ++ctx.dev().robustness().launch_retries;
+        }
+    }
+}
 
 /// Extracts `bucket`'s elements into `out` (sized to the bucket).
 template <typename T>
@@ -286,11 +362,36 @@ public:
                                             std::uint64_t salt, const LevelOptions& opt = {}) {
         return run_bucket_level<T>(ctx_, data_.data(), rank, origin, salt, opt);
     }
+    /// Fault-hardened run_level (see try_run_bucket_level).
+    [[nodiscard]] Result<LevelOutcome<T>> try_run_level(std::size_t rank,
+                                                        simt::LaunchOrigin origin,
+                                                        std::uint64_t salt,
+                                                        const LevelOptions& opt = {}) {
+        return try_run_bucket_level<T>(ctx_, data_.data(), rank, origin, salt, opt);
+    }
+    /// Deterministic guaranteed-progress level over the current buffer.
+    [[nodiscard]] Result<LevelOutcome<T>> try_run_fallback_level(std::size_t rank,
+                                                                 simt::LaunchOrigin origin,
+                                                                 const LevelOptions& opt = {}) {
+        return try_run_pivot_level<T>(ctx_, data_.data(), rank, origin, opt);
+    }
     /// Filters the located bucket into the back buffer and descends.
     void descend(const LevelOutcome<T>& lv, simt::LaunchOrigin origin) {
         auto out = data_.back(ctx_, lv.bucket_size);
         filter_bucket<T>(ctx_, data_.data(), lv, lv.bucket, out, origin);
         data_.flip(lv.bucket_size);
+    }
+    /// Fault-hardened descend: the back-buffer acquisition and filter
+    /// launch retry under the bounded policy; the flip happens only after
+    /// the filter succeeded, so a failed descent leaves the pipeline on
+    /// its current (intact) buffer.
+    [[nodiscard]] Status try_descend(const LevelOutcome<T>& lv, simt::LaunchOrigin origin) {
+        Status s = with_fault_retry(ctx_, [&] {
+            auto out = data_.back(ctx_, lv.bucket_size);
+            filter_bucket<T>(ctx_, data_.data(), lv, lv.bucket, out, origin);
+        });
+        if (s.ok()) data_.flip(lv.bucket_size);
+        return s;
     }
     /// Top-k descent: fused filter into the back buffer + accumulator.
     void descend_topk(const LevelOutcome<T>& lv, std::span<T> acc, std::int32_t acc_fill,
@@ -299,9 +400,27 @@ public:
         filter_topk<T>(ctx_, data_.data(), lv, out, acc, acc_fill, origin);
         data_.flip(lv.bucket_size);
     }
+    /// Fault-hardened descend_topk.  Safe to retry: the fused filter
+    /// rewrites out and the accumulator range above acc_fill from scratch
+    /// on every run (fresh cursors per attempt).
+    [[nodiscard]] Status try_descend_topk(const LevelOutcome<T>& lv, std::span<T> acc,
+                                          std::int32_t acc_fill, simt::LaunchOrigin origin) {
+        Status s = with_fault_retry(ctx_, [&] {
+            auto out = data_.back(ctx_, lv.bucket_size);
+            filter_topk<T>(ctx_, data_.data(), lv, out, acc, acc_fill, origin);
+        });
+        if (s.ok()) data_.flip(lv.bucket_size);
+        return s;
+    }
     /// Bitonic-sorts the current buffer in place (the recursion base case).
     void sort_base_case(simt::LaunchOrigin origin) {
         core::sort_base_case<T>(ctx_, data_.data(), origin);
+    }
+    /// Fault-hardened base case (the sort launch faults before touching
+    /// the data, so retries see the unsorted input).
+    [[nodiscard]] Status try_sort_base_case(simt::LaunchOrigin origin) {
+        return with_fault_retry(ctx_,
+                                [&] { core::sort_base_case<T>(ctx_, data_.data(), origin); });
     }
 
 private:
@@ -319,6 +438,30 @@ extern template LevelOutcome<double> run_bucket_level<double>(const PipelineCont
                                                               std::span<const double>,
                                                               std::size_t, simt::LaunchOrigin,
                                                               std::uint64_t, const LevelOptions&);
+extern template LevelOutcome<float> run_pivot_level<float>(const PipelineContext&,
+                                                           std::span<const float>, std::size_t,
+                                                           simt::LaunchOrigin,
+                                                           const LevelOptions&);
+extern template LevelOutcome<double> run_pivot_level<double>(const PipelineContext&,
+                                                             std::span<const double>, std::size_t,
+                                                             simt::LaunchOrigin,
+                                                             const LevelOptions&);
+extern template Result<LevelOutcome<float>> try_run_bucket_level<float>(
+    const PipelineContext&, std::span<const float>, std::size_t, simt::LaunchOrigin,
+    std::uint64_t, const LevelOptions&);
+extern template Result<LevelOutcome<double>> try_run_bucket_level<double>(
+    const PipelineContext&, std::span<const double>, std::size_t, simt::LaunchOrigin,
+    std::uint64_t, const LevelOptions&);
+extern template Result<LevelOutcome<float>> try_run_pivot_level<float>(const PipelineContext&,
+                                                                       std::span<const float>,
+                                                                       std::size_t,
+                                                                       simt::LaunchOrigin,
+                                                                       const LevelOptions&);
+extern template Result<LevelOutcome<double>> try_run_pivot_level<double>(const PipelineContext&,
+                                                                         std::span<const double>,
+                                                                         std::size_t,
+                                                                         simt::LaunchOrigin,
+                                                                         const LevelOptions&);
 extern template void filter_bucket<float>(const PipelineContext&, std::span<const float>,
                                           const LevelOutcome<float>&, std::int32_t,
                                           std::span<float>, simt::LaunchOrigin);

@@ -5,9 +5,14 @@
 
 namespace gpusel::core {
 
-std::size_t quantile_rank(std::size_t n, double q, QuantileMethod method) {
-    if (n == 0) throw std::invalid_argument("quantile of an empty dataset");
-    if (!(q >= 0.0 && q <= 1.0)) throw std::invalid_argument("quantile must be in [0, 1]");
+Result<std::size_t> try_quantile_rank(std::size_t n, double q, QuantileMethod method) {
+    if (n == 0) {
+        return Status::failure(SelectError::empty_input, "quantile of an empty dataset");
+    }
+    // The negated comparison also rejects NaN quantile positions.
+    if (!(q >= 0.0 && q <= 1.0)) {
+        return Status::failure(SelectError::invalid_argument, "quantile must be in [0, 1]");
+    }
     const double pos = q * static_cast<double>(n - 1);
     double r = 0.0;
     switch (method) {
@@ -16,6 +21,10 @@ std::size_t quantile_rank(std::size_t n, double q, QuantileMethod method) {
         case QuantileMethod::higher: r = std::ceil(pos); break;
     }
     return static_cast<std::size_t>(r);
+}
+
+std::size_t quantile_rank(std::size_t n, double q, QuantileMethod method) {
+    return try_quantile_rank(n, q, method).take_or_throw();
 }
 
 }  // namespace gpusel::core

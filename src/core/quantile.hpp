@@ -29,12 +29,30 @@ enum class QuantileMethod {
 [[nodiscard]] std::size_t quantile_rank(std::size_t n, double q,
                                         QuantileMethod method = QuantileMethod::nearest);
 
+/// Fault-hardened quantile_rank: empty datasets and out-of-range (or NaN)
+/// quantile positions come back as a typed Status.
+[[nodiscard]] Result<std::size_t> try_quantile_rank(
+    std::size_t n, double q, QuantileMethod method = QuantileMethod::nearest);
+
 /// Exact q-quantile via SampleSelect.
 template <typename T>
 [[nodiscard]] T quantile(simt::Device& dev, std::span<const T> data, double q,
                          const SampleSelectConfig& cfg = {},
                          QuantileMethod method = QuantileMethod::nearest) {
     return sample_select<T>(dev, data, quantile_rank(data.size(), q, method), cfg).value;
+}
+
+/// Fault-hardened exact q-quantile: bad quantile positions and every
+/// selection failure mode surface as a typed Status.
+template <typename T>
+[[nodiscard]] Result<T> try_quantile(simt::Device& dev, std::span<const T> data, double q,
+                                     const SampleSelectConfig& cfg = {},
+                                     QuantileMethod method = QuantileMethod::nearest) {
+    auto rank = try_quantile_rank(data.size(), q, method);
+    if (!rank.ok()) return rank.status();
+    auto sel = try_sample_select<T>(dev, data, rank.value(), cfg);
+    if (!sel.ok()) return sel.status();
+    return sel.value().value;
 }
 
 /// Approximate q-quantile (single bucketing level).

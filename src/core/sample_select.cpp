@@ -2,7 +2,9 @@
 
 #include <memory>
 #include <stdexcept>
+#include <utility>
 
+#include "core/float_order.hpp"
 #include "core/pipeline.hpp"
 
 namespace gpusel::core {
@@ -14,31 +16,67 @@ struct SelectState {
     SampleSelectConfig cfg;   // the pipeline keeps a pointer; pin the copy first
     SelectionPipeline<T> pipe;
     std::size_t rank = 0;
+    /// Productive level index: feeds the sample salt and result.levels,
+    /// exactly as before hardening (stalled levels do not advance it).
     std::size_t level = 0;
+    /// Consecutive stalls at the current level (resets on any descent).
     std::size_t resample_tries = 0;
+    /// Every bucketing level executed, including stalls and fallback
+    /// levels; bounded by cfg.max_levels.
+    std::size_t levels_run = 0;
+    /// True while descending through deterministic tripartition levels.
+    bool fallback = false;
     SelectResult<T> result;
+    Status status = Status::success();
     bool done = false;
 
     SelectState(simt::Device& dev, const SampleSelectConfig& c) : cfg(c), pipe(dev, cfg) {}
 };
 
 /// Executes one recursion level; returns true while more levels remain.
+/// Failures (exhausted fault retries, progress policy, depth cap) land in
+/// st.status and stop the recursion instead of escaping as exceptions.
 template <typename T>
 bool run_level(SelectState<T>& st) {
+    simt::Device& dev = st.pipe.context().dev();
     const std::size_t n = st.pipe.size();
     const auto origin =
         st.level == 0 ? simt::LaunchOrigin::host : simt::LaunchOrigin::device;
 
     if (n <= st.cfg.base_case_size) {
         // Base case (Sec. IV-D): bitonic sort in shared memory, pick rank.
-        st.pipe.sort_base_case(origin);
+        st.status = st.pipe.try_sort_base_case(origin);
+        if (!st.status.ok()) return false;
         st.result.value = st.pipe.value_at(st.rank);
         st.done = true;
         return false;
     }
 
-    const auto lv =
-        st.pipe.run_level(st.rank, origin, st.level * 977 + st.resample_tries * 7919);
+    // Hard depth cap: with strict shrink guaranteed below, genuine inputs
+    // terminate in O(log n) levels; the cap makes that provable even under
+    // invariant-breaking bugs.
+    if (st.levels_run >= static_cast<std::size_t>(st.cfg.max_levels)) {
+        st.status = Status::failure(SelectError::depth_exceeded,
+                                    "sample_select: max_levels bucketing levels exceeded");
+        return false;
+    }
+    ++st.levels_run;
+
+    const bool use_fallback = st.fallback || st.cfg.force_fallback;
+    Result<LevelOutcome<T>> lvres =
+        use_fallback
+            ? st.pipe.try_run_fallback_level(st.rank, origin)
+            : st.pipe.try_run_level(st.rank, origin,
+                                    st.level * 977 + st.resample_tries * 7919);
+    if (!lvres.ok()) {
+        st.status = lvres.status();
+        return false;
+    }
+    const LevelOutcome<T> lv = lvres.take();
+    if (use_fallback) {
+        ++st.result.fallback_levels;
+        ++dev.robustness().fallback_levels;
+    }
 
     if (lv.equality) {
         // Equality bucket: every element equals the splitter -- done.
@@ -50,19 +88,36 @@ bool run_level(SelectState<T>& st) {
     }
 
     if (lv.bucket_size == n) {
-        // No progress (pathological sample).  Resample with a new salt; by
-        // construction this can only happen a bounded number of times.
-        if (++st.resample_tries > 8) {
-            throw std::runtime_error("sample_select: no partition progress after resampling");
+        // Stalled level (pathological sample: the rank bucket did not
+        // shrink).  Resample with a fresh salt up to max_stalled_levels
+        // times, then switch to the deterministic fallback.
+        if (use_fallback) {
+            // The tripartition tree's equality bucket is non-empty by
+            // construction, so a stalled fallback level means broken
+            // invariants, not bad luck.
+            st.status = Status::failure(
+                SelectError::no_progress,
+                "sample_select: deterministic fallback level failed to shrink the bucket");
+            return false;
+        }
+        ++st.result.resamples;
+        ++dev.robustness().resamples;
+        if (++st.resample_tries > static_cast<std::size_t>(st.cfg.max_stalled_levels)) {
+            st.fallback = true;
+            ++dev.robustness().fallbacks;
         }
         return true;
     }
-    st.resample_tries = 0;
 
-    st.pipe.descend(lv, origin);
+    st.status = st.pipe.try_descend(lv, origin);
+    if (!st.status.ok()) return false;
     st.rank -= lv.rank_offset;
     ++st.level;
     ++st.result.levels;
+    st.resample_tries = 0;
+    // The stall was a property of the old buffer; once the fallback level
+    // shrank it, sampled levels resume (their splits are much better).
+    if (!st.cfg.force_fallback) st.fallback = false;
     return true;
 }
 
@@ -76,41 +131,119 @@ void enqueue_level(simt::Device& dev, std::shared_ptr<SelectState<T>> st) {
 }  // namespace
 
 template <typename T>
-SelectResult<T> sample_select_staged(simt::Device& dev, DataHolder<T> data, std::size_t rank,
-                                     const SampleSelectConfig& cfg) {
-    cfg.validate(/*exact=*/true);
+Result<SelectResult<T>> try_sample_select_staged(simt::Device& dev, DataHolder<T> data,
+                                                 std::size_t rank,
+                                                 const SampleSelectConfig& cfg) {
+    try {
+        cfg.validate(/*exact=*/true);
+    } catch (const std::invalid_argument& e) {
+        return Status::failure(SelectError::invalid_argument, e.what());
+    }
     const std::size_t n = data.size();
-    if (n == 0 || rank >= n) throw std::out_of_range("rank out of range");
+    if (n == 0 || rank >= n) {
+        return Status::failure(SelectError::rank_out_of_range, "rank out of range");
+    }
+
+    // NaN staging pre-pass (core/float_order.hpp): kernels never see NaN.
+    // A no-op (and no reorder) on NaN-free data, so event streams match.
+    const std::size_t nan_count = partition_nans_to_back(data.span());
+    if (nan_count > 0) {
+        if (cfg.nan_policy == NanPolicy::reject) {
+            return Status::failure(SelectError::nan_keys_rejected,
+                                   "sample_select: input contains NaN keys");
+        }
+        if (rank >= n - nan_count) {
+            // The rank falls inside the NaN tail of the total order;
+            // answered at staging without any device work.
+            SelectResult<T> r{};
+            r.value = quiet_nan<T>();
+            r.nan_count = nan_count;
+            return r;
+        }
+        data.view(n - nan_count);
+    }
 
     auto st = std::make_shared<SelectState<T>>(dev, cfg);
     st->pipe.reset(std::move(data));
     st->rank = rank;
+    st->result.nan_count = nan_count;
 
     dev.tracker().set_baseline();
     const double t0 = dev.elapsed_ns();
     const std::uint64_t l0 = dev.launch_count();
     enqueue_level(dev, st);
     dev.drain();
-    if (!st->done) throw std::logic_error("sample_select: recursion did not terminate");
+    if (!st->status.ok()) return st->status;
+    if (!st->done) {
+        return Status::failure(SelectError::internal,
+                               "sample_select: recursion did not terminate");
+    }
     st->result.sim_ns = dev.elapsed_ns() - t0;
     st->result.launches = dev.launch_count() - l0;
     st->result.aux_bytes = dev.tracker().peak_above_baseline();
-    return st->result;
+    return std::move(st->result);
+}
+
+template <typename T>
+Result<SelectResult<T>> try_sample_select_device(simt::Device& dev, simt::DeviceBuffer<T> data,
+                                                 std::size_t rank,
+                                                 const SampleSelectConfig& cfg) {
+    return try_sample_select_staged<T>(dev, DataHolder<T>::adopt(std::move(data)), rank, cfg);
+}
+
+template <typename T>
+Result<SelectResult<T>> try_sample_select(simt::Device& dev, std::span<const T> input,
+                                          std::size_t rank, const SampleSelectConfig& cfg) {
+    PipelineContext ctx(dev, cfg);
+    DataHolder<T> staged;
+    // Staging acquires a pooled buffer, so it participates in the bounded
+    // alloc-retry policy like every other acquisition.
+    Status s = with_fault_retry(ctx, [&] { staged = DataHolder<T>::stage(ctx, input); });
+    if (!s.ok()) return s;
+    return try_sample_select_staged<T>(dev, std::move(staged), rank, cfg);
+}
+
+template <typename T>
+SelectResult<T> sample_select_staged(simt::Device& dev, DataHolder<T> data, std::size_t rank,
+                                     const SampleSelectConfig& cfg) {
+    return try_sample_select_staged<T>(dev, std::move(data), rank, cfg).take_or_throw();
 }
 
 template <typename T>
 SelectResult<T> sample_select_device(simt::Device& dev, simt::DeviceBuffer<T> data,
                                      std::size_t rank, const SampleSelectConfig& cfg) {
-    return sample_select_staged<T>(dev, DataHolder<T>::adopt(std::move(data)), rank, cfg);
+    return try_sample_select_device<T>(dev, std::move(data), rank, cfg).take_or_throw();
 }
 
 template <typename T>
 SelectResult<T> sample_select(simt::Device& dev, std::span<const T> input, std::size_t rank,
                               const SampleSelectConfig& cfg) {
-    PipelineContext ctx(dev, cfg);
-    return sample_select_staged<T>(dev, DataHolder<T>::stage(ctx, input), rank, cfg);
+    return try_sample_select<T>(dev, input, rank, cfg).take_or_throw();
 }
 
+template Result<SelectResult<float>> try_sample_select<float>(simt::Device&,
+                                                              std::span<const float>, std::size_t,
+                                                              const SampleSelectConfig&);
+template Result<SelectResult<double>> try_sample_select<double>(simt::Device&,
+                                                                std::span<const double>,
+                                                                std::size_t,
+                                                                const SampleSelectConfig&);
+template Result<SelectResult<float>> try_sample_select_device<float>(simt::Device&,
+                                                                     simt::DeviceBuffer<float>,
+                                                                     std::size_t,
+                                                                     const SampleSelectConfig&);
+template Result<SelectResult<double>> try_sample_select_device<double>(simt::Device&,
+                                                                       simt::DeviceBuffer<double>,
+                                                                       std::size_t,
+                                                                       const SampleSelectConfig&);
+template Result<SelectResult<float>> try_sample_select_staged<float>(simt::Device&,
+                                                                     DataHolder<float>,
+                                                                     std::size_t,
+                                                                     const SampleSelectConfig&);
+template Result<SelectResult<double>> try_sample_select_staged<double>(simt::Device&,
+                                                                       DataHolder<double>,
+                                                                       std::size_t,
+                                                                       const SampleSelectConfig&);
 template SelectResult<float> sample_select<float>(simt::Device&, std::span<const float>,
                                                   std::size_t, const SampleSelectConfig&);
 template SelectResult<double> sample_select<double>(simt::Device&, std::span<const double>,

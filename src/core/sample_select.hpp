@@ -11,6 +11,7 @@
 
 #include "core/config.hpp"
 #include "core/pipeline.hpp"
+#include "core/status.hpp"
 #include "simt/device.hpp"
 #include "simt/memory.hpp"
 
@@ -32,11 +33,47 @@ struct SelectResult {
     std::uint64_t launches = 0;
     /// Peak auxiliary device memory above the input buffer [bytes].
     std::size_t aux_bytes = 0;
+    /// Stalled levels retried with a fresh splitter sample
+    /// (guaranteed-progress policy, docs/robustness.md).
+    std::size_t resamples = 0;
+    /// Deterministic median-of-9 tripartition levels executed after the
+    /// resampling budget ran out (or under force_fallback).
+    std::size_t fallback_levels = 0;
+    /// NaN keys moved to the tail of the total order by the staging
+    /// pre-pass (float/double only; see core/float_order.hpp).
+    std::size_t nan_count = 0;
 };
+
+/// Fault-hardened entry points (docs/robustness.md): identical semantics
+/// to the throwing variants below, but every failure mode -- bad
+/// argument, rank out of range, rejected NaN keys, exhausted fault
+/// retries, exhausted progress policy, depth cap -- comes back as a typed
+/// Status instead of an exception.  Float/double inputs run the NaN
+/// staging pre-pass: NaNs sort above +inf (NanPolicy::propagate_largest)
+/// and a rank inside the NaN tail yields quiet NaN without touching the
+/// device.
+template <typename T>
+[[nodiscard]] Result<SelectResult<T>> try_sample_select(simt::Device& dev,
+                                                        std::span<const T> input, std::size_t rank,
+                                                        const SampleSelectConfig& cfg);
+
+template <typename T>
+[[nodiscard]] Result<SelectResult<T>> try_sample_select_device(simt::Device& dev,
+                                                               simt::DeviceBuffer<T> data,
+                                                               std::size_t rank,
+                                                               const SampleSelectConfig& cfg);
+
+template <typename T>
+[[nodiscard]] Result<SelectResult<T>> try_sample_select_staged(simt::Device& dev,
+                                                               DataHolder<T> data,
+                                                               std::size_t rank,
+                                                               const SampleSelectConfig& cfg);
 
 /// Selects the element of the given 0-based rank from `input`.
 /// The input is copied to a device buffer before timing starts (the paper
-/// measures the selection, not the transfer).
+/// measures the selection, not the transfer).  Thin wrapper over
+/// try_sample_select that rethrows the Status (std::invalid_argument /
+/// std::out_of_range for precondition codes, SelectException otherwise).
 template <typename T>
 [[nodiscard]] SelectResult<T> sample_select(simt::Device& dev, std::span<const T> input,
                                             std::size_t rank, const SampleSelectConfig& cfg);
@@ -57,6 +94,22 @@ template <typename T>
                                                    std::size_t rank,
                                                    const SampleSelectConfig& cfg);
 
+extern template Result<SelectResult<float>> try_sample_select<float>(simt::Device&,
+                                                                     std::span<const float>,
+                                                                     std::size_t,
+                                                                     const SampleSelectConfig&);
+extern template Result<SelectResult<double>> try_sample_select<double>(simt::Device&,
+                                                                       std::span<const double>,
+                                                                       std::size_t,
+                                                                       const SampleSelectConfig&);
+extern template Result<SelectResult<float>> try_sample_select_device<float>(
+    simt::Device&, simt::DeviceBuffer<float>, std::size_t, const SampleSelectConfig&);
+extern template Result<SelectResult<double>> try_sample_select_device<double>(
+    simt::Device&, simt::DeviceBuffer<double>, std::size_t, const SampleSelectConfig&);
+extern template Result<SelectResult<float>> try_sample_select_staged<float>(
+    simt::Device&, DataHolder<float>, std::size_t, const SampleSelectConfig&);
+extern template Result<SelectResult<double>> try_sample_select_staged<double>(
+    simt::Device&, DataHolder<double>, std::size_t, const SampleSelectConfig&);
 extern template SelectResult<float> sample_select<float>(simt::Device&, std::span<const float>,
                                                          std::size_t, const SampleSelectConfig&);
 extern template SelectResult<double> sample_select<double>(simt::Device&, std::span<const double>,

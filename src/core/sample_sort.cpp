@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "bitonic/bitonic.hpp"
+#include "core/float_order.hpp"
 #include "core/pipeline.hpp"
 #include "simt/timing.hpp"
 
@@ -59,30 +60,48 @@ void scatter_all_kernel(simt::Device& dev, std::span<const T> data,
 }
 
 /// Sorts `data` ascending in place, using `scratch` (same size) as the
-/// scatter target of each level.
+/// scatter target of each level.  `stalls` counts consecutive no-progress
+/// levels on this path; past cfg.max_stalled_levels the segment switches to
+/// the deterministic tripartition level (docs/robustness.md).
 template <typename T>
-void sort_segment(const PipelineContext& ctx, std::span<T> data, std::span<T> scratch,
-                  std::size_t depth, SortResult<T>& res) {
+Status sort_segment(const PipelineContext& ctx, std::span<T> data, std::span<T> scratch,
+                    std::size_t depth, std::size_t stalls, SortResult<T>& res) {
     simt::Device& dev = ctx.dev();
     const SampleSelectConfig& cfg = ctx.cfg();
     const std::size_t n = data.size();
     res.max_depth = std::max(res.max_depth, depth);
-    if (depth > 64) throw std::runtime_error("sample_sort: recursion depth cap hit");
+    if (depth >= static_cast<std::size_t>(cfg.max_levels)) {
+        return Status::failure(SelectError::depth_exceeded,
+                               "sample_sort: max_levels recursion depth exceeded");
+    }
     const auto origin = depth == 0 ? simt::LaunchOrigin::host : simt::LaunchOrigin::device;
 
     if (n <= cfg.base_case_size) {
-        sort_base_case<T>(ctx, data, origin);
-        return;
+        return with_fault_retry(ctx, [&] { sort_base_case<T>(ctx, data, origin); });
     }
 
     // Every-bucket level: rank 0 is located only for its prefix table.
-    const auto lv = run_bucket_level<T>(ctx, std::span<const T>(data), /*rank=*/0, origin,
-                                        depth * 977);
-    const auto b = static_cast<std::size_t>(cfg.num_buckets);
+    const bool use_fallback =
+        cfg.force_fallback || stalls > static_cast<std::size_t>(cfg.max_stalled_levels);
+    auto lvres = use_fallback
+                     ? try_run_pivot_level<T>(ctx, std::span<const T>(data), /*rank=*/0, origin)
+                     : try_run_bucket_level<T>(ctx, std::span<const T>(data), /*rank=*/0, origin,
+                                               depth * 977);
+    if (!lvres.ok()) return lvres.status();
+    const LevelOutcome<T> lv = lvres.take();
+    if (use_fallback) {
+        ++res.fallback_levels;
+        ++ctx.dev().robustness().fallback_levels;
+    }
+    const auto b = static_cast<std::size_t>(lv.tree.num_buckets);
     const auto prefix = lv.prefix_span();
 
-    scatter_all_kernel<T>(dev, std::span<const T>(data), lv.oracles.span(),
-                          lv.block_counts.span(), prefix, scratch, lv.tree, cfg, origin, lv.grid);
+    Status s = with_fault_retry(ctx, [&] {
+        scatter_all_kernel<T>(dev, std::span<const T>(data), lv.oracles.span(),
+                              lv.block_counts.span(), prefix, scratch, lv.tree, cfg, origin,
+                              lv.grid);
+    });
+    if (!s.ok()) return s;
 
     // Small child buckets are sorted by ONE batched bitonic launch (one
     // block per bucket); only oversized buckets recurse.
@@ -94,47 +113,94 @@ void sort_segment(const PipelineContext& ctx, std::span<T> data, std::span<T> sc
         const std::size_t len = hi - lo;
         if (len <= 1 || lv.tree.equality[i]) continue;  // equality buckets are sorted
         if (len == n) {
-            // Degenerate sample: retry the whole segment with a new salt.
-            sort_segment(ctx, scratch, data, depth + 1, res);
-            launch_copy<T>(dev, std::span<const T>(scratch), 0, data, 0, n, origin,
-                           cfg.block_dim, cfg.stream);
-            return;
+            if (use_fallback) {
+                // The tripartition tree's equality bucket is non-empty by
+                // construction, so this means broken invariants.
+                return Status::failure(
+                    SelectError::no_progress,
+                    "sample_sort: deterministic fallback level failed to shrink the bucket");
+            }
+            // Degenerate sample: retry the whole segment with a new salt
+            // (the depth term); past the stall budget the child level runs
+            // the deterministic fallback.
+            ++res.resamples;
+            ++ctx.dev().robustness().resamples;
+            const std::size_t child_stalls = stalls + 1;
+            if (child_stalls == static_cast<std::size_t>(cfg.max_stalled_levels) + 1) {
+                ++ctx.dev().robustness().fallbacks;
+            }
+            s = sort_segment(ctx, scratch, data, depth + 1, child_stalls, res);
+            if (!s.ok()) return s;
+            return with_fault_retry(ctx, [&] {
+                launch_copy<T>(dev, std::span<const T>(scratch), 0, data, 0, n, origin,
+                               cfg.block_dim, cfg.stream);
+            });
         }
         if (len <= bitonic::kMaxSortSize) {
             small.push_back({lo, len});
         } else {
-            sort_segment(ctx, scratch.subspan(lo, len), data.subspan(lo, len), depth + 1, res);
+            s = sort_segment(ctx, scratch.subspan(lo, len), data.subspan(lo, len), depth + 1,
+                             /*stalls=*/0, res);
+            if (!s.ok()) return s;
         }
     }
     if (!small.empty()) {
         res.max_depth = std::max(res.max_depth, depth + 1);
-        bitonic::batched_sort_on_device<T>(dev, scratch, small, origin, cfg.block_dim,
-                                           cfg.stream);
+        s = with_fault_retry(ctx, [&] {
+            bitonic::batched_sort_on_device<T>(dev, scratch, small, origin, cfg.block_dim,
+                                               cfg.stream);
+        });
+        if (!s.ok()) return s;
     }
-    launch_copy<T>(dev, std::span<const T>(scratch), 0, data, 0, n, origin, cfg.block_dim,
-                   cfg.stream);
+    return with_fault_retry(ctx, [&] {
+        launch_copy<T>(dev, std::span<const T>(scratch), 0, data, 0, n, origin, cfg.block_dim,
+                       cfg.stream);
+    });
 }
 
 }  // namespace
 
 template <typename T>
-SortResult<T> sample_sort(simt::Device& dev, std::span<const T> input,
-                          const SampleSelectConfig& cfg) {
+Result<SortResult<T>> try_sample_sort(simt::Device& dev, std::span<const T> input,
+                                      const SampleSelectConfig& cfg) {
     // The scatter needs per-block offsets, so sorting uses the
     // shared-atomic hierarchy regardless of cfg.atomic_space.
     SampleSelectConfig sort_cfg = cfg;
     sort_cfg.atomic_space = simt::AtomicSpace::shared;
-    sort_cfg.validate(/*exact=*/true);
+    try {
+        sort_cfg.validate(/*exact=*/true);
+    } catch (const std::invalid_argument& e) {
+        return Status::failure(SelectError::invalid_argument, e.what());
+    }
 
     const std::size_t n = input.size();
     PipelineContext ctx(dev, sort_cfg);
-    auto buf = DataHolder<T>::stage(ctx, input);
-    auto scratch = DataHolder<T>::acquire(ctx, n);
+    DataHolder<T> buf;
+    DataHolder<T> scratch;
+    Status s = with_fault_retry(ctx, [&] {
+        buf = DataHolder<T>::stage(ctx, input);
+        scratch = DataHolder<T>::acquire(ctx, n);
+    });
+    if (!s.ok()) return s;
 
     SortResult<T> res;
+    // NaN staging pre-pass: NaN keys are the largest in the total order, so
+    // the sorted output is the sorted numeric prefix followed by the NaN
+    // tail the partition already formed.
+    res.nan_count = partition_nans_to_back(buf.span());
+    if (res.nan_count > 0 && sort_cfg.nan_policy == NanPolicy::reject) {
+        return Status::failure(SelectError::nan_keys_rejected,
+                               "sample_sort: input contains NaN keys");
+    }
+    const std::size_t n_num = n - res.nan_count;
+
     const double t0 = dev.elapsed_ns();
     const std::uint64_t l0 = dev.launch_count();
-    if (n > 0) sort_segment<T>(ctx, buf.span(), scratch.span(), 0, res);
+    if (n_num > 0) {
+        s = sort_segment<T>(ctx, buf.span().subspan(0, n_num), scratch.span().subspan(0, n_num),
+                            0, 0, res);
+        if (!s.ok()) return s;
+    }
     res.sim_ns = dev.elapsed_ns() - t0;
     res.launches = dev.launch_count() - l0;
     const auto sorted = buf.span();
@@ -142,6 +208,17 @@ SortResult<T> sample_sort(simt::Device& dev, std::span<const T> input,
     return res;
 }
 
+template <typename T>
+SortResult<T> sample_sort(simt::Device& dev, std::span<const T> input,
+                          const SampleSelectConfig& cfg) {
+    return try_sample_sort<T>(dev, input, cfg).take_or_throw();
+}
+
+template Result<SortResult<float>> try_sample_sort<float>(simt::Device&, std::span<const float>,
+                                                          const SampleSelectConfig&);
+template Result<SortResult<double>> try_sample_sort<double>(simt::Device&,
+                                                            std::span<const double>,
+                                                            const SampleSelectConfig&);
 template SortResult<float> sample_sort<float>(simt::Device&, std::span<const float>,
                                               const SampleSelectConfig&);
 template SortResult<double> sample_sort<double>(simt::Device&, std::span<const double>,

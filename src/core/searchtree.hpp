@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 namespace gpusel::core {
@@ -47,8 +48,16 @@ struct SearchTree {
     [[nodiscard]] static SearchTree build(std::vector<T> sorted_splitters);
 
     /// Reference traversal (identical decisions to the kernels' inline
-    /// loop); used by tests and host-side fallbacks.
+    /// loop); used by tests and host-side fallbacks.  NaN keys never reach
+    /// the kernels (front-ends compact them at staging, see
+    /// core/float_order.hpp), but a host-side caller may still probe one:
+    /// NaN is the maximum of the key total order, so it deterministically
+    /// lands in the last bucket instead of taking a comparison-dependent
+    /// path through the tree.
     [[nodiscard]] std::int32_t find_bucket(T x) const noexcept {
+        if constexpr (std::is_floating_point_v<T>) {
+            if (x != x) return num_buckets - 1;
+        }
         std::int32_t i = 0;
         for (std::int32_t l = 0; l < height; ++l) {
             const bool left = leq[static_cast<std::size_t>(i)]

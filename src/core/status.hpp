@@ -1,0 +1,165 @@
+#pragma once
+// Typed error channel for the selection stack (see docs/robustness.md).
+//
+// Deep code used to signal failure with `throw std::logic_error` from the
+// middle of a recursion cascade; under fault injection (simt/fault.hpp) or
+// degenerate inputs that turned every robustness problem into a crash.  The
+// pipeline and all front-ends now report through Status / Result<T>:
+//
+//   * SelectError  -- the closed error taxonomy.  Every failure mode of a
+//                     selection call maps to exactly one code.
+//   * Status       -- code + human-readable message; `ok()` is the success
+//                     sentinel.
+//   * Result<T>    -- expected<T, Status>-style sum type returned by the
+//                     `try_*` front-end entry points.
+//
+// The legacy value-returning entry points (sample_select, topk_largest,
+// ...) remain as thin wrappers that call the try_* variant and rethrow the
+// Status through throw_status(), preserving the std::exception types the
+// pre-existing API contract documented (std::invalid_argument,
+// std::out_of_range).  New code that must survive faults uses try_*.
+
+#include <cassert>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace gpusel::core {
+
+/// Closed taxonomy of selection failures (docs/robustness.md "Error
+/// taxonomy").  Values are stable; new codes are appended.
+enum class SelectError {
+    none = 0,
+    /// Malformed configuration or arguments (bad bucket count, malformed
+    /// batch offsets, empty sequence in a batch, invalid quantile, ...).
+    invalid_argument,
+    /// Requested rank (or k) does not exist in the input: rank >= n,
+    /// k == 0, k > n, or any rank of a multi-rank query out of range.
+    rank_out_of_range,
+    /// The operation needs a non-empty input (e.g. histogram of nothing).
+    empty_input,
+    /// NaN keys present while the config demands NanPolicy::reject.
+    nan_keys_rejected,
+    /// Device memory allocation failed and pool-trim + bounded retry did
+    /// not recover it (permanent allocation fault).
+    allocation_failed,
+    /// A kernel launch failed and bounded relaunch (with a fresh sample
+    /// salt where applicable) did not recover it (permanent launch fault).
+    launch_failed,
+    /// The guaranteed-progress policy ran out of road: resampling and the
+    /// deterministic fallback could not shrink the tracked bucket.
+    no_progress,
+    /// Hard recursion-depth cap hit; the input terminates by construction,
+    /// this code exists so *every* loop in the stack is provably bounded.
+    depth_exceeded,
+    /// Invariant violation inside the pipeline (a bug, not an input or
+    /// fault condition); carries the diagnostic message.
+    internal,
+};
+
+[[nodiscard]] constexpr const char* to_string(SelectError e) noexcept {
+    switch (e) {
+        case SelectError::none: return "none";
+        case SelectError::invalid_argument: return "invalid_argument";
+        case SelectError::rank_out_of_range: return "rank_out_of_range";
+        case SelectError::empty_input: return "empty_input";
+        case SelectError::nan_keys_rejected: return "nan_keys_rejected";
+        case SelectError::allocation_failed: return "allocation_failed";
+        case SelectError::launch_failed: return "launch_failed";
+        case SelectError::no_progress: return "no_progress";
+        case SelectError::depth_exceeded: return "depth_exceeded";
+        case SelectError::internal: return "internal";
+    }
+    return "unknown";
+}
+
+/// Error code plus context message.  Default-constructed Status is success.
+struct Status {
+    SelectError code = SelectError::none;
+    std::string message;
+
+    [[nodiscard]] bool ok() const noexcept { return code == SelectError::none; }
+
+    [[nodiscard]] static Status success() { return {}; }
+    [[nodiscard]] static Status failure(SelectError code, std::string message) {
+        assert(code != SelectError::none);
+        return {code, std::move(message)};
+    }
+    /// "code: message" for logs and exception payloads.
+    [[nodiscard]] std::string to_message() const {
+        return std::string(to_string(code)) + ": " + message;
+    }
+};
+
+/// Exception carrying a Status, thrown by the legacy wrappers for codes
+/// that have no pre-existing std::exception contract (faults, progress).
+class SelectException : public std::runtime_error {
+public:
+    explicit SelectException(Status status)
+        : std::runtime_error(status.to_message()), status_(std::move(status)) {}
+    [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+private:
+    Status status_;
+};
+
+/// Rethrows a Status with the exception type the legacy API documented:
+/// argument/precondition problems keep their std types so existing callers
+/// (and tests) see unchanged behavior; fault/progress codes surface as
+/// SelectException.
+[[noreturn]] inline void throw_status(const Status& s) {
+    switch (s.code) {
+        case SelectError::invalid_argument:
+        case SelectError::empty_input:
+        case SelectError::nan_keys_rejected:
+            throw std::invalid_argument(s.message);
+        case SelectError::rank_out_of_range:
+            throw std::out_of_range(s.message);
+        default:
+            throw SelectException(s);
+    }
+}
+
+/// Minimal expected<T, Status>: either a value or a non-ok Status.
+template <typename T>
+class Result {
+public:
+    Result(T value) : value_(std::move(value)) {}           // NOLINT(google-explicit-constructor)
+    Result(Status status) : status_(std::move(status)) {    // NOLINT(google-explicit-constructor)
+        assert(!status_.ok() && "Result needs a value or a failure Status");
+    }
+    Result(SelectError code, std::string message)
+        : status_(Status::failure(code, std::move(message))) {}
+
+    [[nodiscard]] bool ok() const noexcept { return value_.has_value(); }
+    explicit operator bool() const noexcept { return ok(); }
+
+    [[nodiscard]] const Status& status() const noexcept { return status_; }
+    [[nodiscard]] SelectError error() const noexcept { return status_.code; }
+
+    [[nodiscard]] const T& value() const& noexcept {
+        assert(ok());
+        return *value_;
+    }
+    [[nodiscard]] T& value() & noexcept {
+        assert(ok());
+        return *value_;
+    }
+    /// Moves the value out (the Result is left valueless).
+    [[nodiscard]] T take() {
+        assert(ok());
+        return std::move(*value_);
+    }
+    /// Legacy bridge: the value, or throw_status() on error.
+    [[nodiscard]] T take_or_throw() {
+        if (!ok()) throw_status(status_);
+        return std::move(*value_);
+    }
+
+private:
+    std::optional<T> value_;
+    Status status_;  ///< success() while value_ holds
+};
+
+}  // namespace gpusel::core

@@ -1,7 +1,9 @@
 #include "core/topk.hpp"
 
 #include <stdexcept>
+#include <utility>
 
+#include "core/float_order.hpp"
 #include "core/histogram.hpp"
 #include "core/pipeline.hpp"
 #include "core/sample_select.hpp"
@@ -9,183 +11,343 @@
 namespace gpusel::core {
 
 template <typename T>
-TopKResult<T> topk_largest(simt::Device& dev, std::span<const T> input, std::size_t k,
-                           const SampleSelectConfig& cfg) {
-    cfg.validate(/*exact=*/true);
+Result<TopKResult<T>> try_topk_largest(simt::Device& dev, std::span<const T> input, std::size_t k,
+                                       const SampleSelectConfig& cfg) {
+    try {
+        cfg.validate(/*exact=*/true);
+    } catch (const std::invalid_argument& e) {
+        return Status::failure(SelectError::invalid_argument, e.what());
+    }
     const std::size_t n0 = input.size();
-    if (k == 0 || k > n0) throw std::out_of_range("k must be in [1, n]");
+    if (k == 0 || k > n0) {
+        return Status::failure(SelectError::rank_out_of_range, "k must be in [1, n]");
+    }
 
     SelectionPipeline<T> pipe(dev, cfg);
-    pipe.reset(DataHolder<T>::stage(pipe.context(), input));
-    auto acc = pipe.context().template scratch<T>(k);
+    const PipelineContext& ctx = pipe.context();
+    DataHolder<T> staged;
+    Status s = with_fault_retry(ctx, [&] { staged = DataHolder<T>::stage(ctx, input); });
+    if (!s.ok()) return s;
 
     TopKResult<T> res;
+    // NaN staging pre-pass: NaNs are the largest keys of the total order,
+    // so min(k, nan_count) of them belong to the top-k set outright and
+    // the device descent runs over the non-NaN prefix only.
+    const std::size_t nan_count = partition_nans_to_back(staged.span());
+    std::size_t nan_take = 0;
+    if (nan_count > 0) {
+        if (cfg.nan_policy == NanPolicy::reject) {
+            return Status::failure(SelectError::nan_keys_rejected,
+                                   "topk_largest: input contains NaN keys");
+        }
+        nan_take = nan_count < k ? nan_count : k;
+        staged.view(n0 - nan_count);
+        res.nan_count = nan_count;
+    }
+    const std::size_t kk = k - nan_take;  // non-NaN elements still wanted
+
+    pipe.reset(std::move(staged));
+    simt::PooledBuffer<T> acc;
+    if (kk > 0) {
+        s = with_fault_retry(ctx, [&] { acc = ctx.template scratch<T>(kk); });
+        if (!s.ok()) return s;
+    }
+
     const double t0 = dev.elapsed_ns();
     const std::uint64_t l0 = dev.launch_count();
 
-    std::size_t remaining = k;  // top elements still to secure from the buffer
-    std::size_t fill = 0;       // next free slot in acc
+    std::size_t remaining = kk;  // top elements still to secure from the buffer
+    std::size_t fill = 0;        // next free slot in acc
+    std::size_t level = 0;       // productive levels (feeds the sample salt)
+    std::size_t resample_tries = 0;
+    std::size_t levels_run = 0;
+    bool fallback = false;
 
-    for (std::size_t level = 0;; ++level) {
+    while (remaining > 0) {
         const auto origin = level == 0 ? simt::LaunchOrigin::host : simt::LaunchOrigin::device;
         const std::size_t n = pipe.size();
         const std::size_t threshold_rank = n - remaining;
 
         if (n <= cfg.base_case_size) {
-            pipe.sort_base_case(origin);
-            launch_copy<T>(dev, pipe.data(), threshold_rank, acc.span(), fill, remaining, origin,
-                           cfg.block_dim, cfg.stream);
+            s = pipe.try_sort_base_case(origin);
+            if (!s.ok()) return s;
+            s = with_fault_retry(ctx, [&] {
+                launch_copy<T>(dev, pipe.data(), threshold_rank, acc.span(), fill, remaining,
+                               origin, cfg.block_dim, cfg.stream);
+            });
+            if (!s.ok()) return s;
             res.threshold = pipe.value_at(threshold_rank);
             fill += remaining;
             break;
         }
 
-        const auto lv = pipe.run_level(threshold_rank, origin, level * 977);
-        ++res.levels;
+        if (levels_run >= static_cast<std::size_t>(cfg.max_levels)) {
+            return Status::failure(SelectError::depth_exceeded,
+                                   "topk_largest: max_levels bucketing levels exceeded");
+        }
+        ++levels_run;
 
+        const bool use_fallback = fallback || cfg.force_fallback;
+        auto lvres = use_fallback
+                         ? pipe.try_run_fallback_level(threshold_rank, origin)
+                         : pipe.try_run_level(threshold_rank, origin,
+                                              level * 977 + resample_tries * 7919);
+        if (!lvres.ok()) return lvres.status();
+        const LevelOutcome<T> lv = lvres.take();
+        if (use_fallback) {
+            ++res.fallback_levels;
+            ++dev.robustness().fallback_levels;
+        }
+
+        if (lv.bucket_size == n && !lv.equality) {
+            // Stalled level: nothing was secured yet (no filtering has
+            // run), so retry with a fresh sample before any copy.
+            if (use_fallback) {
+                return Status::failure(
+                    SelectError::no_progress,
+                    "topk_largest: deterministic fallback level failed to shrink the bucket");
+            }
+            ++res.resamples;
+            ++dev.robustness().resamples;
+            if (++resample_tries > static_cast<std::size_t>(cfg.max_stalled_levels)) {
+                fallback = true;
+                ++dev.robustness().fallbacks;
+            }
+            continue;
+        }
+
+        ++res.levels;
         const std::size_t cnt_upper = lv.rank_above;
         const std::size_t needed_from_bucket = remaining - cnt_upper;
-        const std::size_t bucket_size = lv.bucket_size;
 
         // Fused filter (Sec. IV-I): target bucket to the back buffer, all
         // higher buckets straight into the accumulator.
-        pipe.descend_topk(lv, acc.span(), static_cast<std::int32_t>(fill), origin);
+        s = pipe.try_descend_topk(lv, acc.span(), static_cast<std::int32_t>(fill), origin);
+        if (!s.ok()) return s;
         fill += cnt_upper;
 
         if (lv.equality) {
             // Every bucket element equals the splitter: take as many as
             // still needed and finish.
             res.threshold = lv.equality_value(lv.bucket);
-            launch_copy<T>(dev, pipe.data(), 0, acc.span(), fill, needed_from_bucket, origin,
-                           cfg.block_dim, cfg.stream);
+            s = with_fault_retry(ctx, [&] {
+                launch_copy<T>(dev, pipe.data(), 0, acc.span(), fill, needed_from_bucket, origin,
+                               cfg.block_dim, cfg.stream);
+            });
+            if (!s.ok()) return s;
             fill += needed_from_bucket;
             break;
         }
-        if (bucket_size == n) {
-            throw std::runtime_error("topk_largest: no partition progress");
-        }
         remaining = needed_from_bucket;
+        ++level;
+        resample_tries = 0;
+        if (!cfg.force_fallback) fallback = false;
     }
 
-    if (fill != k) throw std::logic_error("topk_largest: accumulator fill mismatch");
+    if (fill != kk) {
+        return Status::failure(SelectError::internal, "topk_largest: accumulator fill mismatch");
+    }
     res.sim_ns = dev.elapsed_ns() - t0;
     res.launches = dev.launch_count() - l0;
-    res.elements.assign(acc.data(), acc.data() + k);
+    res.elements.assign(acc.data(), acc.data() + kk);
+    if (nan_take > 0) {
+        res.elements.insert(res.elements.end(), nan_take, quiet_nan<T>());
+        if (kk == 0) res.threshold = quiet_nan<T>();  // the k-th largest is a NaN
+    }
     return res;
 }
 
 template <typename T>
-TopKResult<T> topk_smallest(simt::Device& dev, std::span<const T> input, std::size_t k,
-                            const SampleSelectConfig& cfg) {
+Result<TopKResult<T>> try_topk_smallest(simt::Device& dev, std::span<const T> input,
+                                        std::size_t k, const SampleSelectConfig& cfg) {
+    try {
+        cfg.validate(/*exact=*/true);
+    } catch (const std::invalid_argument& e) {
+        return Status::failure(SelectError::invalid_argument, e.what());
+    }
     const std::size_t n = input.size();
-    if (k == 0 || k > n) throw std::out_of_range("k must be in [1, n]");
+    if (k == 0 || k > n) {
+        return Status::failure(SelectError::rank_out_of_range, "k must be in [1, n]");
+    }
 
-    // Negate on the device (one streaming pass, charged).
     PipelineContext ctx(dev, cfg);
-    auto neg = DataHolder<T>::stage(ctx, input);
+    DataHolder<T> neg;
+    Status s = with_fault_retry(ctx, [&] { neg = DataHolder<T>::stage(ctx, input); });
+    if (!s.ok()) return s;
+
+    // NaNs are the *largest* keys of the total order, so the k smallest
+    // avoid them until the non-NaN keys run out.  They must be compacted
+    // before negation: -NaN is still NaN, so negation cannot reposition
+    // them the way it reverses every numeric comparison.
+    const std::size_t nan_count = partition_nans_to_back(neg.span());
+    if (nan_count > 0 && cfg.nan_policy == NanPolicy::reject) {
+        return Status::failure(SelectError::nan_keys_rejected,
+                               "topk_smallest: input contains NaN keys");
+    }
+    const std::size_t n_num = n - nan_count;
+    const std::size_t nan_take = k > n_num ? k - n_num : 0;
+    const std::size_t kk = k - nan_take;
+
     const double t0 = dev.elapsed_ns();
     const std::uint64_t l0 = dev.launch_count();
-    const int grid = simt::suggest_grid(dev.arch(), n, cfg.block_dim);
-    auto span = neg.span();
-    dev.launch("negate", {.grid_dim = grid, .block_dim = cfg.block_dim},
-               [span, n](simt::BlockCtx& blk) {
-                   blk.warp_tiles(n, [&](simt::WarpCtx& w, std::size_t base, std::size_t) {
-                       T regs[simt::kWarpSize];
-                       w.load(std::span<const T>(span), base, regs);
-                       for (int l = 0; l < w.lanes(); ++l) regs[l] = -regs[l];
-                       w.add_instr(static_cast<std::uint64_t>(w.lanes()));
-                       w.store(span, base, regs);
-                   });
-               });
-    auto res = topk_largest<T>(dev, std::span<const T>(neg.span()), k, cfg);
-    for (auto& v : res.elements) v = -v;
-    res.threshold = -res.threshold;
+
+    TopKResult<T> res;
+    if (kk > 0) {
+        // Negate the numeric prefix on the device (one streaming pass,
+        // charged); the launch faults before executing, so a retry never
+        // sees half-negated data.
+        auto span = neg.span().first(n_num);
+        s = with_fault_retry(ctx, [&] {
+            const int grid = simt::suggest_grid(dev.arch(), n_num, cfg.block_dim);
+            dev.launch("negate", {.grid_dim = grid, .block_dim = cfg.block_dim},
+                       [span, n_num](simt::BlockCtx& blk) {
+                           blk.warp_tiles(n_num,
+                                          [&](simt::WarpCtx& w, std::size_t base, std::size_t) {
+                                              T regs[simt::kWarpSize];
+                                              w.load(std::span<const T>(span), base, regs);
+                                              for (int l = 0; l < w.lanes(); ++l) {
+                                                  regs[l] = -regs[l];
+                                              }
+                                              w.add_instr(static_cast<std::uint64_t>(w.lanes()));
+                                              w.store(span, base, regs);
+                                          });
+                       });
+        });
+        if (!s.ok()) return s;
+        auto inner = try_topk_largest<T>(dev, std::span<const T>(span), kk, cfg);
+        if (!inner.ok()) return inner.status();
+        res = inner.take();
+        for (auto& v : res.elements) v = -v;
+        res.threshold = -res.threshold;
+    }
+    res.nan_count = nan_count;
+    if (nan_take > 0) {
+        res.elements.insert(res.elements.end(), nan_take, quiet_nan<T>());
+        res.threshold = quiet_nan<T>();  // the k-th smallest falls in the NaN tail
+    }
     res.sim_ns = dev.elapsed_ns() - t0;
     res.launches = dev.launch_count() - l0;
     return res;
 }
 
 template <typename T>
-TopKIndexResult<T> topk_largest_with_indices(simt::Device& dev, std::span<const T> input,
-                                             std::size_t k, const SampleSelectConfig& cfg) {
+Result<TopKIndexResult<T>> try_topk_largest_with_indices(simt::Device& dev,
+                                                         std::span<const T> input, std::size_t k,
+                                                         const SampleSelectConfig& cfg) {
+    try {
+        cfg.validate(/*exact=*/true);
+    } catch (const std::invalid_argument& e) {
+        return Status::failure(SelectError::invalid_argument, e.what());
+    }
     const std::size_t n = input.size();
-    if (k == 0 || k > n) throw std::out_of_range("k must be in [1, n]");
+    if (k == 0 || k > n) {
+        return Status::failure(SelectError::rank_out_of_range, "k must be in [1, n]");
+    }
 
     PipelineContext ctx(dev, cfg);
-    auto data = DataHolder<T>::stage(ctx, input);
+    DataHolder<T> data;
+    Status s = with_fault_retry(ctx, [&] { data = DataHolder<T>::stage(ctx, input); });
+    if (!s.ok()) return s;
+    // `data` must keep the input order (indices are positions in it), so
+    // NaNs stay in place here; the gather below uses the total order and
+    // the threshold selection's own pre-pass handles its consumable copy.
+    if (cfg.nan_policy == NanPolicy::reject &&
+        count_nan_keys(std::span<const T>(data.span())) > 0) {
+        return Status::failure(SelectError::nan_keys_rejected,
+                               "topk_largest_with_indices: input contains NaN keys");
+    }
+
     const double t0 = dev.elapsed_ns();
     const std::uint64_t l0 = dev.launch_count();
 
     // 1. threshold = element of ascending rank n-k (the k-th largest);
     //    selection consumes a device-side copy so `data` stays intact for
     //    the gather pass.
-    auto copy = DataHolder<T>::acquire(ctx, n);
-    launch_copy<T>(dev, data.span(), 0, copy.span(), 0, n, simt::LaunchOrigin::host,
-                   cfg.block_dim, cfg.stream);
-    const T threshold = sample_select_staged<T>(dev, std::move(copy), n - k, cfg).value;
+    DataHolder<T> copy;
+    s = with_fault_retry(ctx, [&] {
+        copy = DataHolder<T>::acquire(ctx, n);
+        launch_copy<T>(dev, data.span(), 0, copy.span(), 0, n, simt::LaunchOrigin::host,
+                       cfg.block_dim, cfg.stream);
+    });
+    if (!s.ok()) return s;
+    auto sel = try_sample_select_staged<T>(dev, std::move(copy), n - k, cfg);
+    if (!sel.ok()) return sel.status();
+    const T threshold = sel.value().value;
+    const std::size_t nan_count = sel.value().nan_count;
 
-    // 2. how many elements exceed the threshold / equal it.
-    const auto rq = rank_of<T>(dev, data.span(), threshold, cfg);
-    const std::size_t n_gt = n - rq.less - rq.equal;
+    // 2. how many elements exceed the threshold / equal it (total order:
+    //    NaNs count as greater than any numeric threshold, and a NaN
+    //    threshold equals exactly the NaN keys).
+    auto rq = try_rank_of<T>(dev, std::span<const T>(data.span()), threshold, cfg);
+    if (!rq.ok()) return rq.status();
+    const std::size_t n_gt = n - rq.value().less - rq.value().equal;
     const std::size_t eq_needed = k - n_gt;
 
     // 3. gather pass: strictly-greater elements take slots [0, n_gt); the
     //    first eq_needed threshold-equal elements (extraction order) fill
     //    [n_gt, k).
-    auto out_vals = ctx.scratch<T>(k);
-    auto out_idx = ctx.scratch<std::int32_t>(k);
-    auto cursors = ctx.zeroed_i32(2, simt::LaunchOrigin::device);
-    const int grid = simt::suggest_grid(dev.arch(), n, cfg.block_dim, cfg.unroll);
-    const auto dspan = std::span<const T>(data.span());
-    dev.launch(
-        "topk_gather",
-        {.grid_dim = grid, .block_dim = cfg.block_dim, .origin = simt::LaunchOrigin::device,
-         .unroll = cfg.unroll, .stream = cfg.stream},
-        [&, n, threshold, n_gt, eq_needed, dspan](simt::BlockCtx& blk) {
-            blk.warp_tiles(n, [&](simt::WarpCtx& w, std::size_t base, std::size_t) {
-                T elems[simt::kWarpSize];
-                bool gt[simt::kWarpSize];
-                bool eq[simt::kWarpSize];
-                const std::int32_t zeros[simt::kWarpSize] = {};
-                std::int32_t off[simt::kWarpSize];
-                w.load(dspan, base, elems);
-                for (int l = 0; l < w.lanes(); ++l) {
-                    gt[l] = threshold < elems[l];
-                    eq[l] = elems[l] == threshold;
-                }
-                w.add_instr(2 * static_cast<std::uint64_t>(w.lanes()));
+    simt::PooledBuffer<T> out_vals;
+    simt::PooledBuffer<std::int32_t> out_idx;
+    s = with_fault_retry(ctx, [&] {
+        out_vals = ctx.scratch<T>(k);
+        out_idx = ctx.scratch<std::int32_t>(k);
+        auto cursors = ctx.zeroed_i32(2, simt::LaunchOrigin::device);
+        const int grid = simt::suggest_grid(dev.arch(), n, cfg.block_dim, cfg.unroll);
+        const auto dspan = std::span<const T>(data.span());
+        dev.launch(
+            "topk_gather",
+            {.grid_dim = grid, .block_dim = cfg.block_dim, .origin = simt::LaunchOrigin::device,
+             .unroll = cfg.unroll, .stream = cfg.stream},
+            [&, n, threshold, n_gt, eq_needed, dspan](simt::BlockCtx& blk) {
+                blk.warp_tiles(n, [&](simt::WarpCtx& w, std::size_t base, std::size_t) {
+                    T elems[simt::kWarpSize];
+                    bool gt[simt::kWarpSize];
+                    bool eq[simt::kWarpSize];
+                    const std::int32_t zeros[simt::kWarpSize] = {};
+                    std::int32_t off[simt::kWarpSize];
+                    w.load(dspan, base, elems);
+                    for (int l = 0; l < w.lanes(); ++l) {
+                        gt[l] = total_less(threshold, elems[l]);
+                        eq[l] = total_equal(elems[l], threshold);
+                    }
+                    w.add_instr(2 * static_cast<std::uint64_t>(w.lanes()));
 
-                w.fetch_add(simt::AtomicSpace::global, cursors.span().subspan(0, 1), zeros, off,
-                            /*aggregated=*/true, 1, gt);
-                std::uint64_t written = 0;
-                for (int l = 0; l < w.lanes(); ++l) {
-                    if (gt[l]) {
-                        const auto slot = static_cast<std::size_t>(off[l]);
-                        out_vals[slot] = elems[l];
-                        out_idx[slot] = static_cast<std::int32_t>(base +
-                                                                  static_cast<std::size_t>(l));
-                        ++written;
+                    w.fetch_add(simt::AtomicSpace::global, cursors.span().subspan(0, 1), zeros,
+                                off,
+                                /*aggregated=*/true, 1, gt);
+                    std::uint64_t written = 0;
+                    for (int l = 0; l < w.lanes(); ++l) {
+                        if (gt[l]) {
+                            const auto slot = static_cast<std::size_t>(off[l]);
+                            out_vals[slot] = elems[l];
+                            out_idx[slot] =
+                                static_cast<std::int32_t>(base + static_cast<std::size_t>(l));
+                            ++written;
+                        }
                     }
-                }
-                w.fetch_add(simt::AtomicSpace::global, cursors.span().subspan(1, 1), zeros, off,
-                            /*aggregated=*/true, 1, eq);
-                for (int l = 0; l < w.lanes(); ++l) {
-                    if (eq[l] && static_cast<std::size_t>(off[l]) < eq_needed) {
-                        const std::size_t slot = n_gt + static_cast<std::size_t>(off[l]);
-                        out_vals[slot] = elems[l];
-                        out_idx[slot] = static_cast<std::int32_t>(base +
-                                                                  static_cast<std::size_t>(l));
-                        ++written;
+                    w.fetch_add(simt::AtomicSpace::global, cursors.span().subspan(1, 1), zeros,
+                                off,
+                                /*aggregated=*/true, 1, eq);
+                    for (int l = 0; l < w.lanes(); ++l) {
+                        if (eq[l] && static_cast<std::size_t>(off[l]) < eq_needed) {
+                            const std::size_t slot = n_gt + static_cast<std::size_t>(off[l]);
+                            out_vals[slot] = elems[l];
+                            out_idx[slot] =
+                                static_cast<std::int32_t>(base + static_cast<std::size_t>(l));
+                            ++written;
+                        }
                     }
-                }
-                w.block().counters().scattered_bytes_read += written * sizeof(T);
-                w.block().counters().global_bytes_written +=
-                    written * (sizeof(T) + sizeof(std::int32_t));
+                    w.block().counters().scattered_bytes_read += written * sizeof(T);
+                    w.block().counters().global_bytes_written +=
+                        written * (sizeof(T) + sizeof(std::int32_t));
+                });
             });
-        });
+    });
+    if (!s.ok()) return s;
 
     TopKIndexResult<T> res;
     res.threshold = threshold;
+    res.nan_count = nan_count;
     res.values.assign(out_vals.data(), out_vals.data() + k);
     res.indices.resize(k);
     for (std::size_t i = 0; i < k; ++i) res.indices[i] = static_cast<std::size_t>(out_idx[i]);
@@ -194,6 +356,41 @@ TopKIndexResult<T> topk_largest_with_indices(simt::Device& dev, std::span<const 
     return res;
 }
 
+template <typename T>
+TopKResult<T> topk_largest(simt::Device& dev, std::span<const T> input, std::size_t k,
+                           const SampleSelectConfig& cfg) {
+    return try_topk_largest<T>(dev, input, k, cfg).take_or_throw();
+}
+
+template <typename T>
+TopKResult<T> topk_smallest(simt::Device& dev, std::span<const T> input, std::size_t k,
+                            const SampleSelectConfig& cfg) {
+    return try_topk_smallest<T>(dev, input, k, cfg).take_or_throw();
+}
+
+template <typename T>
+TopKIndexResult<T> topk_largest_with_indices(simt::Device& dev, std::span<const T> input,
+                                             std::size_t k, const SampleSelectConfig& cfg) {
+    return try_topk_largest_with_indices<T>(dev, input, k, cfg).take_or_throw();
+}
+
+template Result<TopKResult<float>> try_topk_largest<float>(simt::Device&, std::span<const float>,
+                                                           std::size_t,
+                                                           const SampleSelectConfig&);
+template Result<TopKResult<double>> try_topk_largest<double>(simt::Device&,
+                                                             std::span<const double>, std::size_t,
+                                                             const SampleSelectConfig&);
+template Result<TopKResult<float>> try_topk_smallest<float>(simt::Device&, std::span<const float>,
+                                                            std::size_t,
+                                                            const SampleSelectConfig&);
+template Result<TopKResult<double>> try_topk_smallest<double>(simt::Device&,
+                                                              std::span<const double>,
+                                                              std::size_t,
+                                                              const SampleSelectConfig&);
+template Result<TopKIndexResult<float>> try_topk_largest_with_indices<float>(
+    simt::Device&, std::span<const float>, std::size_t, const SampleSelectConfig&);
+template Result<TopKIndexResult<double>> try_topk_largest_with_indices<double>(
+    simt::Device&, std::span<const double>, std::size_t, const SampleSelectConfig&);
 template TopKResult<float> topk_largest<float>(simt::Device&, std::span<const float>, std::size_t,
                                                const SampleSelectConfig&);
 template TopKResult<double> topk_largest<double>(simt::Device&, std::span<const double>,

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/status.hpp"
 #include "simt/device.hpp"
 
 namespace gpusel::core {
@@ -23,7 +24,24 @@ struct TopKResult {
     std::size_t levels = 0;
     double sim_ns = 0.0;
     std::uint64_t launches = 0;
+    /// Guaranteed-progress accounting (docs/robustness.md).
+    std::size_t resamples = 0;
+    std::size_t fallback_levels = 0;
+    /// NaN keys found by the staging pre-pass; NaNs are the largest keys
+    /// of the total order, so topk_largest returns min(k, nan_count) of
+    /// them and topk_smallest avoids them until the numbers run out.
+    std::size_t nan_count = 0;
 };
+
+/// Fault-hardened top-k entry points: same results as the throwing
+/// variants, every failure mode as a typed Status.
+template <typename T>
+[[nodiscard]] Result<TopKResult<T>> try_topk_largest(simt::Device& dev, std::span<const T> input,
+                                                     std::size_t k, const SampleSelectConfig& cfg);
+template <typename T>
+[[nodiscard]] Result<TopKResult<T>> try_topk_smallest(simt::Device& dev, std::span<const T> input,
+                                                      std::size_t k,
+                                                      const SampleSelectConfig& cfg);
 
 /// Returns the k largest elements of `input` (0 < k <= n).
 template <typename T>
@@ -40,7 +58,14 @@ struct TopKIndexResult {
     T threshold{};
     double sim_ns = 0.0;
     std::uint64_t launches = 0;
+    /// NaN keys in the input (they rank above +inf, so they are claimed
+    /// into the top-k set first; their original indices are reported).
+    std::size_t nan_count = 0;
 };
+
+template <typename T>
+[[nodiscard]] Result<TopKIndexResult<T>> try_topk_largest_with_indices(
+    simt::Device& dev, std::span<const T> input, std::size_t k, const SampleSelectConfig& cfg);
 
 /// Top-k with index payloads (what retrieval workloads need: document ids,
 /// not just scores).  Finds the threshold with exact SampleSelect, then one
@@ -62,6 +87,26 @@ template <typename T>
 [[nodiscard]] TopKResult<T> topk_smallest(simt::Device& dev, std::span<const T> input,
                                           std::size_t k, const SampleSelectConfig& cfg);
 
+extern template Result<TopKResult<float>> try_topk_largest<float>(simt::Device&,
+                                                                  std::span<const float>,
+                                                                  std::size_t,
+                                                                  const SampleSelectConfig&);
+extern template Result<TopKResult<double>> try_topk_largest<double>(simt::Device&,
+                                                                    std::span<const double>,
+                                                                    std::size_t,
+                                                                    const SampleSelectConfig&);
+extern template Result<TopKResult<float>> try_topk_smallest<float>(simt::Device&,
+                                                                   std::span<const float>,
+                                                                   std::size_t,
+                                                                   const SampleSelectConfig&);
+extern template Result<TopKResult<double>> try_topk_smallest<double>(simt::Device&,
+                                                                     std::span<const double>,
+                                                                     std::size_t,
+                                                                     const SampleSelectConfig&);
+extern template Result<TopKIndexResult<float>> try_topk_largest_with_indices<float>(
+    simt::Device&, std::span<const float>, std::size_t, const SampleSelectConfig&);
+extern template Result<TopKIndexResult<double>> try_topk_largest_with_indices<double>(
+    simt::Device&, std::span<const double>, std::size_t, const SampleSelectConfig&);
 extern template TopKResult<float> topk_largest<float>(simt::Device&, std::span<const float>,
                                                       std::size_t, const SampleSelectConfig&);
 extern template TopKResult<double> topk_largest<double>(simt::Device&, std::span<const double>,

@@ -32,6 +32,13 @@ std::ostream& operator<<(std::ostream& os, const KernelCounters& c) {
     return os;
 }
 
+std::ostream& operator<<(std::ostream& os, const RobustnessCounters& c) {
+    os << "{alloc_retries " << c.alloc_retries << ", launch_retries " << c.launch_retries
+       << ", resamples " << c.resamples << ", fallbacks " << c.fallbacks << ", fallback_levels "
+       << c.fallback_levels << "}";
+    return os;
+}
+
 std::ostream& operator<<(std::ostream& os, const KernelProfile& p) {
     os << p.name << " <<<" << p.grid_dim << ", " << p.block_dim << ", " << p.shared_bytes
        << ">>> (" << (p.origin == LaunchOrigin::host ? "host" : "device") << " launch) "

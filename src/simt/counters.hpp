@@ -77,6 +77,40 @@ struct KernelCounters {
 
 std::ostream& operator<<(std::ostream& os, const KernelCounters& c);
 
+/// Tallies of the selection stack's self-healing actions (retry on
+/// injected faults, resampling on stalled levels, deterministic fallback
+/// descent).  Owned by the Device so every front-end reports into one
+/// place; surfaced in the benchmark JSON so robustness regressions show up
+/// in the perf trajectory alongside the pool counters.  All-zero on a
+/// healthy, fault-free run over non-adversarial data.
+struct RobustnessCounters {
+    /// Allocation faults recovered by pool-trim + retry.
+    std::uint64_t alloc_retries = 0;
+    /// Kernel-launch faults recovered by relaunching (with a fresh sample
+    /// salt where the kernel was the splitter sampler).
+    std::uint64_t launch_retries = 0;
+    /// Stalled bucketing levels retried with a fresh splitter sample.
+    std::uint64_t resamples = 0;
+    /// Descents that exhausted resampling and entered deterministic
+    /// fallback mode.
+    std::uint64_t fallbacks = 0;
+    /// Deterministic tripartition levels executed in fallback mode.
+    std::uint64_t fallback_levels = 0;
+
+    RobustnessCounters& operator+=(const RobustnessCounters& o) noexcept {
+        alloc_retries += o.alloc_retries;
+        launch_retries += o.launch_retries;
+        resamples += o.resamples;
+        fallbacks += o.fallbacks;
+        fallback_levels += o.fallback_levels;
+        return *this;
+    }
+    bool operator==(const RobustnessCounters&) const = default;
+    [[nodiscard]] bool all_zero() const noexcept { return *this == RobustnessCounters{}; }
+};
+
+std::ostream& operator<<(std::ostream& os, const RobustnessCounters& c);
+
 /// Where a kernel launch originated.  Device-side launches model CUDA
 /// Dynamic Parallelism (tail recursion stays on the GPU, Sec. IV-E of the
 /// paper) and are charged a different launch latency.

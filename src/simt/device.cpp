@@ -20,10 +20,21 @@ unsigned default_host_workers() noexcept {
 Device::Device(ArchSpec spec, DeviceOptions opts)
     : arch_(std::move(spec)), opts_(opts), pool_(opts.host_workers) {
     mem_pool_.set_stream_clock([this](int stream) { return stream_clock(stream); });
+    // Pooled checkouts draw from the same deterministic fault stream as
+    // fresh allocations and launches.
+    mem_pool_.set_fault_hook([this] { return injector_.should_fail_alloc(); });
+    if (const auto env_spec = FaultSpec::from_env()) set_faults(*env_spec);
+}
+
+void Device::maybe_fail_alloc(std::size_t bytes) {
+    if (injector_.should_fail_alloc()) throw AllocFault(bytes);
 }
 
 KernelProfile Device::launch(std::string name, const LaunchConfig& cfg, const KernelFn& fn) {
     if (cfg.grid_dim <= 0) throw std::invalid_argument("grid_dim must be positive");
+    // Fault check before any side effect: a failed launch never ran, never
+    // advanced a clock and never counted -- like a cudaLaunchKernel error.
+    if (injector_.enabled() && injector_.should_fail_launch()) throw LaunchFault(name);
 
     KernelProfile profile;
     profile.name = std::move(name);
@@ -48,10 +59,13 @@ KernelProfile Device::launch(std::string name, const LaunchConfig& cfg, const Ke
     }
 
     profile.sim_ns = simulate_time(arch_, profile).total_ns;
-    // In-order within the launch's stream; streams overlap.
+    // In-order within the launch's stream; streams overlap.  An injected
+    // stream stall delays subsequent work on this stream (interference
+    // from unrelated tenants) without changing the launch's own profile.
     const auto stream = static_cast<std::size_t>(cfg.stream);
     if (stream >= stream_clock_.size()) throw std::invalid_argument("unknown stream");
     stream_clock_[stream] += profile.sim_ns;
+    if (injector_.enabled()) stream_clock_[stream] += injector_.stall_penalty_ns();
     clock_ns_ = *std::max_element(stream_clock_.begin(), stream_clock_.end());
     totals_ += profile.counters;
     ++launch_count_;
@@ -87,13 +101,23 @@ void Device::device_enqueue(ControlThunk thunk) { queue_.push_back(std::move(thu
 
 void Device::drain() {
     if (draining_) return;  // re-entrant drain is a no-op; the outer loop continues
+    // Exception-safe: if a thunk throws (e.g. an unhandled injected
+    // fault), the queue is abandoned and the flag reset, so the device
+    // stays usable for the next cascade instead of silently refusing to
+    // drain forever.
+    struct DrainGuard {
+        Device* dev;
+        ~DrainGuard() {
+            dev->queue_.clear();
+            dev->draining_ = false;
+        }
+    } guard{this};
     draining_ = true;
     while (!queue_.empty()) {
         ControlThunk t = std::move(queue_.front());
         queue_.pop_front();
         t(*this);
     }
-    draining_ = false;
 }
 
 KernelCounters Device::counter_totals() const { return totals_; }

@@ -21,6 +21,7 @@
 #include "simt/arch.hpp"
 #include "simt/block.hpp"
 #include "simt/counters.hpp"
+#include "simt/fault.hpp"
 #include "simt/memory.hpp"
 #include "simt/pool.hpp"
 #include "simt/thread_pool.hpp"
@@ -77,8 +78,10 @@ public:
 
     /// Allocates a global-memory array of n Ts (fresh, non-pooled backing;
     /// prefer pooled() for scratch that is released and re-acquired).
+    /// Throws AllocFault if an injected allocation fault fires.
     template <typename T>
     [[nodiscard]] DeviceBuffer<T> alloc(std::size_t n) {
+        maybe_fail_alloc(n * sizeof(T));
         return DeviceBuffer<T>(tracker_, n);
     }
 
@@ -140,7 +143,31 @@ public:
     /// profile recording).
     [[nodiscard]] std::uint64_t launch_count() const noexcept { return launch_count_; }
 
+    // ---- fault injection & robustness bookkeeping -------------------------
+    // The Device owns the fault source (simt/fault.hpp) so allocation and
+    // launch faults share one deterministic draw stream, and owns the
+    // robustness tallies so every front-end running on this device reports
+    // its recovery actions into one place.
+
+    /// Installs a fault schedule (replacing any previous one).  The
+    /// constructor installs GPUSEL_FAULTS from the environment if set.
+    void set_faults(const FaultSpec& spec) { injector_ = FaultInjector(spec); }
+    /// Removes the fault schedule; subsequent operations never fault.
+    void clear_faults() { injector_ = FaultInjector(); }
+    [[nodiscard]] const FaultInjector& fault_injector() const noexcept { return injector_; }
+    /// Injected-fault tallies (what went wrong).
+    [[nodiscard]] const FaultCounters& fault_counters() const noexcept {
+        return injector_.counters();
+    }
+    /// Recovery-action tallies (what the selection stack did about it).
+    /// Mutable: the pipeline increments these as it retries/resamples.
+    [[nodiscard]] RobustnessCounters& robustness() noexcept { return robustness_; }
+    [[nodiscard]] const RobustnessCounters& robustness() const noexcept { return robustness_; }
+
 private:
+    /// Draws an allocation fault for a fresh (non-pooled) allocation.
+    void maybe_fail_alloc(std::size_t bytes);
+
     ArchSpec arch_;
     DeviceOptions opts_;
     AllocationTracker tracker_;
@@ -153,6 +180,8 @@ private:
     double clock_ns_ = 0.0;                      ///< max completion over all streams
     std::vector<double> stream_clock_ = {0.0};   ///< per-stream completion time
     std::uint64_t launch_count_ = 0;
+    FaultInjector injector_;
+    RobustnessCounters robustness_;
 };
 
 }  // namespace gpusel::simt

@@ -1,0 +1,154 @@
+#include "simt/fault.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <string>
+
+namespace gpusel::simt {
+namespace {
+
+// SplitMix64 finalizer (same avalanche as data::SplitMix64): a cheap,
+// statistically solid hash from a 64-bit key to a 64-bit value.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+double parse_double(std::string_view key, std::string_view value) {
+    const std::string buf(value);  // strtod needs a terminator
+    char* end = nullptr;
+    const double v = std::strtod(buf.c_str(), &end);
+    if (end != buf.c_str() + buf.size() || buf.empty()) {
+        throw std::invalid_argument("GPUSEL_FAULTS: bad number for '" + std::string(key) +
+                                    "': '" + buf + "'");
+    }
+    return v;
+}
+
+std::uint64_t parse_u64(std::string_view key, std::string_view value) {
+    std::uint64_t v = 0;
+    const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), v);
+    if (ec != std::errc{} || ptr != value.data() + value.size()) {
+        throw std::invalid_argument("GPUSEL_FAULTS: bad integer for '" + std::string(key) +
+                                    "': '" + std::string(value) + "'");
+    }
+    return v;
+}
+
+double parse_rate(std::string_view key, std::string_view value) {
+    const double v = parse_double(key, value);
+    if (v < 0.0 || v > 1.0) {
+        throw std::invalid_argument("GPUSEL_FAULTS: rate '" + std::string(key) +
+                                    "' must be in [0, 1]");
+    }
+    return v;
+}
+
+int parse_burst(std::string_view key, std::string_view value) {
+    const auto v = parse_u64(key, value);
+    if (v < 1 || v > 1'000'000) {
+        throw std::invalid_argument("GPUSEL_FAULTS: burst '" + std::string(key) +
+                                    "' must be in [1, 1e6]");
+    }
+    return static_cast<int>(v);
+}
+
+}  // namespace
+
+FaultSpec FaultSpec::parse(std::string_view spec) {
+    FaultSpec out;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string_view::npos) comma = spec.size();
+        const std::string_view entry = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (entry.empty()) continue;  // tolerate "a=1,,b=2" and trailing commas
+
+        const std::size_t eq = entry.find('=');
+        if (eq == std::string_view::npos) {
+            throw std::invalid_argument("GPUSEL_FAULTS: entry without '=': '" +
+                                        std::string(entry) + "'");
+        }
+        const std::string_view key = entry.substr(0, eq);
+        const std::string_view value = entry.substr(eq + 1);
+        if (key == "seed") {
+            out.seed = parse_u64(key, value);
+        } else if (key == "alloc") {
+            out.alloc_rate = parse_rate(key, value);
+        } else if (key == "launch") {
+            out.launch_rate = parse_rate(key, value);
+        } else if (key == "stall") {
+            out.stall_rate = parse_rate(key, value);
+        } else if (key == "stall_ns") {
+            out.stall_ns = parse_double(key, value);
+            if (out.stall_ns < 0.0) {
+                throw std::invalid_argument("GPUSEL_FAULTS: stall_ns must be >= 0");
+            }
+        } else if (key == "alloc_burst") {
+            out.alloc_burst = parse_burst(key, value);
+        } else if (key == "launch_burst") {
+            out.launch_burst = parse_burst(key, value);
+        } else {
+            throw std::invalid_argument("GPUSEL_FAULTS: unknown key '" + std::string(key) + "'");
+        }
+    }
+    return out;
+}
+
+std::optional<FaultSpec> FaultSpec::from_env() {
+    const char* env = std::getenv("GPUSEL_FAULTS");
+    if (env == nullptr || *env == '\0') return std::nullopt;
+    return parse(env);
+}
+
+double FaultInjector::draw(std::uint64_t kind) {
+    // Key the hash by kind as well as index so interleaving of alloc and
+    // launch draws does not shift either stream: the n-th alloc decision
+    // is the same whether or not a launch draw happened in between.
+    const std::uint64_t bits = mix64(spec_.seed ^ (kind * 0xd1342543de82ef95ULL) ^ ++draws_);
+    return static_cast<double>(bits >> 11) * 0x1.0p-53;  // uniform [0, 1)
+}
+
+bool FaultInjector::should_fail_alloc() {
+    if (!enabled_) return false;
+    if (alloc_burst_left_ > 0) {
+        --alloc_burst_left_;
+        ++counters_.alloc_faults;
+        return true;
+    }
+    if (spec_.alloc_rate > 0.0 && draw(1) < spec_.alloc_rate) {
+        alloc_burst_left_ = spec_.alloc_burst - 1;
+        ++counters_.alloc_faults;
+        return true;
+    }
+    return false;
+}
+
+bool FaultInjector::should_fail_launch() {
+    if (!enabled_) return false;
+    if (launch_burst_left_ > 0) {
+        --launch_burst_left_;
+        ++counters_.launch_faults;
+        return true;
+    }
+    if (spec_.launch_rate > 0.0 && draw(2) < spec_.launch_rate) {
+        launch_burst_left_ = spec_.launch_burst - 1;
+        ++counters_.launch_faults;
+        return true;
+    }
+    return false;
+}
+
+double FaultInjector::stall_penalty_ns() {
+    if (!enabled_ || spec_.stall_rate <= 0.0) return 0.0;
+    if (draw(3) < spec_.stall_rate) {
+        ++counters_.stalls;
+        return spec_.stall_ns;
+    }
+    return 0.0;
+}
+
+}  // namespace gpusel::simt

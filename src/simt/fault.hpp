@@ -1,0 +1,129 @@
+#pragma once
+// Deterministic, seed-driven fault injection for the simulated device.
+//
+// Real GPUs fail in ways unit tests on healthy hosts never exercise:
+// cudaMalloc returns cudaErrorMemoryAllocation under fragmentation or
+// pressure, kernel launches fail transiently (sticky contexts, ECC
+// retirement), and streams stall behind unrelated work.  The FaultInjector
+// reproduces those failure modes *deterministically*: every potential
+// fault site draws a pseudo-random number from a counter-keyed SplitMix64
+// stream, so the same FaultSpec::seed replays the exact same fault
+// schedule -- a failing soak scenario is a (seed, spec) pair, not a flake.
+//
+// Wiring (see simt/device.cpp):
+//   * Device::launch draws a launch fault before any side effect (no clock
+//     advance, no counter merge) and throws LaunchFault -- the launch never
+//     happened, exactly like a failed cudaLaunchKernel.
+//   * MemoryPool::acquire consults a fault hook before reserving memory
+//     and throws AllocFault; Device::alloc draws from the same stream.
+//   * Stream stalls do not fail anything: a stalled launch completes but
+//     its stream clock additionally advances by FaultSpec::stall_ns,
+//     modeling interference from unrelated work.
+//
+// Configuration: programmatic (Device::set_faults) or via the environment
+// variable GPUSEL_FAULTS, a comma-separated key=value list, e.g.
+//     GPUSEL_FAULTS="seed=7,alloc=0.01,launch=0.005,stall=0.02,stall_ns=1500"
+// (grammar in FaultSpec::parse and docs/robustness.md).
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace gpusel::simt {
+
+/// Thrown by MemoryPool::acquire / Device::alloc when an injected
+/// allocation fault fires (the simulator's cudaErrorMemoryAllocation).
+class AllocFault : public std::runtime_error {
+public:
+    explicit AllocFault(std::size_t bytes)
+        : std::runtime_error("injected allocation fault (" + std::to_string(bytes) + " bytes)"),
+          bytes_(bytes) {}
+    [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
+
+private:
+    std::size_t bytes_;
+};
+
+/// Thrown by Device::launch before any side effect when an injected
+/// launch fault fires (the simulator's cudaErrorLaunchFailure).
+class LaunchFault : public std::runtime_error {
+public:
+    explicit LaunchFault(const std::string& kernel)
+        : std::runtime_error("injected launch fault (kernel '" + kernel + "')") {}
+};
+
+/// Fault schedule parameters.  Rates are per-operation probabilities in
+/// [0, 1]; bursts make a triggered fault repeat on the next `burst - 1`
+/// operations of the same kind too, modeling transient conditions that a
+/// single immediate retry cannot clear.
+struct FaultSpec {
+    std::uint64_t seed = 1;    ///< keys the deterministic draw stream
+    double alloc_rate = 0.0;   ///< P(allocation fails)
+    double launch_rate = 0.0;  ///< P(kernel launch fails)
+    double stall_rate = 0.0;   ///< P(launch's stream stalls)
+    double stall_ns = 1000.0;  ///< extra simulated ns per stall
+    int alloc_burst = 1;       ///< consecutive failures per alloc fault
+    int launch_burst = 1;      ///< consecutive failures per launch fault
+
+    [[nodiscard]] bool any() const noexcept {
+        return alloc_rate > 0.0 || launch_rate > 0.0 || stall_rate > 0.0;
+    }
+
+    /// Parses the GPUSEL_FAULTS grammar:
+    ///   spec  := entry ("," entry)*
+    ///   entry := key "=" value
+    ///   key   := seed | alloc | launch | stall | stall_ns
+    ///          | alloc_burst | launch_burst
+    /// Rates must be in [0, 1], bursts >= 1, stall_ns >= 0.
+    /// Throws std::invalid_argument on malformed input.
+    [[nodiscard]] static FaultSpec parse(std::string_view spec);
+
+    /// FaultSpec from the GPUSEL_FAULTS environment variable, or nullopt
+    /// when unset/empty.  Malformed values throw (fail loudly, not
+    /// silently fault-free).
+    [[nodiscard]] static std::optional<FaultSpec> from_env();
+};
+
+/// Tally of injected faults (what the injector *did*, as opposed to the
+/// RobustnessCounters in counters.hpp which record what the selection
+/// stack did about it).
+struct FaultCounters {
+    std::uint64_t alloc_faults = 0;
+    std::uint64_t launch_faults = 0;
+    std::uint64_t stalls = 0;
+};
+
+/// Deterministic fault source.  Each query advances a private draw
+/// counter; the decision is a pure function of (seed, kind, draw index),
+/// independent of host timing, thread scheduling, or allocator addresses.
+class FaultInjector {
+public:
+    FaultInjector() = default;
+    explicit FaultInjector(FaultSpec spec) : spec_(spec), enabled_(spec.any()) {}
+
+    [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+    [[nodiscard]] const FaultSpec& spec() const noexcept { return spec_; }
+    [[nodiscard]] const FaultCounters& counters() const noexcept { return counters_; }
+
+    /// True if the next allocation must fail.  Advances the draw stream.
+    [[nodiscard]] bool should_fail_alloc();
+    /// True if the next kernel launch must fail.  Advances the draw stream.
+    [[nodiscard]] bool should_fail_launch();
+    /// Extra simulated ns the current launch's stream stalls (0 = none).
+    [[nodiscard]] double stall_penalty_ns();
+
+private:
+    /// Uniform double in [0, 1) keyed by (seed, kind, draw index).
+    [[nodiscard]] double draw(std::uint64_t kind);
+
+    FaultSpec spec_{};
+    bool enabled_ = false;
+    std::uint64_t draws_ = 0;
+    int alloc_burst_left_ = 0;
+    int launch_burst_left_ = 0;
+    FaultCounters counters_{};
+};
+
+}  // namespace gpusel::simt

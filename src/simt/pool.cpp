@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "simt/fault.hpp"
+
 namespace gpusel::simt {
 
 namespace {
@@ -55,6 +57,9 @@ PoolBlock* MemoryPool::take_from_class(int cls, int stream) {
 
 PoolBlock* MemoryPool::acquire(std::size_t bytes, int stream, bool zeroed) {
     if (bytes == 0) return nullptr;
+    // Injected allocation fault: fail before touching any free list, so a
+    // faulted checkout has zero side effects (like a cudaMallocAsync error).
+    if (fault_hook_ && fault_hook_()) throw AllocFault(bytes);
     const int cls = class_of(bytes);
 
     // Exact class first, then a bounded walk upward.  Small requests stop

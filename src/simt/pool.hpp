@@ -81,6 +81,11 @@ public:
     /// matching class is reusable.
     void set_stream_clock(std::function<double(int)> clock) { stream_clock_ = std::move(clock); }
 
+    /// Installs the fault hook consulted before every non-empty checkout;
+    /// returning true makes acquire() throw AllocFault without reserving
+    /// anything.  Wired by the Device to its FaultInjector.
+    void set_fault_hook(std::function<bool()> hook) { fault_hook_ = std::move(hook); }
+
     /// Checks out a block of at least `bytes` bytes for `stream`.  Returns
     /// nullptr for a zero-byte request.  If `zeroed`, the block's contents
     /// are all-zero on return via a host-side memset (callers that must
@@ -105,6 +110,7 @@ private:
 
     AllocationTracker* tracker_;
     std::function<double(int)> stream_clock_;
+    std::function<bool()> fault_hook_;
     std::vector<std::unique_ptr<PoolBlock>> blocks_;           ///< owns every block
     std::array<std::vector<PoolBlock*>, kNumClasses> free_{};  ///< idle blocks per class
     std::uint64_t fresh_ = 0;

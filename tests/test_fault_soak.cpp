@@ -1,0 +1,245 @@
+// Seeded fault soak (docs/robustness.md "Soak testing"): >= 1000 scenarios
+// of (front-end x data distribution x fault schedule), each of which must
+// end in a provably correct result or a typed Status -- never a crash, a
+// hang, or a silently wrong answer.  Every scenario is a deterministic
+// function of its index, so a failure report names a replayable (seed,
+// spec) pair.  GPUSEL_SOAK_SCENARIOS overrides the scenario count.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "core/approx_select.hpp"
+#include "core/batched_select.hpp"
+#include "core/float_order.hpp"
+#include "core/histogram.hpp"
+#include "core/multiselect.hpp"
+#include "core/sample_select.hpp"
+#include "core/sample_sort.hpp"
+#include "core/status.hpp"
+#include "core/topk.hpp"
+#include "data/distributions.hpp"
+#include "simt/arch.hpp"
+#include "simt/device.hpp"
+#include "simt/fault.hpp"
+
+namespace {
+
+using namespace gpusel;
+
+constexpr std::size_t kN = 4096;
+
+std::size_t scenario_count() {
+    if (const char* env = std::getenv("GPUSEL_SOAK_SCENARIOS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return 1000;
+}
+
+core::SampleSelectConfig soak_cfg(std::size_t scenario) {
+    core::SampleSelectConfig cfg;
+    cfg.num_buckets = 16;
+    cfg.base_case_size = 512;
+    cfg.seed = 1000 + scenario;
+    return cfg;
+}
+
+/// Deterministic fault schedule for a scenario: cycles through fault-free,
+/// alloc-only, launch-only, combined, and bursty combined (with stalls).
+simt::FaultSpec soak_faults(std::size_t scenario) {
+    simt::FaultSpec spec;
+    spec.seed = 7 * scenario + 1;
+    switch (scenario % 5) {
+        case 0: break;  // fault-free control
+        case 1: spec.alloc_rate = 0.03; break;
+        case 2: spec.launch_rate = 0.03; break;
+        case 3:
+            spec.alloc_rate = 0.02;
+            spec.launch_rate = 0.02;
+            spec.stall_rate = 0.05;
+            spec.stall_ns = 500.0;
+            break;
+        default:
+            spec.alloc_rate = 0.02;
+            spec.launch_rate = 0.02;
+            spec.alloc_burst = 2;
+            spec.launch_burst = 2;
+            break;
+    }
+    return spec;
+}
+
+std::vector<double> soak_data(std::size_t scenario) {
+    static const data::Distribution dists[] = {
+        data::Distribution::uniform_real,       data::Distribution::normal,
+        data::Distribution::uniform_distinct,   data::Distribution::adversarial_cluster,
+        data::Distribution::adversarial_geometric, data::Distribution::zipf,
+        data::Distribution::sorted_ascending,
+    };
+    constexpr std::size_t kDists = sizeof(dists) / sizeof(dists[0]);
+    auto data = data::generate<double>(
+        {.n = kN, .dist = dists[scenario % kDists], .seed = 100 + scenario});
+    // Every third scenario gets NaN-laced keys.
+    if (scenario % 3 == 0) {
+        for (std::size_t i = 0; i < kN; i += 97) data[i] = core::quiet_nan<double>();
+    }
+    return data;
+}
+
+/// Errors a fault schedule may legitimately surface.  Anything else
+/// (internal, no_progress, precondition codes for valid inputs) fails the
+/// soak.
+bool is_fault_error(core::SelectError e) {
+    return e == core::SelectError::allocation_failed || e == core::SelectError::launch_failed;
+}
+
+template <typename R>
+::testing::AssertionResult ok_or_fault(const core::Result<R>& res) {
+    if (res.ok() || is_fault_error(res.error())) return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure() << "unexpected error: " << res.status().to_message();
+}
+
+TEST(FaultSoak, EveryScenarioEndsCorrectOrTyped) {
+    const std::size_t scenarios = scenario_count();
+    std::size_t succeeded = 0;
+    std::size_t faulted = 0;
+
+    for (std::size_t s = 0; s < scenarios; ++s) {
+        SCOPED_TRACE("scenario " + std::to_string(s));
+        const auto data = soak_data(s);
+        auto sorted = data;
+        std::sort(sorted.begin(), sorted.end(),
+                  [](double a, double b) { return core::total_less(a, b); });
+        const std::size_t nans = core::count_nan_keys(std::span<const double>(data));
+        const std::size_t n_num = kN - nans;
+        const auto cfg = soak_cfg(s);
+
+        simt::Device dev(simt::arch_v100());
+        dev.set_faults(soak_faults(s));
+
+        const std::size_t rank = (s * 131) % kN;
+        bool ok = false;
+        switch (s % 8) {
+            case 0: {  // exact selection
+                auto res = core::try_sample_select<double>(dev, data, rank, cfg);
+                ASSERT_TRUE(ok_or_fault(res));
+                if ((ok = res.ok())) {
+                    EXPECT_TRUE(core::total_equal(res.value().value, sorted[rank])) << rank;
+                }
+                break;
+            }
+            case 1: {  // top-k largest
+                const std::size_t k = 1 + rank % 512;
+                auto res = core::try_topk_largest<double>(dev, data, k, cfg);
+                ASSERT_TRUE(ok_or_fault(res));
+                if ((ok = res.ok())) {
+                    ASSERT_EQ(res.value().elements.size(), k);
+                    const double kth = sorted[kN - k];
+                    for (const double v : res.value().elements) {
+                        EXPECT_FALSE(core::total_less(v, kth));
+                    }
+                }
+                break;
+            }
+            case 2: {  // top-k smallest
+                const std::size_t k = 1 + rank % 512;
+                auto res = core::try_topk_smallest<double>(dev, data, k, cfg);
+                ASSERT_TRUE(ok_or_fault(res));
+                if ((ok = res.ok())) {
+                    ASSERT_EQ(res.value().elements.size(), k);
+                    for (const double v : res.value().elements) {
+                        EXPECT_FALSE(core::total_less(sorted[k - 1], v));
+                    }
+                }
+                break;
+            }
+            case 3: {  // multi-rank
+                const std::vector<std::size_t> ranks{rank, kN / 2, kN - 1};
+                auto res = core::try_multi_select<double>(dev, data, ranks, cfg);
+                ASSERT_TRUE(ok_or_fault(res));
+                if ((ok = res.ok())) {
+                    for (std::size_t i = 0; i < ranks.size(); ++i) {
+                        EXPECT_TRUE(
+                            core::total_equal(res.value().values[i], sorted[ranks[i]]))
+                            << "rank " << ranks[i];
+                    }
+                }
+                break;
+            }
+            case 4: {  // histogram
+                auto res = core::try_equi_depth_histogram<double>(dev, data, cfg);
+                ASSERT_TRUE(ok_or_fault(res));
+                if ((ok = res.ok())) {
+                    EXPECT_EQ(static_cast<std::size_t>(res.value().cumulative.back()), kN);
+                }
+                break;
+            }
+            case 5: {  // approximate selection
+                auto res = core::try_approx_select<double>(dev, data, rank, cfg);
+                ASSERT_TRUE(ok_or_fault(res));
+                if ((ok = res.ok()) && rank < n_num) {
+                    // The rank error is exact by construction; verify it.
+                    const auto& p = res.value();
+                    std::size_t lt = 0;
+                    for (const double v : data) {
+                        if (core::total_less(v, p.value)) ++lt;
+                    }
+                    EXPECT_LE(lt, p.splitter_rank);
+                    EXPECT_EQ(p.rank_error, p.splitter_rank > rank ? p.splitter_rank - rank
+                                                                   : rank - p.splitter_rank);
+                }
+                break;
+            }
+            case 6: {  // batched selection (4 sequences of 1024)
+                const std::vector<std::size_t> offsets{0, 1024, 2048, 3072, kN};
+                const std::vector<std::size_t> ranks{rank % 1024, 0, 1023, 512};
+                auto res = core::try_batched_select<double>(dev, data, offsets, ranks, cfg);
+                ASSERT_TRUE(ok_or_fault(res));
+                if ((ok = res.ok())) {
+                    for (std::size_t i = 0; i < ranks.size(); ++i) {
+                        const auto lo = static_cast<std::ptrdiff_t>(1024 * i);
+                        std::vector<double> seq(data.begin() + lo, data.begin() + lo + 1024);
+                        std::sort(seq.begin(), seq.end(), [](double a, double b) {
+                            return core::total_less(a, b);
+                        });
+                        EXPECT_TRUE(core::total_equal(res.value().values[i], seq[ranks[i]]))
+                            << "seq " << i;
+                    }
+                }
+                break;
+            }
+            default: {  // full sort
+                auto res = core::try_sample_sort<double>(dev, data, cfg);
+                ASSERT_TRUE(ok_or_fault(res));
+                if ((ok = res.ok())) {
+                    ASSERT_EQ(res.value().sorted.size(), kN);
+                    for (std::size_t i = 0; i < kN; ++i) {
+                        EXPECT_TRUE(core::total_equal(res.value().sorted[i], sorted[i])) << i;
+                    }
+                }
+                break;
+            }
+        }
+        succeeded += ok ? 1 : 0;
+        faulted += ok ? 0 : 1;
+        if (::testing::Test::HasFailure()) {
+            FAIL() << "soak stopped at scenario " << s << " (fault seed "
+                   << soak_faults(s).seed << ")";
+        }
+    }
+
+    // The bounded-retry policy should recover the vast majority of 2-3%
+    // fault rates; fault-free control scenarios (1 in 5) always succeed.
+    EXPECT_GE(succeeded, scenarios * 3 / 5)
+        << succeeded << "/" << scenarios << " scenarios recovered";
+    RecordProperty("scenarios", static_cast<int>(scenarios));
+    RecordProperty("succeeded", static_cast<int>(succeeded));
+    RecordProperty("typed_failures", static_cast<int>(faulted));
+}
+
+}  // namespace
