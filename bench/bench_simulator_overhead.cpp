@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "baselines/quickselect.hpp"
 #include "core/approx_select.hpp"
 #include "core/count_kernel.hpp"
@@ -142,6 +144,50 @@ void BM_SampleSelectUnderFaults(benchmark::State& state) {
         total ? static_cast<double>(recovered) / static_cast<double>(total) : 1.0;
 }
 BENCHMARK(BM_SampleSelectUnderFaults)->Arg(1 << 16)->Arg(1 << 18);
+
+// Selection with SimTSan armed (strict mode): measures the wall-clock cost
+// of the shadow-memory checks on every instrumented access.  The simulated
+// event stream is identical by contract (test_sanitizer golden test); only
+// host time changes.  san_slowdown_x is the acceptance metric for the
+// sanitizer: it must stay within ~3x of the uninstrumented run.
+void BM_SampleSelectUnderSan(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto data = data::generate<float>(
+        {.n = n, .dist = data::Distribution::uniform_real, .seed = 2});
+
+    // Baseline: wall-clock for the identical selection with the sanitizer
+    // off, measured outside the benchmark loop (same device lifecycle).
+    const auto wall = [&](simt::SanMode mode) {
+        simt::Device dev(simt::arch_v100(), {.record_profiles = false});
+        dev.set_sanitizer(mode);
+        const auto t0 = std::chrono::steady_clock::now();
+        auto res = core::sample_select<float>(dev, data, n / 2, {});
+        benchmark::DoNotOptimize(res.value);
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    };
+    double off_s = 0.0;
+    double on_s = 0.0;
+    constexpr int kProbes = 5;
+    for (int i = 0; i < kProbes; ++i) {
+        off_s += wall(simt::SanMode::off);
+        on_s += wall(simt::SanMode::strict);
+    }
+
+    std::uint64_t checks = 0;
+    for (auto _ : state) {
+        simt::Device dev(simt::arch_v100(), {.record_profiles = false});
+        dev.set_sanitizer(simt::SanMode::strict);
+        auto res = core::sample_select<float>(dev, data, n / 2, {});
+        benchmark::DoNotOptimize(res.value);
+        checks += dev.sanitizer()->checks();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+    state.counters["san_slowdown_x"] = off_s > 0.0 ? on_s / off_s : 0.0;
+    state.counters["san_checks_per_iter"] =
+        static_cast<double>(checks) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_SampleSelectUnderSan)->Arg(1 << 16)->Arg(1 << 18);
 
 void BM_QuickSelectEndToEnd(benchmark::State& state) {
     const auto n = static_cast<std::size_t>(state.range(0));

@@ -121,7 +121,7 @@ int range_count(simt::Device& dev, std::span<const T> data, T lo, double inv_wid
                 const auto base =
                     static_cast<std::size_t>(blk.block_idx()) * static_cast<std::size_t>(b);
                 for (std::size_t i = 0; i < static_cast<std::size_t>(b); ++i) {
-                    block_counts[base + i] = sh[i];
+                    blk.st(block_counts, base + i, blk.shared_ld(sh, i));
                 }
                 blk.charge_shared(static_cast<std::size_t>(b) * sizeof(std::int32_t));
                 blk.charge_global_write(static_cast<std::size_t>(b) * sizeof(std::int32_t));
@@ -152,7 +152,7 @@ void range_filter(simt::Device& dev, std::span<const T> data, T lo, double inv_w
                 const auto idx = static_cast<std::size_t>(blk.block_idx()) *
                                      static_cast<std::size_t>(b) +
                                  static_cast<std::size_t>(bucket);
-                sh_cursor = block_offsets[idx];
+                sh_cursor = blk.ld(block_offsets, idx);
                 blk.charge_global_read(sizeof(std::int32_t));
                 ctr = std::span<std::int32_t>(&sh_cursor, 1);
                 space = simt::AtomicSpace::shared;
@@ -175,7 +175,7 @@ void range_filter(simt::Device& dev, std::span<const T> data, T lo, double inv_w
                 std::uint64_t matched = 0;
                 for (int l = 0; l < w.lanes(); ++l) {
                     if (pred[l]) {
-                        out[static_cast<std::size_t>(off[l])] = elems[l];
+                        blk.st(out, static_cast<std::size_t>(off[l]), elems[l]);
                         ++matched;
                     }
                 }

@@ -40,12 +40,12 @@ T pivot_kernel(simt::Device& dev, std::span<const T> data, const core::QuickSele
                        T regs[simt::kWarpSize];
                        w.gather(data, idx.data() + base, regs);
                        for (int l = 0; l < w.lanes(); ++l) {
-                           sh[base + static_cast<std::size_t>(l)] = regs[l];
+                           blk.shared_st(sh, base + static_cast<std::size_t>(l), regs[l]);
                        }
                        w.touch_shared(static_cast<std::uint64_t>(w.lanes()) * sizeof(T));
                    });
                    bitonic::sort_in_shared(blk, sh, s);
-                   pivot = sh[s / 2];
+                   pivot = blk.shared_ld(sh, s / 2);
                    blk.charge_shared(sizeof(T));
                    blk.charge_global_write(sizeof(T));
                });
@@ -93,7 +93,9 @@ int tripartition_count(simt::Device& dev, std::span<const T> data, T pivot,
             if (shared_mode) {
                 blk.sync();
                 const auto base = static_cast<std::size_t>(blk.block_idx()) * kSides;
-                for (std::size_t i = 0; i < kSides; ++i) block_counts[base + i] = sh[i];
+                for (std::size_t i = 0; i < kSides; ++i) {
+                    blk.st(block_counts, base + i, blk.shared_ld(sh, i));
+                }
                 blk.charge_shared(kSides * sizeof(std::int32_t));
                 blk.charge_global_write(kSides * sizeof(std::int32_t));
             }
@@ -121,7 +123,7 @@ void extract_side(simt::Device& dev, std::span<const T> data, T pivot, std::int3
             if (shared_mode) {
                 const auto idx = static_cast<std::size_t>(blk.block_idx()) * kSides +
                                  static_cast<std::size_t>(side);
-                sh_cursor = block_offsets[idx];
+                sh_cursor = blk.ld(block_offsets, idx);
                 blk.charge_global_read(sizeof(std::int32_t));
                 blk.charge_shared(sizeof(std::int32_t));
                 ctr = std::span<std::int32_t>(&sh_cursor, 1);
@@ -147,7 +149,7 @@ void extract_side(simt::Device& dev, std::span<const T> data, T pivot, std::int3
                 std::uint64_t matched = 0;
                 for (int l = 0; l < w.lanes(); ++l) {
                     if (pred[l]) {
-                        out[static_cast<std::size_t>(off[l])] = elems[l];
+                        blk.st(out, static_cast<std::size_t>(off[l]), elems[l]);
                         ++matched;
                     }
                 }
@@ -189,7 +191,7 @@ void bipartition_kernel(simt::Device& dev, std::span<const T> data, T pivot, std
                     const auto o = which[l] == 0
                                        ? static_cast<std::size_t>(off[l])
                                        : n - 1 - static_cast<std::size_t>(off[l]);
-                    out[o] = elems[l];
+                    blk.st(out, o, elems[l]);
                 }
                 // two write fronts, each warp-contiguous
                 w.block().counters().global_bytes_written +=

@@ -87,7 +87,9 @@ int digit_count(simt::Device& dev, std::span<const T> data, int shift,
             if (shared_mode) {
                 blk.sync();
                 const auto base = static_cast<std::size_t>(blk.block_idx()) * kBins;
-                for (std::size_t i = 0; i < kBins; ++i) block_counts[base + i] = sh[i];
+                for (std::size_t i = 0; i < kBins; ++i) {
+                    blk.st(block_counts, base + i, blk.shared_ld(sh, i));
+                }
                 blk.charge_shared(kBins * sizeof(std::int32_t));
                 blk.charge_global_write(kBins * sizeof(std::int32_t));
             }
@@ -116,7 +118,7 @@ void digit_filter(simt::Device& dev, std::span<const T> data, int shift, std::in
                 const auto idx =
                     static_cast<std::size_t>(blk.block_idx()) * kBins +
                     static_cast<std::size_t>(digit);
-                sh_cursor = block_offsets[idx];
+                sh_cursor = blk.ld(block_offsets, idx);
                 blk.charge_global_read(sizeof(std::int32_t));
                 ctr = std::span<std::int32_t>(&sh_cursor, 1);
                 space = simt::AtomicSpace::shared;
@@ -139,7 +141,7 @@ void digit_filter(simt::Device& dev, std::span<const T> data, int shift, std::in
                 std::uint64_t matched = 0;
                 for (int l = 0; l < w.lanes(); ++l) {
                     if (pred[l]) {
-                        out[static_cast<std::size_t>(off[l])] = elems[l];
+                        blk.st(out, static_cast<std::size_t>(off[l]), elems[l]);
                         ++matched;
                     }
                 }

@@ -86,7 +86,9 @@ void sort_network(std::span<T> data) {
 template <typename T>
 void sort_in_shared(simt::BlockCtx& blk, std::span<T> sh, std::size_t n_valid) {
     const std::size_t m = sh.size();
-    for (std::size_t i = n_valid; i < m; ++i) sh[i] = std::numeric_limits<T>::infinity();
+    for (std::size_t i = n_valid; i < m; ++i) {
+        blk.shared_st(sh, i, std::numeric_limits<T>::infinity());
+    }
     blk.charge_shared((m - n_valid) * sizeof(T));
     blk.sync();
     detail::run_network(sh.data(), m);
@@ -113,7 +115,9 @@ void sort_small_kernel(simt::BlockCtx& blk, std::span<T> data, std::size_t n) {
     blk.warp_tiles(n, [&](simt::WarpCtx& w, std::size_t base, std::size_t) {
         T regs[simt::kWarpSize];
         w.load(std::span<const T>(data), base, regs);
-        for (int l = 0; l < w.lanes(); ++l) sh[base + static_cast<std::size_t>(l)] = regs[l];
+        for (int l = 0; l < w.lanes(); ++l) {
+            blk.shared_st(sh, base + static_cast<std::size_t>(l), regs[l]);
+        }
         w.touch_shared(static_cast<std::uint64_t>(w.lanes()) * sizeof(T));
     });
     sort_in_shared(blk, sh, n);
@@ -121,7 +125,9 @@ void sort_small_kernel(simt::BlockCtx& blk, std::span<T> data, std::size_t n) {
     // Write back (coalesced).
     blk.warp_tiles(n, [&](simt::WarpCtx& w, std::size_t base, std::size_t) {
         T regs[simt::kWarpSize];
-        for (int l = 0; l < w.lanes(); ++l) regs[l] = sh[base + static_cast<std::size_t>(l)];
+        for (int l = 0; l < w.lanes(); ++l) {
+            regs[l] = blk.shared_ld(sh, base + static_cast<std::size_t>(l));
+        }
         w.touch_shared(static_cast<std::uint64_t>(w.lanes()) * sizeof(T));
         w.store(data, base, regs);
     });
@@ -174,7 +180,7 @@ void batched_sort_on_device(simt::Device& dev, std::span<T> data,
                            T regs[simt::kWarpSize];
                            w.load(std::span<const T>(data), seg.begin + base, regs);
                            for (int l = 0; l < w.lanes(); ++l) {
-                               sh[base + static_cast<std::size_t>(l)] = regs[l];
+                               blk.shared_st(sh, base + static_cast<std::size_t>(l), regs[l]);
                            }
                            w.touch_shared(static_cast<std::uint64_t>(w.lanes()) * sizeof(T));
                        });
@@ -183,7 +189,7 @@ void batched_sort_on_device(simt::Device& dev, std::span<T> data,
                        seg.length, [&](simt::WarpCtx& w, std::size_t base, std::size_t) {
                            T regs[simt::kWarpSize];
                            for (int l = 0; l < w.lanes(); ++l) {
-                               regs[l] = sh[base + static_cast<std::size_t>(l)];
+                               regs[l] = blk.shared_ld(sh, base + static_cast<std::size_t>(l));
                            }
                            w.touch_shared(static_cast<std::uint64_t>(w.lanes()) * sizeof(T));
                            w.store(data, seg.begin + base, regs);

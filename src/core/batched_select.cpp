@@ -35,13 +35,13 @@ void batched_kernel(simt::Device& dev, std::span<const T> flat,
                 T regs[simt::kWarpSize];
                 w.load(flat, begin + base, regs);
                 for (int l = 0; l < w.lanes(); ++l) {
-                    sh[base + static_cast<std::size_t>(l)] = regs[l];
+                    blk.shared_st(sh, base + static_cast<std::size_t>(l), regs[l]);
                 }
                 w.touch_shared(static_cast<std::uint64_t>(w.lanes()) * sizeof(T));
             });
             bitonic::sort_in_shared(blk, sh, len);
 
-            out_values[out_slot[s]] = sh[seq_rank[s]];
+            blk.st(out_values, out_slot[s], blk.shared_ld(sh, seq_rank[s]));
             blk.charge_shared(sizeof(T));
             blk.charge_global_write(sizeof(T));
         });

@@ -141,7 +141,7 @@ int count_kernel(simt::Device& dev, std::span<const T> data, const SearchTree<T>
                 blk.sync();
                 const auto base = static_cast<std::size_t>(blk.block_idx()) * b;
                 for (std::size_t i = 0; i < b; ++i) {
-                    block_counts[base + i] = sh_counters[i];
+                    blk.st(block_counts, base + i, blk.shared_ld(sh_counters, i));
                 }
                 blk.charge_shared(b * sizeof(std::int32_t));
                 blk.charge_global_write(b * sizeof(std::int32_t));

@@ -43,7 +43,7 @@ void run_filter(simt::Device& dev, std::span<const T> data, std::span<const std:
                 const auto idx = static_cast<std::size_t>(blk.block_idx()) *
                                      static_cast<std::size_t>(num_buckets) +
                                  static_cast<std::size_t>(bucket);
-                sh_cursor = block_offsets[idx];
+                sh_cursor = blk.ld(block_offsets, idx);
                 blk.charge_global_read(sizeof(std::int32_t));
                 blk.charge_shared(sizeof(std::int32_t));
                 target_ctr = std::span<std::int32_t>(&sh_cursor, 1);
@@ -75,8 +75,8 @@ void run_filter(simt::Device& dev, std::span<const T> data, std::span<const std:
                 std::uint64_t matched = 0;
                 for (int l = 0; l < w.lanes(); ++l) {
                     if (pred[l]) {
-                        out[static_cast<std::size_t>(off[l])] =
-                            data[base + static_cast<std::size_t>(l)];
+                        blk.st(out, static_cast<std::size_t>(off[l]),
+                               blk.ld(data, base + static_cast<std::size_t>(l)));
                         ++matched;
                     }
                 }
@@ -92,8 +92,8 @@ void run_filter(simt::Device& dev, std::span<const T> data, std::span<const std:
                     std::uint64_t um = 0;
                     for (int l = 0; l < w.lanes(); ++l) {
                         if (pred_upper[l]) {
-                            upper[static_cast<std::size_t>(uoff[l])] =
-                                data[base + static_cast<std::size_t>(l)];
+                            blk.st(upper, static_cast<std::size_t>(uoff[l]),
+                                   blk.ld(data, base + static_cast<std::size_t>(l)));
                             ++um;
                         }
                     }

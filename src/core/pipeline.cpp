@@ -112,7 +112,7 @@ T deterministic_pivot(simt::Device& dev, std::span<const T> data, const SampleSe
                    for (std::size_t i = 0; i < kProbes; ++i) {
                        // Odd-numerator strides cover the whole range without
                        // touching the (possibly adversarial) extremes.
-                       probes[i] = data[(2 * i + 1) * n / (2 * kProbes)];
+                       probes[i] = blk.ld(data, (2 * i + 1) * n / (2 * kProbes));
                    }
                    // Total order: identical to `<` on the NaN-free data the
                    // front-ends stage, but safe if a host caller skips the
@@ -159,6 +159,10 @@ Result<LevelOutcome<T>> retry_level(const PipelineContext& ctx, RunFn&& run) {
     for (int attempt = 0;; ++attempt) {
         try {
             return run(attempt);
+        } catch (const simt::SanError& e) {
+            // SimTSan violations are kernel bugs: a rerun would trip the
+            // same contract again, so surface the typed error immediately.
+            return Status::failure(SelectError::sanitizer_violation, e.what());
         } catch (const simt::AllocFault& e) {
             if (attempt + 1 >= kFaultRetryAttempts) {
                 return Status::failure(SelectError::allocation_failed, e.what());

@@ -202,10 +202,23 @@ template <typename T>
 /// Device::robustness().
 template <typename F>
 [[nodiscard]] Status with_fault_retry(const PipelineContext& ctx, F&& step) {
+    const std::uint64_t uf_before = ctx.dev().tracker().underflow_count();
     for (int attempt = 1;; ++attempt) {
         try {
             step();
+            // Epilogue invariant check: a tracker underflow recorded during
+            // the step means paired charge/credit bookkeeping broke -- a
+            // bug, reported through the typed channel instead of the bare
+            // assert the tracker used to carry.
+            if (ctx.dev().tracker().underflow_count() != uf_before) {
+                return Status::failure(SelectError::internal,
+                                       ctx.dev().tracker().underflow_note());
+            }
             return Status::success();
+        } catch (const simt::SanError& e) {
+            // A sanitizer violation is a kernel bug, not bad luck: never
+            // retried (a rerun would just trip the same contract again).
+            return Status::failure(SelectError::sanitizer_violation, e.what());
         } catch (const simt::AllocFault& e) {
             if (attempt >= kFaultRetryAttempts) {
                 return Status::failure(SelectError::allocation_failed, e.what());

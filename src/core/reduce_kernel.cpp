@@ -24,11 +24,11 @@ void reduce_kernel(simt::Device& dev, std::span<std::int32_t> block_counts, int 
                            const std::size_t i = base + static_cast<std::size_t>(l);
                            std::int32_t running = 0;
                            for (std::size_t row = 0; row < g; ++row) {
-                               const std::int32_t c = block_counts[row * b + i];
-                               if (keep_block_offsets) block_counts[row * b + i] = running;
+                               const std::int32_t c = blk.ld(block_counts, row * b + i);
+                               if (keep_block_offsets) blk.st(block_counts, row * b + i, running);
                                running += c;
                            }
-                           totals[i] = running;
+                           blk.st(totals, i, running);
                        }
                        const auto lanes = static_cast<std::uint64_t>(w.lanes());
                        // adjacent lanes read adjacent buckets of the same
@@ -58,17 +58,17 @@ std::int32_t select_bucket_kernel(simt::Device& dev, std::span<const std::int32_
                [&, b, rank](simt::BlockCtx& blk) {
                    std::int32_t running = 0;
                    for (std::size_t i = 0; i < b; ++i) {
-                       prefix[i] = running;
-                       running += totals[i];
+                       blk.st(prefix, i, running);
+                       running += blk.ld(totals, i);
                    }
-                   prefix[b] = running;
+                   blk.st(prefix, b, running);
                    blk.charge_global_read(b * sizeof(std::int32_t));
                    blk.charge_global_write((b + 1) * sizeof(std::int32_t));
                    blk.charge_instr(b);
                    // lower_bound over the prefix sums
                    std::size_t lo = 0;
                    for (std::size_t i = 0; i < b; ++i) {
-                       if (static_cast<std::size_t>(prefix[i]) <= rank) lo = i;
+                       if (static_cast<std::size_t>(blk.ld(prefix, i)) <= rank) lo = i;
                    }
                    blk.charge_instr(b);
                    bucket = static_cast<std::int32_t>(lo);

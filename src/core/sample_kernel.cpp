@@ -38,7 +38,7 @@ SearchTree<T> sample_splitters(simt::Device& dev, std::span<const T> data,
                 T regs[simt::kWarpSize];
                 w.gather(data, idx.data() + base, regs);
                 for (int l = 0; l < w.lanes(); ++l) {
-                    sh[base + static_cast<std::size_t>(l)] = regs[l];
+                    blk.shared_st(sh, base + static_cast<std::size_t>(l), regs[l]);
                 }
                 w.touch_shared(static_cast<std::uint64_t>(w.lanes()) * sizeof(T));
             });
@@ -47,7 +47,7 @@ SearchTree<T> sample_splitters(simt::Device& dev, std::span<const T> data,
 
             // Pick the i/b percentiles (i = 1..b-1) and publish them.
             for (std::size_t j = 1; j < b; ++j) {
-                splitters[j - 1] = sh[j * s / b];
+                splitters[j - 1] = blk.shared_ld(sh, j * s / b);
             }
             blk.charge_shared((b - 1) * sizeof(T));
             blk.charge_global_write((b - 1) * sizeof(T));

@@ -33,7 +33,8 @@ void scatter_all_kernel(simt::Device& dev, std::span<const T> data,
             const auto base_row =
                 static_cast<std::size_t>(blk.block_idx()) * b;
             for (std::size_t i = 0; i < b; ++i) {
-                cursors[i] = prefix[i] + block_offsets[base_row + i];
+                blk.shared_st(cursors, i,
+                              blk.ld(prefix, i) + blk.ld(block_offsets, base_row + i));
             }
             blk.charge_global_read(2 * b * sizeof(std::int32_t));
             blk.charge_shared(b * sizeof(std::int32_t));
@@ -50,7 +51,7 @@ void scatter_all_kernel(simt::Device& dev, std::span<const T> data,
                 w.fetch_add(simt::AtomicSpace::shared, cursors, which, off,
                             cfg.warp_aggregation, tree.height);
                 for (int l = 0; l < w.lanes(); ++l) {
-                    out[static_cast<std::size_t>(off[l])] = elems[l];
+                    blk.st(out, static_cast<std::size_t>(off[l]), elems[l]);
                 }
                 // bucket-scattered writes
                 w.block().counters().scattered_bytes_written +=

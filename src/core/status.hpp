@@ -56,6 +56,13 @@ enum class SelectError {
     /// Invariant violation inside the pipeline (a bug, not an input or
     /// fault condition); carries the diagnostic message.
     internal,
+    /// SimTSan (simt/sanitizer.hpp) detected a memory-safety or
+    /// synchronization-contract violation while the sanitizer was active:
+    /// a cross-block data race, a shared-memory epoch hazard, an
+    /// out-of-bounds primitive, an uninitialized (poisoned) read, or a
+    /// clobbered guard band.  Never retried -- the kernel is buggy, not
+    /// unlucky.
+    sanitizer_violation,
 };
 
 [[nodiscard]] constexpr const char* to_string(SelectError e) noexcept {
@@ -70,6 +77,7 @@ enum class SelectError {
         case SelectError::no_progress: return "no_progress";
         case SelectError::depth_exceeded: return "depth_exceeded";
         case SelectError::internal: return "internal";
+        case SelectError::sanitizer_violation: return "sanitizer_violation";
     }
     return "unknown";
 }

@@ -319,9 +319,9 @@ Result<TopKIndexResult<T>> try_topk_largest_with_indices(simt::Device& dev,
                     for (int l = 0; l < w.lanes(); ++l) {
                         if (gt[l]) {
                             const auto slot = static_cast<std::size_t>(off[l]);
-                            out_vals[slot] = elems[l];
-                            out_idx[slot] =
-                                static_cast<std::int32_t>(base + static_cast<std::size_t>(l));
+                            blk.st(out_vals.span(), slot, elems[l]);
+                            blk.st(out_idx.span(), slot,
+                                   static_cast<std::int32_t>(base + static_cast<std::size_t>(l)));
                             ++written;
                         }
                     }
@@ -331,9 +331,9 @@ Result<TopKIndexResult<T>> try_topk_largest_with_indices(simt::Device& dev,
                     for (int l = 0; l < w.lanes(); ++l) {
                         if (eq[l] && static_cast<std::size_t>(off[l]) < eq_needed) {
                             const std::size_t slot = n_gt + static_cast<std::size_t>(off[l]);
-                            out_vals[slot] = elems[l];
-                            out_idx[slot] =
-                                static_cast<std::int32_t>(base + static_cast<std::size_t>(l));
+                            blk.st(out_vals.span(), slot, elems[l]);
+                            blk.st(out_idx.span(), slot,
+                                   static_cast<std::int32_t>(base + static_cast<std::size_t>(l)));
                             ++written;
                         }
                     }

@@ -18,12 +18,13 @@ thread_local bool tl_arena_in_use = false;
 }  // namespace
 
 BlockCtx::BlockCtx(const ArchSpec& arch, int block_idx, int grid_dim, int block_dim,
-                   std::size_t shared_limit)
+                   std::size_t shared_limit, Sanitizer* san)
     : arch_(arch),
       block_idx_(block_idx),
       grid_dim_(grid_dim),
       block_dim_(block_dim),
-      shared_limit_(shared_limit) {
+      shared_limit_(shared_limit),
+      san_(san) {
     if (block_dim <= 0 || block_dim % kWarpSize != 0) {
         throw std::invalid_argument("block_dim must be a positive multiple of the warp size");
     }
@@ -45,6 +46,20 @@ BlockCtx::BlockCtx(const ArchSpec& arch, int block_idx, int grid_dim, int block_
 
 BlockCtx::~BlockCtx() {
     if (using_tl_arena_) tl_arena_in_use = false;
+}
+
+void BlockCtx::shared_conflict(std::size_t g, bool is_write, bool is_atomic,
+                               const char* primitive, std::uint64_t cell) {
+    const auto c_warp = static_cast<std::uint32_t>((cell >> 1) & 0xffU);
+    SanViolation v;
+    v.kind = ViolationKind::shared_epoch;
+    v.primitive = primitive;
+    v.offset = g * kSanGranule;
+    v.block = block_idx_;
+    v.detail = std::string(is_atomic ? "atomic" : (is_write ? "write" : "read")) + " by warp " +
+               std::to_string(current_warp_) + " of a word written by warp " +
+               std::to_string(static_cast<int>(c_warp) - 2) + " with no sync() in between";
+    san_->report(std::move(v));
 }
 
 int BlockCtx::distinct(const std::int32_t* idx, int n, std::size_t universe) {
@@ -80,6 +95,30 @@ void WarpCtx::touch_shared(std::uint64_t bytes) const {
 
 void WarpCtx::add_instr(std::uint64_t n) const { blk_->counters_.instructions += n; }
 
+void WarpCtx::san_check_targets(AtomicSpace space, std::span<std::int32_t> counters,
+                                const std::int32_t* which, const bool* active,
+                                const char* primitive) const {
+    Sanitizer* san = blk_->san_;
+    if (san == nullptr) return;
+    for (int l = 0; l < lanes_; ++l) {
+        if (active != nullptr && !active[l]) continue;
+        const auto b = static_cast<std::size_t>(which[l]);
+        if (which[l] < 0 || b >= counters.size()) {
+            san->oob(space == AtomicSpace::shared ? ViolationKind::shared_oob
+                                                  : ViolationKind::global_oob,
+                     primitive, b, counters.size(), blk_->block_idx_);
+        }
+        if (space == AtomicSpace::global) {
+            san->global_atomic(&counters[b], sizeof(std::int32_t), blk_->block_idx_, primitive);
+        }
+    }
+    // OOB always throws, so every which[l] is in range here; the shared
+    // shadow pass runs batched with the span setup hoisted out of the loop.
+    if (space == AtomicSpace::shared) {
+        blk_->shared_access_lanes(counters, which, active, lanes_, primitive);
+    }
+}
+
 namespace {
 /// Applies one atomic add; global space uses std::atomic_ref because blocks
 /// of a launch may execute concurrently on host threads.
@@ -95,6 +134,7 @@ inline std::int32_t apply_fetch_add(AtomicSpace space, std::int32_t& ctr, std::i
 
 void WarpCtx::atomic_add(AtomicSpace space, std::span<std::int32_t> counters,
                          const std::int32_t* bucket, std::int32_t val) const {
+    san_check_targets(space, counters, bucket, nullptr, "atomic_add");
     auto& c = blk_->counters_;
     int d;
     if (space == AtomicSpace::shared && counters.size() <= simd::kMaxHistogramBins) {
@@ -122,6 +162,7 @@ void WarpCtx::atomic_add(AtomicSpace space, std::span<std::int32_t> counters,
 void WarpCtx::atomic_add_aggregated(AtomicSpace space, std::span<std::int32_t> counters,
                                     const std::int32_t* bucket, int index_bits,
                                     std::int32_t val) const {
+    san_check_targets(space, counters, bucket, nullptr, "atomic_add_aggregated");
     auto& c = blk_->counters_;
     // Fig. 6: one ballot per bucket-index bit to intersect the lane masks.
     c.warp_ballots += static_cast<std::uint64_t>(index_bits);
@@ -180,6 +221,7 @@ void WarpCtx::atomic_add_aggregated(AtomicSpace space, std::span<std::int32_t> c
 void WarpCtx::fetch_add(AtomicSpace space, std::span<std::int32_t> counters,
                         const std::int32_t* which, std::int32_t* old_out, bool aggregated,
                         int index_bits, const bool* active) const {
+    san_check_targets(space, counters, which, active, "fetch_add");
     auto& c = blk_->counters_;
     if (!aggregated) {
         std::int32_t targets[kWarpSize];

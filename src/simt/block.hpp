@@ -18,7 +18,15 @@
 // Instrumentation contract: every primitive both *performs* the operation
 // and *counts* it.  Kernels must route all global-memory and atomic traffic
 // through these primitives; plain reads of captured spans are reserved for
-// setup/debug code paths and bench-harness validation.
+// setup/debug code paths and bench-harness validation.  The contract is
+// enforced two ways: statically by tools/lint_kernels.py (raw subscripts
+// and naked atomics inside kernel lambdas are build errors) and dynamically
+// by SimTSan (simt/sanitizer.hpp), which shadow-checks every primitive for
+// cross-block races, shared-memory epoch violations, OOB, uninitialized
+// reads and canary clobbers.  Per-element traffic that is charged in bulk
+// (block-sequential publish loops, staged shared data) goes through the
+// *uncharged* checked accessors ld/st/shared_ld/shared_st below, so event
+// counts stay byte-identical with the sanitizer on or off.
 
 #include <algorithm>
 #include <atomic>
@@ -30,6 +38,7 @@
 
 #include "simt/arch.hpp"
 #include "simt/counters.hpp"
+#include "simt/sanitizer.hpp"
 
 namespace gpusel::simt {
 
@@ -108,6 +117,13 @@ public:
     void add_instr(std::uint64_t n) const;
 
 private:
+    /// SimTSan prologue for the atomic primitives: bounds-checks every
+    /// active lane's target and records the atomic in the global or shared
+    /// shadow.  No-op without an active sanitizer.
+    void san_check_targets(AtomicSpace space, std::span<std::int32_t> counters,
+                           const std::int32_t* which, const bool* active,
+                           const char* primitive) const;
+
     BlockCtx* blk_;
     int lanes_;
 };
@@ -116,7 +132,7 @@ private:
 class BlockCtx {
 public:
     BlockCtx(const ArchSpec& arch, int block_idx, int grid_dim, int block_dim,
-             std::size_t shared_limit);
+             std::size_t shared_limit, Sanitizer* san = nullptr);
     ~BlockCtx();
 
     BlockCtx(const BlockCtx&) = delete;
@@ -172,6 +188,76 @@ public:
         counters_.global_bytes_written += bytes;
     }
 
+    // ---- checked element accessors (SimTSan) -------------------------------
+    // Uncharged single-element access for code whose traffic is charged in
+    // bulk (publish loops, staging copies, pivots).  With the sanitizer off
+    // these compile down to the plain subscript they replace; with it on
+    // they bounds-check the span and update the global or shared shadow.
+    // Counters are never touched, preserving event-count golden identity.
+
+    /// Checked global-memory read: src[i].
+    template <typename T>
+    [[nodiscard]] T ld(std::span<const T> src, std::size_t i) {
+        if (san_ != nullptr) {
+            if (i >= src.size()) {
+                san_->oob(ViolationKind::global_oob, "ld", i, src.size(), block_idx_);
+            }
+            san_->global_read(src.data() + i, sizeof(T), block_idx_, "ld");
+        }
+        return src[i];
+    }
+    template <typename T>
+    [[nodiscard]] T ld(std::span<T> src, std::size_t i) {
+        return ld(std::span<const T>(src), i);
+    }
+
+    /// Checked global-memory write: dst[i] = v.
+    template <typename T, typename U>
+    void st(std::span<T> dst, std::size_t i, const U& v) {
+        if (san_ != nullptr) {
+            if (i >= dst.size()) {
+                san_->oob(ViolationKind::global_oob, "st", i, dst.size(), block_idx_);
+            }
+            san_->global_write(dst.data() + i, sizeof(T), block_idx_, "st");
+        }
+        dst[i] = v;
+    }
+
+    /// Checked shared-memory read: sh[i].  Records the access against the
+    /// warp/barrier-epoch shadow (a read of a word written by a different
+    /// warp in the same epoch is a shared_epoch violation).
+    template <typename T>
+    [[nodiscard]] T shared_ld(std::span<const T> sh, std::size_t i) {
+        if (san_ != nullptr) {
+            if (i >= sh.size()) {
+                san_->oob(ViolationKind::shared_oob, "shared_ld", i, sh.size(), block_idx_);
+            }
+            shared_access(sh.data() + i, sizeof(T), /*is_write=*/false, /*is_atomic=*/false,
+                          "shared_ld");
+        }
+        return sh[i];
+    }
+    template <typename T>
+    [[nodiscard]] T shared_ld(std::span<T> sh, std::size_t i) {
+        return shared_ld(std::span<const T>(sh), i);
+    }
+
+    /// Checked shared-memory write: sh[i] = v.
+    template <typename T, typename U>
+    void shared_st(std::span<T> sh, std::size_t i, const U& v) {
+        if (san_ != nullptr) {
+            if (i >= sh.size()) {
+                san_->oob(ViolationKind::shared_oob, "shared_st", i, sh.size(), block_idx_);
+            }
+            shared_access(sh.data() + i, sizeof(T), /*is_write=*/true, /*is_atomic=*/false,
+                          "shared_st");
+        }
+        sh[i] = v;
+    }
+
+    /// The device's sanitizer, or nullptr (for test/bench harness checks).
+    [[nodiscard]] Sanitizer* sanitizer() const noexcept { return san_; }
+
     /// Counts distinct values among idx[0..n); used for collision
     /// accounting.  Values must be < universe registered via
     /// ensure_scratch(universe).
@@ -179,6 +265,85 @@ public:
 
 private:
     friend class WarpCtx;
+
+    /// SimTSan shared-memory shadow update.  Pointers outside the block's
+    /// shared arena (stack-local cursors used with AtomicSpace::shared) are
+    /// skipped.  Only call with san_ != nullptr.  Inline: this runs on
+    /// every shared_ld/shared_st and must vanish into the accessor; the
+    /// violation construction is out-of-line in block.cpp.
+    void shared_access(const void* p, std::size_t bytes, bool is_write, bool is_atomic,
+                       const char* primitive) {
+        // Outside the arena there is no shadow to consult: the pointer is a
+        // stack-local (e.g. a cursor used with AtomicSpace::shared) and
+        // cannot be shared across warps in a way the epoch model cares
+        // about.
+        const auto* bp = static_cast<const std::byte*>(p);
+        if (shared_mem_ == nullptr || bp < shared_mem_ || bp + bytes > shared_mem_ + shared_used_) {
+            return;
+        }
+        const auto off = static_cast<std::size_t>(bp - shared_mem_);
+        const std::size_t g_last = (off + bytes - 1) / kSanGranule;
+        if (sh_shadow_.size() <= g_last) [[unlikely]] sh_shadow_.resize(g_last + 1, 0);
+        // Cell layout: (barrier_epoch+1):32 | (warp+2):8 | atomic:1.  A
+        // zero cell means "never written"; +1/+2 biases keep real epoch 0
+        // and the block-sequential phase (current_warp_ == -1)
+        // distinguishable from it.
+        const auto ep = static_cast<std::uint32_t>(counters_.block_barriers) + 1;
+        const auto me = static_cast<std::uint32_t>(current_warp_ + 2);
+        const std::uint64_t self = (static_cast<std::uint64_t>(ep) << 32) |
+                                   (static_cast<std::uint64_t>(me) << 1) |
+                                   static_cast<std::uint64_t>(is_atomic ? 1 : 0);
+        for (std::size_t g = off / kSanGranule; g <= g_last; ++g) {
+            const std::uint64_t cell = sh_shadow_[g];
+            if (static_cast<std::uint32_t>(cell >> 32) == ep &&
+                static_cast<std::uint32_t>((cell >> 1) & 0xffU) != me &&
+                !((cell & 1U) != 0 && is_atomic)) [[unlikely]] {
+                shared_conflict(g, is_write, is_atomic, primitive, cell);
+            }
+            if (is_write || is_atomic) sh_shadow_[g] = self;
+        }
+    }
+
+    /// Batched shared_access for a warp's per-lane atomic targets inside
+    /// one counter span: the arena-bounds test, the shadow sizing and the
+    /// cell tag are hoisted out of the per-lane loop, which then touches
+    /// exactly one 4-byte-element cell per active lane.  Callers must have
+    /// range-checked `which` already (san_check_targets reports OOB, which
+    /// always throws, before calling this).
+    void shared_access_lanes(std::span<std::int32_t> counters, const std::int32_t* which,
+                             const bool* active, int lanes, const char* primitive) {
+        static_assert(sizeof(std::int32_t) == kSanGranule);
+        const auto* bp = reinterpret_cast<const std::byte*>(counters.data());
+        if (shared_mem_ == nullptr || bp < shared_mem_ ||
+            bp + counters.size_bytes() > shared_mem_ + shared_used_) {
+            return;
+        }
+        const auto g_base = static_cast<std::size_t>(bp - shared_mem_) / kSanGranule;
+        const std::size_t g_max = g_base + counters.size() - 1;
+        if (sh_shadow_.size() <= g_max) [[unlikely]] sh_shadow_.resize(g_max + 1, 0);
+        const auto ep = static_cast<std::uint32_t>(counters_.block_barriers) + 1;
+        const auto me = static_cast<std::uint32_t>(current_warp_ + 2);
+        const std::uint64_t self = (static_cast<std::uint64_t>(ep) << 32) |
+                                   (static_cast<std::uint64_t>(me) << 1) | std::uint64_t{1};
+        for (int l = 0; l < lanes; ++l) {
+            if (active != nullptr && !active[l]) continue;
+            const std::size_t g = g_base + static_cast<std::size_t>(which[l]);
+            const std::uint64_t cell = sh_shadow_[g];
+            // Atomic-vs-atomic is exempt, so only a non-atomic cell (LSB 0)
+            // by another warp in this epoch conflicts.
+            if (static_cast<std::uint32_t>(cell >> 32) == ep &&
+                static_cast<std::uint32_t>((cell >> 1) & 0xffU) != me &&
+                (cell & 1U) == 0) [[unlikely]] {
+                shared_conflict(g, /*is_write=*/true, /*is_atomic=*/true, primitive, cell);
+            }
+            sh_shadow_[g] = self;
+        }
+    }
+
+    /// Cold path: builds and reports the shared_epoch violation for a
+    /// same-epoch cross-warp cell conflict.
+    void shared_conflict(std::size_t g, bool is_write, bool is_atomic, const char* primitive,
+                         std::uint64_t cell);
 
     const ArchSpec& arch_;
     int block_idx_;
@@ -202,6 +367,15 @@ private:
     std::vector<std::uint32_t> mark_;
     std::vector<std::int32_t> slot_;
     std::uint32_t epoch_ = 0;
+    // ---- SimTSan state ----------------------------------------------------
+    Sanitizer* san_ = nullptr;
+    /// Warp currently executing inside warp_tiles()/warp_tiles_local();
+    /// -1 during block-sequential phases (publish loops, prefix sums).
+    int current_warp_ = -1;
+    /// Per-granule shared-memory shadow: (barrier_epoch+1):32 | (warp+2):8 |
+    /// atomic:1.  Grown lazily by shared_access(); per-block, so the reused
+    /// thread-local arena never leaks stale shadow state between blocks.
+    std::vector<std::uint64_t> sh_shadow_;
 };
 
 // ===== inline implementations ==============================================
@@ -233,12 +407,14 @@ void BlockCtx::warp_tiles(std::size_t n, std::size_t tile, F&& fn) {
     for (int w = 0; w < wpb; ++w) {
         const std::size_t gw = static_cast<std::size_t>(block_idx_) * static_cast<std::size_t>(wpb) +
                                static_cast<std::size_t>(w);
+        current_warp_ = w;  // attribute shared-memory accesses to this warp
         for (std::size_t base = gw * tile; base < n; base += stride) {
             const std::size_t count = std::min(tile, n - base);
             WarpCtx warp(*this, static_cast<int>(std::min<std::size_t>(count, kWarpSize)));
             fn(warp, base, count);
         }
     }
+    current_warp_ = -1;
 }
 
 template <typename F>
@@ -247,34 +423,70 @@ void BlockCtx::warp_tiles_local(std::size_t n, F&& fn) {
     const std::size_t tile = kWarpSize;
     const std::size_t stride = wpb * tile;
     for (std::size_t w = 0; w < wpb; ++w) {
+        current_warp_ = static_cast<int>(w);
         for (std::size_t base = w * tile; base < n; base += stride) {
             const std::size_t count = std::min(tile, n - base);
             WarpCtx warp(*this, static_cast<int>(count));
             fn(warp, base, count);
         }
     }
+    current_warp_ = -1;
 }
 
 template <typename T>
 void WarpCtx::load(std::span<const T> src, std::size_t base, T* regs) const {
+    if (Sanitizer* san = blk_->san_; san != nullptr) {
+        const auto n = static_cast<std::size_t>(lanes_);
+        if (base + n > src.size()) {
+            san->oob(ViolationKind::global_oob, "load", base + n - 1, src.size(),
+                     blk_->block_idx_);
+        }
+        san->global_read(src.data() + base, n * sizeof(T), blk_->block_idx_, "load");
+    }
     for (int l = 0; l < lanes_; ++l) regs[l] = src[base + static_cast<std::size_t>(l)];
     blk_->counters_.global_bytes_read += static_cast<std::uint64_t>(lanes_) * sizeof(T);
 }
 
 template <typename T>
 void WarpCtx::store(std::span<T> dst, std::size_t base, const T* regs) const {
+    if (Sanitizer* san = blk_->san_; san != nullptr) {
+        const auto n = static_cast<std::size_t>(lanes_);
+        if (base + n > dst.size()) {
+            san->oob(ViolationKind::global_oob, "store", base + n - 1, dst.size(),
+                     blk_->block_idx_);
+        }
+        san->global_write(dst.data() + base, n * sizeof(T), blk_->block_idx_, "store");
+    }
     for (int l = 0; l < lanes_; ++l) dst[base + static_cast<std::size_t>(l)] = regs[l];
     blk_->counters_.global_bytes_written += static_cast<std::uint64_t>(lanes_) * sizeof(T);
 }
 
 template <typename T>
 void WarpCtx::gather(std::span<const T> src, const std::size_t* idx, T* regs) const {
+    if (Sanitizer* san = blk_->san_; san != nullptr) {
+        for (int l = 0; l < lanes_; ++l) {
+            if (idx[l] >= src.size()) {
+                san->oob(ViolationKind::global_oob, "gather", idx[l], src.size(),
+                         blk_->block_idx_);
+            }
+            san->global_read(src.data() + idx[l], sizeof(T), blk_->block_idx_, "gather");
+        }
+    }
     for (int l = 0; l < lanes_; ++l) regs[l] = src[idx[l]];
     blk_->counters_.scattered_bytes_read += static_cast<std::uint64_t>(lanes_) * sizeof(T);
 }
 
 template <typename T>
 void WarpCtx::scatter(std::span<T> dst, const std::size_t* idx, const T* regs) const {
+    if (Sanitizer* san = blk_->san_; san != nullptr) {
+        for (int l = 0; l < lanes_; ++l) {
+            if (idx[l] >= dst.size()) {
+                san->oob(ViolationKind::global_oob, "scatter", idx[l], dst.size(),
+                         blk_->block_idx_);
+            }
+            san->global_write(dst.data() + idx[l], sizeof(T), blk_->block_idx_, "scatter");
+        }
+    }
     for (int l = 0; l < lanes_; ++l) dst[idx[l]] = regs[l];
     blk_->counters_.scattered_bytes_written += static_cast<std::uint64_t>(lanes_) * sizeof(T);
 }
@@ -282,6 +494,18 @@ void WarpCtx::scatter(std::span<T> dst, const std::size_t* idx, const T* regs) c
 template <typename T>
 void WarpCtx::store_compacted(std::span<T> dst, std::size_t pos, const bool* pred,
                               const T* regs) const {
+    if (Sanitizer* san = blk_->san_; san != nullptr) {
+        std::size_t count = 0;
+        for (int l = 0; l < lanes_; ++l) count += pred[l] ? 1 : 0;
+        if (count > 0) {
+            if (pos + count > dst.size()) {
+                san->oob(ViolationKind::global_oob, "store_compacted", pos + count - 1,
+                         dst.size(), blk_->block_idx_);
+            }
+            san->global_write(dst.data() + pos, count * sizeof(T), blk_->block_idx_,
+                              "store_compacted");
+        }
+    }
     std::uint64_t written = 0;
     for (int l = 0; l < lanes_; ++l) {
         if (pred[l]) {

@@ -24,6 +24,7 @@ Device::Device(ArchSpec spec, DeviceOptions opts)
     // fresh allocations and launches.
     mem_pool_.set_fault_hook([this] { return injector_.should_fail_alloc(); });
     if (const auto env_spec = FaultSpec::from_env()) set_faults(*env_spec);
+    if (const SanMode m = Sanitizer::mode_from_env(); m != SanMode::off) set_sanitizer(m);
 }
 
 void Device::maybe_fail_alloc(std::size_t bytes) {
@@ -46,9 +47,13 @@ KernelProfile Device::launch(std::string name, const LaunchConfig& cfg, const Ke
     const auto blocks = static_cast<std::size_t>(cfg.grid_dim);
     std::vector<KernelCounters> per_block(blocks);
     std::vector<std::size_t> shared_used(blocks, 0);
+    // SimTSan launch bracket: a new race-detection epoch before any block
+    // runs; a strict-mode violation inside a block propagates out of
+    // parallel_for as SanError, aborting the launch like a device trap.
+    if (san_) san_->begin_launch(profile.name);
     pool_.parallel_for(blocks, [&](std::size_t b) {
         BlockCtx blk(arch_, static_cast<int>(b), cfg.grid_dim, cfg.block_dim,
-                     arch_.shared_mem_per_block);
+                     arch_.shared_mem_per_block, san_.get());
         fn(blk);
         per_block[b] = blk.counters();
         shared_used[b] = blk.shared_bytes_used();
@@ -70,6 +75,9 @@ KernelProfile Device::launch(std::string name, const LaunchConfig& cfg, const Ke
     totals_ += profile.counters;
     ++launch_count_;
     if (opts_.record_profiles) profiles_.push_back(profile);
+    // Canary sweep after the launch's bookkeeping: the launch *did* run, so
+    // its counters and clock stand even when the sweep throws (strict mode).
+    if (san_) san_->end_launch();
     return profile;
 }
 

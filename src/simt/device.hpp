@@ -24,6 +24,7 @@
 #include "simt/fault.hpp"
 #include "simt/memory.hpp"
 #include "simt/pool.hpp"
+#include "simt/sanitizer.hpp"
 #include "simt/thread_pool.hpp"
 #include "simt/timing.hpp"
 
@@ -82,7 +83,7 @@ public:
     template <typename T>
     [[nodiscard]] DeviceBuffer<T> alloc(std::size_t n) {
         maybe_fail_alloc(n * sizeof(T));
-        return DeviceBuffer<T>(tracker_, n);
+        return DeviceBuffer<T>(tracker_, n, san_.get());
     }
 
     /// Checks out a pooled global-memory array of n Ts, ordered on `stream`.
@@ -164,6 +165,27 @@ public:
     [[nodiscard]] RobustnessCounters& robustness() noexcept { return robustness_; }
     [[nodiscard]] const RobustnessCounters& robustness() const noexcept { return robustness_; }
 
+    // ---- SimTSan ----------------------------------------------------------
+    // The Device owns the sanitizer (simt/sanitizer.hpp) so one shadow
+    // registry covers every buffer, pool checkout and launch on this
+    // device.  The constructor installs GPUSEL_SAN from the environment;
+    // set_sanitizer() enables it programmatically.  NOTE: buffers allocated
+    // before set_sanitizer() are not shadow-tracked (no canaries either) --
+    // enable the sanitizer before allocating, as the env path does.
+
+    /// Installs (or with SanMode::off removes) the sanitizer.  A device
+    /// with host_workers == 0 runs every block inline, so its sanitizer
+    /// takes the faster single-threaded shadow path.
+    void set_sanitizer(SanMode mode) {
+        san_ = mode == SanMode::off
+                   ? nullptr
+                   : std::make_unique<Sanitizer>(mode, /*concurrent=*/opts_.host_workers != 0);
+        mem_pool_.set_sanitizer(san_.get());
+    }
+    /// The active sanitizer, or nullptr when off.
+    [[nodiscard]] Sanitizer* sanitizer() noexcept { return san_.get(); }
+    [[nodiscard]] const Sanitizer* sanitizer() const noexcept { return san_.get(); }
+
 private:
     /// Draws an allocation fault for a fresh (non-pooled) allocation.
     void maybe_fail_alloc(std::size_t bytes);
@@ -182,6 +204,7 @@ private:
     std::uint64_t launch_count_ = 0;
     FaultInjector injector_;
     RobustnessCounters robustness_;
+    std::unique_ptr<Sanitizer> san_;
 };
 
 }  // namespace gpusel::simt

@@ -6,12 +6,22 @@
 // that the auxiliary-storage claims of the paper (SampleSelect <= n/4 bytes
 // of auxiliary storage for single precision, QuickSelect n/2, Sec. IV-A) can
 // be checked against actually-allocated bytes.
+//
+// When a Sanitizer (simt/sanitizer.hpp) is active, each buffer additionally
+// surrounds its user data with 0xC3-filled canary guard bands and registers
+// the user region for shadow tracking; the tracker keeps charging only the
+// *user* bytes, so the paper's auxiliary-storage bounds stay unchanged
+// under SimTSan.
 
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <span>
+#include <string>
 #include <vector>
+
+#include "simt/sanitizer.hpp"
 
 namespace gpusel::simt {
 
@@ -24,6 +34,13 @@ namespace gpusel::simt {
 /// use via on_reuse (counted in current/peak, not in alloc_count); a buffer
 /// returning to a pool free list leaves use via on_recycle without being a
 /// real deallocation.
+///
+/// Accounting underflow (more bytes credited back than are in use) is a
+/// bookkeeping bug -- historically a bare assert, i.e. UB in release
+/// builds under GPUSEL_FAULTS.  It is now recorded as a sticky diagnostic:
+/// current() clamps to zero, underflow_count()/underflow_note() report
+/// what happened, and the pipeline's retry wrappers surface it through the
+/// typed Status channel as SelectError::internal.
 class AllocationTracker {
 public:
     /// Fresh backing allocation entering use.
@@ -34,7 +51,11 @@ public:
     }
     /// In-use bytes whose backing is actually destroyed.
     void on_free(std::size_t bytes) noexcept {
-        assert(bytes <= current_);
+        if (bytes > current_) {
+            record_underflow("on_free", bytes);
+            current_ = 0;
+            return;
+        }
         current_ -= bytes;
     }
     /// Pooled backing re-entering use (pool hit): counts toward the in-use
@@ -46,7 +67,11 @@ public:
     }
     /// In-use bytes returning to a pool free list (backing retained).
     void on_recycle(std::size_t bytes) noexcept {
-        assert(bytes <= current_);
+        if (bytes > current_) {
+            record_underflow("on_recycle", bytes);
+            current_ = 0;
+            return;
+        }
         current_ -= bytes;
     }
     /// Marks the current usage as the baseline; peak_above_baseline() then
@@ -63,33 +88,82 @@ public:
     /// Pool hits: acquisitions served from a free list.
     [[nodiscard]] std::uint64_t reuse_count() const noexcept { return reuse_count_; }
 
+    /// Accounting underflows observed so far (0 on a healthy run).
+    [[nodiscard]] std::uint64_t underflow_count() const noexcept { return underflows_; }
+    /// Description of the first underflow, empty when none occurred.
+    [[nodiscard]] const std::string& underflow_note() const noexcept { return underflow_note_; }
+
 private:
+    void record_underflow(const char* op, std::size_t bytes) noexcept {
+        ++underflows_;
+        if (underflow_note_.empty()) {
+            // Best effort only: string assembly may not throw here.
+            try {
+                underflow_note_ = std::string("AllocationTracker::") + op + " of " +
+                                  std::to_string(bytes) + " bytes exceeds in-use total " +
+                                  std::to_string(current_);
+            } catch (...) {
+            }
+        }
+    }
+
     std::size_t current_ = 0;
     std::size_t peak_ = 0;
     std::size_t baseline_ = 0;
     std::uint64_t alloc_count_ = 0;
     std::uint64_t reuse_count_ = 0;
+    std::uint64_t underflows_ = 0;
+    std::string underflow_note_;
 };
 
 /// Owning handle for a global-memory array of T.  Move-only; releases its
-/// bytes from the tracker on destruction.
+/// bytes from the tracker on destruction.  Under an active Sanitizer the
+/// vector over-allocates kCanaryBytes of guard band on each side of the
+/// user data; span()/data()/operator[] address only the user region and
+/// the tracker is charged only the user bytes.
 template <typename T>
 class DeviceBuffer {
 public:
     DeviceBuffer() = default;
-    DeviceBuffer(AllocationTracker& tracker, std::size_t n) : tracker_(&tracker), data_(n) {
+    DeviceBuffer(AllocationTracker& tracker, std::size_t n, Sanitizer* san = nullptr)
+        : tracker_(&tracker), n_(n) {
+        if (san != nullptr && san->enabled() && n > 0) {
+            san_ = san;
+            pad_ = (kCanaryBytes + sizeof(T) - 1) / sizeof(T);
+            data_.resize(n + 2 * pad_);
+            std::memset(static_cast<void*>(data_.data()), static_cast<int>(kCanaryByte),
+                        pad_ * sizeof(T));
+            std::memset(static_cast<void*>(data_.data() + pad_ + n),
+                        static_cast<int>(kCanaryByte), pad_ * sizeof(T));
+            // vector value-initializes the user region, so it registers as
+            // fully initialized (no uninit tracking needed here).
+            san_->register_region(data(), bytes(), /*mark_uninit=*/false, data_.data(),
+                                  pad_ * sizeof(T), data_.data() + pad_ + n, pad_ * sizeof(T));
+        } else {
+            data_.resize(n);
+        }
         tracker_->on_alloc(bytes());
     }
-    DeviceBuffer(DeviceBuffer&& o) noexcept : tracker_(o.tracker_), data_(std::move(o.data_)) {
+    DeviceBuffer(DeviceBuffer&& o) noexcept
+        : tracker_(o.tracker_), san_(o.san_), n_(o.n_), pad_(o.pad_), data_(std::move(o.data_)) {
         o.tracker_ = nullptr;
+        o.san_ = nullptr;
+        o.n_ = 0;
+        o.pad_ = 0;
         o.data_.clear();
     }
     DeviceBuffer& operator=(DeviceBuffer&& o) noexcept {
         if (this != &o) {
             release();
             tracker_ = o.tracker_;
+            san_ = o.san_;
+            n_ = o.n_;
+            pad_ = o.pad_;
             data_ = std::move(o.data_);
             o.tracker_ = nullptr;
+            o.san_ = nullptr;
+            o.n_ = 0;
+            o.pad_ = 0;
             o.data_.clear();
         }
         return *this;
@@ -98,22 +172,29 @@ public:
     DeviceBuffer& operator=(const DeviceBuffer&) = delete;
     ~DeviceBuffer() { release(); }
 
-    [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
-    [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
-    [[nodiscard]] std::size_t bytes() const noexcept { return data_.size() * sizeof(T); }
-    [[nodiscard]] std::span<T> span() noexcept { return {data_.data(), data_.size()}; }
-    [[nodiscard]] std::span<const T> span() const noexcept { return {data_.data(), data_.size()}; }
-    [[nodiscard]] T* data() noexcept { return data_.data(); }
-    [[nodiscard]] const T* data() const noexcept { return data_.data(); }
-    T& operator[](std::size_t i) noexcept { return data_[i]; }
-    const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+    [[nodiscard]] std::size_t size() const noexcept { return n_; }
+    [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+    [[nodiscard]] std::size_t bytes() const noexcept { return n_ * sizeof(T); }
+    [[nodiscard]] std::span<T> span() noexcept { return {data(), n_}; }
+    [[nodiscard]] std::span<const T> span() const noexcept { return {data(), n_}; }
+    [[nodiscard]] T* data() noexcept { return data_.data() + pad_; }
+    [[nodiscard]] const T* data() const noexcept { return data_.data() + pad_; }
+    T& operator[](std::size_t i) noexcept { return data()[i]; }
+    const T& operator[](std::size_t i) const noexcept { return data()[i]; }
 
 private:
     void release() noexcept {
+        if (san_ != nullptr && !data_.empty()) san_->unregister_region(data());
+        san_ = nullptr;
         if (tracker_) tracker_->on_free(bytes());
         tracker_ = nullptr;
+        n_ = 0;
+        pad_ = 0;
     }
     AllocationTracker* tracker_ = nullptr;
+    Sanitizer* san_ = nullptr;
+    std::size_t n_ = 0;
+    std::size_t pad_ = 0;  ///< canary elements on each side of the user data
     std::vector<T> data_;
 };
 

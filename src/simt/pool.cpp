@@ -91,18 +91,36 @@ PoolBlock* MemoryPool::acquire(std::size_t bytes, int stream, bool zeroed) {
 
     blk->last_stream = stream;
     blk->charged = bytes;
+    const bool san_on = san_ != nullptr && san_->enabled();
     if (zeroed) {
         if (!blk->zeroed) std::memset(blk->storage.get(), 0, blk->capacity);
         blk->zeroed = true;
     } else {
-        if (poison_enabled()) std::memset(blk->storage.get(), 0xA5, blk->capacity);
+        // SimTSan forces the poison fill: uninit-read detection needs every
+        // non-zeroed checkout to start with a recognizable pattern.
+        if (poison_enabled() || san_on) {
+            std::memset(blk->storage.get(), static_cast<int>(kPoisonByte), blk->capacity);
+        }
         blk->zeroed = false;
+    }
+    if (san_on) {
+        // Canary-fill the free tail and register the user region.  Zeroed
+        // checkouts are fully initialized by construction; poisoned ones
+        // arm the uninit-read shadow.
+        if (blk->capacity > bytes) {
+            std::memset(blk->storage.get() + bytes, static_cast<int>(kCanaryByte),
+                        blk->capacity - bytes);
+        }
+        san_->register_region(blk->storage.get(), bytes, /*mark_uninit=*/!zeroed, nullptr, 0,
+                              blk->storage.get() + bytes, blk->capacity - bytes);
     }
     return blk;
 }
 
 void MemoryPool::release(PoolBlock* block, int stream) {
     if (block == nullptr) return;
+    // Record-only final canary sweep; release happens in destructors.
+    if (san_ != nullptr) san_->unregister_region(block->storage.get());
     tracker_->on_recycle(block->charged);
     block->charged = 0;
     block->last_stream = stream;

@@ -86,6 +86,13 @@ public:
     /// anything.  Wired by the Device to its FaultInjector.
     void set_fault_hook(std::function<bool()> hook) { fault_hook_ = std::move(hook); }
 
+    /// Installs the sanitizer (may be nullptr).  With one active, every
+    /// checkout registers its requested bytes for shadow tracking, forces
+    /// the 0xA5 poison fill on non-zeroed blocks (arming uninit-read
+    /// detection), and canary-fills the free tail [bytes, capacity);
+    /// release() sweeps and unregisters.  Wired by Device::set_sanitizer.
+    void set_sanitizer(Sanitizer* san) noexcept { san_ = san; }
+
     /// Checks out a block of at least `bytes` bytes for `stream`.  Returns
     /// nullptr for a zero-byte request.  If `zeroed`, the block's contents
     /// are all-zero on return via a host-side memset (callers that must
@@ -109,6 +116,7 @@ private:
     static constexpr int kNumClasses = 48;
 
     AllocationTracker* tracker_;
+    Sanitizer* san_ = nullptr;
     std::function<double(int)> stream_clock_;
     std::function<bool()> fault_hook_;
     std::vector<std::unique_ptr<PoolBlock>> blocks_;           ///< owns every block

@@ -1,0 +1,378 @@
+#include "simt/sanitizer.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+namespace gpusel::simt {
+
+namespace {
+
+bool all_bytes(const void* p, std::size_t n, std::byte b) noexcept {
+    const auto* s = static_cast<const std::byte*>(p);
+    std::uint64_t pattern;
+    std::memset(&pattern, static_cast<int>(b), sizeof(pattern));
+    while (n >= 8) {
+        std::uint64_t w;
+        std::memcpy(&w, s, 8);
+        if (w != pattern) return false;
+        s += 8;
+        n -= 8;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        if (s[i] != b) return false;
+    }
+    return true;
+}
+
+/// Offset of the first non-`b` byte in [p, p+n), or n if none.
+std::size_t first_mismatch(const void* p, std::size_t n, std::byte b) noexcept {
+    const auto* s = static_cast<const std::byte*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (s[i] != b) return i;
+    }
+    return n;
+}
+
+}  // namespace
+
+std::string_view to_string(ViolationKind kind) noexcept {
+    switch (kind) {
+        case ViolationKind::global_race: return "global_race";
+        case ViolationKind::shared_epoch: return "shared_epoch";
+        case ViolationKind::global_oob: return "global_oob";
+        case ViolationKind::shared_oob: return "shared_oob";
+        case ViolationKind::uninit_read: return "uninit_read";
+        case ViolationKind::canary: return "canary";
+    }
+    return "unknown";
+}
+
+std::string SanViolation::message() const {
+    std::string m = "SimTSan: ";
+    m += to_string(kind);
+    if (!kernel.empty()) {
+        m += " in kernel '";
+        m += kernel;
+        m += "'";
+    }
+    if (!primitive.empty()) {
+        m += ", primitive ";
+        m += primitive;
+    }
+    m += ", byte offset " + std::to_string(offset);
+    if (block >= 0) m += ", block " + std::to_string(block);
+    if (!detail.empty()) {
+        m += ": ";
+        m += detail;
+    }
+    return m;
+}
+
+SanMode Sanitizer::mode_from_env() {
+    const char* env = std::getenv("GPUSEL_SAN");
+    if (env == nullptr) return SanMode::off;
+    const std::string_view v(env);
+    if (v.empty() || v == "0" || v == "off") return SanMode::off;
+    if (v == "1" || v == "strict" || v == "on") return SanMode::strict;
+    if (v == "2" || v == "collect") return SanMode::collect;
+    throw std::invalid_argument("GPUSEL_SAN must be one of 0/off, 1/strict/on, 2/collect");
+}
+
+void Sanitizer::register_region(const void* base, std::size_t bytes, bool mark_uninit,
+                                const void* canary_lo, std::size_t canary_lo_bytes,
+                                const void* canary_hi, std::size_t canary_hi_bytes) {
+    if (base == nullptr || bytes == 0) return;
+    const std::size_t granules = (bytes + kSanGranule - 1) / kSanGranule;
+    Region r;
+    r.base = reinterpret_cast<std::uintptr_t>(base);
+    r.bytes = bytes;
+    r.writers.assign(granules, 0);
+    r.readers.assign(granules, 0);
+    r.track_uninit = mark_uninit;
+    if (mark_uninit) r.init_bits.assign((granules + 63) / 64, 0);
+    r.canary_lo = reinterpret_cast<std::uintptr_t>(canary_lo);
+    r.canary_lo_bytes = canary_lo_bytes;
+    r.canary_hi = reinterpret_cast<std::uintptr_t>(canary_hi);
+    r.canary_hi_bytes = canary_hi_bytes;
+    regions_[r.base] = std::move(r);
+    reg_gen_ = next_gen();  // invalidate every thread's cached region lookup
+}
+
+void Sanitizer::unregister_region(const void* base) noexcept {
+    const auto key = reinterpret_cast<std::uintptr_t>(base);
+    auto it = regions_.find(key);
+    if (it == regions_.end()) return;
+    // Destructor context: canary findings are recorded, never thrown.
+    try {
+        sweep_canaries(it->second, /*allow_throw=*/false);
+    } catch (...) {  // report() never throws when allow_throw is false
+    }
+    regions_.erase(it);
+    reg_gen_ = next_gen();  // invalidate every thread's cached region lookup
+}
+
+void Sanitizer::begin_launch(std::string_view kernel) {
+    ++epoch_;
+    if ((epoch_ & 0xffffu) == 0) {
+        // The 16-bit epoch field of the packed shadow cells wrapped: stale
+        // cells from 65536 launches ago would alias the new epoch, so wipe
+        // every shadow (O(shadow bytes) once per 65536 launches) and skip
+        // field value 0, which is reserved for "never accessed".
+        for (auto& [base, r] : regions_) {
+            std::fill(r.writers.begin(), r.writers.end(), 0u);
+            std::fill(r.readers.begin(), r.readers.end(), 0u);
+        }
+        ++epoch_;
+    }
+    kernel_.assign(kernel);
+}
+
+void Sanitizer::end_launch() {
+    // Quick sweep: only the first kQuickSweepBytes of each band, so a launch
+    // pays O(regions), not O(total canary bytes).  A contiguous overrun
+    // starts at the band's first byte, so this catches the common smash the
+    // launch after it happens; anything deeper is caught by the full sweep
+    // at unregistration.
+    for (auto& [base, r] : regions_) sweep_canaries(r, /*allow_throw=*/true, /*quick=*/true);
+    kernel_.clear();
+}
+
+Sanitizer::Region* Sanitizer::find_slow(const void* p, std::size_t bytes) noexcept {
+    const auto addr = reinterpret_cast<std::uintptr_t>(p);
+    RegionCache& rc = tl_cache_;
+    if (rc.owner != this || rc.gen != reg_gen_) {
+        rc = {};  // stale entries from another sanitizer/generation: drop all
+        rc.owner = this;
+        rc.gen = reg_gen_;
+    }
+    // upper_bound: first region with base > addr; its predecessor is the
+    // only candidate container.  The two neighbors also bound the miss gap.
+    auto it = regions_.upper_bound(addr);
+    const std::uintptr_t gap_hi =
+        it == regions_.end() ? std::numeric_limits<std::uintptr_t>::max() : it->first;
+    std::uintptr_t gap_lo = 0;
+    if (it != regions_.begin()) {
+        --it;
+        Region& r = it->second;
+        if (addr >= r.base && addr + bytes <= r.base + r.bytes) {
+            cache_insert(r.base, r.base + r.bytes, &r);
+            return &r;
+        }
+        gap_lo = r.base + r.bytes;
+    }
+    // Cache the miss only when [addr, addr+bytes) sits cleanly in the gap
+    // between regions (a range straddling a region edge has no gap to
+    // name; that never happens for span-derived pointers anyway).
+    if (addr >= gap_lo && addr + bytes <= gap_hi) {
+        cache_insert(gap_lo, gap_hi, nullptr);
+    }
+    return nullptr;
+}
+
+void Sanitizer::access_atomic(Region& r, std::size_t g_first, std::size_t g_last, int block,
+                              const char* primitive, Access a, std::uint32_t self) {
+    const bool is_atomic = a == Access::atomic;
+    for (std::size_t g = g_first; g <= g_last; ++g) {
+        const std::uint32_t w = cell_load(r.writers[g]);
+        // Same launch epoch AND different block; the atomic-vs-atomic
+        // exemption resolves inside the rare taken branch.
+        if ((w >> 16) == (self >> 16) && ((w ^ self) & kCellBlockMask) != 0) [[unlikely]] {
+            if (!((w & 1u) != 0 && is_atomic)) {
+                report_conflict(g * kSanGranule, block, primitive, a, w, /*other_is_writer=*/true);
+            }
+        }
+        if (a == Access::read) {
+            cell_store(r.readers[g], self);
+            if (r.track_uninit) {
+                const std::uint64_t word = std::atomic_ref<std::uint64_t>(r.init_bits[g / 64])
+                                               .load(std::memory_order_relaxed);
+                if ((word & (std::uint64_t{1} << (g % 64))) == 0) [[unlikely]] {
+                    uninit_read_slow(r, g, block, primitive);
+                }
+            }
+        } else {
+            // Writes and atomics also conflict with a plain read by
+            // another block.
+            const std::uint32_t rd = cell_load(r.readers[g]);
+            if ((rd >> 16) == (self >> 16) && ((rd ^ self) & kCellBlockMask) != 0) [[unlikely]] {
+                report_conflict(g * kSanGranule, block, primitive, a, rd,
+                                /*other_is_writer=*/false);
+            }
+            cell_store(r.writers[g], self);
+            if (r.track_uninit) {
+                std::uint64_t& word = r.init_bits[g / 64];
+                const std::uint64_t bit = std::uint64_t{1} << (g % 64);
+                // fetch_or only on the granule's first write; afterwards
+                // the preceding load keeps this LOCK-free in practice.
+                if ((std::atomic_ref<std::uint64_t>(word).load(std::memory_order_relaxed) & bit) ==
+                    0) {
+                    std::atomic_ref<std::uint64_t>(word).fetch_or(bit, std::memory_order_relaxed);
+                }
+            }
+        }
+    }
+}
+
+void Sanitizer::conflict_walk(Region& r, std::size_t g_first, std::size_t g_last, int block,
+                              const char* primitive, Access a, std::uint32_t self) {
+    const bool is_atomic = a == Access::atomic;
+    for (std::size_t g = g_first; g <= g_last; ++g) {
+        const std::uint32_t w = r.writers[g];
+        if ((w >> 16) == (self >> 16) && ((w ^ self) & kCellBlockMask) != 0 &&
+            !((w & 1u) != 0 && is_atomic)) {
+            report_conflict(g * kSanGranule, block, primitive, a, w, /*other_is_writer=*/true);
+        }
+        if (a != Access::read) {
+            const std::uint32_t rd = r.readers[g];
+            if ((rd >> 16) == (self >> 16) && ((rd ^ self) & kCellBlockMask) != 0) {
+                report_conflict(g * kSanGranule, block, primitive, a, rd,
+                                /*other_is_writer=*/false);
+            }
+        }
+    }
+}
+
+void Sanitizer::report_conflict(std::size_t offset, int block, const char* primitive, Access a,
+                                std::uint32_t other, bool other_is_writer) {
+    const int o_block = static_cast<int>((other >> 1) & 0x7fffu) - 1;
+    const bool o_atomic = (other & 1u) != 0;
+    const bool is_atomic = a == Access::atomic;
+    SanViolation v;
+    v.kind = ViolationKind::global_race;
+    v.kernel = kernel_;
+    v.primitive = primitive;
+    v.offset = offset;
+    v.block = block;
+    if (other_is_writer) {
+        // Same launch, different block, and at least one side plain.
+        v.detail = std::string(a == Access::read ? "read" : is_atomic ? "atomic" : "write") +
+                   " conflicts with " + (o_atomic ? "atomic" : "write") + " by block " +
+                   std::to_string(o_block);
+    } else {
+        v.detail = std::string(is_atomic ? "atomic" : "write") +
+                   " conflicts with read by block " + std::to_string(o_block);
+    }
+    report(std::move(v));
+}
+
+void Sanitizer::uninit_read_slow(Region& r, std::size_t g, int block, const char* primitive) {
+    // Hybrid check: the shadow cannot see host-side staging writes, so only
+    // report when the bytes still carry the pool's poison fill.
+    const auto* gp = reinterpret_cast<const std::byte*>(r.base) + g * kSanGranule;
+    const std::size_t gb = std::min(kSanGranule, r.bytes - g * kSanGranule);
+    if (all_bytes(gp, gb, kPoisonByte)) {
+        SanViolation v;
+        v.kind = ViolationKind::uninit_read;
+        v.kernel = kernel_;
+        v.primitive = primitive;
+        v.offset = g * kSanGranule;
+        v.block = block;
+        v.detail = "read of a poisoned pool word before any instrumented store";
+        report(std::move(v));
+    } else {
+        // Observed real (host-staged) data: latch the init bit so re-reads
+        // skip the poison compare.  A word can only go back to poison
+        // through a fresh pool checkout, which reallocates the shadow.
+        std::atomic_ref<std::uint64_t>(r.init_bits[g / 64])
+            .fetch_or(std::uint64_t{1} << (g % 64), std::memory_order_relaxed);
+    }
+}
+
+void Sanitizer::uninit_word_slow(Region& r, std::size_t w, std::uint64_t missing, int block,
+                                 const char* primitive) {
+    // Serial path only (no shadow concurrency): triage a whole bitmap
+    // word's unset granules at once.  A granule counts as still-poisoned
+    // only when every byte carries the pool fill, so a single u32 compare
+    // settles each full granule; anything that is not pure poison is real
+    // host-staged data and its bit latches with one plain OR at the end.
+    static_assert(kSanGranule == sizeof(std::uint32_t));
+    constexpr std::uint32_t kPoisonWord = 0x01010101u * static_cast<std::uint32_t>(kPoisonByte);
+    const auto* base = reinterpret_cast<const std::byte*>(r.base);
+    std::uint64_t latch = 0;
+    for (std::uint64_t m = missing; m != 0; m &= m - 1) {
+        const std::uint64_t bit = m & (~m + 1);
+        const auto g = w * 64 + static_cast<std::size_t>(std::countr_zero(m));
+        const std::size_t lo = g * kSanGranule;
+        if (lo + kSanGranule <= r.bytes) [[likely]] {
+            std::uint32_t v;
+            std::memcpy(&v, base + lo, sizeof v);
+            if (v != kPoisonWord) {
+                latch |= bit;
+                continue;
+            }
+        }
+        // Fully-poisoned granule, or the partial tail granule: the precise
+        // per-granule path reports / latches it.
+        uninit_read_slow(r, g, block, primitive);
+    }
+    r.init_bits[w] |= latch;
+}
+
+void Sanitizer::oob(ViolationKind kind, const char* primitive, std::size_t index,
+                    std::size_t size, int block) {
+    SanViolation v;
+    v.kind = kind;
+    v.kernel = kernel_;
+    v.primitive = primitive;
+    v.offset = index;
+    v.block = block;
+    v.detail = "index " + std::to_string(index) + " out of bounds for size " +
+               std::to_string(size);
+    total_.fetch_add(1, std::memory_order_relaxed);
+    {
+        const std::lock_guard<std::mutex> lock(sink_mu_);
+        if (violations_.size() < kMaxStored) violations_.push_back(v);
+    }
+    // OOB is fatal in every mode: continuing would corrupt host memory.
+    throw SanError(std::move(v));
+}
+
+void Sanitizer::report(SanViolation v) {
+    total_.fetch_add(1, std::memory_order_relaxed);
+    {
+        const std::lock_guard<std::mutex> lock(sink_mu_);
+        if (violations_.size() < kMaxStored) violations_.push_back(v);
+    }
+    if (mode_ == SanMode::strict) throw SanError(std::move(v));
+}
+
+void Sanitizer::sweep_canaries(const Region& r, bool allow_throw, bool quick) {
+    const auto check = [&](std::uintptr_t base, std::size_t bytes, const char* which) {
+        if (base == 0 || bytes == 0) return;
+        if (quick) bytes = std::min(bytes, kQuickSweepBytes);
+        const auto* p = reinterpret_cast<const std::byte*>(base);
+        if (all_bytes(p, bytes, kCanaryByte)) return;
+        SanViolation v;
+        v.kind = ViolationKind::canary;
+        v.kernel = kernel_;
+        v.primitive = "canary sweep";
+        v.offset = first_mismatch(p, bytes, kCanaryByte);
+        v.detail = std::string(which) +
+                   " guard band clobbered (plain uncounted access past the user region?)";
+        if (allow_throw) {
+            report(std::move(v));  // one report per band localizes the smash
+        } else {
+            total_.fetch_add(1, std::memory_order_relaxed);
+            const std::lock_guard<std::mutex> lock(sink_mu_);
+            if (violations_.size() < kMaxStored) violations_.push_back(std::move(v));
+        }
+    };
+    check(r.canary_lo, r.canary_lo_bytes, "leading");
+    check(r.canary_hi, r.canary_hi_bytes, "trailing");
+}
+
+std::vector<SanViolation> Sanitizer::violations() const {
+    const std::lock_guard<std::mutex> lock(sink_mu_);
+    return violations_;
+}
+
+void Sanitizer::clear() {
+    const std::lock_guard<std::mutex> lock(sink_mu_);
+    violations_.clear();
+    total_.store(0, std::memory_order_relaxed);
+    checks_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace gpusel::simt

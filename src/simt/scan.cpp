@@ -35,18 +35,18 @@ void exclusive_scan_i32(Device& dev, std::span<const std::int32_t> in,
                    const auto b = static_cast<std::size_t>(blk.block_idx());
                    const std::size_t lo = b * chunk;
                    if (lo >= n) {
-                       block_sums[b] = 0;
+                       blk.st(block_sums.span(), b, 0);
                        blk.charge_global_write(sizeof(std::int32_t));
                        return;
                    }
                    const std::size_t hi = std::min(n, lo + chunk);
                    std::int32_t running = 0;
                    for (std::size_t i = lo; i < hi; ++i) {
-                       const std::int32_t v = in[i];
-                       out[i] = running;
+                       const std::int32_t v = blk.ld(in, i);
+                       blk.st(out, i, running);
                        running += v;
                    }
-                   block_sums[b] = running;
+                   blk.st(block_sums.span(), b, running);
                    const auto len = static_cast<std::uint64_t>(hi - lo);
                    blk.charge_global_read(len * sizeof(std::int32_t));
                    blk.charge_global_write((len + 1) * sizeof(std::int32_t));
@@ -59,8 +59,9 @@ void exclusive_scan_i32(Device& dev, std::span<const std::int32_t> in,
                [&, grid](BlockCtx& blk) {
                    std::int32_t running = 0;
                    for (int g = 0; g < grid; ++g) {
-                       const std::int32_t v = block_sums[static_cast<std::size_t>(g)];
-                       block_sums[static_cast<std::size_t>(g)] = running;
+                       const auto gi = static_cast<std::size_t>(g);
+                       const std::int32_t v = blk.ld(block_sums.span(), gi);
+                       blk.st(block_sums.span(), gi, running);
                        running += v;
                    }
                    const auto len = static_cast<std::uint64_t>(grid);
@@ -77,8 +78,10 @@ void exclusive_scan_i32(Device& dev, std::span<const std::int32_t> in,
                    const std::size_t lo = b * chunk;
                    if (lo >= n) return;
                    const std::size_t hi = std::min(n, lo + chunk);
-                   const std::int32_t offset = block_sums[b];
-                   for (std::size_t i = lo; i < hi; ++i) out[i] += offset;
+                   const std::int32_t offset = blk.ld(block_sums.span(), b);
+                   for (std::size_t i = lo; i < hi; ++i) {
+                       blk.st(out, i, blk.ld(out, i) + offset);
+                   }
                    const auto len = static_cast<std::uint64_t>(hi - lo);
                    blk.charge_global_read((len + 1) * sizeof(std::int32_t));
                    blk.charge_global_write(len * sizeof(std::int32_t));
