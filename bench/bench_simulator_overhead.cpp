@@ -7,8 +7,11 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdint>
+#include <vector>
 
 #include "baselines/quickselect.hpp"
+#include "core/batch_executor.hpp"
 #include "core/approx_select.hpp"
 #include "core/count_kernel.hpp"
 #include "core/reduce_kernel.hpp"
@@ -188,6 +191,38 @@ void BM_SampleSelectUnderSan(benchmark::State& state) {
         static_cast<double>(checks) / static_cast<double>(state.iterations());
 }
 BENCHMARK(BM_SampleSelectUnderSan)->Arg(1 << 16)->Arg(1 << 18);
+
+// Stream-parallel batched selection (core/batch_executor.hpp): 8 problems
+// fanned over range(1) streams.  Measures the host-side cost of driving the
+// fan (per-stream arenas, event fork/join) and surfaces the simulated
+// overlap factor -- overlap_x should approach the stream count on the
+// recursive path and must stay >= 1.
+void BM_BatchedSelectStreams(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const int streams = static_cast<int>(state.range(1));
+    constexpr std::size_t kProblems = 8;
+    std::vector<std::vector<float>> inputs;
+    inputs.reserve(kProblems);
+    std::vector<core::BatchProblem<float>> problems;
+    for (std::size_t i = 0; i < kProblems; ++i) {
+        inputs.push_back(data::generate<float>(
+            {.n = n, .dist = data::Distribution::uniform_real, .seed = 6 + i}));
+        problems.push_back({inputs.back(), n / 2});
+    }
+    double overlap = 1.0;
+    for (auto _ : state) {
+        simt::Device dev(simt::arch_v100(), {.record_profiles = false});
+        core::BatchExecutor<float> exec(dev, {}, {.streams = streams});
+        auto res = exec.run(problems);
+        benchmark::DoNotOptimize(res);
+        if (res.ok()) overlap = res.value().overlap_x();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n * kProblems));
+    state.counters["overlap_x"] = overlap;
+    state.counters["streams"] = static_cast<double>(streams);
+}
+BENCHMARK(BM_BatchedSelectStreams)->Args({1 << 16, 1})->Args({1 << 16, 4});
 
 void BM_QuickSelectEndToEnd(benchmark::State& state) {
     const auto n = static_cast<std::size_t>(state.range(0));

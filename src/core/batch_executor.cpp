@@ -1,0 +1,247 @@
+#include "core/batch_executor.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+#include "bitonic/bitonic.hpp"
+#include "core/float_order.hpp"
+#include "core/sample_select.hpp"
+
+namespace gpusel::core {
+
+int resolve_stream_count(std::size_t batch, int requested) {
+    if (batch == 0) return 1;
+    int want = requested;
+    if (want <= 0) {
+        if (const char* env = std::getenv("GPUSEL_STREAMS")) {
+            want = std::atoi(env);
+        }
+    }
+    if (want <= 0) {
+        want = batch < 8 ? static_cast<int>(batch) : 8;
+    }
+    if (static_cast<std::size_t>(want) > batch) {
+        want = static_cast<int>(batch);
+    }
+    return want;
+}
+
+StreamFan::StreamFan(simt::Device& dev, int count, int base_stream) : dev_(&dev) {
+    if (count < 1) count = 1;
+    streams_.reserve(static_cast<std::size_t>(count));
+    streams_.push_back(base_stream);
+    for (int i = 1; i < count; ++i) {
+        streams_.push_back(dev.lease_stream());
+    }
+}
+
+StreamFan::~StreamFan() {
+    for (std::size_t i = 1; i < streams_.size(); ++i) {
+        dev_->release_stream(streams_[i]);
+    }
+}
+
+double StreamFan::fork() {
+    fork_ns_ = dev_->record_event(streams_[0]);
+    for (std::size_t i = 1; i < streams_.size(); ++i) {
+        dev_->wait_event(streams_[i], fork_ns_);
+    }
+    return fork_ns_;
+}
+
+void StreamFan::join() {
+    for (std::size_t i = 1; i < streams_.size(); ++i) {
+        dev_->wait_event(streams_[0], dev_->record_event(streams_[i]));
+    }
+}
+
+namespace {
+
+/// One fused launch answering every coalesced problem of one lane: one
+/// thread block per problem stages its numeric prefix into shared memory,
+/// bitonic-sorts it (Sec. IV-D) and emits the requested rank.  Same kernel
+/// name and per-block events as the classic batched_select fused launch,
+/// just reading from per-problem staging buffers and enqueued on a lane
+/// stream.
+template <typename T>
+void fused_lane_kernel(simt::Device& dev, const std::vector<std::span<const T>>& seqs,
+                       const std::vector<std::size_t>& seq_rank, std::span<T> out,
+                       int block_dim, int stream) {
+    const int grid = static_cast<int>(seqs.size());
+    dev.launch(
+        "batched_select", {.grid_dim = grid, .block_dim = block_dim, .stream = stream},
+        [&, out](simt::BlockCtx& blk) {
+            const auto s = static_cast<std::size_t>(blk.block_idx());
+            const std::span<const T> seq = seqs[s];
+            const std::size_t len = seq.size();
+            const std::size_t m = bitonic::next_pow2(len);
+            auto sh = blk.shared_array<T>(m);
+
+            blk.warp_tiles_local(len, [&](simt::WarpCtx& w, std::size_t base, std::size_t) {
+                T regs[simt::kWarpSize];
+                w.load(seq, base, regs);
+                for (int l = 0; l < w.lanes(); ++l) {
+                    blk.shared_st(sh, base + static_cast<std::size_t>(l), regs[l]);
+                }
+                w.touch_shared(static_cast<std::uint64_t>(w.lanes()) * sizeof(T));
+            });
+            bitonic::sort_in_shared(blk, sh, len);
+
+            blk.st(out, s, blk.shared_ld(sh, seq_rank[s]));
+            blk.charge_shared(sizeof(T));
+            blk.charge_global_write(sizeof(T));
+        });
+}
+
+}  // namespace
+
+template <typename T>
+Result<BatchExecResult<T>> BatchExecutor<T>::run(std::span<const BatchProblem<T>> problems) {
+    simt::Device& dev = *dev_;
+    const SampleSelectConfig& cfg = cfg_;
+    try {
+        cfg.validate(/*exact=*/true);
+    } catch (const std::invalid_argument& e) {
+        return Status::failure(SelectError::invalid_argument, e.what());
+    }
+    if (problems.empty()) {
+        return Status::failure(SelectError::invalid_argument, "batch_executor: empty batch");
+    }
+    for (const BatchProblem<T>& p : problems) {
+        if (p.data.empty()) {
+            return Status::failure(SelectError::empty_input, "batch_executor: empty problem");
+        }
+        if (p.rank >= p.data.size()) {
+            return Status::failure(SelectError::rank_out_of_range,
+                                   "batch_executor: rank out of range");
+        }
+    }
+
+    const std::size_t m = problems.size();
+    const std::size_t threshold =
+        opts_.coalesce_threshold > 0 ? opts_.coalesce_threshold : bitonic::kMaxSortSize;
+    StreamFan fan(dev, resolve_stream_count(m, opts_.streams), cfg.stream);
+    const auto lanes = static_cast<std::size_t>(fan.count());
+
+    // One context per lane: pooled scratch and launches ordered on that
+    // lane's stream (the per-stream arena of simt/pool.hpp).
+    std::vector<PipelineContext> lane_ctx;
+    lane_ctx.reserve(lanes);
+    for (int l = 0; l < fan.count(); ++l) {
+        lane_ctx.emplace_back(dev, cfg, fan.stream(l));
+    }
+
+    BatchExecResult<T> res;
+    res.items.resize(m);
+    res.streams_used = fan.count();
+
+    // Stage every problem onto its lane (untimed host->device transfer, as
+    // everywhere in this simulator) and run the NaN staging pre-pass.
+    std::vector<DataHolder<T>> staged(m);
+    std::vector<std::size_t> len_num(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        const int lane = fan.lane_of(i);
+        res.items[i].stream = fan.stream(lane);
+        Status s = with_fault_retry(lane_ctx[static_cast<std::size_t>(lane)], [&] {
+            staged[i] = DataHolder<T>::stage(lane_ctx[static_cast<std::size_t>(lane)],
+                                             problems[i].data);
+        });
+        if (!s.ok()) return s;
+        const std::size_t nan_c = partition_nans_to_back(staged[i].span());
+        res.items[i].nan_count = nan_c;
+        res.nan_count += nan_c;
+        len_num[i] = problems[i].data.size() - nan_c;
+    }
+    if (res.nan_count > 0 && cfg.nan_policy == NanPolicy::reject) {
+        return Status::failure(SelectError::nan_keys_rejected,
+                               "batch_executor: input contains NaN keys");
+    }
+
+    const std::uint64_t l0 = dev.launch_count();
+    const double fork_ns = fan.fork();
+
+    // Classify: NaN-tail ranks answer at staging, short numeric prefixes
+    // coalesce per lane, the rest run the full recursion on their lane.
+    std::vector<std::vector<std::size_t>> fused(lanes);
+    std::vector<std::size_t> recursive;
+    for (std::size_t i = 0; i < m; ++i) {
+        if (problems[i].rank >= len_num[i]) {
+            res.items[i].value = quiet_nan<T>();
+        } else if (len_num[i] <= threshold) {
+            fused[static_cast<std::size_t>(fan.lane_of(i))].push_back(i);
+        } else {
+            recursive.push_back(i);
+        }
+    }
+
+    // Fused launches: one per lane that holds coalesced problems.  Launch
+    // faults fire before any block runs, so retries re-launch the identical
+    // grid with no partial writes to undo.
+    for (std::size_t l = 0; l < lanes; ++l) {
+        const std::vector<std::size_t>& group = fused[l];
+        if (group.empty()) continue;
+        std::vector<std::span<const T>> seqs;
+        std::vector<std::size_t> seq_rank;
+        seqs.reserve(group.size());
+        seq_rank.reserve(group.size());
+        for (const std::size_t i : group) {
+            seqs.push_back(staged[i].span().first(len_num[i]));
+            seq_rank.push_back(problems[i].rank);
+        }
+        simt::PooledBuffer<T> dout;
+        const std::uint64_t before = dev.launch_count();
+        Status s = with_fault_retry(lane_ctx[l], [&] {
+            dout = lane_ctx[l].template scratch<T>(group.size());
+            fused_lane_kernel<T>(dev, seqs, seq_rank, dout.span(), cfg.block_dim,
+                                 fan.stream(static_cast<int>(l)));
+        });
+        if (!s.ok()) return s;
+        const std::uint64_t after = dev.launch_count();
+        for (std::size_t j = 0; j < group.size(); ++j) {
+            BatchItemResult<T>& item = res.items[group[j]];
+            item.value = dout[j];
+            item.coalesced = true;
+            item.first_launch = before;
+            item.last_launch = after;
+        }
+        res.coalesced_problems += group.size();
+        ++res.coalesced_launches;
+    }
+
+    // Full recursions, one per oversized problem, on that problem's lane.
+    // The host issues them in problem order, so per-problem launch
+    // subsequences are contiguous and byte-identical to serial runs.
+    for (const std::size_t i : recursive) {
+        res.items[i].first_launch = dev.launch_count();
+        auto sub = try_sample_select_staged<T>(dev, std::move(staged[i]), problems[i].rank, cfg,
+                                               res.items[i].stream);
+        if (!sub.ok()) return sub.status();
+        res.items[i].last_launch = dev.launch_count();
+        res.items[i].value = sub.value().value;
+    }
+    res.recursive_problems = recursive.size();
+
+    // Overlap accounting: lane busy time relative to the fork event; the
+    // join makes the base stream (and elapsed_ns) reflect the wall time.
+    double wall = 0.0;
+    double serial = 0.0;
+    for (int l = 0; l < fan.count(); ++l) {
+        const double busy = dev.stream_clock(fan.stream(l)) - fork_ns;
+        if (busy > 0.0) {
+            serial += busy;
+            wall = std::max(wall, busy);
+        }
+    }
+    fan.join();
+    res.wall_ns = wall;
+    res.serial_ns = serial;
+    res.launches = dev.launch_count() - l0;
+    return res;
+}
+
+template class BatchExecutor<float>;
+template class BatchExecutor<double>;
+
+}  // namespace gpusel::core

@@ -1,59 +1,15 @@
 #include "core/batched_select.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
-#include "bitonic/bitonic.hpp"
-#include "core/float_order.hpp"
-#include "core/pipeline.hpp"
-#include "core/sample_select.hpp"
-#include "simt/timing.hpp"
-
 namespace gpusel::core {
-
-namespace {
-
-/// One thread block per (short) sequence: stage into shared memory, bitonic
-/// sort, emit the requested rank.
-template <typename T>
-void batched_kernel(simt::Device& dev, std::span<const T> flat,
-                    const std::vector<std::size_t>& seq_begin,
-                    const std::vector<std::size_t>& seq_len,
-                    const std::vector<std::size_t>& seq_rank, std::span<T> out_values,
-                    const std::vector<std::size_t>& out_slot, int block_dim) {
-    const int grid = static_cast<int>(seq_begin.size());
-    dev.launch(
-        "batched_select", {.grid_dim = grid, .block_dim = block_dim},
-        [&, flat, out_values](simt::BlockCtx& blk) {
-            const auto s = static_cast<std::size_t>(blk.block_idx());
-            const std::size_t begin = seq_begin[s];
-            const std::size_t len = seq_len[s];
-            const std::size_t m = bitonic::next_pow2(len);
-            auto sh = blk.shared_array<T>(m);
-
-            blk.warp_tiles_local(len, [&](simt::WarpCtx& w, std::size_t base, std::size_t) {
-                T regs[simt::kWarpSize];
-                w.load(flat, begin + base, regs);
-                for (int l = 0; l < w.lanes(); ++l) {
-                    blk.shared_st(sh, base + static_cast<std::size_t>(l), regs[l]);
-                }
-                w.touch_shared(static_cast<std::uint64_t>(w.lanes()) * sizeof(T));
-            });
-            bitonic::sort_in_shared(blk, sh, len);
-
-            blk.st(out_values, out_slot[s], blk.shared_ld(sh, seq_rank[s]));
-            blk.charge_shared(sizeof(T));
-            blk.charge_global_write(sizeof(T));
-        });
-}
-
-}  // namespace
 
 template <typename T>
 Result<BatchedSelectResult<T>> try_batched_select(simt::Device& dev, std::span<const T> flat,
                                                   std::span<const std::size_t> offsets,
                                                   std::span<const std::size_t> ranks,
-                                                  const SampleSelectConfig& cfg) {
+                                                  const SampleSelectConfig& cfg,
+                                                  const BatchOptions& opts) {
     try {
         cfg.validate(/*exact=*/true);
     } catch (const std::invalid_argument& e) {
@@ -68,6 +24,7 @@ Result<BatchedSelectResult<T>> try_batched_select(simt::Device& dev, std::span<c
                                "batched_select: offsets must span the flat array");
     }
     const std::size_t m = ranks.size();
+    std::vector<BatchProblem<T>> problems(m);
     for (std::size_t i = 0; i < m; ++i) {
         if (offsets[i + 1] < offsets[i]) {
             return Status::failure(SelectError::invalid_argument,
@@ -81,93 +38,25 @@ Result<BatchedSelectResult<T>> try_batched_select(simt::Device& dev, std::span<c
             return Status::failure(SelectError::rank_out_of_range,
                                    "batched_select: rank out of range");
         }
+        problems[i] = {flat.subspan(offsets[i], len), ranks[i]};
     }
 
-    // Copy the batch to the device (as elsewhere, the transfer is not part
-    // of the timed selection).
-    PipelineContext ctx(dev, cfg);
-    DataHolder<T> dflat;
-    simt::PooledBuffer<T> dout;
-    Status s = with_fault_retry(ctx, [&] {
-        dflat = DataHolder<T>::stage(ctx, flat);
-        dout = ctx.scratch<T>(m);
-    });
-    if (!s.ok()) return s;
+    BatchExecutor<T> exec(dev, cfg, opts);
+    auto run = exec.run(problems);
+    if (!run.ok()) return run.status();
+    const BatchExecResult<T> ex = run.take();
 
     BatchedSelectResult<T> res;
     res.values.resize(m);
-
-    // NaN staging pre-pass, per sequence: each segment of the device copy is
-    // partitioned so its NaN keys form the segment tail (a no-op on clean
-    // data).  Kernels then only ever see the numeric prefix of a sequence.
-    std::vector<std::size_t> len_num(m);
-    for (std::size_t i = 0; i < m; ++i) {
-        const std::size_t len = offsets[i + 1] - offsets[i];
-        const std::size_t nan_c = partition_nans_to_back(dflat.span().subspan(offsets[i], len));
-        res.nan_count += nan_c;
-        len_num[i] = len - nan_c;
-    }
-    if (res.nan_count > 0 && cfg.nan_policy == NanPolicy::reject) {
-        return Status::failure(SelectError::nan_keys_rejected,
-                               "batched_select: input contains NaN keys");
-    }
-
-    const double t0 = dev.elapsed_ns();
-    const std::uint64_t l0 = dev.launch_count();
-
-    // Split by the single-block sorting capacity of the *numeric* prefix; a
-    // rank inside a sequence's NaN tail answers quiet NaN outright and takes
-    // neither path.
-    std::vector<std::size_t> sb;
-    std::vector<std::size_t> sl;
-    std::vector<std::size_t> sr;
-    std::vector<std::size_t> slot;
-    std::vector<std::size_t> long_seqs;
-    for (std::size_t i = 0; i < m; ++i) {
-        if (ranks[i] >= len_num[i]) {
-            res.values[i] = quiet_nan<T>();
-        } else if (len_num[i] <= bitonic::kMaxSortSize) {
-            sb.push_back(offsets[i]);
-            sl.push_back(len_num[i]);
-            sr.push_back(ranks[i]);
-            slot.push_back(i);
-        } else {
-            long_seqs.push_back(i);
-        }
-    }
-
-    if (!sb.empty()) {
-        // Launch faults fire before any block runs, so a retry re-launches
-        // the identical grid with no partial writes to undo.
-        s = with_fault_retry(ctx, [&] {
-            batched_kernel<T>(dev, dflat.span(), sb, sl, sr, dout.span(), slot, cfg.block_dim);
-        });
-        if (!s.ok()) return s;
-        for (std::size_t j = 0; j < slot.size(); ++j) res.values[slot[j]] = dout[slot[j]];
-    }
-    res.batched_sequences = sb.size();
-
-    // Oversized sequences run the full recursive pipeline on their own
-    // pooled staging buffer; each releases it back to the arena, so one
-    // block (per size class) serves the whole batch.
-    for (const std::size_t i : long_seqs) {
-        DataHolder<T> seq;
-        s = with_fault_retry(ctx, [&] {
-            seq = DataHolder<T>::acquire(ctx, len_num[i]);
-            const auto src = dflat.span();
-            std::copy(src.begin() + static_cast<std::ptrdiff_t>(offsets[i]),
-                      src.begin() + static_cast<std::ptrdiff_t>(offsets[i] + len_num[i]),
-                      seq.span().begin());
-        });
-        if (!s.ok()) return s;
-        auto sub = try_sample_select_staged<T>(dev, std::move(seq), ranks[i], cfg);
-        if (!sub.ok()) return sub.status();
-        res.values[i] = sub.value().value;
-    }
-    res.recursive_sequences = long_seqs.size();
-
-    res.sim_ns = dev.elapsed_ns() - t0;
-    res.launches = dev.launch_count() - l0;
+    for (std::size_t i = 0; i < m; ++i) res.values[i] = ex.items[i].value;
+    res.batched_sequences = ex.coalesced_problems;
+    res.recursive_sequences = ex.recursive_problems;
+    res.nan_count = ex.nan_count;
+    res.launches = ex.launches;
+    res.streams_used = ex.streams_used;
+    res.wall_ns = ex.wall_ns;
+    res.serial_ns = ex.serial_ns;
+    res.sim_ns = ex.wall_ns;
     return res;
 }
 
@@ -175,24 +64,21 @@ template <typename T>
 BatchedSelectResult<T> batched_select(simt::Device& dev, std::span<const T> flat,
                                       std::span<const std::size_t> offsets,
                                       std::span<const std::size_t> ranks,
-                                      const SampleSelectConfig& cfg) {
-    return try_batched_select<T>(dev, flat, offsets, ranks, cfg).take_or_throw();
+                                      const SampleSelectConfig& cfg, const BatchOptions& opts) {
+    return try_batched_select<T>(dev, flat, offsets, ranks, cfg, opts).take_or_throw();
 }
 
 template Result<BatchedSelectResult<float>> try_batched_select<float>(
     simt::Device&, std::span<const float>, std::span<const std::size_t>,
-    std::span<const std::size_t>, const SampleSelectConfig&);
+    std::span<const std::size_t>, const SampleSelectConfig&, const BatchOptions&);
 template Result<BatchedSelectResult<double>> try_batched_select<double>(
     simt::Device&, std::span<const double>, std::span<const std::size_t>,
-    std::span<const std::size_t>, const SampleSelectConfig&);
-template BatchedSelectResult<float> batched_select<float>(simt::Device&, std::span<const float>,
-                                                          std::span<const std::size_t>,
-                                                          std::span<const std::size_t>,
-                                                          const SampleSelectConfig&);
-template BatchedSelectResult<double> batched_select<double>(simt::Device&,
-                                                            std::span<const double>,
-                                                            std::span<const std::size_t>,
-                                                            std::span<const std::size_t>,
-                                                            const SampleSelectConfig&);
+    std::span<const std::size_t>, const SampleSelectConfig&, const BatchOptions&);
+template BatchedSelectResult<float> batched_select<float>(
+    simt::Device&, std::span<const float>, std::span<const std::size_t>,
+    std::span<const std::size_t>, const SampleSelectConfig&, const BatchOptions&);
+template BatchedSelectResult<double> batched_select<double>(
+    simt::Device&, std::span<const double>, std::span<const std::size_t>,
+    std::span<const std::size_t>, const SampleSelectConfig&, const BatchOptions&);
 
 }  // namespace gpusel::core

@@ -68,7 +68,7 @@ template <typename T>
 int count_kernel(simt::Device& dev, std::span<const T> data, const SearchTree<T>& tree,
                  std::span<std::uint8_t> oracles, std::span<std::int32_t> totals,
                  std::span<std::int32_t> block_counts, const SampleSelectConfig& cfg,
-                 simt::LaunchOrigin origin) {
+                 simt::LaunchOrigin origin, int stream) {
     const std::size_t n = data.size();
     const auto b = static_cast<std::size_t>(tree.num_buckets);
     const bool shared_mode = cfg.atomic_space == simt::AtomicSpace::shared;
@@ -88,7 +88,7 @@ int count_kernel(simt::Device& dev, std::span<const T> data, const SearchTree<T>
     dev.launch(
         write_oracles ? "count" : "count_nowrite",
         {.grid_dim = grid, .block_dim = cfg.block_dim, .origin = origin, .unroll = cfg.unroll,
-         .stream = cfg.stream},
+         .stream = stream < 0 ? cfg.stream : stream},
         [&, n, b](simt::BlockCtx& blk) {
             const SharedTree<T> t = stage_tree(blk, tree);
 
@@ -153,10 +153,10 @@ int count_kernel(simt::Device& dev, std::span<const T> data, const SearchTree<T>
 template int count_kernel<float>(simt::Device&, std::span<const float>, const SearchTree<float>&,
                                  std::span<std::uint8_t>, std::span<std::int32_t>,
                                  std::span<std::int32_t>, const SampleSelectConfig&,
-                                 simt::LaunchOrigin);
+                                 simt::LaunchOrigin, int);
 template int count_kernel<double>(simt::Device&, std::span<const double>,
                                   const SearchTree<double>&, std::span<std::uint8_t>,
                                   std::span<std::int32_t>, std::span<std::int32_t>,
-                                  const SampleSelectConfig&, simt::LaunchOrigin);
+                                  const SampleSelectConfig&, simt::LaunchOrigin, int);
 
 }  // namespace gpusel::core

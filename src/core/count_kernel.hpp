@@ -38,20 +38,21 @@ inline void launch_memset32(simt::Device& dev, std::span<std::int32_t> buf,
 /// * Global-atomic mode: counts are atomically accumulated in `totals`
 ///   (which must be zeroed, see launch_memset32); `block_counts` unused.
 ///
-/// Returns the grid size used (needed by reduce/filter).
+/// Returns the grid size used (needed by reduce/filter).  `stream`
+/// overrides the launch stream; the default -1 keeps cfg.stream.
 template <typename T>
 int count_kernel(simt::Device& dev, std::span<const T> data, const SearchTree<T>& tree,
                  std::span<std::uint8_t> oracles, std::span<std::int32_t> totals,
                  std::span<std::int32_t> block_counts, const SampleSelectConfig& cfg,
-                 simt::LaunchOrigin origin);
+                 simt::LaunchOrigin origin, int stream = -1);
 
 extern template int count_kernel<float>(simt::Device&, std::span<const float>,
                                         const SearchTree<float>&, std::span<std::uint8_t>,
                                         std::span<std::int32_t>, std::span<std::int32_t>,
-                                        const SampleSelectConfig&, simt::LaunchOrigin);
+                                        const SampleSelectConfig&, simt::LaunchOrigin, int);
 extern template int count_kernel<double>(simt::Device&, std::span<const double>,
                                          const SearchTree<double>&, std::span<std::uint8_t>,
                                          std::span<std::int32_t>, std::span<std::int32_t>,
-                                         const SampleSelectConfig&, simt::LaunchOrigin);
+                                         const SampleSelectConfig&, simt::LaunchOrigin, int);
 
 }  // namespace gpusel::core

@@ -16,7 +16,7 @@ void run_filter(simt::Device& dev, std::span<const T> data, std::span<const std:
                 std::int32_t bucket, std::span<T> out, std::span<T> upper,
                 std::span<const std::int32_t> block_offsets, int num_buckets,
                 std::span<std::int32_t> counters, const SampleSelectConfig& cfg,
-                simt::LaunchOrigin origin, int grid_dim, const char* name) {
+                simt::LaunchOrigin origin, int grid_dim, int stream, const char* name) {
     const std::size_t n = data.size();
     if (oracles.size() != n) throw std::invalid_argument("oracle buffer size mismatch");
     const bool shared_mode = cfg.atomic_space == simt::AtomicSpace::shared;
@@ -32,7 +32,7 @@ void run_filter(simt::Device& dev, std::span<const T> data, std::span<const std:
     dev.launch(
         name,
         {.grid_dim = grid_dim, .block_dim = cfg.block_dim, .origin = origin,
-         .unroll = cfg.unroll, .stream = cfg.stream},
+         .unroll = cfg.unroll, .stream = stream < 0 ? cfg.stream : stream},
         [&, n, bucket, num_buckets, shared_mode, fused](simt::BlockCtx& blk) {
             // Target-bucket cursor: shared counter seeded with the block's
             // base offset (merged hierarchy step 3), or the global cursor.
@@ -111,9 +111,9 @@ void filter_kernel(simt::Device& dev, std::span<const T> data,
                    std::span<const std::uint8_t> oracles, std::int32_t bucket, std::span<T> out,
                    std::span<const std::int32_t> block_offsets, int num_buckets,
                    std::span<std::int32_t> global_counter, const SampleSelectConfig& cfg,
-                   simt::LaunchOrigin origin, int grid_dim) {
+                   simt::LaunchOrigin origin, int grid_dim, int stream) {
     run_filter<T>(dev, data, oracles, bucket, out, {}, block_offsets, num_buckets, global_counter,
-                  cfg, origin, grid_dim, "filter");
+                  cfg, origin, grid_dim, stream, "filter");
 }
 
 template <typename T>
@@ -122,31 +122,31 @@ void filter_fused_topk_kernel(simt::Device& dev, std::span<const T> data,
                               std::span<T> out, std::span<T> upper,
                               std::span<const std::int32_t> block_offsets, int num_buckets,
                               std::span<std::int32_t> counters, const SampleSelectConfig& cfg,
-                              simt::LaunchOrigin origin, int grid_dim) {
+                              simt::LaunchOrigin origin, int grid_dim, int stream) {
     if (counters.size() < 2) throw std::invalid_argument("fused filter needs two cursors");
     run_filter<T>(dev, data, oracles, bucket, out, upper, block_offsets, num_buckets, counters,
-                  cfg, origin, grid_dim, "filter_topk");
+                  cfg, origin, grid_dim, stream, "filter_topk");
 }
 
 template void filter_kernel<float>(simt::Device&, std::span<const float>,
                                    std::span<const std::uint8_t>, std::int32_t, std::span<float>,
                                    std::span<const std::int32_t>, int, std::span<std::int32_t>,
-                                   const SampleSelectConfig&, simt::LaunchOrigin, int);
+                                   const SampleSelectConfig&, simt::LaunchOrigin, int, int);
 template void filter_kernel<double>(simt::Device&, std::span<const double>,
                                     std::span<const std::uint8_t>, std::int32_t, std::span<double>,
                                     std::span<const std::int32_t>, int, std::span<std::int32_t>,
-                                    const SampleSelectConfig&, simt::LaunchOrigin, int);
+                                    const SampleSelectConfig&, simt::LaunchOrigin, int, int);
 template void filter_fused_topk_kernel<float>(simt::Device&, std::span<const float>,
                                               std::span<const std::uint8_t>, std::int32_t,
                                               std::span<float>, std::span<float>,
                                               std::span<const std::int32_t>, int,
                                               std::span<std::int32_t>, const SampleSelectConfig&,
-                                              simt::LaunchOrigin, int);
+                                              simt::LaunchOrigin, int, int);
 template void filter_fused_topk_kernel<double>(simt::Device&, std::span<const double>,
                                                std::span<const std::uint8_t>, std::int32_t,
                                                std::span<double>, std::span<double>,
                                                std::span<const std::int32_t>, int,
                                                std::span<std::int32_t>, const SampleSelectConfig&,
-                                               simt::LaunchOrigin, int);
+                                               simt::LaunchOrigin, int, int);
 
 }  // namespace gpusel::core

@@ -28,7 +28,7 @@ void filter_kernel(simt::Device& dev, std::span<const T> data,
                    std::span<const std::uint8_t> oracles, std::int32_t bucket, std::span<T> out,
                    std::span<const std::int32_t> block_offsets, int num_buckets,
                    std::span<std::int32_t> global_counter, const SampleSelectConfig& cfg,
-                   simt::LaunchOrigin origin, int grid_dim);
+                   simt::LaunchOrigin origin, int grid_dim, int stream = -1);
 
 /// Fused top-k variant (Sec. IV-I): extracts the target bucket into `out`
 /// *and* every element of a larger bucket (oracle > bucket) into `upper`,
@@ -41,31 +41,31 @@ void filter_fused_topk_kernel(simt::Device& dev, std::span<const T> data,
                               std::span<T> out, std::span<T> upper,
                               std::span<const std::int32_t> block_offsets, int num_buckets,
                               std::span<std::int32_t> counters, const SampleSelectConfig& cfg,
-                              simt::LaunchOrigin origin, int grid_dim);
+                              simt::LaunchOrigin origin, int grid_dim, int stream = -1);
 
 extern template void filter_kernel<float>(simt::Device&, std::span<const float>,
                                           std::span<const std::uint8_t>, std::int32_t,
                                           std::span<float>, std::span<const std::int32_t>, int,
                                           std::span<std::int32_t>, const SampleSelectConfig&,
-                                          simt::LaunchOrigin, int);
+                                          simt::LaunchOrigin, int, int);
 extern template void filter_kernel<double>(simt::Device&, std::span<const double>,
                                            std::span<const std::uint8_t>, std::int32_t,
                                            std::span<double>, std::span<const std::int32_t>, int,
                                            std::span<std::int32_t>, const SampleSelectConfig&,
-                                           simt::LaunchOrigin, int);
+                                           simt::LaunchOrigin, int, int);
 extern template void filter_fused_topk_kernel<float>(simt::Device&, std::span<const float>,
                                                      std::span<const std::uint8_t>, std::int32_t,
                                                      std::span<float>, std::span<float>,
                                                      std::span<const std::int32_t>, int,
                                                      std::span<std::int32_t>,
                                                      const SampleSelectConfig&,
-                                                     simt::LaunchOrigin, int);
+                                                     simt::LaunchOrigin, int, int);
 extern template void filter_fused_topk_kernel<double>(simt::Device&, std::span<const double>,
                                                       std::span<const std::uint8_t>, std::int32_t,
                                                       std::span<double>, std::span<double>,
                                                       std::span<const std::int32_t>, int,
                                                       std::span<std::int32_t>,
                                                       const SampleSelectConfig&,
-                                                      simt::LaunchOrigin, int);
+                                                      simt::LaunchOrigin, int, int);
 
 }  // namespace gpusel::core

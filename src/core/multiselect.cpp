@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/batch_executor.hpp"
 #include "core/float_order.hpp"
 #include "core/pipeline.hpp"
 
@@ -27,9 +28,16 @@ struct Target {
 /// `stalls` counts consecutive no-progress levels on this path; past
 /// cfg.max_stalled_levels the node runs the deterministic tripartition
 /// level instead of sampling (guaranteed progress, docs/robustness.md).
+///
+/// `fan` (may be null) is the stream fan for the first level that splits
+/// the targets into more than one bucket: each bucket subtree then runs on
+/// its own lane (children wait on the level's event, the base stream joins
+/// them at the end) and deeper recursions stay on their lane's stream.
+/// Levels that do not split (stalls, single-bucket descents) pass the fan
+/// down unused, so the fan applies to the first *partitioning* level.
 template <typename T>
 Status solve(const PipelineContext& ctx, DataHolder<T> buf, std::vector<Target> targets,
-             std::size_t depth, std::size_t stalls, MultiSelectResult<T>& res) {
+             std::size_t depth, std::size_t stalls, MultiSelectResult<T>& res, StreamFan* fan) {
     const SampleSelectConfig& cfg = ctx.cfg();
     const std::size_t n = buf.size();
     res.max_depth = std::max(res.max_depth, depth);
@@ -77,6 +85,13 @@ Status solve(const PipelineContext& ctx, DataHolder<T> buf, std::vector<Target> 
              t.out_slot});
     }
 
+    // Fan the bucket subtrees over the stream lanes once the level really
+    // split the targets; the host still descends depth-first, so the
+    // launch order is unchanged -- only the stream tags differ.
+    const bool fanning = fan != nullptr && fan->count() > 1 && by_bucket.size() > 1;
+    if (fanning) (void)fan->fork();
+    std::size_t lane_idx = 0;
+
     for (auto& [bucket, sub] : by_bucket) {
         const auto ub = static_cast<std::size_t>(bucket);
         if (lv.tree.equality[ub]) {
@@ -104,15 +119,21 @@ Status solve(const PipelineContext& ctx, DataHolder<T> buf, std::vector<Target> 
                 ++ctx.dev().robustness().fallbacks;
             }
         }
+        const PipelineContext child_ctx =
+            fanning ? PipelineContext(ctx.dev(), cfg,
+                                      fan->stream(fan->lane_of(lane_idx++)))
+                    : ctx;
         DataHolder<T> child;
-        Status s = with_fault_retry(ctx, [&] {
-            child = DataHolder<T>::acquire(ctx, bucket_size);
-            filter_bucket<T>(ctx, buf.span(), lv, bucket, child.span(), origin);
+        Status s = with_fault_retry(child_ctx, [&] {
+            child = DataHolder<T>::acquire(child_ctx, bucket_size);
+            filter_bucket<T>(child_ctx, buf.span(), lv, bucket, child.span(), origin);
         });
         if (!s.ok()) return s;
-        s = solve(ctx, std::move(child), std::move(sub), depth + 1, child_stalls, res);
+        s = solve(child_ctx, std::move(child), std::move(sub), depth + 1, child_stalls, res,
+                  fanning ? nullptr : fan);
         if (!s.ok()) return s;
     }
+    if (fanning) fan->join();
     return Status::success();
 }
 
@@ -166,7 +187,12 @@ Result<MultiSelectResult<T>> try_multi_select(simt::Device& dev, std::span<const
     const double t0 = dev.elapsed_ns();
     const std::uint64_t l0 = dev.launch_count();
     if (!targets.empty()) {
-        s = solve(ctx, std::move(buf), std::move(targets), 0, 0, res);
+        // Independent ranks are independent sub-problems after the first
+        // partition level: fan their bucket subtrees over leased streams.
+        StreamFan fan(dev, resolve_stream_count(targets.size()), ctx.stream());
+        res.streams_used = fan.count();
+        s = solve(ctx, std::move(buf), std::move(targets), 0, 0, res,
+                  fan.count() > 1 ? &fan : nullptr);
         if (!s.ok()) return s;
     }
     res.sim_ns = dev.elapsed_ns() - t0;

@@ -5,6 +5,13 @@
 // target ranks; the recursion then descends into *every* bucket containing
 // at least one target, so the count/filter work over the full input is
 // shared between all ranks instead of repeated m times.
+//
+// After the first partition level the per-bucket subtrees are independent
+// sub-problems: they are fanned over a StreamFan of leased streams
+// (core/batch_executor.hpp), so their kernel timelines overlap in
+// simulated time.  The host still recurses depth-first, so the launch
+// sequence (names, grids, origins, counters) is byte-identical to the
+// serial path; only the stream tags -- and the overlap -- differ.
 
 #include <cstdint>
 #include <span>
@@ -31,6 +38,9 @@ struct MultiSelectResult {
     /// NaN keys found by the staging pre-pass; ranks inside the NaN tail
     /// answer quiet NaN.
     std::size_t nan_count = 0;
+    /// Streams the first-level bucket subtrees were fanned over (1 =
+    /// serial; see core/batch_executor.hpp for the sizing policy).
+    int streams_used = 1;
 };
 
 /// Fault-hardened multi-rank selection: every failure mode as a typed

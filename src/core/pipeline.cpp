@@ -27,7 +27,7 @@ PipelinePlan PipelinePlan::make(const simt::Device& dev, std::size_t n,
 simt::PooledBuffer<std::int32_t> PipelineContext::zeroed_i32(std::size_t n,
                                                              simt::LaunchOrigin origin) const {
     auto buf = scratch<std::int32_t>(n);
-    launch_memset32(dev(), buf.span(), origin, cfg().stream);
+    launch_memset32(dev(), buf.span(), origin, stream());
     return buf;
 }
 
@@ -68,23 +68,24 @@ LevelOutcome<T> finish_level(const PipelineContext& ctx, std::span<const T> data
     if (shared_mode) {
         lv.block_counts = ctx.scratch<std::int32_t>(static_cast<std::size_t>(grid) * num_buckets);
     } else {
-        launch_memset32(dev, lv.totals.span(), origin, cfg.stream);
+        launch_memset32(dev, lv.totals.span(), origin, ctx.stream());
     }
 
     const int used_grid = count_kernel<T>(dev, data, lv.tree, lv.oracles.span(),
-                                          lv.totals.span(), lv.block_counts.span(), cfg, origin);
+                                          lv.totals.span(), lv.block_counts.span(), cfg, origin,
+                                          ctx.stream());
     if (used_grid != grid) throw std::logic_error("pipeline: grid sizing mismatch");
 
     if (shared_mode) {
         reduce_kernel(dev, lv.block_counts.span(), grid, static_cast<int>(num_buckets),
                       lv.totals.span(), opt.keep_block_offsets, origin, cfg.block_dim,
-                      cfg.stream);
+                      ctx.stream());
     }
 
     if (opt.locate) {
         lv.prefix = ctx.scratch<std::int32_t>(num_buckets + 1);
         lv.bucket = select_bucket_kernel(dev, lv.totals.span(), lv.prefix.span(), rank, origin,
-                                         cfg.stream);
+                                         ctx.stream());
         const auto ub = static_cast<std::size_t>(lv.bucket);
         lv.equality = lv.tree.equality[ub] != 0;
         lv.bucket_size = static_cast<std::size_t>(lv.totals[ub]);
@@ -100,13 +101,13 @@ LevelOutcome<T> finish_level(const PipelineContext& ctx, std::span<const T> data
 /// No randomness: the same buffer always yields the same pivot.
 template <typename T>
 T deterministic_pivot(simt::Device& dev, std::span<const T> data, const SampleSelectConfig& cfg,
-                      simt::LaunchOrigin origin) {
+                      simt::LaunchOrigin origin, int stream) {
     const std::size_t n = data.size();
     constexpr std::size_t kProbes = 9;
     T pivot{};
     dev.launch("pivot_sample",
                {.grid_dim = 1, .block_dim = cfg.block_dim, .origin = origin, .unroll = 1,
-                .stream = cfg.stream},
+                .stream = stream},
                [&, n](simt::BlockCtx& blk) {
                    T probes[kProbes];
                    for (std::size_t i = 0; i < kProbes; ++i) {
@@ -134,7 +135,7 @@ template <typename T>
 LevelOutcome<T> run_bucket_level(const PipelineContext& ctx, std::span<const T> data,
                                  std::size_t rank, simt::LaunchOrigin origin, std::uint64_t salt,
                                  const LevelOptions& opt) {
-    auto tree = sample_splitters<T>(ctx.dev(), data, ctx.cfg(), origin, salt);
+    auto tree = sample_splitters<T>(ctx.dev(), data, ctx.cfg(), origin, salt, ctx.stream());
     return finish_level<T>(ctx, data, rank, origin, std::move(tree), opt);
 }
 
@@ -142,7 +143,7 @@ template <typename T>
 LevelOutcome<T> run_pivot_level(const PipelineContext& ctx, std::span<const T> data,
                                 std::size_t rank, simt::LaunchOrigin origin,
                                 const LevelOptions& opt) {
-    const T p = deterministic_pivot<T>(ctx.dev(), data, ctx.cfg(), origin);
+    const T p = deterministic_pivot<T>(ctx.dev(), data, ctx.cfg(), origin, ctx.stream());
     // Three equal splitters -> 4 buckets: {< p} split in two, the equality
     // bucket {== p} (non-empty: the pivot came from the data), and {> p}.
     auto tree = SearchTree<T>::build({p, p, p});
@@ -211,7 +212,7 @@ void filter_bucket(const PipelineContext& ctx, std::span<const T> data, const Le
     // Bucket count comes from the level's own tree: cfg.num_buckets for a
     // sampled level, 4 for the deterministic fallback tripartition.
     filter_kernel<T>(dev, data, lv.oracles.span(), bucket, out, lv.block_counts.span(),
-                     lv.tree.num_buckets, cursor.span(), cfg, origin, lv.grid);
+                     lv.tree.num_buckets, cursor.span(), cfg, origin, lv.grid, ctx.stream());
 }
 
 template <typename T>
@@ -227,7 +228,7 @@ void filter_topk(const PipelineContext& ctx, std::span<const T> data, const Leve
     cursors[1] = acc_fill;
     filter_fused_topk_kernel<T>(dev, data, lv.oracles.span(), lv.bucket, out, acc,
                                 lv.block_counts.span(), lv.tree.num_buckets, cursors.span(), cfg,
-                                origin, lv.grid);
+                                origin, lv.grid, ctx.stream());
 }
 
 template <typename T>
@@ -250,7 +251,7 @@ void launch_copy(simt::Device& dev, std::span<const T> src, std::size_t src_base
 template <typename T>
 void sort_base_case(const PipelineContext& ctx, std::span<T> data, simt::LaunchOrigin origin) {
     bitonic::sort_on_device<T>(ctx.dev(), data, data.size(), origin, ctx.cfg().block_dim,
-                               ctx.cfg().stream);
+                               ctx.stream());
 }
 
 template struct LevelOutcome<float>;

@@ -30,9 +30,13 @@
 //                          level) used by sample_select and top-k.
 //
 // Event-count contract: for a given front-end and config the kernel launch
-// sequence (names, grids, origins, streams) is byte-identical to the
+// sequence (names, grids, origins, counters) is byte-identical to the
 // pre-pipeline code, so golden event counts and simulated timings are
-// unchanged; only host-side allocation behavior differs.
+// unchanged; only host-side allocation behavior differs.  A context bound
+// to an explicit stream (batched execution) launches the identical
+// sequence on that stream: per-problem event streams match the serial
+// path byte for byte, only the stream ids -- and therefore the overlap in
+// simulated time -- differ.
 
 // Robustness (docs/robustness.md): injected faults surface here as
 // simt::AllocFault / simt::LaunchFault.  Both are thrown *before* any side
@@ -87,13 +91,23 @@ struct PipelinePlan {
 };
 
 /// A device + config pair that hands out pooled scratch on the selection's
-/// stream.  Cheap to construct; one per selection invocation.
+/// stream.  Cheap to construct; one per selection invocation.  The stream
+/// is explicit so a batch executor can run many selections with one shared
+/// config, each on its own stream; the default (-1) keeps cfg.stream, so
+/// single-problem front-ends are unchanged.
 class PipelineContext {
 public:
-    PipelineContext(simt::Device& dev, const SampleSelectConfig& cfg) : dev_(&dev), cfg_(&cfg) {}
+    /// Sentinel for "use cfg.stream".
+    static constexpr int kConfigStream = -1;
+
+    PipelineContext(simt::Device& dev, const SampleSelectConfig& cfg,
+                    int stream = kConfigStream)
+        : dev_(&dev), cfg_(&cfg), stream_(stream < 0 ? cfg.stream : stream) {}
 
     [[nodiscard]] simt::Device& dev() const noexcept { return *dev_; }
     [[nodiscard]] const SampleSelectConfig& cfg() const noexcept { return *cfg_; }
+    /// The stream every launch and pooled checkout of this selection uses.
+    [[nodiscard]] int stream() const noexcept { return stream_; }
     [[nodiscard]] bool shared_mode() const noexcept {
         return cfg_->atomic_space == simt::AtomicSpace::shared;
     }
@@ -101,7 +115,7 @@ public:
     /// Pooled scratch ordered on the selection's stream.
     template <typename U>
     [[nodiscard]] simt::PooledBuffer<U> scratch(std::size_t n) const {
-        return dev_->pooled<U>(n, cfg_->stream);
+        return dev_->pooled<U>(n, stream_);
     }
     /// Zero-on-acquire: pooled int32 scratch zeroed by the simulated memset
     /// kernel (the launch is kept so event counts match hand-zeroed code).
@@ -111,6 +125,7 @@ public:
 private:
     simt::Device* dev_;
     const SampleSelectConfig* cfg_;
+    int stream_ = 0;
 };
 
 /// Knobs of the level executor (defaults = exact selection).
@@ -362,7 +377,9 @@ private:
 template <typename T>
 class SelectionPipeline {
 public:
-    SelectionPipeline(simt::Device& dev, const SampleSelectConfig& cfg) : ctx_(dev, cfg) {}
+    SelectionPipeline(simt::Device& dev, const SampleSelectConfig& cfg,
+                      int stream = PipelineContext::kConfigStream)
+        : ctx_(dev, cfg, stream) {}
 
     [[nodiscard]] const PipelineContext& context() const noexcept { return ctx_; }
     void reset(DataHolder<T> input) { data_.reset(std::move(input)); }

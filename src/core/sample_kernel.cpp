@@ -11,7 +11,7 @@ namespace gpusel::core {
 template <typename T>
 SearchTree<T> sample_splitters(simt::Device& dev, std::span<const T> data,
                                const SampleSelectConfig& cfg, simt::LaunchOrigin origin,
-                               std::uint64_t seed_salt) {
+                               std::uint64_t seed_salt, int stream) {
     const std::size_t n = data.size();
     const auto s = static_cast<std::size_t>(cfg.effective_sample_size());
     const auto b = static_cast<std::size_t>(cfg.num_buckets);
@@ -20,7 +20,7 @@ SearchTree<T> sample_splitters(simt::Device& dev, std::span<const T> data,
     dev.launch(
         "sample",
         {.grid_dim = 1, .block_dim = cfg.block_dim, .origin = origin, .unroll = 1,
-         .stream = cfg.stream},
+         .stream = stream < 0 ? cfg.stream : stream},
         [&](simt::BlockCtx& blk) {
             const std::size_t m = bitonic::next_pow2(s);
             auto sh = blk.shared_array<T>(m);
@@ -59,9 +59,9 @@ SearchTree<T> sample_splitters(simt::Device& dev, std::span<const T> data,
 
 template SearchTree<float> sample_splitters<float>(simt::Device&, std::span<const float>,
                                                    const SampleSelectConfig&, simt::LaunchOrigin,
-                                                   std::uint64_t);
+                                                   std::uint64_t, int);
 template SearchTree<double> sample_splitters<double>(simt::Device&, std::span<const double>,
                                                      const SampleSelectConfig&, simt::LaunchOrigin,
-                                                     std::uint64_t);
+                                                     std::uint64_t, int);
 
 }  // namespace gpusel::core

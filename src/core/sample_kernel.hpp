@@ -14,18 +14,20 @@ namespace gpusel::core {
 
 /// Runs the single-block sample kernel on `dev` and returns the splitter
 /// search tree.  `seed_salt` decorrelates the sample across recursion
-/// levels and repetitions.
+/// levels and repetitions.  `stream` overrides the launch stream; the
+/// default -1 keeps cfg.stream.
 template <typename T>
 [[nodiscard]] SearchTree<T> sample_splitters(simt::Device& dev, std::span<const T> data,
                                              const SampleSelectConfig& cfg,
                                              simt::LaunchOrigin origin,
-                                             std::uint64_t seed_salt = 0);
+                                             std::uint64_t seed_salt = 0, int stream = -1);
 
 extern template SearchTree<float> sample_splitters<float>(simt::Device&, std::span<const float>,
                                                           const SampleSelectConfig&,
-                                                          simt::LaunchOrigin, std::uint64_t);
+                                                          simt::LaunchOrigin, std::uint64_t, int);
 extern template SearchTree<double> sample_splitters<double>(simt::Device&, std::span<const double>,
                                                             const SampleSelectConfig&,
-                                                            simt::LaunchOrigin, std::uint64_t);
+                                                            simt::LaunchOrigin, std::uint64_t,
+                                                            int);
 
 }  // namespace gpusel::core

@@ -30,7 +30,8 @@ struct SelectState {
     Status status = Status::success();
     bool done = false;
 
-    SelectState(simt::Device& dev, const SampleSelectConfig& c) : cfg(c), pipe(dev, cfg) {}
+    SelectState(simt::Device& dev, const SampleSelectConfig& c, int stream)
+        : cfg(c), pipe(dev, cfg, stream) {}
 };
 
 /// Executes one recursion level; returns true while more levels remain.
@@ -133,7 +134,7 @@ void enqueue_level(simt::Device& dev, std::shared_ptr<SelectState<T>> st) {
 template <typename T>
 Result<SelectResult<T>> try_sample_select_staged(simt::Device& dev, DataHolder<T> data,
                                                  std::size_t rank,
-                                                 const SampleSelectConfig& cfg) {
+                                                 const SampleSelectConfig& cfg, int stream) {
     try {
         cfg.validate(/*exact=*/true);
     } catch (const std::invalid_argument& e) {
@@ -163,7 +164,7 @@ Result<SelectResult<T>> try_sample_select_staged(simt::Device& dev, DataHolder<T
         data.view(n - nan_count);
     }
 
-    auto st = std::make_shared<SelectState<T>>(dev, cfg);
+    auto st = std::make_shared<SelectState<T>>(dev, cfg, stream);
     st->pipe.reset(std::move(data));
     st->rank = rank;
     st->result.nan_count = nan_count;
@@ -205,8 +206,8 @@ Result<SelectResult<T>> try_sample_select(simt::Device& dev, std::span<const T> 
 
 template <typename T>
 SelectResult<T> sample_select_staged(simt::Device& dev, DataHolder<T> data, std::size_t rank,
-                                     const SampleSelectConfig& cfg) {
-    return try_sample_select_staged<T>(dev, std::move(data), rank, cfg).take_or_throw();
+                                     const SampleSelectConfig& cfg, int stream) {
+    return try_sample_select_staged<T>(dev, std::move(data), rank, cfg, stream).take_or_throw();
 }
 
 template <typename T>
@@ -239,11 +240,13 @@ template Result<SelectResult<double>> try_sample_select_device<double>(simt::Dev
 template Result<SelectResult<float>> try_sample_select_staged<float>(simt::Device&,
                                                                      DataHolder<float>,
                                                                      std::size_t,
-                                                                     const SampleSelectConfig&);
+                                                                     const SampleSelectConfig&,
+                                                                     int);
 template Result<SelectResult<double>> try_sample_select_staged<double>(simt::Device&,
                                                                        DataHolder<double>,
                                                                        std::size_t,
-                                                                       const SampleSelectConfig&);
+                                                                       const SampleSelectConfig&,
+                                                                       int);
 template SelectResult<float> sample_select<float>(simt::Device&, std::span<const float>,
                                                   std::size_t, const SampleSelectConfig&);
 template SelectResult<double> sample_select<double>(simt::Device&, std::span<const double>,
@@ -254,8 +257,10 @@ template SelectResult<double> sample_select_device<double>(simt::Device&,
                                                            simt::DeviceBuffer<double>,
                                                            std::size_t, const SampleSelectConfig&);
 template SelectResult<float> sample_select_staged<float>(simt::Device&, DataHolder<float>,
-                                                         std::size_t, const SampleSelectConfig&);
+                                                         std::size_t, const SampleSelectConfig&,
+                                                         int);
 template SelectResult<double> sample_select_staged<double>(simt::Device&, DataHolder<double>,
-                                                           std::size_t, const SampleSelectConfig&);
+                                                           std::size_t, const SampleSelectConfig&,
+                                                           int);
 
 }  // namespace gpusel::core

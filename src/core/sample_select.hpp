@@ -63,11 +63,15 @@ template <typename T>
                                                                std::size_t rank,
                                                                const SampleSelectConfig& cfg);
 
+/// `stream` overrides the selection's stream (every launch and pooled
+/// checkout); the default -1 keeps cfg.stream.  Used by the batch executor
+/// to run many staged selections concurrently on leased streams.
 template <typename T>
 [[nodiscard]] Result<SelectResult<T>> try_sample_select_staged(simt::Device& dev,
                                                                DataHolder<T> data,
                                                                std::size_t rank,
-                                                               const SampleSelectConfig& cfg);
+                                                               const SampleSelectConfig& cfg,
+                                                               int stream = -1);
 
 /// Selects the element of the given 0-based rank from `input`.
 /// The input is copied to a device buffer before timing starts (the paper
@@ -92,7 +96,8 @@ template <typename T>
 template <typename T>
 [[nodiscard]] SelectResult<T> sample_select_staged(simt::Device& dev, DataHolder<T> data,
                                                    std::size_t rank,
-                                                   const SampleSelectConfig& cfg);
+                                                   const SampleSelectConfig& cfg,
+                                                   int stream = -1);
 
 extern template Result<SelectResult<float>> try_sample_select<float>(simt::Device&,
                                                                      std::span<const float>,
@@ -107,9 +112,9 @@ extern template Result<SelectResult<float>> try_sample_select_device<float>(
 extern template Result<SelectResult<double>> try_sample_select_device<double>(
     simt::Device&, simt::DeviceBuffer<double>, std::size_t, const SampleSelectConfig&);
 extern template Result<SelectResult<float>> try_sample_select_staged<float>(
-    simt::Device&, DataHolder<float>, std::size_t, const SampleSelectConfig&);
+    simt::Device&, DataHolder<float>, std::size_t, const SampleSelectConfig&, int);
 extern template Result<SelectResult<double>> try_sample_select_staged<double>(
-    simt::Device&, DataHolder<double>, std::size_t, const SampleSelectConfig&);
+    simt::Device&, DataHolder<double>, std::size_t, const SampleSelectConfig&, int);
 extern template SelectResult<float> sample_select<float>(simt::Device&, std::span<const float>,
                                                          std::size_t, const SampleSelectConfig&);
 extern template SelectResult<double> sample_select<double>(simt::Device&, std::span<const double>,
@@ -124,9 +129,9 @@ extern template SelectResult<double> sample_select_device<double>(simt::Device&,
                                                                   const SampleSelectConfig&);
 extern template SelectResult<float> sample_select_staged<float>(simt::Device&, DataHolder<float>,
                                                                 std::size_t,
-                                                                const SampleSelectConfig&);
+                                                                const SampleSelectConfig&, int);
 extern template SelectResult<double> sample_select_staged<double>(simt::Device&,
                                                                   DataHolder<double>, std::size_t,
-                                                                  const SampleSelectConfig&);
+                                                                  const SampleSelectConfig&, int);
 
 }  // namespace gpusel::core

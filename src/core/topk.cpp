@@ -1,5 +1,6 @@
 #include "core/topk.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -199,7 +200,8 @@ Result<TopKResult<T>> try_topk_smallest(simt::Device& dev, std::span<const T> in
         auto span = neg.span().first(n_num);
         s = with_fault_retry(ctx, [&] {
             const int grid = simt::suggest_grid(dev.arch(), n_num, cfg.block_dim);
-            dev.launch("negate", {.grid_dim = grid, .block_dim = cfg.block_dim},
+            dev.launch("negate",
+                       {.grid_dim = grid, .block_dim = cfg.block_dim, .stream = cfg.stream},
                        [span, n_num](simt::BlockCtx& blk) {
                            blk.warp_tiles(n_num,
                                           [&](simt::WarpCtx& w, std::size_t base, std::size_t) {
@@ -357,6 +359,49 @@ Result<TopKIndexResult<T>> try_topk_largest_with_indices(simt::Device& dev,
 }
 
 template <typename T>
+Result<TopKBatchResult<T>> try_topk_largest_batch(simt::Device& dev,
+                                                  std::span<const TopKBatchProblem<T>> problems,
+                                                  const SampleSelectConfig& cfg,
+                                                  const BatchOptions& opts) {
+    if (problems.empty()) {
+        return Status::failure(SelectError::invalid_argument, "topk_batch: empty batch");
+    }
+    StreamFan fan(dev, resolve_stream_count(problems.size(), opts.streams), cfg.stream);
+
+    TopKBatchResult<T> res;
+    res.items.reserve(problems.size());
+    res.streams_used = fan.count();
+    const std::uint64_t l0 = dev.launch_count();
+    (void)fan.fork();
+
+    // The host issues the problems in order; each runs the unchanged
+    // serial top-k on its lane's stream (via a config copy), so launch
+    // sequences per problem are byte-identical to serial calls.
+    for (std::size_t i = 0; i < problems.size(); ++i) {
+        SampleSelectConfig lane_cfg = cfg;
+        lane_cfg.stream = fan.stream(fan.lane_of(i));
+        auto sub = try_topk_largest<T>(dev, problems[i].data, problems[i].k, lane_cfg);
+        if (!sub.ok()) return sub.status();
+        res.items.push_back(sub.take());
+    }
+
+    double wall = 0.0;
+    double serial = 0.0;
+    for (int l = 0; l < fan.count(); ++l) {
+        const double busy = dev.stream_clock(fan.stream(l)) - fan.fork_ns();
+        if (busy > 0.0) {
+            serial += busy;
+            wall = std::max(wall, busy);
+        }
+    }
+    fan.join();
+    res.wall_ns = wall;
+    res.serial_ns = serial;
+    res.launches = dev.launch_count() - l0;
+    return res;
+}
+
+template <typename T>
 TopKResult<T> topk_largest(simt::Device& dev, std::span<const T> input, std::size_t k,
                            const SampleSelectConfig& cfg) {
     return try_topk_largest<T>(dev, input, k, cfg).take_or_throw();
@@ -391,6 +436,12 @@ template Result<TopKIndexResult<float>> try_topk_largest_with_indices<float>(
     simt::Device&, std::span<const float>, std::size_t, const SampleSelectConfig&);
 template Result<TopKIndexResult<double>> try_topk_largest_with_indices<double>(
     simt::Device&, std::span<const double>, std::size_t, const SampleSelectConfig&);
+template Result<TopKBatchResult<float>> try_topk_largest_batch<float>(
+    simt::Device&, std::span<const TopKBatchProblem<float>>, const SampleSelectConfig&,
+    const BatchOptions&);
+template Result<TopKBatchResult<double>> try_topk_largest_batch<double>(
+    simt::Device&, std::span<const TopKBatchProblem<double>>, const SampleSelectConfig&,
+    const BatchOptions&);
 template TopKResult<float> topk_largest<float>(simt::Device&, std::span<const float>, std::size_t,
                                                const SampleSelectConfig&);
 template TopKResult<double> topk_largest<double>(simt::Device&, std::span<const double>,

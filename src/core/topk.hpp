@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "core/batch_executor.hpp"
 #include "core/config.hpp"
 #include "core/status.hpp"
 #include "simt/device.hpp"
@@ -47,6 +48,40 @@ template <typename T>
 template <typename T>
 [[nodiscard]] TopKResult<T> topk_largest(simt::Device& dev, std::span<const T> input,
                                          std::size_t k, const SampleSelectConfig& cfg);
+
+/// One problem of a top-k batch.
+template <typename T>
+struct TopKBatchProblem {
+    std::span<const T> data;
+    std::size_t k = 0;
+};
+
+/// Batch-mode outcome with the stream-overlap accounting of
+/// core/batch_executor.hpp: wall_ns is the latest lane completion,
+/// serial_ns the back-to-back cost of the same launches on one stream.
+template <typename T>
+struct TopKBatchResult {
+    /// items[i] is the full top-k result for problems[i].
+    std::vector<TopKResult<T>> items;
+    int streams_used = 1;
+    double wall_ns = 0.0;
+    double serial_ns = 0.0;
+    std::uint64_t launches = 0;
+
+    [[nodiscard]] double overlap_x() const noexcept {
+        return wall_ns > 0.0 ? serial_ns / wall_ns : 1.0;
+    }
+};
+
+/// Batch mode: runs each top-k problem on a lane of a StreamFan
+/// (round-robin), so independent problems overlap in simulated time.
+/// Per-problem launches are identical to serial try_topk_largest calls;
+/// only the stream tags and the overlap differ.  `opts` sizes the fan
+/// (default: GPUSEL_STREAMS, then min(batch, 8)).
+template <typename T>
+[[nodiscard]] Result<TopKBatchResult<T>> try_topk_largest_batch(
+    simt::Device& dev, std::span<const TopKBatchProblem<T>> problems,
+    const SampleSelectConfig& cfg, const BatchOptions& opts = {});
 
 template <typename T>
 struct TopKIndexResult {
@@ -107,6 +142,12 @@ extern template Result<TopKIndexResult<float>> try_topk_largest_with_indices<flo
     simt::Device&, std::span<const float>, std::size_t, const SampleSelectConfig&);
 extern template Result<TopKIndexResult<double>> try_topk_largest_with_indices<double>(
     simt::Device&, std::span<const double>, std::size_t, const SampleSelectConfig&);
+extern template Result<TopKBatchResult<float>> try_topk_largest_batch<float>(
+    simt::Device&, std::span<const TopKBatchProblem<float>>, const SampleSelectConfig&,
+    const BatchOptions&);
+extern template Result<TopKBatchResult<double>> try_topk_largest_batch<double>(
+    simt::Device&, std::span<const TopKBatchProblem<double>>, const SampleSelectConfig&,
+    const BatchOptions&);
 extern template TopKResult<float> topk_largest<float>(simt::Device&, std::span<const float>,
                                                       std::size_t, const SampleSelectConfig&);
 extern template TopKResult<double> topk_largest<double>(simt::Device&, std::span<const double>,

@@ -127,9 +127,15 @@ struct KernelProfile {
     /// Loop unrolling depth declared by the kernel (Sec. IV-H d); consumed
     /// by the timing model's latency-hiding/occupancy terms.
     int unroll = 1;
+    /// Stream the launch was enqueued on (0 = default stream).
+    int stream = 0;
     KernelCounters counters;
     /// Simulated execution time (set by the Device at launch retirement).
     double sim_ns = 0.0;
+    /// Simulated start time: the launch's stream clock before this launch
+    /// ran (set by the Device).  Launches on different streams may have
+    /// overlapping [start_ns, start_ns + sim_ns) intervals.
+    double start_ns = 0.0;
 
     [[nodiscard]] std::uint64_t threads_launched() const noexcept {
         return static_cast<std::uint64_t>(grid_dim) * static_cast<std::uint64_t>(block_dim);

@@ -43,6 +43,7 @@ KernelProfile Device::launch(std::string name, const LaunchConfig& cfg, const Ke
     profile.block_dim = cfg.block_dim;
     profile.origin = cfg.origin;
     profile.unroll = cfg.unroll;
+    profile.stream = cfg.stream;
 
     const auto blocks = static_cast<std::size_t>(cfg.grid_dim);
     std::vector<KernelCounters> per_block(blocks);
@@ -69,6 +70,7 @@ KernelProfile Device::launch(std::string name, const LaunchConfig& cfg, const Ke
     // from unrelated tenants) without changing the launch's own profile.
     const auto stream = static_cast<std::size_t>(cfg.stream);
     if (stream >= stream_clock_.size()) throw std::invalid_argument("unknown stream");
+    profile.start_ns = stream_clock_[stream];
     stream_clock_[stream] += profile.sim_ns;
     if (injector_.enabled()) stream_clock_[stream] += injector_.stall_penalty_ns();
     clock_ns_ = *std::max_element(stream_clock_.begin(), stream_clock_.end());
@@ -87,6 +89,27 @@ int Device::create_stream() {
     // everything launched afterwards.
     stream_clock_.push_back(clock_ns_);
     return static_cast<int>(stream_clock_.size() - 1);
+}
+
+int Device::lease_stream() {
+    if (!stream_free_.empty()) {
+        const int s = stream_free_.back();
+        stream_free_.pop_back();
+        // A re-leased stream behaves like a newly created one: its first
+        // launch starts no earlier than the device completion time at the
+        // moment of the lease.
+        stream_clock_[static_cast<std::size_t>(s)] = clock_ns_;
+        return s;
+    }
+    return create_stream();
+}
+
+void Device::release_stream(int stream) {
+    const auto s = static_cast<std::size_t>(stream);
+    if (stream <= 0 || s >= stream_clock_.size()) {
+        throw std::invalid_argument("release_stream: not a leasable stream");
+    }
+    stream_free_.push_back(stream);
 }
 
 double Device::stream_clock(int stream) const {

@@ -118,6 +118,22 @@ public:
     /// Creates a new stream and returns its id (>= 1; 0 is the default
     /// stream, which always exists).
     [[nodiscard]] int create_stream();
+    /// Checks a stream out of the device's reusable lease set: returns a
+    /// previously released stream id if one exists, otherwise creates a
+    /// fresh stream.  A re-leased stream rejoins at the current device
+    /// completion time (same causality rule as create_stream), so repeated
+    /// batched runs on one device do not grow the stream table without
+    /// bound.
+    [[nodiscard]] int lease_stream();
+    /// Returns a leased stream to the reuse set.  The caller must have
+    /// joined the stream's work (wait_event / synchronize) first; the
+    /// stream id may be handed to an unrelated later lease.
+    void release_stream(int stream);
+    /// Number of stream slots that exist on this device (default stream
+    /// included; released leases still count until re-used).
+    [[nodiscard]] int stream_count() const noexcept {
+        return static_cast<int>(stream_clock_.size());
+    }
     /// Simulated completion time of all work enqueued on one stream so far.
     [[nodiscard]] double stream_clock(int stream) const;
     /// Records an event on a stream: a timestamp of the work enqueued so
@@ -201,6 +217,7 @@ private:
     KernelCounters totals_;
     double clock_ns_ = 0.0;                      ///< max completion over all streams
     std::vector<double> stream_clock_ = {0.0};   ///< per-stream completion time
+    std::vector<int> stream_free_;               ///< released lease_stream() ids
     std::uint64_t launch_count_ = 0;
     FaultInjector injector_;
     RobustnessCounters robustness_;

@@ -145,6 +145,14 @@ std::size_t MemoryPool::trim() {
     return dropped;
 }
 
+std::map<int, std::size_t> MemoryPool::idle_bytes_by_stream() const {
+    std::map<int, std::size_t> by;
+    for (const auto& list : free_) {
+        for (const PoolBlock* blk : list) by[blk->last_stream] += blk->capacity;
+    }
+    return by;
+}
+
 MemoryPool::Stats MemoryPool::stats_snapshot() const noexcept {
     Stats s;
     s.fresh = fresh_;

@@ -33,6 +33,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <span>
 #include <type_traits>
@@ -107,6 +108,13 @@ public:
     std::size_t trim();
 
     [[nodiscard]] Stats stats() const noexcept { return stats_snapshot(); }
+
+    /// Idle (free-list) capacity keyed by the stream that last used each
+    /// block.  Under multi-stream batched execution this shows the
+    /// per-stream arenas the pool has effectively partitioned itself into:
+    /// same-stream reuse is unconditional, so each stream accumulates a
+    /// working set of its own recently released blocks.
+    [[nodiscard]] std::map<int, std::size_t> idle_bytes_by_stream() const;
 
 private:
     [[nodiscard]] static int class_of(std::size_t bytes) noexcept;

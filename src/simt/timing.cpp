@@ -73,6 +73,23 @@ TimingBreakdown simulate_time(const ArchSpec& arch, const KernelProfile& p) {
     return t;
 }
 
+StreamOverlap summarize_overlap(const std::vector<KernelProfile>& profiles) {
+    StreamOverlap o;
+    if (profiles.empty()) return o;
+    std::vector<int> seen;
+    double first_start = profiles.front().start_ns;
+    double last_end = 0.0;
+    for (const auto& p : profiles) {
+        if (std::find(seen.begin(), seen.end(), p.stream) == seen.end()) seen.push_back(p.stream);
+        first_start = std::min(first_start, p.start_ns);
+        last_end = std::max(last_end, p.start_ns + p.sim_ns);
+        o.serial_ns += p.sim_ns;
+    }
+    o.streams = static_cast<int>(seen.size());
+    o.wall_ns = last_end - first_start;
+    return o;
+}
+
 int suggest_grid(const ArchSpec& arch, std::size_t n, int block_dim, int unroll) {
     const auto per_block =
         static_cast<std::size_t>(block_dim) * static_cast<std::size_t>(std::max(1, unroll));

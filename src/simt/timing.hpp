@@ -15,6 +15,8 @@
 // All constants live in ArchSpec; see EXPERIMENTS.md "Calibration" for how
 // they were chosen to reproduce the paper's architectural contrasts.
 
+#include <vector>
+
 #include "simt/arch.hpp"
 #include "simt/counters.hpp"
 
@@ -38,6 +40,26 @@ struct TimingBreakdown {
 
 /// Computes the simulated duration of a kernel launch.
 [[nodiscard]] TimingBreakdown simulate_time(const ArchSpec& arch, const KernelProfile& p);
+
+/// Cross-stream view of a span of kernel launches.  With per-stream clocks
+/// the wall time of a section is the max over stream completion times,
+/// while its serial cost is the sum of every launch's duration -- the gap
+/// between the two is the overlap won by running independent work on
+/// independent streams.
+struct StreamOverlap {
+    int streams = 0;        ///< distinct stream ids that appear
+    double wall_ns = 0.0;   ///< latest end minus earliest start over all launches
+    double serial_ns = 0.0; ///< sum of all launch durations (one-stream cost)
+    /// serial_ns / wall_ns: 1.0 when fully serialized, approaching the
+    /// stream count under perfect overlap.
+    [[nodiscard]] double overlap_x() const noexcept {
+        return wall_ns > 0.0 ? serial_ns / wall_ns : 1.0;
+    }
+};
+
+/// Summarizes stream overlap over a profile list (typically
+/// Device::profiles() after a batched section).
+[[nodiscard]] StreamOverlap summarize_overlap(const std::vector<KernelProfile>& profiles);
 
 /// Suggested grid size for a data-parallel launch over n elements with the
 /// given block size and unroll depth: enough blocks for full occupancy, but

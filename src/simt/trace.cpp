@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <iomanip>
 #include <ostream>
+#include <set>
 #include <sstream>
 
 namespace gpusel::simt {
@@ -21,15 +22,32 @@ std::map<std::string, KernelAggregate> aggregate_by_name(
 
 void write_chrome_trace(std::ostream& os, const std::vector<KernelProfile>& profiles) {
     os << "{\"traceEvents\":[";
-    double clock_ns = 0.0;
+    // Rebase on the earliest recorded start so traces taken after
+    // clear_profiles() (or on a long-lived device) still begin at t = 0.
+    double t0 = 0.0;
+    if (!profiles.empty()) {
+        t0 = profiles.front().start_ns;
+        for (const auto& p : profiles) t0 = std::min(t0, p.start_ns);
+    }
+    // One named track per stream that actually appears: Chrome/Perfetto
+    // render tid as a lane, so overlapping launches on different streams
+    // display side by side instead of stacking on one row.
+    std::set<int> streams;
+    for (const auto& p : profiles) streams.insert(p.stream);
     bool first = true;
+    for (const int s : streams) {
+        if (!first) os << ',';
+        first = false;
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << s
+           << ",\"args\":{\"name\":\"stream " << s << "\"}}";
+    }
     for (const auto& p : profiles) {
         if (!first) os << ',';
         first = false;
         const auto& c = p.counters;
         os << "{\"name\":\"" << p.name << "\",\"cat\":\"kernel\",\"ph\":\"X\""
-           << ",\"ts\":" << clock_ns / 1000.0 << ",\"dur\":" << p.sim_ns / 1000.0
-           << ",\"pid\":0,\"tid\":0,\"args\":{"
+           << ",\"ts\":" << (p.start_ns - t0) / 1000.0 << ",\"dur\":" << p.sim_ns / 1000.0
+           << ",\"pid\":0,\"tid\":" << p.stream << ",\"args\":{"
            << "\"grid\":" << p.grid_dim << ",\"block\":" << p.block_dim
            << ",\"origin\":\"" << (p.origin == LaunchOrigin::host ? "host" : "device") << "\""
            << ",\"gmem_read\":" << c.global_bytes_read
@@ -38,7 +56,6 @@ void write_chrome_trace(std::ostream& os, const std::vector<KernelProfile>& prof
            << ",\"global_atomics\":" << c.global_atomic_ops
            << ",\"collisions\":" << c.shared_atomic_collisions + c.global_atomic_collisions
            << ",\"ballots\":" << c.warp_ballots << "}}";
-        clock_ns += p.sim_ns;
     }
     os << "]}";
 }

@@ -1,8 +1,9 @@
 #pragma once
 // Profile post-processing: per-kernel aggregation and a chrome://tracing
-// export of a device's launch history.  The simulated clock is sequential
-// (one in-order queue, like a single CUDA stream), so launch start times
-// are the running sum of previous durations.
+// export of a device's launch history.  The simulated clock is per stream:
+// every KernelProfile records the stream it ran on and its start time on
+// that stream's clock, so the export renders one track (tid) per stream
+// and overlapping launches on different streams show side by side.
 
 #include <iosfwd>
 #include <map>
@@ -26,8 +27,10 @@ struct KernelAggregate {
 
 /// Writes the launch history in the Chrome trace-event JSON format
 /// (load via chrome://tracing or https://ui.perfetto.dev).  Timestamps are
-/// microseconds of simulated time; each launch also carries its event
-/// counters as arguments.
+/// microseconds of simulated time, rebased so the earliest launch starts at
+/// zero; each stream renders as its own track (tid = stream id, named via
+/// thread_name metadata) and each launch carries its event counters as
+/// arguments.
 void write_chrome_trace(std::ostream& os, const std::vector<KernelProfile>& profiles);
 
 /// Renders a compact text summary: one line per kernel name with launch

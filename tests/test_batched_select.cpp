@@ -63,13 +63,41 @@ TEST(BatchedSelect, SmallBatchOfSmallSequences) {
     EXPECT_EQ(res.recursive_sequences, 0u);
 }
 
-TEST(BatchedSelect, SingleLaunchForShortSequences) {
+TEST(BatchedSelect, SingleLaunchPerStreamForShortSequences) {
     simt::Device dev(simt::arch_v100());
     const auto b = random_batch(100, 1000, 5);
     const auto res = core::batched_select<float>(dev, b.flat, b.offsets, b.ranks, {});
     expect_batch_correct(b, res);
+    // One fused launch per stream of the fan, nothing else.
+    EXPECT_EQ(res.launches, static_cast<std::uint64_t>(res.streams_used));
+    EXPECT_EQ(res.batched_sequences, 100u);
+}
+
+TEST(BatchedSelect, SingleStreamKeepsOneFusedLaunch) {
+    simt::Device dev(simt::arch_v100());
+    const auto b = random_batch(100, 1000, 5);
+    const auto res = core::batched_select<float>(dev, b.flat, b.offsets, b.ranks, {},
+                                                 {.streams = 1});
+    expect_batch_correct(b, res);
+    EXPECT_EQ(res.streams_used, 1);
     EXPECT_EQ(res.launches, 1u);  // all sequences in one batched kernel
     EXPECT_EQ(res.batched_sequences, 100u);
+}
+
+TEST(BatchedSelect, MultiStreamMatchesSingleStreamValues) {
+    const auto b = random_batch(64, 3000, 21);
+    simt::Device serial_dev(simt::arch_v100());
+    const auto serial = core::batched_select<float>(serial_dev, b.flat, b.offsets, b.ranks, {},
+                                                    {.streams = 1});
+    simt::Device fan_dev(simt::arch_v100());
+    const auto fanned = core::batched_select<float>(fan_dev, b.flat, b.offsets, b.ranks, {},
+                                                    {.streams = 4});
+    EXPECT_EQ(fanned.values, serial.values);
+    EXPECT_EQ(fanned.streams_used, 4);
+    // Overlap accounting: wall is the slowest lane, serial the sum, so the
+    // fan reports at least 1x and at most streams_used x overlap.
+    EXPECT_GE(fanned.serial_ns, fanned.wall_ns - 1e-6);
+    EXPECT_LE(fanned.serial_ns, 4.0 * fanned.wall_ns + 1e-6);
 }
 
 TEST(BatchedSelect, RandomBatchesParameterized) {

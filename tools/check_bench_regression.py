@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate for the CI bench job.
+
+Compares a Google-Benchmark JSON run against the committed seed baseline
+(results/BENCH_simulator_seed.json) on items_per_second, grouped by
+benchmark *family* (the name up to the first '/'), and fails when any
+family's geometric-mean throughput ratio drops below 1 - tolerance.
+
+Per-benchmark noise on shared CI runners is real; the family geomean
+smooths it while still catching a genuine slowdown in one code path.
+Benchmarks present on only one side are reported but never gate.
+
+Usage:
+  tools/check_bench_regression.py --current results/BENCH_simulator.json \
+      [--baseline results/BENCH_simulator_seed.json] [--tolerance 0.25] \
+      [--summary-out delta.md]
+
+  tools/check_bench_regression.py --self-test [--tolerance 0.25]
+      Synthesizes a regressed run from the baseline itself (every family
+      slowed past the tolerance) and asserts the gate trips, then a
+      same-speed run and asserts it passes.  CI runs this every build so
+      the gate is continuously verified against an injected regression.
+
+Exit codes: 0 pass, 1 regression detected, 2 usage/IO error.
+
+Refreshing the baseline: rerun bench/run_benches.sh on the reference host
+and copy results/BENCH_simulator.json over results/BENCH_simulator_seed.json
+(see docs/architecture.md, "Benchmark-regression gate").
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import math
+import os
+import sys
+
+PASS, REGRESSION, USAGE = 0, 1, 2
+
+
+def load_benchmarks(path):
+    """Returns {name: items_per_second} for every timed benchmark."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        ips = b.get("items_per_second")
+        if ips is not None and ips > 0:
+            out[b["name"]] = float(ips)
+    return out
+
+
+def family_of(name):
+    return name.split("/", 1)[0]
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def compare(baseline, current, tolerance):
+    """Returns (families, rows, failed_families).
+
+    families: {family: geomean ratio} over benchmarks present in both runs.
+    rows: per-benchmark (name, base_ips, cur_ips, ratio-or-None) for the
+    markdown table, in baseline order then current-only extras.
+    """
+    rows = []
+    by_family = {}
+    for name, base_ips in baseline.items():
+        cur_ips = current.get(name)
+        ratio = cur_ips / base_ips if cur_ips else None
+        rows.append((name, base_ips, cur_ips, ratio))
+        if ratio is not None:
+            by_family.setdefault(family_of(name), []).append(ratio)
+    for name, cur_ips in current.items():
+        if name not in baseline:
+            rows.append((name, None, cur_ips, None))
+
+    families = {fam: geomean(ratios) for fam, ratios in sorted(by_family.items())}
+    failed = [fam for fam, r in families.items() if r < 1.0 - tolerance]
+    return families, rows, failed
+
+
+def fmt_ips(ips):
+    return f"{ips / 1e6:.1f} M/s" if ips is not None else "—"
+
+
+def markdown_report(families, rows, failed, tolerance):
+    lines = [
+        f"## Benchmark regression gate (tolerance: -{tolerance:.0%} on family geomean)",
+        "",
+        "| family | geomean vs seed | gate |",
+        "|---|---|---|",
+    ]
+    for fam, ratio in families.items():
+        mark = "❌ regression" if fam in failed else "✅"
+        lines.append(f"| {fam} | {ratio - 1.0:+.1%} ({ratio:.3f}x) | {mark} |")
+    lines += [
+        "",
+        "<details><summary>Per-benchmark deltas</summary>",
+        "",
+        "| benchmark | seed | current | ratio |",
+        "|---|---|---|---|",
+    ]
+    for name, base_ips, cur_ips, ratio in rows:
+        if ratio is not None:
+            delta = f"{ratio:.3f}x"
+        elif base_ips is None:
+            delta = "new"
+        else:
+            delta = "missing"
+        lines.append(f"| {name} | {fmt_ips(base_ips)} | {fmt_ips(cur_ips)} | {delta} |")
+    lines += ["", "</details>", ""]
+    return "\n".join(lines)
+
+
+def run_gate(baseline_path, current_path, tolerance, summary_out):
+    try:
+        baseline = load_benchmarks(baseline_path)
+        current = load_benchmarks(current_path)
+    except (OSError, json.JSONDecodeError, KeyError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return USAGE
+    if not baseline:
+        print(f"error: no timed benchmarks in baseline {baseline_path}", file=sys.stderr)
+        return USAGE
+
+    families, rows, failed = compare(baseline, current, tolerance)
+    report = markdown_report(families, rows, failed, tolerance)
+    print(report)
+
+    sinks = [p for p in (summary_out, os.environ.get("GITHUB_STEP_SUMMARY")) if p]
+    for path in sinks:
+        with open(path, "a") as f:
+            f.write(report + "\n")
+
+    if failed:
+        print(f"FAIL: families regressed past -{tolerance:.0%}: {', '.join(failed)}",
+              file=sys.stderr)
+        return REGRESSION
+    print(f"OK: {len(families)} families within tolerance "
+          f"({len([r for r in rows if r[3] is not None])} benchmarks compared)")
+    return PASS
+
+
+def self_test(baseline_path, tolerance):
+    """Verifies the gate trips on an injected regression and stays quiet
+    on an unchanged run, without touching the real results."""
+    with open(baseline_path) as f:
+        doc = json.load(f)
+
+    def synth(scale):
+        d = copy.deepcopy(doc)
+        for b in d.get("benchmarks", []):
+            if "items_per_second" in b:
+                b["items_per_second"] *= scale
+        return load_benchmarks_from_doc(d)
+
+    def load_benchmarks_from_doc(d):
+        return {b["name"]: float(b["items_per_second"])
+                for b in d.get("benchmarks", [])
+                if b.get("run_type") != "aggregate" and b.get("items_per_second")}
+
+    baseline = load_benchmarks_from_doc(doc)
+    # Injected regression: every family slowed to just past the tolerance.
+    regressed = synth(1.0 - tolerance - 0.05)
+    _, _, failed = compare(baseline, regressed, tolerance)
+    if len(failed) != len({family_of(n) for n in baseline}):
+        print("self-test FAIL: injected regression did not trip the gate", file=sys.stderr)
+        return REGRESSION
+    # Unchanged run: must pass.
+    _, _, failed = compare(baseline, synth(1.0), tolerance)
+    if failed:
+        print("self-test FAIL: identical run tripped the gate", file=sys.stderr)
+        return REGRESSION
+    # Borderline-but-inside run: must pass.
+    _, _, failed = compare(baseline, synth(1.0 - tolerance + 0.05), tolerance)
+    if failed:
+        print("self-test FAIL: within-tolerance run tripped the gate", file=sys.stderr)
+        return REGRESSION
+    print(f"self-test OK: gate trips at -{tolerance:.0%} and passes inside it")
+    return PASS
+
+
+def main(argv):
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--baseline",
+                    default=os.path.join(repo_root, "results", "BENCH_simulator_seed.json"))
+    ap.add_argument("--current",
+                    default=os.path.join(repo_root, "results", "BENCH_simulator.json"))
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional drop in family geomean (default 0.25)")
+    ap.add_argument("--summary-out", default=None,
+                    help="also append the markdown delta table to this file")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the gate against a synthesized regression and exit")
+    args = ap.parse_args(argv)
+
+    if not 0.0 < args.tolerance < 1.0:
+        print("error: --tolerance must be in (0, 1)", file=sys.stderr)
+        return USAGE
+    if args.self_test:
+        return self_test(args.baseline, args.tolerance)
+    return run_gate(args.baseline, args.current, args.tolerance, args.summary_out)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
