@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "baselines/quickselect.hpp"
+#include "core/argselect.hpp"
 #include "core/batch_executor.hpp"
 #include "core/approx_select.hpp"
 #include "core/count_kernel.hpp"
@@ -253,5 +254,74 @@ void BM_ApproxSelect(benchmark::State& state) {
                             static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_ApproxSelect)->Arg(1 << 18);
+
+// The masked compress-store tile primitive itself (simt/simd.hpp): stream
+// oracle bytes + elements through byte_eq_mask + compress_store at a fixed
+// SIMD tier (range(1): 0 scalar, 1 sse2, 2 avx2, 3 avx512).  The scalar row
+// is the denominator for the vectorization win -- the AVX2 row must hold
+// >= 1.5x its items_per_second (PR acceptance; the CI gate then keeps the
+// whole family from regressing).  Tiers the host cannot run are skipped.
+void BM_FilterCompressStore(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto want = static_cast<simt::simd::Level>(state.range(1));
+    simt::simd::set_level(want);
+    if (simt::simd::active_level() != want) {
+        simt::simd::set_enabled(true);
+        state.SkipWithError("SIMD tier unsupported on this host");
+        return;
+    }
+    constexpr std::uint8_t kBucket = 3;  // 1-in-8 selectivity
+    const auto src = data::generate<float>(
+        {.n = n, .dist = data::Distribution::uniform_real, .seed = 8});
+    std::vector<std::uint8_t> oracle(n);
+    std::uint64_t s = 0x9e3779b97f4a7c15ull;
+    for (auto& o : oracle) {
+        s = s * 6364136223846793005ull + 1442695040888963407ull;
+        o = static_cast<std::uint8_t>((s >> 33) & 7u);
+    }
+    std::vector<float> dst(n);
+    std::size_t kept = 0;
+    for (auto _ : state) {
+        std::size_t out = 0;
+        for (std::size_t i = 0; i < n; i += simt::simd::kTileLanes) {
+            const int lanes = static_cast<int>(
+                std::min<std::size_t>(simt::simd::kTileLanes, n - i));
+            const std::uint32_t mask =
+                simt::simd::byte_eq_mask(oracle.data() + i, kBucket, lanes);
+            out += static_cast<std::size_t>(
+                simt::simd::compress_store(src.data() + i, mask, lanes, dst.data() + out));
+        }
+        benchmark::DoNotOptimize(dst.data());
+        kept = out;
+    }
+    simt::simd::set_enabled(true);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+    state.counters["selectivity"] =
+        static_cast<double>(kept) / static_cast<double>(n);
+    state.SetLabel(simt::simd::level_name(want));
+}
+BENCHMARK(BM_FilterCompressStore)
+    ->Args({1 << 20, 0})
+    ->Args({1 << 20, 1})
+    ->Args({1 << 20, 2})
+    ->Args({1 << 20, 3});
+
+// End-to-end argselect (core/argselect.hpp): the float pipeline widened to
+// (key, index) pairs, so this row tracks the host-side cost of the 8-byte
+// element path -- compress-store tiles, pair search trees, pair bitonic.
+void BM_Argselect(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto keys = data::generate<float>(
+        {.n = n, .dist = data::Distribution::uniform_real, .seed = 9});
+    for (auto _ : state) {
+        simt::Device dev(simt::arch_v100(), {.record_profiles = false});
+        auto res = core::argselect(dev, keys, n / 2, {});
+        benchmark::DoNotOptimize(res.index);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Argselect)->Arg(1 << 16)->Arg(1 << 18);
 
 }  // namespace

@@ -83,9 +83,13 @@ T serial_sample_select(std::span<const T> input, std::size_t rank, int num_bucke
 
 template CpuSelectResult<float> cpu_nth_element<float>(std::span<const float>, std::size_t);
 template CpuSelectResult<double> cpu_nth_element<double>(std::span<const double>, std::size_t);
+template CpuSelectResult<core::ArgPair> cpu_nth_element<core::ArgPair>(
+    std::span<const core::ArgPair>, std::size_t);
 template float serial_sample_select<float>(std::span<const float>, std::size_t, int, int,
                                            std::uint64_t);
 template double serial_sample_select<double>(std::span<const double>, std::size_t, int, int,
                                              std::uint64_t);
+template core::ArgPair serial_sample_select<core::ArgPair>(std::span<const core::ArgPair>,
+                                                           std::size_t, int, int, std::uint64_t);
 
 }  // namespace gpusel::baselines

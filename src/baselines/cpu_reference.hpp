@@ -8,6 +8,8 @@
 #include <span>
 #include <vector>
 
+#include "core/key_payload.hpp"
+
 namespace gpusel::baselines {
 
 /// std::nth_element wrapper with wall-clock timing.
@@ -29,9 +31,14 @@ template <typename T>
 extern template CpuSelectResult<float> cpu_nth_element<float>(std::span<const float>, std::size_t);
 extern template CpuSelectResult<double> cpu_nth_element<double>(std::span<const double>,
                                                                 std::size_t);
+extern template CpuSelectResult<core::ArgPair> cpu_nth_element<core::ArgPair>(
+    std::span<const core::ArgPair>, std::size_t);
 extern template float serial_sample_select<float>(std::span<const float>, std::size_t, int, int,
                                                   std::uint64_t);
 extern template double serial_sample_select<double>(std::span<const double>, std::size_t, int,
                                                     int, std::uint64_t);
+extern template core::ArgPair serial_sample_select<core::ArgPair>(std::span<const core::ArgPair>,
+                                                                  std::size_t, int, int,
+                                                                  std::uint64_t);
 
 }  // namespace gpusel::baselines

@@ -1,6 +1,7 @@
 #include "baselines/quickselect.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 #include <vector>
 
@@ -138,22 +139,19 @@ void extract_side(simt::Device& dev, std::span<const T> data, T pivot, std::int3
                 const std::int32_t zeros[simt::kWarpSize] = {};
                 std::int32_t off[simt::kWarpSize];
                 w.load(data, base, elems);
-                if (side == kSmaller) {
-                    simt::simd::pred_lt(elems, pivot, w.lanes(), pred);
-                } else {
-                    simt::simd::pred_gt(elems, pivot, w.lanes(), pred);
-                }
+                const std::uint32_t mask =
+                    side == kSmaller ? simt::simd::cmp_lt_mask(elems, pivot, w.lanes())
+                                     : simt::simd::cmp_gt_mask(elems, pivot, w.lanes());
+                simt::simd::mask_to_pred(mask, w.lanes(), pred);
                 w.add_instr(static_cast<std::uint64_t>(w.lanes()));
-                // compaction offsets: always ballot-aggregated (see filter)
+                // compaction offsets: always ballot-aggregated (see filter),
+                // so matched lanes get lane-ordered consecutive slots and
+                // the scatter is one masked compress-store tile.
                 w.fetch_add(space, ctr, zeros, off, /*aggregated=*/true, /*index_bits=*/1, pred);
-                std::uint64_t matched = 0;
-                for (int l = 0; l < w.lanes(); ++l) {
-                    if (pred[l]) {
-                        blk.st(out, static_cast<std::size_t>(off[l]), elems[l]);
-                        ++matched;
-                    }
+                if (mask != 0) {
+                    const int lead = std::countr_zero(mask);
+                    w.compress_store(out, static_cast<std::size_t>(off[lead]), mask, elems);
                 }
-                w.block().counters().global_bytes_written += matched * sizeof(T);
             });
         });
 }
@@ -187,15 +185,41 @@ void bipartition_kernel(simt::Device& dev, std::span<const T> data, T pivot, std
                 w.add_instr(static_cast<std::uint64_t>(w.lanes()));
                 w.fetch_add(simt::AtomicSpace::global, counters.subspan(0, 2), which, off,
                             aggregate, /*index_bits=*/1);
-                for (int l = 0; l < w.lanes(); ++l) {
-                    const auto o = which[l] == 0
-                                       ? static_cast<std::size_t>(off[l])
-                                       : n - 1 - static_cast<std::size_t>(off[l]);
-                    blk.st(out, o, elems[l]);
+                if (aggregate) {
+                    // Aggregated fetch_add hands each side lane-ordered
+                    // consecutive offsets: the left side is a forward
+                    // compress-store run, the right side (n - 1 - off) a
+                    // reversed one.  Charges sum to the legacy
+                    // lanes * sizeof(T) warp-contiguous write.
+                    const std::uint32_t lmask =
+                        simt::simd::cmp_lt_mask(elems, pivot, w.lanes());
+                    const std::uint32_t lane_all =
+                        w.lanes() >= 32 ? ~0u : ((1u << w.lanes()) - 1u);
+                    const std::uint32_t rmask = lane_all & ~lmask;
+                    if (lmask != 0) {
+                        const int lo = std::countr_zero(lmask);
+                        w.compress_store(out, static_cast<std::size_t>(off[lo]), lmask, elems);
+                    }
+                    if (rmask != 0) {
+                        const int ro = std::countr_zero(rmask);
+                        w.compress_store_rev(out, n - 1 - static_cast<std::size_t>(off[ro]),
+                                             rmask, elems);
+                    }
+                } else {
+                    // Per-lane global cursors: concurrent blocks interleave
+                    // their fetch_adds, so offsets are not warp-contiguous
+                    // and the scatter must stay a per-lane loop.
+                    // lint-kernels: allow(R5)
+                    for (int l = 0; l < w.lanes(); ++l) {
+                        const auto o = which[l] == 0
+                                           ? static_cast<std::size_t>(off[l])
+                                           : n - 1 - static_cast<std::size_t>(off[l]);
+                        blk.st(out, o, elems[l]);
+                    }
+                    // two write fronts, each warp-contiguous
+                    w.block().counters().global_bytes_written +=
+                        static_cast<std::uint64_t>(w.lanes()) * sizeof(T);
                 }
-                // two write fronts, each warp-contiguous
-                w.block().counters().global_bytes_written +=
-                    static_cast<std::uint64_t>(w.lanes()) * sizeof(T);
             });
         });
 }

@@ -243,5 +243,6 @@ Result<BatchExecResult<T>> BatchExecutor<T>::run(std::span<const BatchProblem<T>
 
 template class BatchExecutor<float>;
 template class BatchExecutor<double>;
+template class BatchExecutor<ArgPair>;
 
 }  // namespace gpusel::core

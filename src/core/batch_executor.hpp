@@ -157,5 +157,6 @@ private:
 
 extern template class BatchExecutor<float>;
 extern template class BatchExecutor<double>;
+extern template class BatchExecutor<ArgPair>;
 
 }  // namespace gpusel::core

@@ -158,5 +158,9 @@ template int count_kernel<double>(simt::Device&, std::span<const double>,
                                   const SearchTree<double>&, std::span<std::uint8_t>,
                                   std::span<std::int32_t>, std::span<std::int32_t>,
                                   const SampleSelectConfig&, simt::LaunchOrigin, int);
+template int count_kernel<ArgPair>(simt::Device&, std::span<const ArgPair>,
+                                   const SearchTree<ArgPair>&, std::span<std::uint8_t>,
+                                   std::span<std::int32_t>, std::span<std::int32_t>,
+                                   const SampleSelectConfig&, simt::LaunchOrigin, int);
 
 }  // namespace gpusel::core

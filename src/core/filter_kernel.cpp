@@ -1,7 +1,9 @@
 #include "core/filter_kernel.hpp"
 
+#include <bit>
 #include <stdexcept>
 
+#include "simt/simd.hpp"
 #include "simt/timing.hpp"
 
 namespace gpusel::core {
@@ -56,49 +58,46 @@ void run_filter(simt::Device& dev, std::span<const T> data, std::span<const std:
             blk.warp_tiles(n, [&](simt::WarpCtx& w, std::size_t base, std::size_t) {
                 std::uint8_t orc[simt::kWarpSize];
                 w.load(oracles, base, orc);
+                // Predicate masks come straight from the oracle bytes the
+                // count pass cached -- one byte-compare tile op, no
+                // per-element bucket recomputation.  The instr charge
+                // models the per-lane compare as before.
+                const auto b8 = static_cast<std::uint8_t>(bucket);
+                const std::uint32_t mask = simt::simd::byte_eq_mask(orc, b8, w.lanes());
                 bool pred[simt::kWarpSize];
-                bool pred_upper[simt::kWarpSize];
+                simt::simd::mask_to_pred(mask, w.lanes(), pred);
                 const std::int32_t zeros[simt::kWarpSize] = {};
-                for (int l = 0; l < w.lanes(); ++l) {
-                    pred[l] = orc[l] == bucket;
-                    pred_upper[l] = fused && orc[l] > bucket;
-                }
                 w.add_instr(static_cast<std::uint64_t>(w.lanes()));
 
                 std::int32_t off[simt::kWarpSize];
                 // Stream-compaction offsets always use the ballot+popcount
                 // aggregation of Bakunas-Milanowski et al. (one atomic per
                 // warp); cfg.warp_aggregation only governs the count
-                // kernel's histogram (Fig. 6).
+                // kernel's histogram (Fig. 6).  All matched lanes share one
+                // cursor, so the aggregated fetch_add hands them
+                // lane-ordered consecutive offsets: the scatter is a
+                // contiguous run starting at the first matched lane's slot
+                // and compiles to one masked compress-store tile.
                 w.fetch_add(target_space, target_ctr, zeros, off, /*aggregated=*/true,
                             /*index_bits=*/1, pred);
-                std::uint64_t matched = 0;
-                for (int l = 0; l < w.lanes(); ++l) {
-                    if (pred[l]) {
-                        blk.st(out, static_cast<std::size_t>(off[l]),
-                               blk.ld(data, base + static_cast<std::size_t>(l)));
-                        ++matched;
-                    }
+                if (mask != 0) {
+                    const int lead = std::countr_zero(mask);
+                    w.compress_gather_store(out, static_cast<std::size_t>(off[lead]), data, base,
+                                            mask);
                 }
-                // predicated element loads (sparse within the tile) ...
-                w.block().counters().scattered_bytes_read += matched * sizeof(T);
-                // ... and warp-contiguous writes
-                w.block().counters().global_bytes_written += matched * sizeof(T);
 
                 if (fused) {
+                    const std::uint32_t umask = simt::simd::byte_gt_mask(orc, b8, w.lanes());
+                    bool pred_upper[simt::kWarpSize];
+                    simt::simd::mask_to_pred(umask, w.lanes(), pred_upper);
                     std::int32_t uoff[simt::kWarpSize];
                     w.fetch_add(simt::AtomicSpace::global, counters.subspan(1, 1), zeros, uoff,
                                 /*aggregated=*/true, /*index_bits=*/1, pred_upper);
-                    std::uint64_t um = 0;
-                    for (int l = 0; l < w.lanes(); ++l) {
-                        if (pred_upper[l]) {
-                            blk.st(upper, static_cast<std::size_t>(uoff[l]),
-                                   blk.ld(data, base + static_cast<std::size_t>(l)));
-                            ++um;
-                        }
+                    if (umask != 0) {
+                        const int ulead = std::countr_zero(umask);
+                        w.compress_gather_store(upper, static_cast<std::size_t>(uoff[ulead]),
+                                                data, base, umask);
                     }
-                    w.block().counters().scattered_bytes_read += um * sizeof(T);
-                    w.block().counters().global_bytes_written += um * sizeof(T);
                 }
             });
         });
@@ -148,5 +147,16 @@ template void filter_fused_topk_kernel<double>(simt::Device&, std::span<const do
                                                std::span<const std::int32_t>, int,
                                                std::span<std::int32_t>, const SampleSelectConfig&,
                                                simt::LaunchOrigin, int, int);
+template void filter_kernel<ArgPair>(simt::Device&, std::span<const ArgPair>,
+                                     std::span<const std::uint8_t>, std::int32_t,
+                                     std::span<ArgPair>, std::span<const std::int32_t>, int,
+                                     std::span<std::int32_t>, const SampleSelectConfig&,
+                                     simt::LaunchOrigin, int, int);
+template void filter_fused_topk_kernel<ArgPair>(simt::Device&, std::span<const ArgPair>,
+                                                std::span<const std::uint8_t>, std::int32_t,
+                                                std::span<ArgPair>, std::span<ArgPair>,
+                                                std::span<const std::int32_t>, int,
+                                                std::span<std::int32_t>, const SampleSelectConfig&,
+                                                simt::LaunchOrigin, int, int);
 
 }  // namespace gpusel::core

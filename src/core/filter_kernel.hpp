@@ -11,6 +11,7 @@
 #include <span>
 
 #include "core/config.hpp"
+#include "core/key_payload.hpp"
 #include "simt/device.hpp"
 
 namespace gpusel::core {
@@ -67,5 +68,19 @@ extern template void filter_fused_topk_kernel<double>(simt::Device&, std::span<c
                                                       std::span<std::int32_t>,
                                                       const SampleSelectConfig&,
                                                       simt::LaunchOrigin, int, int);
+extern template void filter_kernel<ArgPair>(simt::Device&, std::span<const ArgPair>,
+                                            std::span<const std::uint8_t>, std::int32_t,
+                                            std::span<ArgPair>, std::span<const std::int32_t>,
+                                            int, std::span<std::int32_t>,
+                                            const SampleSelectConfig&, simt::LaunchOrigin, int,
+                                            int);
+extern template void filter_fused_topk_kernel<ArgPair>(simt::Device&, std::span<const ArgPair>,
+                                                       std::span<const std::uint8_t>,
+                                                       std::int32_t, std::span<ArgPair>,
+                                                       std::span<ArgPair>,
+                                                       std::span<const std::int32_t>, int,
+                                                       std::span<std::int32_t>,
+                                                       const SampleSelectConfig&,
+                                                       simt::LaunchOrigin, int, int);
 
 }  // namespace gpusel::core

@@ -31,13 +31,27 @@
 #include <limits>
 #include <span>
 #include <type_traits>
+#include <utility>
 
 namespace gpusel::core {
 
-/// True if x is a NaN key (false for every non-floating-point type).
+/// Detects key+payload element types (core/key_payload.hpp and structural
+/// equivalents): anything with .key and .payload members.  Their total
+/// order is the key total order with the payload as tie-break, so that
+/// (key, index) pairs order strictly and argselect is deterministic.
+template <typename T, typename = void>
+inline constexpr bool is_key_payload_v = false;
+template <typename T>
+inline constexpr bool is_key_payload_v<
+    T, std::void_t<decltype(std::declval<T>().key), decltype(std::declval<T>().payload)>> = true;
+
+/// True if x is a NaN key (false for every non-floating-point type; for
+/// key+payload elements, decided by the key).
 template <typename T>
 [[nodiscard]] constexpr bool is_nan_key(T x) noexcept {
-    if constexpr (std::is_floating_point_v<T>) {
+    if constexpr (is_key_payload_v<T>) {
+        return is_nan_key(x.key);
+    } else if constexpr (std::is_floating_point_v<T>) {
         return x != x;
     } else {
         (void)x;
@@ -46,30 +60,49 @@ template <typename T>
 }
 
 /// Strict weak order: `<` on non-NaN keys, NaN above everything, all NaNs
-/// equal.
+/// equal.  Key+payload elements order by the key's total order, then by
+/// payload -- a *strict* total order when payloads are distinct, including
+/// within the NaN tail.
 template <typename T>
 [[nodiscard]] constexpr bool total_less(T a, T b) noexcept {
-    if constexpr (std::is_floating_point_v<T>) {
-        if (is_nan_key(a)) return false;       // NaN is the maximum: never less
-        if (is_nan_key(b)) return true;        // non-NaN < NaN
+    if constexpr (is_key_payload_v<T>) {
+        if (total_less(a.key, b.key)) return true;
+        if (total_less(b.key, a.key)) return false;
+        return a.payload < b.payload;
+    } else {
+        if constexpr (std::is_floating_point_v<T>) {
+            if (is_nan_key(a)) return false;   // NaN is the maximum: never less
+            if (is_nan_key(b)) return true;    // non-NaN < NaN
+        }
+        return a < b;
     }
-    return a < b;
 }
 
 /// Equality of the total order: `==` on non-NaN keys, NaN == NaN.
+/// Key+payload elements are equal only if both components are.
 template <typename T>
 [[nodiscard]] constexpr bool total_equal(T a, T b) noexcept {
-    if constexpr (std::is_floating_point_v<T>) {
-        if (is_nan_key(a) || is_nan_key(b)) return is_nan_key(a) && is_nan_key(b);
+    if constexpr (is_key_payload_v<T>) {
+        return total_equal(a.key, b.key) && a.payload == b.payload;
+    } else {
+        if constexpr (std::is_floating_point_v<T>) {
+            if (is_nan_key(a) || is_nan_key(b)) return is_nan_key(a) && is_nan_key(b);
+        }
+        return a == b;
     }
-    return a == b;
 }
 
-/// The representative NaN returned for ranks inside the NaN tail.
+/// The representative NaN returned for ranks inside the NaN tail (for
+/// key+payload elements: NaN key, value-initialized payload).
 template <typename T>
 [[nodiscard]] constexpr T quiet_nan() noexcept {
-    static_assert(std::is_floating_point_v<T>);
-    return std::numeric_limits<T>::quiet_NaN();
+    if constexpr (is_key_payload_v<T>) {
+        using K = std::remove_cvref_t<decltype(std::declval<T>().key)>;
+        return T{quiet_nan<K>(), {}};
+    } else {
+        static_assert(std::is_floating_point_v<T>);
+        return std::numeric_limits<T>::quiet_NaN();
+    }
 }
 
 /// Staging pre-pass: moves every NaN key behind the non-NaN keys (order
@@ -78,7 +111,7 @@ template <typename T>
 /// 0 for non-floating-point types and NaN-free data.
 template <typename T>
 std::size_t partition_nans_to_back(std::span<T> data) noexcept {
-    if constexpr (!std::is_floating_point_v<T>) {
+    if constexpr (!std::is_floating_point_v<T> && !is_key_payload_v<T>) {
         (void)data;
         return 0;
     } else {
@@ -100,7 +133,7 @@ std::size_t partition_nans_to_back(std::span<T> data) noexcept {
 /// Counts NaN keys without reordering (read-only inputs).
 template <typename T>
 [[nodiscard]] std::size_t count_nan_keys(std::span<const T> data) noexcept {
-    if constexpr (!std::is_floating_point_v<T>) {
+    if constexpr (!std::is_floating_point_v<T> && !is_key_payload_v<T>) {
         (void)data;
         return 0;
     } else {

@@ -514,5 +514,32 @@ extern template void sort_base_case<float>(const PipelineContext&, std::span<flo
                                            simt::LaunchOrigin);
 extern template void sort_base_case<double>(const PipelineContext&, std::span<double>,
                                             simt::LaunchOrigin);
+extern template struct LevelOutcome<ArgPair>;
+extern template LevelOutcome<ArgPair> run_bucket_level<ArgPair>(const PipelineContext&,
+                                                                std::span<const ArgPair>,
+                                                                std::size_t, simt::LaunchOrigin,
+                                                                std::uint64_t,
+                                                                const LevelOptions&);
+extern template LevelOutcome<ArgPair> run_pivot_level<ArgPair>(const PipelineContext&,
+                                                               std::span<const ArgPair>,
+                                                               std::size_t, simt::LaunchOrigin,
+                                                               const LevelOptions&);
+extern template Result<LevelOutcome<ArgPair>> try_run_bucket_level<ArgPair>(
+    const PipelineContext&, std::span<const ArgPair>, std::size_t, simt::LaunchOrigin,
+    std::uint64_t, const LevelOptions&);
+extern template Result<LevelOutcome<ArgPair>> try_run_pivot_level<ArgPair>(
+    const PipelineContext&, std::span<const ArgPair>, std::size_t, simt::LaunchOrigin,
+    const LevelOptions&);
+extern template void filter_bucket<ArgPair>(const PipelineContext&, std::span<const ArgPair>,
+                                            const LevelOutcome<ArgPair>&, std::int32_t,
+                                            std::span<ArgPair>, simt::LaunchOrigin);
+extern template void filter_topk<ArgPair>(const PipelineContext&, std::span<const ArgPair>,
+                                          const LevelOutcome<ArgPair>&, std::span<ArgPair>,
+                                          std::span<ArgPair>, std::int32_t, simt::LaunchOrigin);
+extern template void launch_copy<ArgPair>(simt::Device&, std::span<const ArgPair>, std::size_t,
+                                          std::span<ArgPair>, std::size_t, std::size_t,
+                                          simt::LaunchOrigin, int, int);
+extern template void sort_base_case<ArgPair>(const PipelineContext&, std::span<ArgPair>,
+                                             simt::LaunchOrigin);
 
 }  // namespace gpusel::core

@@ -63,5 +63,8 @@ template SearchTree<float> sample_splitters<float>(simt::Device&, std::span<cons
 template SearchTree<double> sample_splitters<double>(simt::Device&, std::span<const double>,
                                                      const SampleSelectConfig&, simt::LaunchOrigin,
                                                      std::uint64_t, int);
+template SearchTree<ArgPair> sample_splitters<ArgPair>(simt::Device&, std::span<const ArgPair>,
+                                                       const SampleSelectConfig&,
+                                                       simt::LaunchOrigin, std::uint64_t, int);
 
 }  // namespace gpusel::core

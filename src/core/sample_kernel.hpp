@@ -29,5 +29,10 @@ extern template SearchTree<double> sample_splitters<double>(simt::Device&, std::
                                                             const SampleSelectConfig&,
                                                             simt::LaunchOrigin, std::uint64_t,
                                                             int);
+extern template SearchTree<ArgPair> sample_splitters<ArgPair>(simt::Device&,
+                                                              std::span<const ArgPair>,
+                                                              const SampleSelectConfig&,
+                                                              simt::LaunchOrigin, std::uint64_t,
+                                                              int);
 
 }  // namespace gpusel::core

@@ -262,5 +262,16 @@ template SelectResult<float> sample_select_staged<float>(simt::Device&, DataHold
 template SelectResult<double> sample_select_staged<double>(simt::Device&, DataHolder<double>,
                                                            std::size_t, const SampleSelectConfig&,
                                                            int);
+template Result<SelectResult<ArgPair>> try_sample_select<ArgPair>(simt::Device&,
+                                                                  std::span<const ArgPair>,
+                                                                  std::size_t,
+                                                                  const SampleSelectConfig&);
+template Result<SelectResult<ArgPair>> try_sample_select_staged<ArgPair>(
+    simt::Device&, DataHolder<ArgPair>, std::size_t, const SampleSelectConfig&, int);
+template SelectResult<ArgPair> sample_select<ArgPair>(simt::Device&, std::span<const ArgPair>,
+                                                      std::size_t, const SampleSelectConfig&);
+template SelectResult<ArgPair> sample_select_staged<ArgPair>(simt::Device&, DataHolder<ArgPair>,
+                                                             std::size_t,
+                                                             const SampleSelectConfig&, int);
 
 }  // namespace gpusel::core

@@ -133,5 +133,18 @@ extern template SelectResult<float> sample_select_staged<float>(simt::Device&, D
 extern template SelectResult<double> sample_select_staged<double>(simt::Device&,
                                                                   DataHolder<double>, std::size_t,
                                                                   const SampleSelectConfig&, int);
+extern template Result<SelectResult<ArgPair>> try_sample_select<ArgPair>(
+    simt::Device&, std::span<const ArgPair>, std::size_t, const SampleSelectConfig&);
+extern template Result<SelectResult<ArgPair>> try_sample_select_staged<ArgPair>(
+    simt::Device&, DataHolder<ArgPair>, std::size_t, const SampleSelectConfig&, int);
+extern template SelectResult<ArgPair> sample_select<ArgPair>(simt::Device&,
+                                                             std::span<const ArgPair>,
+                                                             std::size_t,
+                                                             const SampleSelectConfig&);
+extern template SelectResult<ArgPair> sample_select_staged<ArgPair>(simt::Device&,
+                                                                    DataHolder<ArgPair>,
+                                                                    std::size_t,
+                                                                    const SampleSelectConfig&,
+                                                                    int);
 
 }  // namespace gpusel::core

@@ -69,5 +69,6 @@ SearchTree<T> SearchTree<T>::build(std::vector<T> sorted_splitters) {
 
 template struct SearchTree<float>;
 template struct SearchTree<double>;
+template struct SearchTree<ArgPair>;
 
 }  // namespace gpusel::core

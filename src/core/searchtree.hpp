@@ -22,6 +22,9 @@
 #include <type_traits>
 #include <vector>
 
+#include "core/float_order.hpp"
+#include "core/key_payload.hpp"
+
 namespace gpusel::core {
 
 template <typename T>
@@ -55,9 +58,7 @@ struct SearchTree {
     /// lands in the last bucket instead of taking a comparison-dependent
     /// path through the tree.
     [[nodiscard]] std::int32_t find_bucket(T x) const noexcept {
-        if constexpr (std::is_floating_point_v<T>) {
-            if (x != x) return num_buckets - 1;
-        }
+        if (is_nan_key(x)) return num_buckets - 1;
         std::int32_t i = 0;
         for (std::int32_t l = 0; l < height; ++l) {
             const bool left = leq[static_cast<std::size_t>(i)]
@@ -76,5 +77,6 @@ struct SearchTree {
 
 extern template struct SearchTree<float>;
 extern template struct SearchTree<double>;
+extern template struct SearchTree<ArgPair>;
 
 }  // namespace gpusel::core

@@ -1,6 +1,7 @@
 #include "core/topk.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 #include <utility>
 
@@ -305,43 +306,54 @@ Result<TopKIndexResult<T>> try_topk_largest_with_indices(simt::Device& dev,
                     T elems[simt::kWarpSize];
                     bool gt[simt::kWarpSize];
                     bool eq[simt::kWarpSize];
+                    std::int32_t idx32[simt::kWarpSize];
                     const std::int32_t zeros[simt::kWarpSize] = {};
                     std::int32_t off[simt::kWarpSize];
                     w.load(dspan, base, elems);
+                    std::uint32_t gt_mask = 0;
                     for (int l = 0; l < w.lanes(); ++l) {
                         gt[l] = total_less(threshold, elems[l]);
                         eq[l] = total_equal(elems[l], threshold);
+                        if (gt[l]) gt_mask |= 1u << l;
+                        idx32[l] = static_cast<std::int32_t>(base + static_cast<std::size_t>(l));
                     }
                     w.add_instr(2 * static_cast<std::uint64_t>(w.lanes()));
 
                     w.fetch_add(simt::AtomicSpace::global, cursors.span().subspan(0, 1), zeros,
                                 off,
                                 /*aggregated=*/true, 1, gt);
-                    std::uint64_t written = 0;
-                    for (int l = 0; l < w.lanes(); ++l) {
-                        if (gt[l]) {
-                            const auto slot = static_cast<std::size_t>(off[l]);
-                            blk.st(out_vals.span(), slot, elems[l]);
-                            blk.st(out_idx.span(), slot,
-                                   static_cast<std::int32_t>(base + static_cast<std::size_t>(l)));
-                            ++written;
-                        }
+                    // Aggregated offsets are lane-ordered consecutive, so
+                    // each (values, indices) scatter is a compress-store
+                    // pair; the sparse in-tile element reads are charged
+                    // as before.
+                    if (gt_mask != 0) {
+                        const auto slot =
+                            static_cast<std::size_t>(off[std::countr_zero(gt_mask)]);
+                        w.compress_store(out_vals.span(), slot, gt_mask, elems);
+                        w.compress_store(out_idx.span(), slot, gt_mask, idx32);
+                        w.block().counters().scattered_bytes_read +=
+                            static_cast<std::uint64_t>(std::popcount(gt_mask)) * sizeof(T);
                     }
                     w.fetch_add(simt::AtomicSpace::global, cursors.span().subspan(1, 1), zeros,
                                 off,
                                 /*aggregated=*/true, 1, eq);
+                    // The take set is the offset-capped prefix of the eq
+                    // lanes (consecutive offsets again), so it compresses
+                    // the same way.
+                    std::uint32_t take = 0;
                     for (int l = 0; l < w.lanes(); ++l) {
                         if (eq[l] && static_cast<std::size_t>(off[l]) < eq_needed) {
-                            const std::size_t slot = n_gt + static_cast<std::size_t>(off[l]);
-                            blk.st(out_vals.span(), slot, elems[l]);
-                            blk.st(out_idx.span(), slot,
-                                   static_cast<std::int32_t>(base + static_cast<std::size_t>(l)));
-                            ++written;
+                            take |= 1u << l;
                         }
                     }
-                    w.block().counters().scattered_bytes_read += written * sizeof(T);
-                    w.block().counters().global_bytes_written +=
-                        written * (sizeof(T) + sizeof(std::int32_t));
+                    if (take != 0) {
+                        const std::size_t slot =
+                            n_gt + static_cast<std::size_t>(off[std::countr_zero(take)]);
+                        w.compress_store(out_vals.span(), slot, take, elems);
+                        w.compress_store(out_idx.span(), slot, take, idx32);
+                        w.block().counters().scattered_bytes_read +=
+                            static_cast<std::uint64_t>(std::popcount(take)) * sizeof(T);
+                    }
                 });
             });
     });

@@ -39,6 +39,7 @@
 #include "simt/arch.hpp"
 #include "simt/counters.hpp"
 #include "simt/sanitizer.hpp"
+#include "simt/simd.hpp"
 
 namespace gpusel::simt {
 
@@ -73,6 +74,25 @@ public:
     /// Counts as coalesced traffic (consecutive addresses within the warp).
     template <typename T>
     void store_compacted(std::span<T> dst, std::size_t pos, const bool* pred, const T* regs) const;
+    /// Mask form of store_compacted on the SIMD compress-store engine:
+    /// lanes whose mask bit is set write regs[l] to dst[pos], dst[pos+1],
+    /// ... in lane order (one vcompressps-style tile op instead of a
+    /// per-lane loop).  Charges and shadow-checks identically to
+    /// store_compacted; returns the count written.
+    template <typename T>
+    int compress_store(std::span<T> dst, std::size_t pos, std::uint32_t mask, const T* regs) const;
+    /// Reversed variant for the right side of a bipartition: selected
+    /// lanes land at dst[pos_hi], dst[pos_hi - 1], ... in lane order.
+    template <typename T>
+    int compress_store_rev(std::span<T> dst, std::size_t pos_hi, std::uint32_t mask,
+                           const T* regs) const;
+    /// Fused scattered-gather + compacted store: lanes whose mask bit is
+    /// set re-read src[src_base + l] (scattered-read traffic, matching the
+    /// filter kernels' second data pass) and write the values to
+    /// consecutive slots starting at dst[pos].  Returns the count written.
+    template <typename T>
+    int compress_gather_store(std::span<T> dst, std::size_t pos, std::span<const T> src,
+                              std::size_t src_base, std::uint32_t mask) const;
 
     // ---- warp votes / shuffles -------------------------------------------
     /// __ballot_sync equivalent over the active lanes.
@@ -514,6 +534,71 @@ void WarpCtx::store_compacted(std::span<T> dst, std::size_t pos, const bool* pre
         }
     }
     blk_->counters_.global_bytes_written += written * sizeof(T);
+}
+
+template <typename T>
+int WarpCtx::compress_store(std::span<T> dst, std::size_t pos, std::uint32_t mask,
+                            const T* regs) const {
+    if (lanes_ < 32) mask &= (1u << lanes_) - 1u;
+    const auto count = static_cast<std::size_t>(std::popcount(mask));
+    if (Sanitizer* san = blk_->san_; san != nullptr && count > 0) {
+        if (pos + count > dst.size()) {
+            san->oob(ViolationKind::global_oob, "compress_store", pos + count - 1, dst.size(),
+                     blk_->block_idx_);
+        }
+        san->global_write(dst.data() + pos, count * sizeof(T), blk_->block_idx_,
+                          "compress_store");
+    }
+    const int n = simd::compress_store(regs, mask, lanes_, dst.data() + pos);
+    blk_->counters_.global_bytes_written += static_cast<std::uint64_t>(n) * sizeof(T);
+    return n;
+}
+
+template <typename T>
+int WarpCtx::compress_store_rev(std::span<T> dst, std::size_t pos_hi, std::uint32_t mask,
+                                const T* regs) const {
+    if (lanes_ < 32) mask &= (1u << lanes_) - 1u;
+    const auto count = static_cast<std::size_t>(std::popcount(mask));
+    if (Sanitizer* san = blk_->san_; san != nullptr && count > 0) {
+        if (pos_hi >= dst.size() || pos_hi + 1 < count) {
+            san->oob(ViolationKind::global_oob, "compress_store_rev", pos_hi, dst.size(),
+                     blk_->block_idx_);
+        }
+        san->global_write(dst.data() + (pos_hi + 1 - count), count * sizeof(T),
+                          blk_->block_idx_, "compress_store_rev");
+    }
+    const int n = simd::compress_store_reverse(regs, mask, lanes_, dst.data() + pos_hi);
+    blk_->counters_.global_bytes_written += static_cast<std::uint64_t>(n) * sizeof(T);
+    return n;
+}
+
+template <typename T>
+int WarpCtx::compress_gather_store(std::span<T> dst, std::size_t pos, std::span<const T> src,
+                                   std::size_t src_base, std::uint32_t mask) const {
+    if (lanes_ < 32) mask &= (1u << lanes_) - 1u;
+    const auto count = static_cast<std::size_t>(std::popcount(mask));
+    if (Sanitizer* san = blk_->san_; san != nullptr && count > 0) {
+        for (int l = 0; l < lanes_; ++l) {
+            if (((mask >> l) & 1u) == 0) continue;
+            const std::size_t i = src_base + static_cast<std::size_t>(l);
+            if (i >= src.size()) {
+                san->oob(ViolationKind::global_oob, "compress_gather_store", i, src.size(),
+                         blk_->block_idx_);
+            }
+            san->global_read(src.data() + i, sizeof(T), blk_->block_idx_,
+                             "compress_gather_store");
+        }
+        if (pos + count > dst.size()) {
+            san->oob(ViolationKind::global_oob, "compress_gather_store", pos + count - 1,
+                     dst.size(), blk_->block_idx_);
+        }
+        san->global_write(dst.data() + pos, count * sizeof(T), blk_->block_idx_,
+                          "compress_gather_store");
+    }
+    const int n = simd::compress_store(src.data() + src_base, mask, lanes_, dst.data() + pos);
+    blk_->counters_.scattered_bytes_read += static_cast<std::uint64_t>(n) * sizeof(T);
+    blk_->counters_.global_bytes_written += static_cast<std::uint64_t>(n) * sizeof(T);
+    return n;
 }
 
 template <typename T>

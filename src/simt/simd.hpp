@@ -25,6 +25,7 @@
 //     defensive __builtin_cpu_supports check.  Tests flip tiers in-process
 //     via set_level()/set_enabled().
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -136,6 +137,43 @@ inline std::uint32_t cmp_eq_mask(const T* elems, T pivot, int lanes) {
 }
 
 template <typename T>
+inline std::uint32_t cmp_gt_mask(const T* elems, T pivot, int lanes) {
+    std::uint32_t m = 0;
+    for (int l = 0; l < lanes; ++l) {
+        if (pivot < elems[l]) m |= (1u << l);
+    }
+    return m;
+}
+
+inline std::uint32_t byte_eq_mask(const std::uint8_t* v, std::uint8_t x, int lanes) {
+    std::uint32_t m = 0;
+    for (int l = 0; l < lanes; ++l) {
+        if (v[l] == x) m |= (1u << l);
+    }
+    return m;
+}
+
+inline std::uint32_t byte_gt_mask(const std::uint8_t* v, std::uint8_t x, int lanes) {
+    std::uint32_t m = 0;
+    for (int l = 0; l < lanes; ++l) {
+        if (v[l] > x) m |= (1u << l);
+    }
+    return m;
+}
+
+/// Masked compress-store reference: the elements of src whose mask bit is
+/// set are written to dst contiguously in lane order.  Mask bits at
+/// positions >= lanes are ignored.  Returns the count written.
+template <typename T>
+inline int compress_store(const T* src, std::uint32_t mask, int lanes, T* dst) {
+    int n = 0;
+    for (int l = 0; l < lanes; ++l) {
+        if ((mask >> l) & 1u) dst[n++] = src[l];
+    }
+    return n;
+}
+
+template <typename T>
 inline void blend(const T* a, const T* b, std::uint32_t take_b, int lanes, T* out) {
     for (int l = 0; l < lanes; ++l) out[l] = (take_b >> l) & 1u ? b[l] : a[l];
 }
@@ -157,7 +195,7 @@ inline void bitonic_step(T* a, std::size_t m, std::size_t j, std::size_t k) {
         const std::size_t partner = i ^ j;
         if (partner > i) {
             const bool ascending = (i & k) == 0;
-            if ((a[i] > a[partner]) == ascending) {
+            if ((a[partner] < a[i]) == ascending) {
                 const T tmp = a[i];
                 a[i] = a[partner];
                 a[partner] = tmp;
@@ -305,6 +343,59 @@ inline std::uint32_t cmp_eq_mask(const double* elems, double pivot, int lanes) {
         m |= bits << l;
     }
     if (l < lanes) m |= scalar::cmp_eq_mask(elems + l, pivot, lanes - l) << l;
+    return m;
+}
+
+inline std::uint32_t cmp_gt_mask(const float* elems, float pivot, int lanes) {
+    const __m128 p = _mm_set1_ps(pivot);
+    std::uint32_t m = 0;
+    int l = 0;
+    for (; l + 4 <= lanes; l += 4) {
+        const auto bits =
+            static_cast<std::uint32_t>(_mm_movemask_ps(_mm_cmpgt_ps(_mm_loadu_ps(elems + l), p)));
+        m |= bits << l;
+    }
+    if (l < lanes) m |= scalar::cmp_gt_mask(elems + l, pivot, lanes - l) << l;
+    return m;
+}
+
+inline std::uint32_t cmp_gt_mask(const double* elems, double pivot, int lanes) {
+    const __m128d p = _mm_set1_pd(pivot);
+    std::uint32_t m = 0;
+    int l = 0;
+    for (; l + 2 <= lanes; l += 2) {
+        const auto bits = static_cast<std::uint32_t>(
+            _mm_movemask_pd(_mm_cmpgt_pd(_mm_loadu_pd(elems + l), p)));
+        m |= bits << l;
+    }
+    if (l < lanes) m |= scalar::cmp_gt_mask(elems + l, pivot, lanes - l) << l;
+    return m;
+}
+
+inline std::uint32_t byte_eq_mask(const std::uint8_t* v, std::uint8_t x, int lanes) {
+    const __m128i bx = _mm_set1_epi8(static_cast<char>(x));
+    std::uint32_t m = 0;
+    int l = 0;
+    for (; l + 16 <= lanes; l += 16) {
+        const __m128i e = _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + l));
+        m |= static_cast<std::uint32_t>(_mm_movemask_epi8(_mm_cmpeq_epi8(e, bx))) << l;
+    }
+    if (l < lanes) m |= scalar::byte_eq_mask(v + l, x, lanes - l) << l;
+    return m;
+}
+
+inline std::uint32_t byte_gt_mask(const std::uint8_t* v, std::uint8_t x, int lanes) {
+    // Unsigned v > x via max_epu8: max(x, v) == x holds iff v <= x.
+    const __m128i bx = _mm_set1_epi8(static_cast<char>(x));
+    std::uint32_t m = 0;
+    int l = 0;
+    for (; l + 16 <= lanes; l += 16) {
+        const __m128i e = _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + l));
+        const __m128i le = _mm_cmpeq_epi8(_mm_max_epu8(bx, e), bx);
+        const auto bits = ~static_cast<std::uint32_t>(_mm_movemask_epi8(le)) & 0xffffu;
+        m |= bits << l;
+    }
+    if (l < lanes) m |= scalar::byte_gt_mask(v + l, x, lanes - l) << l;
     return m;
 }
 
@@ -592,6 +683,165 @@ inline std::uint32_t cmp_eq_mask(const double* elems, double pivot, int lanes) {
     return m;
 }
 
+inline std::uint32_t cmp_gt_mask(const float* elems, float pivot, int lanes) {
+    const __m256 p = _mm256_set1_ps(pivot);
+    std::uint32_t m = 0;
+    int l = 0;
+    for (; l + 8 <= lanes; l += 8) {
+        const auto bits = static_cast<std::uint32_t>(
+            _mm256_movemask_ps(_mm256_cmp_ps(_mm256_loadu_ps(elems + l), p, _CMP_GT_OQ)));
+        m |= bits << l;
+    }
+    if (l < lanes) m |= scalar::cmp_gt_mask(elems + l, pivot, lanes - l) << l;
+    return m;
+}
+
+inline std::uint32_t cmp_gt_mask(const double* elems, double pivot, int lanes) {
+    const __m256d p = _mm256_set1_pd(pivot);
+    std::uint32_t m = 0;
+    int l = 0;
+    for (; l + 4 <= lanes; l += 4) {
+        const auto bits = static_cast<std::uint32_t>(
+            _mm256_movemask_pd(_mm256_cmp_pd(_mm256_loadu_pd(elems + l), p, _CMP_GT_OQ)));
+        m |= bits << l;
+    }
+    if (l < lanes) m |= scalar::cmp_gt_mask(elems + l, pivot, lanes - l) << l;
+    return m;
+}
+
+inline std::uint32_t byte_eq_mask(const std::uint8_t* v, std::uint8_t x, int lanes) {
+    if (lanes == 32) {
+        const __m256i e = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v));
+        const __m256i eq = _mm256_cmpeq_epi8(e, _mm256_set1_epi8(static_cast<char>(x)));
+        return static_cast<std::uint32_t>(_mm256_movemask_epi8(eq));
+    }
+    return scalar::byte_eq_mask(v, x, lanes);
+}
+
+inline std::uint32_t byte_gt_mask(const std::uint8_t* v, std::uint8_t x, int lanes) {
+    if (lanes == 32) {
+        // Unsigned v > x via max_epu8: max(x, v) == x holds iff v <= x.
+        const __m256i bx = _mm256_set1_epi8(static_cast<char>(x));
+        const __m256i e = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v));
+        const __m256i le = _mm256_cmpeq_epi8(_mm256_max_epu8(bx, e), bx);
+        return ~static_cast<std::uint32_t>(_mm256_movemask_epi8(le));
+    }
+    return scalar::byte_gt_mask(v, x, lanes);
+}
+
+namespace detail {
+
+/// Permute-index tables emulating AVX-512 vcompressps on AVX2
+/// (x86-simd-sort's partitioning trick): entry [m] lists the set-bit
+/// positions of the 8-bit (4-bit pair) mask m in ascending order, so a
+/// single permutevar8x32 packs the selected lanes to the vector front.
+struct CompressLut8 {
+    std::int32_t idx[256][8];
+};
+constexpr CompressLut8 make_compress_lut8() {
+    CompressLut8 t{};
+    for (int m = 0; m < 256; ++m) {
+        int n = 0;
+        for (int b = 0; b < 8; ++b) {
+            if ((m >> b) & 1) t.idx[m][n++] = b;
+        }
+        for (; n < 8; ++n) t.idx[m][n] = 0;
+    }
+    return t;
+}
+inline constexpr CompressLut8 kCompressLut8 = make_compress_lut8();
+
+/// 8-byte-lane variant: 4-bit masks over epi64 lanes, expressed as pairs
+/// of epi32 permute indices (2b, 2b+1) so the same permutevar8x32 applies.
+struct CompressLut4 {
+    std::int32_t idx[16][8];
+};
+constexpr CompressLut4 make_compress_lut4() {
+    CompressLut4 t{};
+    for (int m = 0; m < 16; ++m) {
+        int n = 0;
+        for (int b = 0; b < 4; ++b) {
+            if ((m >> b) & 1) {
+                t.idx[m][2 * n] = 2 * b;
+                t.idx[m][2 * n + 1] = 2 * b + 1;
+                ++n;
+            }
+        }
+        for (; n < 4; ++n) {
+            t.idx[m][2 * n] = 0;
+            t.idx[m][2 * n + 1] = 0;
+        }
+    }
+    return t;
+}
+inline constexpr CompressLut4 kCompressLut4 = make_compress_lut4();
+
+}  // namespace detail
+
+/// Masked compress-store of 4-byte lanes (bit-preserving through integer
+/// registers, so float payloads incl. NaN move unquieted).  Full 8-lane
+/// chunks take the LUT permute + tail-masked store; the remainder is the
+/// scalar loop.  Returns the count written.
+inline int compress_store_4(const void* src, std::uint32_t mask, int lanes, void* dst) {
+    const auto* in = static_cast<const unsigned char*>(src);
+    auto* out = static_cast<unsigned char*>(dst);
+    const __m256i lane_ids = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    int written = 0;
+    int l = 0;
+    for (; l + 8 <= lanes; l += 8) {
+        const std::uint32_t m8 = (mask >> l) & 0xffu;
+        const __m256i v =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + 4u * static_cast<unsigned>(l)));
+        const __m256i perm = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(detail::kCompressLut8.idx[m8]));
+        const __m256i packed = _mm256_permutevar8x32_epi32(v, perm);
+        const int cnt = std::popcount(m8);
+        const __m256i keep = _mm256_cmpgt_epi32(_mm256_set1_epi32(cnt), lane_ids);
+        _mm256_maskstore_epi32(
+            reinterpret_cast<std::int32_t*>(out + 4u * static_cast<unsigned>(written)), keep,
+            packed);
+        written += cnt;
+    }
+    for (; l < lanes; ++l) {
+        if ((mask >> l) & 1u) {
+            std::memcpy(out + 4u * static_cast<unsigned>(written),
+                        in + 4u * static_cast<unsigned>(l), 4);
+            ++written;
+        }
+    }
+    return written;
+}
+
+/// 8-byte-lane compress-store (KeyPayload/double payloads).
+inline int compress_store_8(const void* src, std::uint32_t mask, int lanes, void* dst) {
+    const auto* in = static_cast<const unsigned char*>(src);
+    auto* out = static_cast<unsigned char*>(dst);
+    const __m256i pair_ids = _mm256_setr_epi64x(0, 1, 2, 3);
+    int written = 0;
+    int l = 0;
+    for (; l + 4 <= lanes; l += 4) {
+        const std::uint32_t m4 = (mask >> l) & 0xfu;
+        const __m256i v =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + 8u * static_cast<unsigned>(l)));
+        const __m256i perm = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(detail::kCompressLut4.idx[m4]));
+        const __m256i packed = _mm256_permutevar8x32_epi32(v, perm);
+        const int cnt = std::popcount(m4);
+        const __m256i keep = _mm256_cmpgt_epi64(_mm256_set1_epi64x(cnt), pair_ids);
+        _mm256_maskstore_epi64(
+            reinterpret_cast<long long*>(out + 8u * static_cast<unsigned>(written)), keep, packed);
+        written += cnt;
+    }
+    for (; l < lanes; ++l) {
+        if ((mask >> l) & 1u) {
+            std::memcpy(out + 8u * static_cast<unsigned>(written),
+                        in + 8u * static_cast<unsigned>(l), 8);
+            ++written;
+        }
+    }
+    return written;
+}
+
 inline void pack_low_bytes(const std::int32_t* v, int lanes, std::uint8_t* out) {
     if (lanes == 32) {
         const auto* p = reinterpret_cast<const __m256i*>(v);
@@ -820,6 +1070,42 @@ inline void bitonic_step(double* a, std::size_t m, std::size_t j, std::size_t k)
     }
 }
 
+/// Native masked compress-store of 4-byte lanes (vcompressps family).
+/// Partial chunks use a masked load so no bytes past `lanes` are touched.
+inline int compress_store_4(const void* src, std::uint32_t mask, int lanes, void* dst) {
+    const auto* in = static_cast<const unsigned char*>(src);
+    auto* out = static_cast<unsigned char*>(dst);
+    int written = 0;
+    for (int l = 0; l < lanes; l += 16) {
+        const int take = lanes - l;
+        const __mmask16 lm =
+            take >= 16 ? static_cast<__mmask16>(0xffffu)
+                       : static_cast<__mmask16>((1u << take) - 1u);
+        const auto m16 = static_cast<__mmask16>((mask >> l) & lm);
+        const __m512i v = _mm512_maskz_loadu_epi32(lm, in + 4u * static_cast<unsigned>(l));
+        _mm512_mask_compressstoreu_epi32(out + 4u * static_cast<unsigned>(written), m16, v);
+        written += std::popcount(static_cast<std::uint32_t>(m16));
+    }
+    return written;
+}
+
+/// 8-byte-lane native compress-store (vcompresspd family).
+inline int compress_store_8(const void* src, std::uint32_t mask, int lanes, void* dst) {
+    const auto* in = static_cast<const unsigned char*>(src);
+    auto* out = static_cast<unsigned char*>(dst);
+    int written = 0;
+    for (int l = 0; l < lanes; l += 8) {
+        const int take = lanes - l;
+        const __mmask8 lm = take >= 8 ? static_cast<__mmask8>(0xffu)
+                                      : static_cast<__mmask8>((1u << take) - 1u);
+        const auto m8 = static_cast<__mmask8>((mask >> l) & lm);
+        const __m512i v = _mm512_maskz_loadu_epi64(lm, in + 8u * static_cast<unsigned>(l));
+        _mm512_mask_compressstoreu_epi64(out + 8u * static_cast<unsigned>(written), m8, v);
+        written += std::popcount(static_cast<std::uint32_t>(m8));
+    }
+    return written;
+}
+
 }  // namespace avx512
 #endif  // GPUSEL_SIMD_AVX512
 
@@ -924,6 +1210,98 @@ inline std::uint32_t cmp_eq_mask(const T* elems, T pivot, int lanes) {
         (void)lvl;
     }
     return scalar::cmp_eq_mask(elems, pivot, lanes);
+}
+
+/// Lane mask of pivot < elems[l] (NaN lanes compare false, bit clear).
+template <typename T>
+inline std::uint32_t cmp_gt_mask(const T* elems, T pivot, int lanes) {
+    if constexpr (kVectorizable<T>) {
+        const Level lvl = active_level();
+#if defined(GPUSEL_SIMD_AVX2)
+        if (lvl >= Level::avx2) return avx2::cmp_gt_mask(elems, pivot, lanes);
+#endif
+#if defined(GPUSEL_SIMD_SSE2)
+        if (lvl >= Level::sse2) return sse2::cmp_gt_mask(elems, pivot, lanes);
+#endif
+        (void)lvl;
+    }
+    return scalar::cmp_gt_mask(elems, pivot, lanes);
+}
+
+/// Lane mask of v[l] == x over a byte array (bucket-oracle compare).
+inline std::uint32_t byte_eq_mask(const std::uint8_t* v, std::uint8_t x, int lanes) {
+    const Level lvl = active_level();
+#if defined(GPUSEL_SIMD_AVX2)
+    if (lvl >= Level::avx2) return avx2::byte_eq_mask(v, x, lanes);
+#endif
+#if defined(GPUSEL_SIMD_SSE2)
+    if (lvl >= Level::sse2) return sse2::byte_eq_mask(v, x, lanes);
+#endif
+    (void)lvl;
+    return scalar::byte_eq_mask(v, x, lanes);
+}
+
+/// Lane mask of v[l] > x (unsigned byte compare).
+inline std::uint32_t byte_gt_mask(const std::uint8_t* v, std::uint8_t x, int lanes) {
+    const Level lvl = active_level();
+#if defined(GPUSEL_SIMD_AVX2)
+    if (lvl >= Level::avx2) return avx2::byte_gt_mask(v, x, lanes);
+#endif
+#if defined(GPUSEL_SIMD_SSE2)
+    if (lvl >= Level::sse2) return sse2::byte_gt_mask(v, x, lanes);
+#endif
+    (void)lvl;
+    return scalar::byte_gt_mask(v, x, lanes);
+}
+
+/// Expand a lane mask into a bool predicate array.
+inline void mask_to_pred(std::uint32_t mask, int lanes, bool* pred) {
+    for (int l = 0; l < lanes; ++l) pred[l] = ((mask >> l) & 1u) != 0;
+}
+
+/// Element types the compress-store engines handle: any trivially
+/// copyable 4- or 8-byte value moves through the integer permute/compress
+/// units bit-for-bit (float, int32, double, KeyPayload<float, uint32>).
+template <typename T>
+inline constexpr bool kCompressible =
+    std::is_trivially_copyable_v<T> && (sizeof(T) == 4 || sizeof(T) == 8);
+
+/// Masked compress-store: packs the lanes of `src` whose mask bit is set
+/// into a contiguous run at `dst`, preserving lane order; returns the
+/// count written.  Mask bits at positions >= lanes are ignored.  AVX-512
+/// uses the native vcompress path; AVX2 emulates it with a lookup-table
+/// permute (the x86-simd-sort partition trick); SSE2 has no usable
+/// shuffle-by-variable, so it falls through to the scalar loop.
+template <typename T>
+inline int compress_store(const T* src, std::uint32_t mask, int lanes, T* dst) {
+    if constexpr (kCompressible<T>) {
+        const Level lvl = active_level();
+#if defined(GPUSEL_SIMD_AVX512)
+        if (lvl >= Level::avx512) {
+            if constexpr (sizeof(T) == 4) return avx512::compress_store_4(src, mask, lanes, dst);
+            else return avx512::compress_store_8(src, mask, lanes, dst);
+        }
+#endif
+#if defined(GPUSEL_SIMD_AVX2)
+        if (lvl >= Level::avx2) {
+            if constexpr (sizeof(T) == 4) return avx2::compress_store_4(src, mask, lanes, dst);
+            else return avx2::compress_store_8(src, mask, lanes, dst);
+        }
+#endif
+        (void)lvl;
+    }
+    return scalar::compress_store(src, mask, lanes, dst);
+}
+
+/// Reversed compress-store for the right side of a bipartition: selected
+/// lanes land at dst_hi[0], dst_hi[-1], ... in lane order (matching the
+/// `n - 1 - offset` scatter convention).  Returns the count written.
+template <typename T>
+inline int compress_store_reverse(const T* src, std::uint32_t mask, int lanes, T* dst_hi) {
+    T tmp[kTileLanes];
+    const int n = compress_store(src, mask, lanes, tmp);
+    for (int i = 0; i < n; ++i) dst_hi[-i] = tmp[i];
+    return n;
 }
 
 /// out[l] = take_b bit l ? b[l] : a[l].

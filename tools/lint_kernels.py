@@ -28,6 +28,14 @@ Rules (each can be waived per line with ``// lint-kernels: allow(<rule>)``):
                           ``sync()`` (or a helper documented to sync, e.g.
                           ``sort_in_shared``).  Shared memory without a
                           barrier is almost always a cross-warp race.
+  R5  use-compress-store -- a per-lane ``for (l < ...lanes())`` loop that
+                          scatters through ``blk.st`` element by element.
+                          When the write positions are lane-ordered and
+                          consecutive (aggregated fetch_add offsets), the
+                          loop is a masked compress-store tile:
+                          ``w.compress_store`` (simt/block.hpp).  Waivable
+                          where offsets genuinely interleave
+                          (non-aggregated global cursors).
 
 Suppressions are themselves forbidden under ``src/core/`` -- the core kernels
 define the idiom and must stay exemplary; waivers are for baselines and
@@ -59,12 +67,14 @@ RULES = {
     "R2": "no-pointer-arith",
     "R3": "no-raw-subscript",
     "R4": "missing-sync",
+    "R5": "use-compress-store",
 }
 
 # Files whose kernel lambdas are subject to the gate.  Relative to repo root.
 DEFAULT_SCOPE = [
     "src/core/*_kernel.cpp",
     "src/core/topk.cpp",
+    "src/baselines/quickselect.cpp",
     "src/bitonic/*.hpp",
     "src/bitonic/*.cpp",
 ]
@@ -72,7 +82,7 @@ DEFAULT_SCOPE = [
 # Suppressions may never appear under these prefixes.
 NO_SUPPRESSION_PREFIXES = ("src/core/",)
 
-SUPPRESS_RE = re.compile(r"//\s*lint-kernels:\s*allow\(\s*(R[1-4])\s*\)", re.IGNORECASE)
+SUPPRESS_RE = re.compile(r"//\s*lint-kernels:\s*allow\(\s*(R[1-5])\s*\)", re.IGNORECASE)
 
 # A kernel lambda: any capture list followed by a BlockCtx& parameter.
 LAMBDA_HEAD_RE = re.compile(r"\[[^\[\]]*\]\s*\(\s*(?:gpusel::)?(?:simt::)?BlockCtx\s*&\s*\w+\s*\)")
@@ -240,6 +250,24 @@ def lint_file(path: pathlib.Path, rel: str) -> FileReport:
                 emit("R3", line_of(clean, start + m.start()),
                      f"raw subscript on span `{name}`; use blk.ld/blk.st (global) or "
                      "blk.shared_ld/blk.shared_st (shared memory)")
+
+        # R5: per-lane scatter loops where a compress-store tile applies.
+        # The tell is a store whose arguments index a register tile by the
+        # loop variable (``blk.st(out, off[l], elems[l])``); dense column
+        # scans that store a scalar accumulator are not scatters.
+        for m in re.finditer(
+                r"for\s*\(\s*(?:int|auto|std::\w+)\s+(\w+)\s*=[^;)]*;"
+                r"\s*\1\s*<\s*[\w.]*lanes\(\)\s*;[^)]*\)", body):
+            open_idx = body.find("{", m.end())
+            if open_idx < 0 or body[m.end():open_idx].strip():
+                continue
+            loop_body = body[open_idx:match_brace_block(body, open_idx)]
+            var = re.escape(m.group(1))
+            if re.search(r"\b\w+\.st\([^;]*\[\s*" + var + r"\s*\]", loop_body):
+                emit("R5", line_of(clean, start + m.start()),
+                     "per-lane scatter loop writes through blk.st element by element; "
+                     "lane-ordered consecutive offsets compress into one tile -- use "
+                     "w.compress_store / simd-tier compress_store primitives")
 
         # R4: shared memory allocated but no barrier in sight.
         alloc = SHARED_ALLOC_RE.search(body)
