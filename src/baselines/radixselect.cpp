@@ -1,11 +1,11 @@
 #include "baselines/radixselect.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <stdexcept>
 
 #include "bitonic/bitonic.hpp"
 #include "core/count_kernel.hpp"
+#include "core/radix_kernel.hpp"
 #include "core/reduce_kernel.hpp"
 #include "simt/timing.hpp"
 
@@ -20,81 +20,44 @@ void RadixSelectConfig::validate() const {
     }
 }
 
-std::uint32_t radix_key(float x) noexcept {
-    const auto u = std::bit_cast<std::uint32_t>(x);
-    // Positive floats: set the sign bit; negatives: flip all bits.
-    return (u & 0x80000000u) != 0 ? ~u : (u | 0x80000000u);
-}
+// The key bijection and the digit kernels moved to core/radix_kernel.hpp
+// when the radix backend was promoted into the pipeline; this baseline is
+// a thin shim over them (one digit per pass = a fused pass of one level),
+// kept for the classic fresh-allocation driver below and its goldens.
 
-std::uint64_t radix_key(double x) noexcept {
-    const auto u = std::bit_cast<std::uint64_t>(x);
-    return (u & 0x8000000000000000ULL) != 0 ? ~u : (u | 0x8000000000000000ULL);
-}
+std::uint32_t radix_key(float x) noexcept { return core::RadixTraits<float>::key(x); }
+
+std::uint64_t radix_key(double x) noexcept { return core::RadixTraits<double>::key(x); }
 
 namespace {
 
-template <typename T>
-using key_t = decltype(radix_key(T{}));
+constexpr std::size_t kBins = core::kRadixBins;
+static_assert(kDigitBits == core::kRadixDigitBits,
+              "baseline digit width must match the core radix kernels");
 
 template <typename T>
 constexpr int key_bits() noexcept {
-    return static_cast<int>(sizeof(key_t<T>) * 8);
+    return core::radix_key_bits<T>();
 }
 
-constexpr std::size_t kBins = std::size_t{1} << kDigitBits;
-
-template <typename T>
-std::int32_t digit_of(T x, int shift) noexcept {
-    return static_cast<std::int32_t>((radix_key(x) >> shift) & (kBins - 1));
+[[nodiscard]] core::RadixLaunchParams launch_params(const RadixSelectConfig& cfg) noexcept {
+    core::RadixLaunchParams p;
+    p.block_dim = cfg.block_dim;
+    p.unroll = cfg.unroll;
+    p.atomic_space = cfg.atomic_space;
+    p.warp_aggregation = cfg.warp_aggregation;
+    return p;
 }
 
-/// Digit histogram pass (the RadixSelect `count`).
+/// Digit histogram pass (the RadixSelect `count`): the core fused-histogram
+/// kernel at one level, which charges exactly what the classic one-digit
+/// pass did.
 template <typename T>
 int digit_count(simt::Device& dev, std::span<const T> data, int shift,
                 std::span<std::int32_t> totals, std::span<std::int32_t> block_counts,
                 const RadixSelectConfig& cfg, simt::LaunchOrigin origin) {
-    const std::size_t n = data.size();
-    const bool shared_mode = cfg.atomic_space == simt::AtomicSpace::shared;
-    const int grid = simt::suggest_grid(dev.arch(), n, cfg.block_dim, cfg.unroll);
-    dev.launch(
-        "radix_count",
-        {.grid_dim = grid, .block_dim = cfg.block_dim, .origin = origin, .unroll = cfg.unroll},
-        [&, n, shift, shared_mode](simt::BlockCtx& blk) {
-            std::span<std::int32_t> counters;
-            std::span<std::int32_t> sh;
-            if (shared_mode) {
-                sh = blk.shared_array<std::int32_t>(kBins);
-                std::fill(sh.begin(), sh.end(), 0);
-                blk.charge_shared(kBins * sizeof(std::int32_t));
-                blk.sync();
-                counters = sh;
-            } else {
-                counters = totals;
-            }
-            const auto space = shared_mode ? simt::AtomicSpace::shared : simt::AtomicSpace::global;
-            blk.warp_tiles(n, [&](simt::WarpCtx& w, std::size_t base, std::size_t) {
-                T elems[simt::kWarpSize];
-                std::int32_t digit[simt::kWarpSize];
-                w.load(data, base, elems);
-                for (int l = 0; l < w.lanes(); ++l) digit[l] = digit_of(elems[l], shift);
-                w.add_instr(2 * static_cast<std::uint64_t>(w.lanes()));
-                if (cfg.warp_aggregation) {
-                    w.atomic_add_aggregated(space, counters, digit, kDigitBits);
-                } else {
-                    w.atomic_add(space, counters, digit);
-                }
-            });
-            if (shared_mode) {
-                blk.sync();
-                const auto base = static_cast<std::size_t>(blk.block_idx()) * kBins;
-                for (std::size_t i = 0; i < kBins; ++i) {
-                    blk.st(block_counts, base + i, blk.shared_ld(sh, i));
-                }
-                blk.charge_shared(kBins * sizeof(std::int32_t));
-                blk.charge_global_write(kBins * sizeof(std::int32_t));
-            }
-        });
-    return grid;
+    return core::radix_count_fused<T>(dev, data, shift, /*levels=*/1, totals, block_counts,
+                                      launch_params(cfg), origin);
 }
 
 /// Extraction of the elements whose current digit equals `digit` (the digit
@@ -104,50 +67,8 @@ void digit_filter(simt::Device& dev, std::span<const T> data, int shift, std::in
                   std::span<T> out, std::span<const std::int32_t> block_offsets,
                   std::span<std::int32_t> cursor, const RadixSelectConfig& cfg,
                   simt::LaunchOrigin origin, int grid_dim) {
-    const std::size_t n = data.size();
-    const bool shared_mode = cfg.atomic_space == simt::AtomicSpace::shared;
-    dev.launch(
-        "radix_filter",
-        {.grid_dim = grid_dim, .block_dim = cfg.block_dim, .origin = origin,
-         .unroll = cfg.unroll},
-        [&, n, shift, digit, shared_mode](simt::BlockCtx& blk) {
-            std::int32_t sh_cursor = 0;
-            std::span<std::int32_t> ctr;
-            simt::AtomicSpace space;
-            if (shared_mode) {
-                const auto idx =
-                    static_cast<std::size_t>(blk.block_idx()) * kBins +
-                    static_cast<std::size_t>(digit);
-                sh_cursor = blk.ld(block_offsets, idx);
-                blk.charge_global_read(sizeof(std::int32_t));
-                ctr = std::span<std::int32_t>(&sh_cursor, 1);
-                space = simt::AtomicSpace::shared;
-            } else {
-                ctr = cursor.subspan(0, 1);
-                space = simt::AtomicSpace::global;
-            }
-            blk.warp_tiles(n, [&](simt::WarpCtx& w, std::size_t base, std::size_t) {
-                T elems[simt::kWarpSize];
-                bool pred[simt::kWarpSize];
-                const std::int32_t zeros[simt::kWarpSize] = {};
-                std::int32_t off[simt::kWarpSize];
-                w.load(data, base, elems);
-                for (int l = 0; l < w.lanes(); ++l) {
-                    pred[l] = digit_of(elems[l], shift) == digit;
-                }
-                w.add_instr(2 * static_cast<std::uint64_t>(w.lanes()));
-                // compaction offsets: always ballot-aggregated (see filter)
-                w.fetch_add(space, ctr, zeros, off, /*aggregated=*/true, 1, pred);
-                std::uint64_t matched = 0;
-                for (int l = 0; l < w.lanes(); ++l) {
-                    if (pred[l]) {
-                        blk.st(out, static_cast<std::size_t>(off[l]), elems[l]);
-                        ++matched;
-                    }
-                }
-                w.block().counters().global_bytes_written += matched * sizeof(T);
-            });
-        });
+    core::radix_filter<T>(dev, data, shift, digit, out, block_offsets, cursor,
+                          launch_params(cfg), origin, grid_dim);
 }
 
 }  // namespace

@@ -1,0 +1,140 @@
+#include "core/backend.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+#include "bitonic/bitonic.hpp"
+#include "core/radix_backend.hpp"
+
+namespace gpusel::core {
+
+std::optional<BackendKind> parse_backend(std::string_view name) noexcept {
+    if (name == "sample") return BackendKind::sample;
+    if (name == "radix") return BackendKind::radix;
+    if (name == "bitonic") return BackendKind::bitonic;
+    return std::nullopt;  // "auto" and anything unknown: let the planner decide
+}
+
+std::optional<BackendKind> backend_env_override() {
+    const char* v = std::getenv("GPUSEL_BACKEND");
+    if (v == nullptr) return std::nullopt;
+    return parse_backend(v);
+}
+
+namespace {
+
+/// The paper's sampled bucket recursion (the default backend).
+template <typename T>
+class SampleBackend final : public SelectionBackend<T> {
+public:
+    [[nodiscard]] BackendKind kind() const noexcept override { return BackendKind::sample; }
+
+    [[nodiscard]] Result<SelectResult<T>> select(simt::Device& dev, DataHolder<T> data,
+                                                 std::size_t rank, const SampleSelectConfig& cfg,
+                                                 int stream) const override {
+        return detail::sample_select_descend<T>(dev, std::move(data), rank, cfg, stream);
+    }
+
+    [[nodiscard]] Result<TopKResult<T>> topk_largest(simt::Device& dev, DataHolder<T> data,
+                                                     std::size_t k,
+                                                     const SampleSelectConfig& cfg,
+                                                     int stream) const override {
+        return detail::sample_topk_descend<T>(dev, std::move(data), k, cfg, stream);
+    }
+};
+
+/// MSD radix digit descent (core/radix_backend.hpp).
+template <typename T>
+class RadixBackend final : public SelectionBackend<T> {
+public:
+    [[nodiscard]] BackendKind kind() const noexcept override { return BackendKind::radix; }
+
+    [[nodiscard]] Result<SelectResult<T>> select(simt::Device& dev, DataHolder<T> data,
+                                                 std::size_t rank, const SampleSelectConfig& cfg,
+                                                 int stream) const override {
+        return try_radix_select_staged<T>(dev, std::move(data), rank, cfg, stream);
+    }
+
+    [[nodiscard]] Result<TopKResult<T>> topk_largest(simt::Device& dev, DataHolder<T> data,
+                                                     std::size_t k,
+                                                     const SampleSelectConfig& cfg,
+                                                     int stream) const override {
+        return try_radix_topk_staged<T>(dev, std::move(data), k, cfg, stream);
+    }
+};
+
+/// Single-block bitonic sort run as a whole-problem backend.  The launch
+/// sequence is exactly the recursion base case (sort, then pick / copy),
+/// so routing small problems here keeps event streams identical to the
+/// pre-planner code.
+template <typename T>
+class BitonicBackend final : public SelectionBackend<T> {
+public:
+    [[nodiscard]] BackendKind kind() const noexcept override { return BackendKind::bitonic; }
+
+    [[nodiscard]] Result<SelectResult<T>> select(simt::Device& dev, DataHolder<T> data,
+                                                 std::size_t rank, const SampleSelectConfig& cfg,
+                                                 int stream) const override {
+        const std::size_t n = data.size();
+        if (n > bitonic::kMaxSortSize) {
+            return Status::failure(SelectError::invalid_argument,
+                                   "bitonic backend: input exceeds the sort capacity");
+        }
+        PipelineContext ctx(dev, cfg, stream);
+        Status s = with_fault_retry(
+            ctx, [&] { sort_base_case<T>(ctx, data.span(), simt::LaunchOrigin::host); });
+        if (!s.ok()) return s;
+        SelectResult<T> res{};
+        res.value = data.span()[rank];
+        return res;
+    }
+
+    [[nodiscard]] Result<TopKResult<T>> topk_largest(simt::Device& dev, DataHolder<T> data,
+                                                     std::size_t k,
+                                                     const SampleSelectConfig& cfg,
+                                                     int stream) const override {
+        const std::size_t n = data.size();
+        if (n > bitonic::kMaxSortSize || k > n) {
+            return Status::failure(SelectError::invalid_argument,
+                                   "bitonic backend: input exceeds the sort capacity");
+        }
+        PipelineContext ctx(dev, cfg, stream);
+        const std::size_t threshold_rank = n - k;
+        TopKResult<T> res;
+        simt::PooledBuffer<T> acc;
+        Status s = with_fault_retry(ctx, [&] { acc = ctx.template scratch<T>(k); });
+        if (!s.ok()) return s;
+        s = with_fault_retry(
+            ctx, [&] { sort_base_case<T>(ctx, data.span(), simt::LaunchOrigin::host); });
+        if (!s.ok()) return s;
+        s = with_fault_retry(ctx, [&] {
+            launch_copy<T>(dev, data.span(), threshold_rank, acc.span(), 0, k,
+                           simt::LaunchOrigin::host, cfg.block_dim, ctx.stream());
+        });
+        if (!s.ok()) return s;
+        res.threshold = data.span()[threshold_rank];
+        res.elements.assign(acc.data(), acc.data() + k);
+        return res;
+    }
+};
+
+}  // namespace
+
+template <typename T>
+const SelectionBackend<T>& selection_backend(BackendKind kind) {
+    static const SampleBackend<T> sample;
+    static const RadixBackend<T> radix;
+    static const BitonicBackend<T> bitonic_;
+    switch (kind) {
+        case BackendKind::radix: return radix;
+        case BackendKind::bitonic: return bitonic_;
+        case BackendKind::sample: break;
+    }
+    return sample;
+}
+
+template const SelectionBackend<float>& selection_backend<float>(BackendKind);
+template const SelectionBackend<double>& selection_backend<double>(BackendKind);
+template const SelectionBackend<ArgPair>& selection_backend<ArgPair>(BackendKind);
+
+}  // namespace gpusel::core

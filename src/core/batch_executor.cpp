@@ -7,6 +7,7 @@
 
 #include "bitonic/bitonic.hpp"
 #include "core/float_order.hpp"
+#include "core/planner.hpp"
 #include "core/sample_select.hpp"
 
 namespace gpusel::core {
@@ -164,12 +165,17 @@ Result<BatchExecResult<T>> BatchExecutor<T>::run(std::span<const BatchProblem<T>
 
     // Classify: NaN-tail ranks answer at staging, short numeric prefixes
     // coalesce per lane, the rest run the full recursion on their lane.
+    // A GPUSEL_BACKEND override other than bitonic disables coalescing
+    // (the fused lane kernel *is* the bitonic backend, just many problems
+    // per launch) and routes everything through the planned recursion.
+    const std::optional<BackendKind> forced = backend_env_override();
+    const bool allow_fused = !forced || *forced == BackendKind::bitonic;
     std::vector<std::vector<std::size_t>> fused(lanes);
     std::vector<std::size_t> recursive;
     for (std::size_t i = 0; i < m; ++i) {
         if (problems[i].rank >= len_num[i]) {
             res.items[i].value = quiet_nan<T>();
-        } else if (len_num[i] <= threshold) {
+        } else if (allow_fused && len_num[i] <= threshold) {
             fused[static_cast<std::size_t>(fan.lane_of(i))].push_back(i);
         } else {
             recursive.push_back(i);
@@ -189,6 +195,15 @@ Result<BatchExecResult<T>> BatchExecutor<T>::run(std::span<const BatchProblem<T>
         for (const std::size_t i : group) {
             seqs.push_back(staged[i].span().first(len_num[i]));
             seq_rank.push_back(problems[i].rank);
+            // Structural decision: the fused lane launch is the bitonic
+            // backend applied per block, recorded so backend tallies and
+            // the planner log cover coalesced problems too.
+            record_planned_decision(
+                dev,
+                PlanDecision{BackendKind::bitonic,
+                             forced ? "GPUSEL_BACKEND override" : "batch-coalesced bitonic lane",
+                             forced.has_value()},
+                len_num[i], problems[i].rank, fan.stream(static_cast<int>(l)));
         }
         simt::PooledBuffer<T> dout;
         const std::uint64_t before = dev.launch_count();

@@ -8,6 +8,7 @@
 #include "core/batch_executor.hpp"
 #include "core/float_order.hpp"
 #include "core/pipeline.hpp"
+#include "core/planner.hpp"
 
 namespace gpusel::core {
 
@@ -183,6 +184,22 @@ Result<MultiSelectResult<T>> try_multi_select(simt::Device& dev, std::span<const
     }
     res.nan_count = nan_count;
     buf.view(n_num);
+
+    if (!targets.empty()) {
+        // Multi-rank descent is planned structurally: the bucket tree is
+        // the only backend sharing one partition level across all targets,
+        // so the decision is recorded (planner log + backend tallies)
+        // rather than probed per rank.  An env-forced radix/bitonic
+        // override is infeasible here and falls through to sample.
+        PlanQuery q;
+        q.n = buf.size();
+        q.k = targets.size();
+        q.multi = true;
+        q.elem_size = sizeof(T);
+        q.base_case_size = cfg.base_case_size;
+        record_planned_decision(dev, plan(q, DistributionHints{}, backend_env_override()),
+                                q.n, q.k, ctx.stream());
+    }
 
     const double t0 = dev.elapsed_ns();
     const std::uint64_t l0 = dev.launch_count();

@@ -1,0 +1,151 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "bitonic/bitonic.hpp"
+#include "core/radix_kernel.hpp"
+
+namespace gpusel::core {
+
+namespace {
+
+/// Probe identity of one element: the radix key image, so -0.0 == +0.0
+/// and duplicate *keys* count as duplicates even for key/payload pairs
+/// (payloads are unique indices and would hide every duplicate).
+std::uint64_t probe_key(float x) noexcept { return RadixTraits<float>::key(x); }
+std::uint64_t probe_key(double x) noexcept { return RadixTraits<double>::key(x); }
+std::uint64_t probe_key(ArgPair x) noexcept { return RadixTraits<float>::key(x.key); }
+
+/// Can the forced backend run this problem at all?
+bool feasible(BackendKind k, const PlanQuery& q) noexcept {
+    switch (k) {
+        case BackendKind::sample: return true;
+        case BackendKind::radix: return !q.multi;
+        case BackendKind::bitonic:
+            return !q.multi && q.n <= static_cast<std::size_t>(bitonic::kMaxSortSize);
+    }
+    return false;
+}
+
+}  // namespace
+
+template <typename T>
+DistributionHints probe_distribution(std::span<const T> data) {
+    DistributionHints h;
+    const std::size_t n = data.size();
+    if (n == 0) return h;
+    const std::size_t m = std::min(n, kPlannerProbeSize);
+    std::array<std::uint64_t, kPlannerProbeSize> keys{};
+    const std::size_t stride = n / m;
+    for (std::size_t i = 0; i < m; ++i) keys[i] = probe_key(data[i * stride]);
+    std::sort(keys.begin(), keys.begin() + static_cast<std::ptrdiff_t>(m));
+    std::size_t distinct = 1;
+    std::size_t run = 1;
+    std::size_t best_run = 1;
+    for (std::size_t i = 1; i < m; ++i) {
+        if (keys[i] == keys[i - 1]) {
+            ++run;
+        } else {
+            ++distinct;
+            run = 1;
+        }
+        best_run = std::max(best_run, run);
+    }
+    h.probe_size = m;
+    h.probe_distinct = distinct;
+    h.dominant_frac = static_cast<double>(best_run) / static_cast<double>(m);
+    return h;
+}
+
+PlanDecision plan(const PlanQuery& q, const DistributionHints& h,
+                  std::optional<BackendKind> forced) {
+    // 0. Environment override, when the forced backend can run the problem
+    //    (an infeasible override -- bitonic beyond the sort capacity,
+    //    radix/bitonic for a multi-rank tree -- falls through to the
+    //    automatic rules rather than failing the selection).
+    if (forced && feasible(*forced, q)) {
+        return {*forced, "GPUSEL_BACKEND override", true};
+    }
+    // 1. Multi-rank descent shares one bucket tree across all targets;
+    //    only the sampled bucket machinery implements it.
+    if (q.multi) {
+        return {BackendKind::sample, "multi-rank bucket tree", false};
+    }
+    // 2. Small problems fit one block: sorting outright beats any level
+    //    machinery (this is the recursion base case run as a backend).
+    if (q.n <= q.base_case_size) {
+        return {BackendKind::bitonic, "small n: single-block bitonic sort", false};
+    }
+    // 3./4. Duplicate-heavy or low-cardinality probes defeat sampled
+    //    splitters (most samples collide, buckets stay fat) but are
+    //    exactly where the radix skip-filter descent shines: shared digit
+    //    prefixes resolve from one fused histogram pass.
+    if (h.dominant_frac >= kPlannerDominantFrac) {
+        return {BackendKind::radix, "duplicate-heavy probe", false};
+    }
+    if (h.probe_size >= 4 && h.probe_distinct * 4 <= h.probe_size) {
+        return {BackendKind::radix, "low distinct-value probe", false};
+    }
+    // 5. RobustnessCounters feedback: the previous planned descent on this
+    //    device thrashed (resamples/fallbacks grew), so the distribution
+    //    is defeating the sampler in a way the probe missed.
+    if (q.thrash_delta > 0) {
+        return {BackendKind::radix, "sampler thrash feedback", false};
+    }
+    // 6. Deep top-k keeps a constant fraction of the input; radix secures
+    //    whole upper-digit bins per pass with a width-bounded level count.
+    if (q.topk && q.k * 4 >= q.n) {
+        return {BackendKind::radix, "deep top-k (k >= n/4)", false};
+    }
+    // 7. Default: the paper's distribution-adaptive sampled descent.
+    return {BackendKind::sample, "distribution-adaptive sampled descent", false};
+}
+
+void record_planned_decision(simt::Device& dev, const PlanDecision& d, std::uint64_t n,
+                             std::uint64_t k, int stream) {
+    auto& rc = dev.robustness();
+    switch (d.backend) {
+        case BackendKind::sample: ++rc.backend_sample; break;
+        case BackendKind::radix: ++rc.backend_radix; break;
+        case BackendKind::bitonic: ++rc.backend_bitonic; break;
+    }
+    if (d.env_forced) ++rc.backend_env_overrides;
+    simt::PlannerEvent ev;
+    ev.stream = stream;
+    ev.backend = backend_name(d.backend);
+    ev.reason = d.reason;
+    ev.n = n;
+    ev.k = k;
+    ev.env_forced = d.env_forced;
+    dev.note_planner_event(std::move(ev));
+}
+
+template <typename T>
+PlanDecision plan_selection(simt::Device& dev, std::span<const T> data, PlanQuery q,
+                            int stream) {
+    q.elem_size = sizeof(T);
+    // Sampler-thrash feedback: resamples/fallbacks growth since the mark
+    // left by the previous decision.
+    const auto& rc = dev.robustness();
+    const std::uint64_t now = rc.resamples + rc.fallbacks;
+    q.thrash_delta = now - std::min(now, dev.planner_thrash_mark());
+    dev.planner_thrash_mark() = now;
+
+    const DistributionHints h = probe_distribution<T>(data);
+    const PlanDecision d = plan(q, h, backend_env_override());
+    record_planned_decision(dev, d, q.n, q.k, stream);
+    return d;
+}
+
+template DistributionHints probe_distribution<float>(std::span<const float>);
+template DistributionHints probe_distribution<double>(std::span<const double>);
+template DistributionHints probe_distribution<ArgPair>(std::span<const ArgPair>);
+template PlanDecision plan_selection<float>(simt::Device&, std::span<const float>, PlanQuery,
+                                            int);
+template PlanDecision plan_selection<double>(simt::Device&, std::span<const double>, PlanQuery,
+                                             int);
+template PlanDecision plan_selection<ArgPair>(simt::Device&, std::span<const ArgPair>, PlanQuery,
+                                              int);
+
+}  // namespace gpusel::core

@@ -1,0 +1,60 @@
+#pragma once
+// The radix selection backend (docs/planner.md): MSD digit descent over
+// the order-preserving key image, built from the pipeline-grade kernels in
+// core/radix_kernel.hpp.  Drivers follow the same hardening contract as
+// the sample pipeline -- pooled scratch on the selection's stream, bounded
+// fault retry per step (with_fault_retry), typed Status errors -- and fill
+// the same result structs, so the backend interface (core/backend.hpp) can
+// swap it in wherever sample-select ran.
+//
+// The descent walks fused histogram passes: one radix_count_fused launch
+// histograms up to kRadixMaxFusedLevels consecutive digits, and while the
+// located bin holds the whole buffer (shared digit prefix: all-equal and
+// heavy-duplicate inputs) the host consumes deeper digits from the same
+// pass without filtering or re-reading the data.  A buffer whose keys are
+// fully consumed (shift below zero) is all-equal; reported as an
+// equality_exit like the sample recursion's equality bucket.
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "core/pipeline.hpp"
+#include "core/sample_select.hpp"
+#include "core/status.hpp"
+#include "core/topk.hpp"
+
+namespace gpusel::core {
+
+/// Rank selection over staged NaN-free data (consumes the holder; the
+/// backing buffer is recycled as a ping-pong target).  `stream` as in
+/// try_sample_select_staged.  result.levels counts histogram passes (a
+/// fused pass covering several digits is one level).
+template <typename T>
+[[nodiscard]] Result<SelectResult<T>> try_radix_select_staged(simt::Device& dev,
+                                                              DataHolder<T> data,
+                                                              std::size_t rank,
+                                                              const SampleSelectConfig& cfg,
+                                                              int stream = -1);
+
+/// The k largest elements of staged NaN-free data (unordered), fused
+/// upper-digit accumulation per level.
+template <typename T>
+[[nodiscard]] Result<TopKResult<T>> try_radix_topk_staged(simt::Device& dev, DataHolder<T> data,
+                                                          std::size_t k,
+                                                          const SampleSelectConfig& cfg,
+                                                          int stream = -1);
+
+extern template Result<SelectResult<float>> try_radix_select_staged<float>(
+    simt::Device&, DataHolder<float>, std::size_t, const SampleSelectConfig&, int);
+extern template Result<SelectResult<double>> try_radix_select_staged<double>(
+    simt::Device&, DataHolder<double>, std::size_t, const SampleSelectConfig&, int);
+extern template Result<SelectResult<ArgPair>> try_radix_select_staged<ArgPair>(
+    simt::Device&, DataHolder<ArgPair>, std::size_t, const SampleSelectConfig&, int);
+extern template Result<TopKResult<float>> try_radix_topk_staged<float>(
+    simt::Device&, DataHolder<float>, std::size_t, const SampleSelectConfig&, int);
+extern template Result<TopKResult<double>> try_radix_topk_staged<double>(
+    simt::Device&, DataHolder<double>, std::size_t, const SampleSelectConfig&, int);
+extern template Result<TopKResult<ArgPair>> try_radix_topk_staged<ArgPair>(
+    simt::Device&, DataHolder<ArgPair>, std::size_t, const SampleSelectConfig&, int);
+
+}  // namespace gpusel::core

@@ -4,8 +4,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/backend.hpp"
 #include "core/float_order.hpp"
 #include "core/pipeline.hpp"
+#include "core/planner.hpp"
 
 namespace gpusel::core {
 
@@ -131,6 +133,35 @@ void enqueue_level(simt::Device& dev, std::shared_ptr<SelectState<T>> st) {
 
 }  // namespace
 
+namespace detail {
+
+template <typename T>
+Result<SelectResult<T>> sample_select_descend(simt::Device& dev, DataHolder<T> data,
+                                              std::size_t rank, const SampleSelectConfig& cfg,
+                                              int stream) {
+    auto st = std::make_shared<SelectState<T>>(dev, cfg, stream);
+    st->pipe.reset(std::move(data));
+    st->rank = rank;
+
+    enqueue_level(dev, st);
+    dev.drain();
+    if (!st->status.ok()) return st->status;
+    if (!st->done) {
+        return Status::failure(SelectError::internal,
+                               "sample_select: recursion did not terminate");
+    }
+    return std::move(st->result);
+}
+
+template Result<SelectResult<float>> sample_select_descend<float>(
+    simt::Device&, DataHolder<float>, std::size_t, const SampleSelectConfig&, int);
+template Result<SelectResult<double>> sample_select_descend<double>(
+    simt::Device&, DataHolder<double>, std::size_t, const SampleSelectConfig&, int);
+template Result<SelectResult<ArgPair>> sample_select_descend<ArgPair>(
+    simt::Device&, DataHolder<ArgPair>, std::size_t, const SampleSelectConfig&, int);
+
+}  // namespace detail
+
 template <typename T>
 Result<SelectResult<T>> try_sample_select_staged(simt::Device& dev, DataHolder<T> data,
                                                  std::size_t rank,
@@ -164,25 +195,27 @@ Result<SelectResult<T>> try_sample_select_staged(simt::Device& dev, DataHolder<T
         data.view(n - nan_count);
     }
 
-    auto st = std::make_shared<SelectState<T>>(dev, cfg, stream);
-    st->pipe.reset(std::move(data));
-    st->rank = rank;
-    st->result.nan_count = nan_count;
+    // Plan which backend runs the NaN-free problem (host-side only; no
+    // launches, so the chosen backend's event stream starts at t0).
+    PlanQuery q;
+    q.n = data.size();
+    q.k = rank;
+    q.base_case_size = cfg.base_case_size;
+    const PlanDecision plan = plan_selection<T>(dev, std::span<const T>(data.span()), q,
+                                                stream < 0 ? cfg.stream : stream);
 
     dev.tracker().set_baseline();
     const double t0 = dev.elapsed_ns();
     const std::uint64_t l0 = dev.launch_count();
-    enqueue_level(dev, st);
-    dev.drain();
-    if (!st->status.ok()) return st->status;
-    if (!st->done) {
-        return Status::failure(SelectError::internal,
-                               "sample_select: recursion did not terminate");
-    }
-    st->result.sim_ns = dev.elapsed_ns() - t0;
-    st->result.launches = dev.launch_count() - l0;
-    st->result.aux_bytes = dev.tracker().peak_above_baseline();
-    return std::move(st->result);
+    Result<SelectResult<T>> bres =
+        selection_backend<T>(plan.backend).select(dev, std::move(data), rank, cfg, stream);
+    if (!bres.ok()) return bres.status();
+    SelectResult<T> res = bres.take();
+    res.sim_ns = dev.elapsed_ns() - t0;
+    res.launches = dev.launch_count() - l0;
+    res.aux_bytes = dev.tracker().peak_above_baseline();
+    res.nan_count = nan_count;
+    return res;
 }
 
 template <typename T>

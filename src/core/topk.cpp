@@ -5,62 +5,32 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/backend.hpp"
 #include "core/float_order.hpp"
 #include "core/histogram.hpp"
 #include "core/pipeline.hpp"
+#include "core/planner.hpp"
 #include "core/sample_select.hpp"
 
 namespace gpusel::core {
 
-template <typename T>
-Result<TopKResult<T>> try_topk_largest(simt::Device& dev, std::span<const T> input, std::size_t k,
-                                       const SampleSelectConfig& cfg) {
-    try {
-        cfg.validate(/*exact=*/true);
-    } catch (const std::invalid_argument& e) {
-        return Status::failure(SelectError::invalid_argument, e.what());
-    }
-    const std::size_t n0 = input.size();
-    if (k == 0 || k > n0) {
-        return Status::failure(SelectError::rank_out_of_range, "k must be in [1, n]");
-    }
+namespace detail {
 
-    SelectionPipeline<T> pipe(dev, cfg);
+template <typename T>
+Result<TopKResult<T>> sample_topk_descend(simt::Device& dev, DataHolder<T> data, std::size_t k,
+                                          const SampleSelectConfig& cfg, int stream) {
+    SelectionPipeline<T> pipe(dev, cfg, stream);
     const PipelineContext& ctx = pipe.context();
-    DataHolder<T> staged;
-    Status s = with_fault_retry(ctx, [&] { staged = DataHolder<T>::stage(ctx, input); });
-    if (!s.ok()) return s;
+    pipe.reset(std::move(data));
 
     TopKResult<T> res;
-    // NaN staging pre-pass: NaNs are the largest keys of the total order,
-    // so min(k, nan_count) of them belong to the top-k set outright and
-    // the device descent runs over the non-NaN prefix only.
-    const std::size_t nan_count = partition_nans_to_back(staged.span());
-    std::size_t nan_take = 0;
-    if (nan_count > 0) {
-        if (cfg.nan_policy == NanPolicy::reject) {
-            return Status::failure(SelectError::nan_keys_rejected,
-                                   "topk_largest: input contains NaN keys");
-        }
-        nan_take = nan_count < k ? nan_count : k;
-        staged.view(n0 - nan_count);
-        res.nan_count = nan_count;
-    }
-    const std::size_t kk = k - nan_take;  // non-NaN elements still wanted
-
-    pipe.reset(std::move(staged));
     simt::PooledBuffer<T> acc;
-    if (kk > 0) {
-        s = with_fault_retry(ctx, [&] { acc = ctx.template scratch<T>(kk); });
-        if (!s.ok()) return s;
-    }
+    Status s = with_fault_retry(ctx, [&] { acc = ctx.template scratch<T>(k); });
+    if (!s.ok()) return s;
 
-    const double t0 = dev.elapsed_ns();
-    const std::uint64_t l0 = dev.launch_count();
-
-    std::size_t remaining = kk;  // top elements still to secure from the buffer
-    std::size_t fill = 0;        // next free slot in acc
-    std::size_t level = 0;       // productive levels (feeds the sample salt)
+    std::size_t remaining = k;  // top elements still to secure from the buffer
+    std::size_t fill = 0;       // next free slot in acc
+    std::size_t level = 0;      // productive levels (feeds the sample salt)
     std::size_t resample_tries = 0;
     std::size_t levels_run = 0;
     bool fallback = false;
@@ -75,7 +45,7 @@ Result<TopKResult<T>> try_topk_largest(simt::Device& dev, std::span<const T> inp
             if (!s.ok()) return s;
             s = with_fault_retry(ctx, [&] {
                 launch_copy<T>(dev, pipe.data(), threshold_rank, acc.span(), fill, remaining,
-                               origin, cfg.block_dim, cfg.stream);
+                               origin, cfg.block_dim, ctx.stream());
             });
             if (!s.ok()) return s;
             res.threshold = pipe.value_at(threshold_rank);
@@ -134,7 +104,7 @@ Result<TopKResult<T>> try_topk_largest(simt::Device& dev, std::span<const T> inp
             res.threshold = lv.equality_value(lv.bucket);
             s = with_fault_retry(ctx, [&] {
                 launch_copy<T>(dev, pipe.data(), 0, acc.span(), fill, needed_from_bucket, origin,
-                               cfg.block_dim, cfg.stream);
+                               cfg.block_dim, ctx.stream());
             });
             if (!s.ok()) return s;
             fill += needed_from_bucket;
@@ -146,15 +116,86 @@ Result<TopKResult<T>> try_topk_largest(simt::Device& dev, std::span<const T> inp
         if (!cfg.force_fallback) fallback = false;
     }
 
-    if (fill != kk) {
+    if (fill != k) {
         return Status::failure(SelectError::internal, "topk_largest: accumulator fill mismatch");
     }
+    res.elements.assign(acc.data(), acc.data() + k);
+    return res;
+}
+
+template Result<TopKResult<float>> sample_topk_descend<float>(
+    simt::Device&, DataHolder<float>, std::size_t, const SampleSelectConfig&, int);
+template Result<TopKResult<double>> sample_topk_descend<double>(
+    simt::Device&, DataHolder<double>, std::size_t, const SampleSelectConfig&, int);
+template Result<TopKResult<ArgPair>> sample_topk_descend<ArgPair>(
+    simt::Device&, DataHolder<ArgPair>, std::size_t, const SampleSelectConfig&, int);
+
+}  // namespace detail
+
+template <typename T>
+Result<TopKResult<T>> try_topk_largest(simt::Device& dev, std::span<const T> input, std::size_t k,
+                                       const SampleSelectConfig& cfg) {
+    try {
+        cfg.validate(/*exact=*/true);
+    } catch (const std::invalid_argument& e) {
+        return Status::failure(SelectError::invalid_argument, e.what());
+    }
+    const std::size_t n0 = input.size();
+    if (k == 0 || k > n0) {
+        return Status::failure(SelectError::rank_out_of_range, "k must be in [1, n]");
+    }
+
+    PipelineContext ctx(dev, cfg);
+    DataHolder<T> staged;
+    Status s = with_fault_retry(ctx, [&] { staged = DataHolder<T>::stage(ctx, input); });
+    if (!s.ok()) return s;
+
+    // NaN staging pre-pass: NaNs are the largest keys of the total order,
+    // so min(k, nan_count) of them belong to the top-k set outright and
+    // the device descent runs over the non-NaN prefix only.
+    const std::size_t nan_count = partition_nans_to_back(staged.span());
+    std::size_t nan_take = 0;
+    if (nan_count > 0) {
+        if (cfg.nan_policy == NanPolicy::reject) {
+            return Status::failure(SelectError::nan_keys_rejected,
+                                   "topk_largest: input contains NaN keys");
+        }
+        nan_take = nan_count < k ? nan_count : k;
+        staged.view(n0 - nan_count);
+    }
+    const std::size_t kk = k - nan_take;  // non-NaN elements still wanted
+
+    if (kk == 0) {
+        // Every requested element falls in the NaN tail; answered at
+        // staging without any device work (and without a planner decision,
+        // since no backend runs).
+        TopKResult<T> res;
+        res.nan_count = nan_count;
+        res.elements.assign(nan_take, quiet_nan<T>());
+        res.threshold = quiet_nan<T>();
+        return res;
+    }
+
+    PlanQuery q;
+    q.n = staged.size();
+    q.k = kk;
+    q.topk = true;
+    q.base_case_size = cfg.base_case_size;
+    const PlanDecision plan =
+        plan_selection<T>(dev, std::span<const T>(staged.span()), q, cfg.stream);
+
+    const double t0 = dev.elapsed_ns();
+    const std::uint64_t l0 = dev.launch_count();
+    Result<TopKResult<T>> bres = selection_backend<T>(plan.backend)
+                                     .topk_largest(dev, std::move(staged), kk, cfg,
+                                                   PipelineContext::kConfigStream);
+    if (!bres.ok()) return bres.status();
+    TopKResult<T> res = bres.take();
     res.sim_ns = dev.elapsed_ns() - t0;
     res.launches = dev.launch_count() - l0;
-    res.elements.assign(acc.data(), acc.data() + kk);
+    res.nan_count = nan_count;
     if (nan_take > 0) {
         res.elements.insert(res.elements.end(), nan_take, quiet_nan<T>());
-        if (kk == 0) res.threshold = quiet_nan<T>();  // the k-th largest is a NaN
     }
     return res;
 }

@@ -11,6 +11,7 @@
 
 #include "core/batch_executor.hpp"
 #include "core/config.hpp"
+#include "core/pipeline.hpp"
 #include "core/status.hpp"
 #include "simt/device.hpp"
 
@@ -121,6 +122,27 @@ template <typename T>
 template <typename T>
 [[nodiscard]] TopKResult<T> topk_smallest(simt::Device& dev, std::span<const T> input,
                                           std::size_t k, const SampleSelectConfig& cfg);
+
+namespace detail {
+
+/// The sample backend's fused top-k descent over staged NaN-free data
+/// (k largest, unordered): the accumulation loop without planning,
+/// measurement stamping, or the NaN tail append.  Called through the
+/// backend interface (core/backend.hpp).
+template <typename T>
+[[nodiscard]] Result<TopKResult<T>> sample_topk_descend(simt::Device& dev, DataHolder<T> data,
+                                                        std::size_t k,
+                                                        const SampleSelectConfig& cfg,
+                                                        int stream);
+
+extern template Result<TopKResult<float>> sample_topk_descend<float>(
+    simt::Device&, DataHolder<float>, std::size_t, const SampleSelectConfig&, int);
+extern template Result<TopKResult<double>> sample_topk_descend<double>(
+    simt::Device&, DataHolder<double>, std::size_t, const SampleSelectConfig&, int);
+extern template Result<TopKResult<ArgPair>> sample_topk_descend<ArgPair>(
+    simt::Device&, DataHolder<ArgPair>, std::size_t, const SampleSelectConfig&, int);
+
+}  // namespace detail
 
 extern template Result<TopKResult<float>> try_topk_largest<float>(simt::Device&,
                                                                   std::span<const float>,

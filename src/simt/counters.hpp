@@ -79,10 +79,12 @@ std::ostream& operator<<(std::ostream& os, const KernelCounters& c);
 
 /// Tallies of the selection stack's self-healing actions (retry on
 /// injected faults, resampling on stalled levels, deterministic fallback
-/// descent).  Owned by the Device so every front-end reports into one
-/// place; surfaced in the benchmark JSON so robustness regressions show up
-/// in the perf trajectory alongside the pool counters.  All-zero on a
-/// healthy, fault-free run over non-adversarial data.
+/// descent) plus the backend planner's decision counts.  Owned by the
+/// Device so every front-end reports into one place; surfaced in the
+/// benchmark JSON so robustness regressions show up in the perf trajectory
+/// alongside the pool counters.  The recovery tallies are all-zero on a
+/// healthy, fault-free run over non-adversarial data; the backend_* fields
+/// count planner decisions and grow on every planned selection.
 struct RobustnessCounters {
     /// Allocation faults recovered by pool-trim + retry.
     std::uint64_t alloc_retries = 0;
@@ -97,12 +99,30 @@ struct RobustnessCounters {
     /// Deterministic tripartition levels executed in fallback mode.
     std::uint64_t fallback_levels = 0;
 
+    // -- backend planner (core/planner.hpp) -------------------------------
+    // One tally per planned selection, keyed by the backend the planner
+    // chose.  Not "self-healing" in the retry sense, but reported here so
+    // the bench JSON's robustness block shows which algorithm actually ran
+    // alongside the recovery counters it was chosen from.
+    /// Selections the planner routed to the sample-select recursion.
+    std::uint64_t backend_sample = 0;
+    /// Selections the planner routed to the radix digit descent.
+    std::uint64_t backend_radix = 0;
+    /// Selections the planner routed to the fused-bitonic small-n path.
+    std::uint64_t backend_bitonic = 0;
+    /// Decisions forced by the GPUSEL_BACKEND environment override.
+    std::uint64_t backend_env_overrides = 0;
+
     RobustnessCounters& operator+=(const RobustnessCounters& o) noexcept {
         alloc_retries += o.alloc_retries;
         launch_retries += o.launch_retries;
         resamples += o.resamples;
         fallbacks += o.fallbacks;
         fallback_levels += o.fallback_levels;
+        backend_sample += o.backend_sample;
+        backend_radix += o.backend_radix;
+        backend_bitonic += o.backend_bitonic;
+        backend_env_overrides += o.backend_env_overrides;
         return *this;
     }
     bool operator==(const RobustnessCounters&) const = default;
@@ -110,6 +130,28 @@ struct RobustnessCounters {
 };
 
 std::ostream& operator<<(std::ostream& os, const RobustnessCounters& c);
+
+/// One backend-planner decision (core/planner.hpp), recorded on the Device
+/// so the chrome-trace export (simt/trace.hpp) can render it as an instant
+/// event on the stream it applied to.  Kept at the simt layer as plain
+/// strings/ints -- the simulator knows nothing about the core backends.
+/// Recording is host-side bookkeeping: no launch, no clock advance, so
+/// kernel event streams are untouched.
+struct PlannerEvent {
+    /// Stream clock at decision time (the instant event's timestamp).
+    double sim_ns = 0.0;
+    /// Stream the planned selection runs on.
+    int stream = 0;
+    /// Backend name ("sample" / "radix" / "bitonic").
+    std::string backend;
+    /// One-line rationale ("duplicate-heavy probe", "env override", ...).
+    std::string reason;
+    /// Problem shape the decision was made for.
+    std::uint64_t n = 0;
+    std::uint64_t k = 0;
+    /// True when GPUSEL_BACKEND forced the choice.
+    bool env_forced = false;
+};
 
 /// Where a kernel launch originated.  Device-side launches model CUDA
 /// Dynamic Parallelism (tail recursion stays on the GPU, Sec. IV-E of the

@@ -181,6 +181,27 @@ public:
     [[nodiscard]] RobustnessCounters& robustness() noexcept { return robustness_; }
     [[nodiscard]] const RobustnessCounters& robustness() const noexcept { return robustness_; }
 
+    // ---- backend planner log ---------------------------------------------
+    // The core planner (core/planner.hpp) records one PlannerEvent per
+    // planned selection; the chrome-trace export renders them as instant
+    // events on the stream they applied to.  Host-side bookkeeping only:
+    // no launch, no clock advance, no counter merge.
+
+    /// Appends a planner decision to the log, stamping the current stream
+    /// clock so the trace event lands where the selection starts.
+    void note_planner_event(PlannerEvent ev) {
+        ev.sim_ns = ev.stream >= 0 && ev.stream < stream_count() ? stream_clock(ev.stream) : 0.0;
+        planner_log_.push_back(std::move(ev));
+    }
+    [[nodiscard]] const std::vector<PlannerEvent>& planner_log() const noexcept {
+        return planner_log_;
+    }
+    void clear_planner_log() { planner_log_.clear(); }
+    /// Snapshot hook for the planner's RobustnessCounters feedback: the
+    /// resample+fallback total the planner saw at its previous decision.
+    /// A delta since then means the last planned descent thrashed.
+    [[nodiscard]] std::uint64_t& planner_thrash_mark() noexcept { return planner_thrash_mark_; }
+
     // ---- SimTSan ----------------------------------------------------------
     // The Device owns the sanitizer (simt/sanitizer.hpp) so one shadow
     // registry covers every buffer, pool checkout and launch on this
@@ -221,6 +242,8 @@ private:
     std::uint64_t launch_count_ = 0;
     FaultInjector injector_;
     RobustnessCounters robustness_;
+    std::vector<PlannerEvent> planner_log_;
+    std::uint64_t planner_thrash_mark_ = 0;
     std::unique_ptr<Sanitizer> san_;
 };
 

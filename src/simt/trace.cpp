@@ -21,6 +21,11 @@ std::map<std::string, KernelAggregate> aggregate_by_name(
 }
 
 void write_chrome_trace(std::ostream& os, const std::vector<KernelProfile>& profiles) {
+    write_chrome_trace(os, profiles, {});
+}
+
+void write_chrome_trace(std::ostream& os, const std::vector<KernelProfile>& profiles,
+                        const std::vector<PlannerEvent>& planner_events) {
     os << "{\"traceEvents\":[";
     // Rebase on the earliest recorded start so traces taken after
     // clear_profiles() (or on a long-lived device) still begin at t = 0.
@@ -34,6 +39,7 @@ void write_chrome_trace(std::ostream& os, const std::vector<KernelProfile>& prof
     // display side by side instead of stacking on one row.
     std::set<int> streams;
     for (const auto& p : profiles) streams.insert(p.stream);
+    for (const auto& e : planner_events) streams.insert(e.stream);
     bool first = true;
     for (const int s : streams) {
         if (!first) os << ',';
@@ -56,6 +62,19 @@ void write_chrome_trace(std::ostream& os, const std::vector<KernelProfile>& prof
            << ",\"global_atomics\":" << c.global_atomic_ops
            << ",\"collisions\":" << c.shared_atomic_collisions + c.global_atomic_collisions
            << ",\"ballots\":" << c.warp_ballots << "}}";
+    }
+    // Planner decisions as instant events: one marker per planned
+    // selection at the stream clock the decision was taken on.  Decisions
+    // recorded before any launch share the rebased origin (clamped at 0).
+    for (const auto& e : planner_events) {
+        if (!first) os << ',';
+        first = false;
+        os << "{\"name\":\"plan[" << e.backend << "]\",\"cat\":\"planner\",\"ph\":\"i\""
+           << ",\"s\":\"t\",\"ts\":" << std::max(0.0, e.sim_ns - t0) / 1000.0
+           << ",\"pid\":0,\"tid\":" << e.stream << ",\"args\":{"
+           << "\"backend\":\"" << e.backend << "\",\"reason\":\"" << e.reason << "\""
+           << ",\"n\":" << e.n << ",\"k\":" << e.k
+           << ",\"env_forced\":" << (e.env_forced ? "true" : "false") << "}}";
     }
     os << "]}";
 }

@@ -33,6 +33,14 @@ struct KernelAggregate {
 /// arguments.
 void write_chrome_trace(std::ostream& os, const std::vector<KernelProfile>& profiles);
 
+/// Overload that also renders backend-planner decisions
+/// (Device::planner_log()) as instant events ("i" phase) on the stream
+/// track each decision applied to, with the chosen backend, rationale and
+/// problem shape as event arguments.  Timestamps share the profiles'
+/// rebased clock, so a decision appears right where its selection starts.
+void write_chrome_trace(std::ostream& os, const std::vector<KernelProfile>& profiles,
+                        const std::vector<PlannerEvent>& planner_events);
+
 /// Renders a compact text summary: one line per kernel name with launch
 /// count, total simulated time and share of the overall runtime.
 [[nodiscard]] std::string format_timeline(const std::vector<KernelProfile>& profiles);

@@ -58,6 +58,34 @@ def family_of(name):
     return name.split("/", 1)[0]
 
 
+# Planner backend tallies exported by bench_simulator_overhead
+# (RobustnessCounters::backend_*, see docs/planner.md).  The coverage step
+# asserts the bench sweep exercised every selection backend at least once.
+BACKEND_COUNTERS = ("backend_sample", "backend_radix", "backend_bitonic")
+
+
+def planner_coverage(doc):
+    """Returns (checked, missing) for the planner-coverage step.
+
+    Sums the backend_* counters across the run's timed benchmarks.
+    checked is False when no benchmark reports them (older JSONs, filtered
+    runs) -- the step is skipped rather than failed; missing lists the
+    backends the sweep never selected.
+    """
+    sums = {c: 0.0 for c in BACKEND_COUNTERS}
+    seen = False
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        for c in BACKEND_COUNTERS:
+            if c in b:
+                seen = True
+                sums[c] += float(b[c])
+    if not seen:
+        return False, []
+    return True, [c for c, v in sums.items() if v <= 0]
+
+
 def geomean(values):
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
@@ -123,6 +151,8 @@ def run_gate(baseline_path, current_path, tolerance, summary_out):
     try:
         baseline = load_benchmarks(baseline_path)
         current = load_benchmarks(current_path)
+        with open(current_path) as f:
+            current_doc = json.load(f)
     except (OSError, json.JSONDecodeError, KeyError) as e:
         print(f"error: {e}", file=sys.stderr)
         return USAGE
@@ -139,9 +169,20 @@ def run_gate(baseline_path, current_path, tolerance, summary_out):
         with open(path, "a") as f:
             f.write(report + "\n")
 
+    checked, missing = planner_coverage(current_doc)
+    if checked and missing:
+        print("FAIL: planner coverage: backends never selected by the sweep: "
+              f"{', '.join(missing)}", file=sys.stderr)
+    elif checked:
+        print("planner coverage OK: every selection backend exercised")
+    else:
+        print("planner coverage skipped: no backend_* counters in this run")
+
     if failed:
         print(f"FAIL: families regressed past -{tolerance:.0%}: {', '.join(failed)}",
               file=sys.stderr)
+        return REGRESSION
+    if checked and missing:
         return REGRESSION
     print(f"OK: {len(families)} families within tolerance "
           f"({len([r for r in rows if r[3] is not None])} benchmarks compared)")
@@ -183,6 +224,24 @@ def self_test(baseline_path, tolerance):
     if failed:
         print("self-test FAIL: within-tolerance run tripped the gate", file=sys.stderr)
         return REGRESSION
+    # Planner-coverage step, when the baseline carries backend tallies:
+    # the full sweep must cover every backend, and zeroing one backend's
+    # tallies must trip the step.
+    checked, missing = planner_coverage(doc)
+    if checked:
+        if missing:
+            print("self-test FAIL: baseline sweep does not cover every backend",
+                  file=sys.stderr)
+            return REGRESSION
+        starved = copy.deepcopy(doc)
+        for b in starved.get("benchmarks", []):
+            if "backend_radix" in b:
+                b["backend_radix"] = 0
+        checked, missing = planner_coverage(starved)
+        if not (checked and missing == ["backend_radix"]):
+            print("self-test FAIL: zeroed backend tally did not trip coverage",
+                  file=sys.stderr)
+            return REGRESSION
     print(f"self-test OK: gate trips at -{tolerance:.0%} and passes inside it")
     return PASS
 

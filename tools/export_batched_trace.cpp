@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
         std::cerr << "cannot open " << opt.out << " for writing\n";
         return 1;
     }
-    simt::write_chrome_trace(os, dev.profiles());
+    simt::write_chrome_trace(os, dev.profiles(), dev.planner_log());
 
     std::cout << "wrote " << opt.out << ": " << opt.problems << " problems of n=" << opt.n
               << " on " << res.streams_used << " streams, " << res.launches << " launches\n"

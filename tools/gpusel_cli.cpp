@@ -241,7 +241,7 @@ int run(const Options& o) {
     }
     if (!o.trace_path.empty()) {
         std::ofstream f(o.trace_path);
-        simt::write_chrome_trace(f, dev.profiles());
+        simt::write_chrome_trace(f, dev.profiles(), dev.planner_log());
         std::cout << "trace written to " << o.trace_path << " (open in chrome://tracing)\n";
     }
     return 0;
