@@ -46,6 +46,13 @@ enum class BackendKind : std::uint8_t { sample, radix, bitonic };
     return "?";
 }
 
+/// Bit of one backend inside a quarantine mask (simt::Device::
+/// backend_quarantine, PlanQuery::quarantined): the server's per-backend
+/// circuit breaker sets bits to route the planner around faulting backends.
+[[nodiscard]] constexpr std::uint32_t backend_bit(BackendKind k) noexcept {
+    return 1u << static_cast<std::uint32_t>(k);
+}
+
 /// Parses a backend name; "auto" (and anything unknown) maps to nullopt,
 /// i.e. "let the planner decide".
 [[nodiscard]] std::optional<BackendKind> parse_backend(std::string_view name) noexcept;

@@ -1,8 +1,10 @@
 #include "core/batch_executor.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "bitonic/bitonic.hpp"
@@ -12,21 +14,53 @@
 
 namespace gpusel::core {
 
-int resolve_stream_count(std::size_t batch, int requested) {
+Result<int> try_resolve_stream_count(std::size_t batch, int requested) {
     if (batch == 0) return 1;
-    int want = requested;
+    long want = requested;
     if (want <= 0) {
         if (const char* env = std::getenv("GPUSEL_STREAMS")) {
-            want = std::atoi(env);
+            // Strict parse: the whole value must be one positive decimal
+            // integer within the fan cap.  atoi's silent 0-on-garbage used
+            // to demote "8 streams" typos to the default without a trace.
+            while (*env == ' ' || *env == '\t') ++env;
+            if (*env != '\0') {
+                char* end = nullptr;
+                errno = 0;
+                const long parsed = std::strtol(env, &end, 10);
+                while (end != nullptr && (*end == ' ' || *end == '\t')) ++end;
+                const bool clean = end != nullptr && *end == '\0' && errno != ERANGE;
+                if (!clean) {
+                    return Status::failure(
+                        SelectError::invalid_argument,
+                        std::string("GPUSEL_STREAMS is not a number: \"") + env + "\"");
+                }
+                if (parsed <= 0) {
+                    return Status::failure(
+                        SelectError::invalid_argument,
+                        "GPUSEL_STREAMS must be a positive stream count, got " +
+                            std::to_string(parsed));
+                }
+                if (parsed > kMaxStreamFan) {
+                    return Status::failure(
+                        SelectError::invalid_argument,
+                        "GPUSEL_STREAMS exceeds the stream-fan cap (" +
+                            std::to_string(kMaxStreamFan) + "): " + std::to_string(parsed));
+                }
+                want = parsed;
+            }
         }
     }
     if (want <= 0) {
-        want = batch < 8 ? static_cast<int>(batch) : 8;
+        want = batch < 8 ? static_cast<long>(batch) : 8;
     }
     if (static_cast<std::size_t>(want) > batch) {
-        want = static_cast<int>(batch);
+        want = static_cast<long>(batch);
     }
-    return want;
+    return static_cast<int>(want);
+}
+
+int resolve_stream_count(std::size_t batch, int requested) {
+    return try_resolve_stream_count(batch, requested).take_or_throw();
 }
 
 StreamFan::StreamFan(simt::Device& dev, int count, int base_stream) : dev_(&dev) {
@@ -123,7 +157,9 @@ Result<BatchExecResult<T>> BatchExecutor<T>::run(std::span<const BatchProblem<T>
     const std::size_t m = problems.size();
     const std::size_t threshold =
         opts_.coalesce_threshold > 0 ? opts_.coalesce_threshold : bitonic::kMaxSortSize;
-    StreamFan fan(dev, resolve_stream_count(m, opts_.streams), cfg.stream);
+    Result<int> fan_width = try_resolve_stream_count(m, opts_.streams);
+    if (!fan_width.ok()) return fan_width.status();
+    StreamFan fan(dev, fan_width.value(), cfg.stream);
     const auto lanes = static_cast<std::size_t>(fan.count());
 
     // One context per lane: pooled scratch and launches ordered on that
@@ -168,8 +204,11 @@ Result<BatchExecResult<T>> BatchExecutor<T>::run(std::span<const BatchProblem<T>
     // A GPUSEL_BACKEND override other than bitonic disables coalescing
     // (the fused lane kernel *is* the bitonic backend, just many problems
     // per launch) and routes everything through the planned recursion.
+    // A quarantined bitonic backend (server circuit breaker,
+    // docs/service.md) likewise routes around the fused path.
     const std::optional<BackendKind> forced = backend_env_override();
-    const bool allow_fused = !forced || *forced == BackendKind::bitonic;
+    const bool allow_fused = (!forced || *forced == BackendKind::bitonic) &&
+                             (dev.backend_quarantine() & backend_bit(BackendKind::bitonic)) == 0;
     std::vector<std::vector<std::size_t>> fused(lanes);
     std::vector<std::size_t> recursive;
     for (std::size_t i = 0; i < m; ++i) {
@@ -230,10 +269,20 @@ Result<BatchExecResult<T>> BatchExecutor<T>::run(std::span<const BatchProblem<T>
     // subsequences are contiguous and byte-identical to serial runs.
     for (const std::size_t i : recursive) {
         res.items[i].first_launch = dev.launch_count();
-        auto sub = try_sample_select_staged<T>(dev, std::move(staged[i]), problems[i].rank, cfg,
+        SampleSelectConfig pcfg = cfg;
+        if (problems[i].deadline_ns > 0.0) pcfg.deadline_ns = problems[i].deadline_ns;
+        auto sub = try_sample_select_staged<T>(dev, std::move(staged[i]), problems[i].rank, pcfg,
                                                res.items[i].stream);
-        if (!sub.ok()) return sub.status();
         res.items[i].last_launch = dev.launch_count();
+        if (!sub.ok()) {
+            // A deadline overrun is a per-request outcome, not a batch
+            // fault: record it on the item and keep the lane going.
+            if (sub.error() == SelectError::deadline_exceeded) {
+                res.items[i].status = sub.status();
+                continue;
+            }
+            return sub.status();
+        }
         res.items[i].value = sub.value().value;
     }
     res.recursive_problems = recursive.size();

@@ -50,9 +50,20 @@ struct BatchOptions {
     std::size_t coalesce_threshold = 0;
 };
 
+/// Widest fan any configuration may request; GPUSEL_STREAMS beyond this is
+/// a typo or a misunderstanding of the stream pool, not a tuning choice.
+inline constexpr long kMaxStreamFan = 256;
+
 /// Resolves the fan width for a batch of `batch` problems (see
 /// BatchOptions::streams).  `requested` <= 0 defers to the GPUSEL_STREAMS
-/// environment variable, then to min(batch, 8).
+/// environment variable, then to min(batch, 8).  A GPUSEL_STREAMS value
+/// that is non-numeric, has trailing junk, is zero/negative or exceeds
+/// kMaxStreamFan fails with SelectError::invalid_argument instead of
+/// silently falling back (an operator typo must not quietly serialize the
+/// whole fleet onto one stream).  An empty value counts as unset.
+[[nodiscard]] Result<int> try_resolve_stream_count(std::size_t batch, int requested = 0);
+
+/// Legacy wrapper: try_resolve_stream_count or throw_status().
 [[nodiscard]] int resolve_stream_count(std::size_t batch, int requested = 0);
 
 /// RAII fan of streams: lane 0 is the caller's base stream, lanes 1..n-1
@@ -96,12 +107,22 @@ template <typename T>
 struct BatchProblem {
     std::span<const T> data;
     std::size_t rank = 0;
+    /// Per-problem absolute sim-ns deadline; 0 inherits the config's
+    /// deadline_ns (which itself defaults to "none").  Only full-recursion
+    /// problems honour it -- coalesced problems share one fused launch,
+    /// which is never aborted mid-flight (see docs/service.md).
+    double deadline_ns = 0.0;
 };
 
 /// Per-problem outcome and provenance.
 template <typename T>
 struct BatchItemResult {
     T value{};
+    /// Per-item outcome: ok() for answered problems.  Only deadline
+    /// overruns (SelectError::deadline_exceeded) fail per item -- the rest
+    /// of the batch keeps running; every other error still aborts the
+    /// whole run() with a batch-level Status as before.
+    Status status;
     /// Stream the problem's launches ran on.
     int stream = 0;
     /// True if the problem was answered by a fused per-lane launch.

@@ -71,6 +71,14 @@ struct SampleSelectConfig {
     /// reach (a sampled splitter always carves off its own equality
     /// bucket, so a level never stalls naturally).
     bool force_fallback = false;
+    /// Absolute simulated-clock deadline in nanoseconds; 0 disarms the
+    /// check.  Armed descents compare the selection stream's clock against
+    /// it between bucketing levels and abort with
+    /// SelectError::deadline_exceeded once the budget is overrun -- the
+    /// server's defence-in-depth behind up-front admission control
+    /// (docs/service.md).  Work already enqueued on the stream is complete
+    /// and consistent; the selection simply reports no value.
+    double deadline_ns = 0.0;
 
     [[nodiscard]] int effective_sample_size() const noexcept {
         if (sample_size > 0) return sample_size;
@@ -108,6 +116,7 @@ struct SampleSelectConfig {
         }
         if (max_stalled_levels < 0) fail("max_stalled_levels must be >= 0");
         if (max_levels < 1) fail("max_levels must be >= 1");
+        if (deadline_ns < 0.0) fail("deadline_ns must be >= 0 (absolute sim-ns, 0 = none)");
     }
 };
 

@@ -206,7 +206,9 @@ Result<MultiSelectResult<T>> try_multi_select(simt::Device& dev, std::span<const
     if (!targets.empty()) {
         // Independent ranks are independent sub-problems after the first
         // partition level: fan their bucket subtrees over leased streams.
-        StreamFan fan(dev, resolve_stream_count(targets.size()), ctx.stream());
+        Result<int> fan_width = try_resolve_stream_count(targets.size());
+        if (!fan_width.ok()) return fan_width.status();
+        StreamFan fan(dev, fan_width.value(), ctx.stream());
         res.streams_used = fan.count();
         s = solve(ctx, std::move(buf), std::move(targets), 0, 0, res,
                   fan.count() > 1 ? &fan : nullptr);

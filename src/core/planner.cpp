@@ -28,6 +28,31 @@ bool feasible(BackendKind k, const PlanQuery& q) noexcept {
     return false;
 }
 
+bool quarantined(BackendKind k, const PlanQuery& q) noexcept {
+    return (q.quarantined & backend_bit(k)) != 0;
+}
+
+/// Reroutes a decision whose backend the circuit breaker quarantined:
+/// tries the remaining backends in sample -> radix -> bitonic order
+/// (sample is always feasible, so a healthy sample wins).  When every
+/// feasible backend is quarantined the original decision stands -- the
+/// planner degrades the quarantine to advisory rather than failing the
+/// selection, and the descent's own fault retry carries the risk.
+PlanDecision apply_quarantine(PlanDecision d, const PlanQuery& q) noexcept {
+    if (!quarantined(d.backend, q)) return d;
+    constexpr BackendKind order[] = {BackendKind::sample, BackendKind::radix,
+                                     BackendKind::bitonic};
+    for (const BackendKind k : order) {
+        if (k == d.backend || !feasible(k, q) || quarantined(k, q)) continue;
+        switch (k) {
+            case BackendKind::sample: return {k, "quarantine reroute: sample", false};
+            case BackendKind::radix: return {k, "quarantine reroute: radix", false};
+            case BackendKind::bitonic: return {k, "quarantine reroute: bitonic", false};
+        }
+    }
+    return {d.backend, "all feasible backends quarantined", d.env_forced};
+}
+
 }  // namespace
 
 template <typename T>
@@ -63,8 +88,10 @@ PlanDecision plan(const PlanQuery& q, const DistributionHints& h,
     // 0. Environment override, when the forced backend can run the problem
     //    (an infeasible override -- bitonic beyond the sort capacity,
     //    radix/bitonic for a multi-rank tree -- falls through to the
-    //    automatic rules rather than failing the selection).
-    if (forced && feasible(*forced, q)) {
+    //    automatic rules rather than failing the selection).  A quarantined
+    //    override also falls through: the breaker's verdict on a faulting
+    //    backend outranks an operator preference.
+    if (forced && feasible(*forced, q) && !quarantined(*forced, q)) {
         return {*forced, "GPUSEL_BACKEND override", true};
     }
     // 1. Multi-rank descent shares one bucket tree across all targets;
@@ -75,31 +102,33 @@ PlanDecision plan(const PlanQuery& q, const DistributionHints& h,
     // 2. Small problems fit one block: sorting outright beats any level
     //    machinery (this is the recursion base case run as a backend).
     if (q.n <= q.base_case_size) {
-        return {BackendKind::bitonic, "small n: single-block bitonic sort", false};
+        return apply_quarantine({BackendKind::bitonic, "small n: single-block bitonic sort", false},
+                                q);
     }
     // 3./4. Duplicate-heavy or low-cardinality probes defeat sampled
     //    splitters (most samples collide, buckets stay fat) but are
     //    exactly where the radix skip-filter descent shines: shared digit
     //    prefixes resolve from one fused histogram pass.
     if (h.dominant_frac >= kPlannerDominantFrac) {
-        return {BackendKind::radix, "duplicate-heavy probe", false};
+        return apply_quarantine({BackendKind::radix, "duplicate-heavy probe", false}, q);
     }
     if (h.probe_size >= 4 && h.probe_distinct * 4 <= h.probe_size) {
-        return {BackendKind::radix, "low distinct-value probe", false};
+        return apply_quarantine({BackendKind::radix, "low distinct-value probe", false}, q);
     }
     // 5. RobustnessCounters feedback: the previous planned descent on this
     //    device thrashed (resamples/fallbacks grew), so the distribution
     //    is defeating the sampler in a way the probe missed.
     if (q.thrash_delta > 0) {
-        return {BackendKind::radix, "sampler thrash feedback", false};
+        return apply_quarantine({BackendKind::radix, "sampler thrash feedback", false}, q);
     }
     // 6. Deep top-k keeps a constant fraction of the input; radix secures
     //    whole upper-digit bins per pass with a width-bounded level count.
     if (q.topk && q.k * 4 >= q.n) {
-        return {BackendKind::radix, "deep top-k (k >= n/4)", false};
+        return apply_quarantine({BackendKind::radix, "deep top-k (k >= n/4)", false}, q);
     }
     // 7. Default: the paper's distribution-adaptive sampled descent.
-    return {BackendKind::sample, "distribution-adaptive sampled descent", false};
+    return apply_quarantine(
+        {BackendKind::sample, "distribution-adaptive sampled descent", false}, q);
 }
 
 void record_planned_decision(simt::Device& dev, const PlanDecision& d, std::uint64_t n,
@@ -126,11 +155,22 @@ PlanDecision plan_selection(simt::Device& dev, std::span<const T> data, PlanQuer
                             int stream) {
     q.elem_size = sizeof(T);
     // Sampler-thrash feedback: resamples/fallbacks growth since the mark
-    // left by the previous decision.
+    // left by the previous decision -- but only attributed when that
+    // decision was for a shape-similar problem (same element width, n
+    // within 4x either way).  A dissimilar shape resets the context: the
+    // thrash belonged to a different workload and must not bias this one.
+    auto& fb = dev.planner_feedback();
     const auto& rc = dev.robustness();
     const std::uint64_t now = rc.resamples + rc.fallbacks;
-    q.thrash_delta = now - std::min(now, dev.planner_thrash_mark());
-    dev.planner_thrash_mark() = now;
+    const std::uint64_t delta = now - std::min(now, fb.thrash_mark);
+    const bool shape_similar =
+        fb.prev_n == 0 || (fb.prev_elem_size == sizeof(T) && fb.prev_n / 4 <= q.n &&
+                           q.n <= fb.prev_n * 4);
+    q.thrash_delta = shape_similar ? delta : 0;
+    fb.thrash_mark = now;
+    fb.prev_n = q.n;
+    fb.prev_elem_size = sizeof(T);
+    q.quarantined = dev.backend_quarantine();
 
     const DistributionHints h = probe_distribution<T>(data);
     const PlanDecision d = plan(q, h, backend_env_override());

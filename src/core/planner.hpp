@@ -59,8 +59,16 @@ struct PlanQuery {
     std::size_t elem_size = 0;  ///< sizeof(T)
     std::size_t base_case_size = 0;
     /// resamples+fallbacks growth since the previous planned decision on
-    /// this device (sampler-thrash feedback; 0 = healthy).
+    /// this device (sampler-thrash feedback; 0 = healthy).  plan_selection
+    /// zeroes the delta when the previous decision was for a problem of a
+    /// dissimilar shape (different element width, or n outside 4x either
+    /// way), so one workload's thrash never biases an unrelated one.
     std::uint64_t thrash_delta = 0;
+    /// Quarantine bitmask (backend_bit per BackendKind): backends a
+    /// supervisor's circuit breaker has taken out of rotation.  plan()
+    /// treats them as infeasible and routes to the healthiest fallback;
+    /// 0 (the default) changes nothing.
+    std::uint32_t quarantined = 0;
 };
 
 struct PlanDecision {

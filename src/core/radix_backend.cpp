@@ -94,6 +94,19 @@ Status run_walk(const PipelineContext& ctx, const simt::PooledBuffer<std::int32_
     });
 }
 
+/// Between-pass deadline check, the radix analogue of the sample descent's
+/// inter-level check (docs/service.md).  `level` 0 always runs: up-front
+/// rejection is admission control's job, this is defence in depth.
+Status check_deadline(const PipelineContext& ctx, std::size_t level) {
+    const double deadline = ctx.cfg().deadline_ns;
+    if (deadline > 0.0 && level > 0 &&
+        ctx.dev().stream_clock(ctx.stream()) > deadline) {
+        return Status::failure(SelectError::deadline_exceeded,
+                               "radix_select: deadline exceeded between passes");
+    }
+    return Status::success();
+}
+
 }  // namespace
 
 template <typename T>
@@ -111,6 +124,7 @@ Result<SelectResult<T>> try_radix_select_staged(simt::Device& dev, DataHolder<T>
 
     for (;;) {
         const std::size_t n = pp.size();
+        if (Status ds = check_deadline(ctx, res.levels); !ds.ok()) return ds;
         if (shift < 0) {
             // Every key bit has been consumed without isolating a smaller
             // bucket: all remaining elements are equal (the radix analogue
@@ -187,6 +201,7 @@ Result<TopKResult<T>> try_radix_topk_staged(simt::Device& dev, DataHolder<T> dat
     while (remaining > 0) {
         const std::size_t n = pp.size();
         const std::size_t threshold_rank = n - remaining;
+        if (Status ds = check_deadline(ctx, res.levels); !ds.ok()) return ds;
 
         if (shift < 0) {
             // All remaining elements equal: take as many as still needed.

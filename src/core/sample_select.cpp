@@ -46,6 +46,16 @@ bool run_level(SelectState<T>& st) {
     const auto origin =
         st.level == 0 ? simt::LaunchOrigin::host : simt::LaunchOrigin::device;
 
+    // Deadline budget (docs/service.md): checked between levels, never
+    // mid-kernel, so aborted descents leave no partial writes in flight.
+    // Level 0 always runs -- admission control owns up-front rejection.
+    if (st.cfg.deadline_ns > 0.0 && st.levels_run > 0 &&
+        dev.stream_clock(st.pipe.context().stream()) > st.cfg.deadline_ns) {
+        st.status = Status::failure(SelectError::deadline_exceeded,
+                                    "sample_select: deadline exceeded between levels");
+        return false;
+    }
+
     if (n <= st.cfg.base_case_size) {
         // Base case (Sec. IV-D): bitonic sort in shared memory, pick rank.
         st.status = st.pipe.try_sort_base_case(origin);

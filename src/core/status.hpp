@@ -63,6 +63,16 @@ enum class SelectError {
     /// clobbered guard band.  Never retried -- the kernel is buggy, not
     /// unlucky.
     sanitizer_violation,
+    /// Admission control shed the request: the server's bounded queue (or
+    /// the tenant's share of it) was full, or the server is draining.  The
+    /// request was never executed; retrying later is safe (docs/service.md).
+    overloaded,
+    /// The request cannot (or did not) finish inside its deadline budget:
+    /// rejected up front by admission control when the queue delay plus the
+    /// estimated service time already exceeds the budget, or aborted
+    /// between pipeline levels when a descent overran an armed
+    /// SampleSelectConfig::deadline_ns.
+    deadline_exceeded,
 };
 
 [[nodiscard]] constexpr const char* to_string(SelectError e) noexcept {
@@ -78,6 +88,8 @@ enum class SelectError {
         case SelectError::depth_exceeded: return "depth_exceeded";
         case SelectError::internal: return "internal";
         case SelectError::sanitizer_violation: return "sanitizer_violation";
+        case SelectError::overloaded: return "overloaded";
+        case SelectError::deadline_exceeded: return "deadline_exceeded";
     }
     return "unknown";
 }

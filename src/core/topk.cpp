@@ -419,7 +419,9 @@ Result<TopKBatchResult<T>> try_topk_largest_batch(simt::Device& dev,
     if (problems.empty()) {
         return Status::failure(SelectError::invalid_argument, "topk_batch: empty batch");
     }
-    StreamFan fan(dev, resolve_stream_count(problems.size(), opts.streams), cfg.stream);
+    Result<int> fan_width = try_resolve_stream_count(problems.size(), opts.streams);
+    if (!fan_width.ok()) return fan_width.status();
+    StreamFan fan(dev, fan_width.value(), cfg.stream);
 
     TopKBatchResult<T> res;
     res.items.reserve(problems.size());

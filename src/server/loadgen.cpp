@@ -1,0 +1,174 @@
+#include "server/loadgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <random>
+#include <utility>
+
+namespace gpusel::server {
+
+namespace {
+
+double percentile_sorted(const std::vector<double>& sorted, double pct) {
+    if (sorted.empty()) return 0.0;
+    const double pos = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto idx = std::min(static_cast<std::size_t>(pos), sorted.size() - 1);
+    return sorted[idx];
+}
+
+}  // namespace
+
+LoadgenResult run_loadgen(simt::Device& dev, const ServerConfig& server_cfg,
+                          const LoadgenConfig& load_cfg, LoadgenTrace* trace) {
+    // Shared immutable datasets: requests reference them by span, so they
+    // must outlive every future (Request::data lifetime contract).
+    std::vector<std::vector<float>> datasets;
+    datasets.reserve(std::max<std::size_t>(load_cfg.datasets, 1));
+    for (std::size_t d = 0; d < std::max<std::size_t>(load_cfg.datasets, 1); ++d) {
+        datasets.push_back(data::generate<float>(
+            {load_cfg.n, load_cfg.dist, 0, load_cfg.seed + 1000 * (d + 1)}));
+    }
+
+    SelectServer server(dev, server_cfg);
+
+    std::mt19937_64 rng(load_cfg.seed);
+    std::exponential_distribution<double> interarrival(load_cfg.rate_rps / 1e9);
+    std::uniform_real_distribution<double> mix(0.0, 1.0);
+    std::uniform_int_distribution<std::size_t> rank_draw(0, load_cfg.n - 1);
+
+    std::vector<std::future<Response>> futures;
+    futures.reserve(load_cfg.requests);
+    double arrival = server.now_ns();
+    double first_arrival = -1.0;
+
+    for (std::size_t i = 0; i < load_cfg.requests; ++i) {
+        arrival += interarrival(rng);
+        if (first_arrival < 0.0) first_arrival = arrival;
+        // Open loop: let the server catch up to (not past) this arrival,
+        // then submit regardless of how far behind it is.
+        while (server.pump_until(arrival)) {
+        }
+
+        Request req;
+        req.data = datasets[i % datasets.size()];
+        req.rank = rank_draw(rng);
+        req.tenant = static_cast<int>(i) % std::max(load_cfg.tenants, 1);
+        req.deadline_ns = load_cfg.deadline_ns;
+        req.arrival_ns = arrival;
+        const double roll = mix(rng);
+        if (roll < load_cfg.topk_frac) {
+            req.kind = RequestKind::topk;
+            req.k = 1 + req.rank % 64;
+        } else if (roll < load_cfg.topk_frac + load_cfg.argselect_frac) {
+            req.kind = RequestKind::argselect;
+        } else if (roll < load_cfg.topk_frac + load_cfg.argselect_frac +
+                              load_cfg.quantile_frac) {
+            req.kind = RequestKind::quantile;
+            req.q = static_cast<double>(req.rank) / static_cast<double>(load_cfg.n);
+        } else if (roll < load_cfg.topk_frac + load_cfg.argselect_frac +
+                              load_cfg.quantile_frac + load_cfg.approx_frac) {
+            req.approx = true;
+        }
+        futures.push_back(server.submit(std::move(req)));
+    }
+    server.drain();
+    if (trace != nullptr) {
+        trace->counters = server.trace_counters();
+        trace->instants = server.trace_instants();
+    }
+
+    LoadgenResult res;
+    res.rate_rps = load_cfg.rate_rps;
+    res.offered = load_cfg.requests;
+    std::vector<double> latencies;
+    double last_finish = first_arrival;
+    for (auto& f : futures) {
+        Response r = f.get();
+        last_finish = std::max(last_finish, r.finish_ns);
+        if (r.status.ok()) {
+            ++res.completed;
+            latencies.push_back(r.latency_ns());
+            if (r.mode == ResponseMode::degraded) ++res.degraded;
+        } else {
+            switch (r.status.code) {
+                case core::SelectError::overloaded:
+                    ++res.shed;
+                    break;
+                case core::SelectError::deadline_exceeded:
+                    // Up-front rejects never reached a dispatch round.
+                    if (r.start_ns <= r.arrival_ns) {
+                        ++res.deadline_rejected;
+                    } else {
+                        ++res.deadline_aborted;
+                    }
+                    break;
+                default:
+                    ++res.failed;
+                    break;
+            }
+        }
+    }
+    std::sort(latencies.begin(), latencies.end());
+    res.p50_ns = percentile_sorted(latencies, 50.0);
+    res.p99_ns = percentile_sorted(latencies, 99.0);
+    res.p999_ns = percentile_sorted(latencies, 99.9);
+    if (!latencies.empty()) {
+        double sum = 0.0;
+        for (const double l : latencies) sum += l;
+        res.mean_ns = sum / static_cast<double>(latencies.size());
+    }
+    res.makespan_ns = std::max(0.0, last_finish - first_arrival);
+    if (res.makespan_ns > 0.0) {
+        res.throughput_rps = static_cast<double>(res.completed) / (res.makespan_ns / 1e9);
+    }
+    const auto offered = static_cast<double>(res.offered);
+    if (offered > 0.0) {
+        res.shed_rate = static_cast<double>(res.shed) / offered;
+        res.deadline_miss_rate =
+            static_cast<double>(res.deadline_rejected + res.deadline_aborted) / offered;
+    }
+    if (res.completed > 0) {
+        res.degraded_frac =
+            static_cast<double>(res.degraded) / static_cast<double>(res.completed);
+    }
+    return res;
+}
+
+void write_loadgen_json(std::ostream& os, std::span<const LoadgenResult> sweep,
+                        double nominal_rate_rps) {
+    os << "{\n"
+       << " \"context\": {\n"
+       << "  \"kind\": \"gpusel_server_loadgen\",\n"
+       << "  \"clock\": \"simulated\"\n"
+       << " },\n"
+       << " \"server_points\": [\n";
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        const LoadgenResult& r = sweep[i];
+        const bool nominal = r.rate_rps == nominal_rate_rps;
+        os << "  {\n"
+           << "   \"name\": \"SRV_load/" << r.rate_rps << "\",\n"
+           << "   \"rate_rps\": " << r.rate_rps << ",\n"
+           << "   \"offered\": " << r.offered << ",\n"
+           << "   \"completed\": " << r.completed << ",\n"
+           << "   \"shed\": " << r.shed << ",\n"
+           << "   \"deadline_rejected\": " << r.deadline_rejected << ",\n"
+           << "   \"deadline_aborted\": " << r.deadline_aborted << ",\n"
+           << "   \"degraded\": " << r.degraded << ",\n"
+           << "   \"failed\": " << r.failed << ",\n"
+           << "   \"p50_ns\": " << r.p50_ns << ",\n"
+           << "   \"p99_ns\": " << r.p99_ns << ",\n"
+           << "   \"p999_ns\": " << r.p999_ns << ",\n"
+           << "   \"mean_ns\": " << r.mean_ns << ",\n"
+           << "   \"throughput_rps\": " << r.throughput_rps << ",\n"
+           << "   \"shed_rate\": " << r.shed_rate << ",\n"
+           << "   \"deadline_miss_rate\": " << r.deadline_miss_rate << ",\n"
+           << "   \"degraded_frac\": " << r.degraded_frac << ",\n"
+           << "   \"makespan_ns\": " << r.makespan_ns << ",\n"
+           << "   \"slo_nominal\": " << (nominal ? 1 : 0) << "\n"
+           << "  }" << (i + 1 < sweep.size() ? "," : "") << "\n";
+    }
+    os << " ]\n}\n";
+}
+
+}  // namespace gpusel::server

@@ -1,0 +1,103 @@
+#pragma once
+// Open-loop load generator for the selection service (docs/service.md
+// "Load generation").
+//
+// Drives a SelectServer with Poisson arrivals on the *simulated* clock: the
+// i-th request is pre-stamped with its arrival time, the server is pumped
+// until its next dispatch round would start at/after that arrival
+// (pump_until), and only then is the request submitted.  Open-loop means
+// arrivals never wait for responses -- exactly the regime in which an
+// overloaded service must shed rather than build an unbounded queue.
+//
+// One run produces a LoadgenResult (latency percentiles, throughput, shed /
+// deadline-miss / degradation rates); a sweep over arrival rates produces
+// the throughput-vs-load and latency-vs-load curves the SLO regression gate
+// consumes (tools/check_bench_regression.py --server-current).
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "data/distributions.hpp"
+#include "server/service.hpp"
+
+namespace gpusel::server {
+
+/// One operating point of the load sweep.
+struct LoadgenConfig {
+    /// Offered load: mean arrival rate [requests per simulated second].
+    double rate_rps = 2000.0;
+    /// Requests offered per run.
+    std::size_t requests = 400;
+    /// Elements per request dataset.
+    std::size_t n = 65536;
+    /// Distinct pre-generated datasets cycled across requests (requests
+    /// share immutable data; see the Request::data lifetime contract).
+    std::size_t datasets = 4;
+    data::Distribution dist = data::Distribution::uniform_real;
+    /// Tenants the requests round-robin across.
+    int tenants = 4;
+    /// Relative deadline stamped on every request [sim-ns]; 0 = none.
+    double deadline_ns = 0.0;
+    /// Request mix: fractions of top-k / argselect / quantile / explicit
+    /// approx requests; the remainder are exact selects.
+    double topk_frac = 0.1;
+    double argselect_frac = 0.1;
+    double quantile_frac = 0.1;
+    double approx_frac = 0.1;
+    std::uint64_t seed = 42;
+};
+
+/// Aggregate outcome of one run at one offered rate.
+struct LoadgenResult {
+    double rate_rps = 0.0;
+    std::uint64_t offered = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t deadline_rejected = 0;
+    std::uint64_t deadline_aborted = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t failed = 0;
+    double p50_ns = 0.0;
+    double p99_ns = 0.0;
+    double p999_ns = 0.0;
+    double mean_ns = 0.0;
+    /// Completed requests per simulated second over the run's makespan.
+    double throughput_rps = 0.0;
+    /// Fraction of offered requests shed at admission.
+    double shed_rate = 0.0;
+    /// Fraction of offered requests that missed their deadline (rejected
+    /// up front or aborted between levels).
+    double deadline_miss_rate = 0.0;
+    /// Fraction of completed answers that were degraded to approximate.
+    double degraded_frac = 0.0;
+    /// Last finish minus first arrival [sim-ns].
+    double makespan_ns = 0.0;
+};
+
+/// Service telemetry captured during a run (ServerConfig::record_trace);
+/// feeds the chrome-trace export's counter/instant tracks.
+struct LoadgenTrace {
+    std::vector<simt::TraceCounter> counters;
+    std::vector<simt::TraceInstant> instants;
+};
+
+/// Runs one open-loop experiment against a fresh server on `dev`.
+/// Every future is resolved before this returns (drain semantics).  When
+/// `trace` is non-null and server_cfg.record_trace is set, the server's
+/// telemetry is copied out before the server is destroyed.
+[[nodiscard]] LoadgenResult run_loadgen(simt::Device& dev, const ServerConfig& server_cfg,
+                                        const LoadgenConfig& load_cfg,
+                                        LoadgenTrace* trace = nullptr);
+
+/// Emits a sweep as the bench-results JSON the SLO gate consumes:
+/// { "context": {...}, "server_points": [ {"name": "SRV_load/<rate>",
+///   "p99_ns": ..., "shed_rate": ..., "slo_nominal": 0|1}, ... ] }.
+/// The point whose rate is `nominal_rate_rps` is tagged slo_nominal = 1:
+/// the gate requires zero shed at that operating point.
+void write_loadgen_json(std::ostream& os, std::span<const LoadgenResult> sweep,
+                        double nominal_rate_rps);
+
+}  // namespace gpusel::server

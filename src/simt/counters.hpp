@@ -153,6 +153,47 @@ struct PlannerEvent {
     bool env_forced = false;
 };
 
+/// Planner feedback context kept on the Device (core/planner.cpp reads and
+/// writes it).  thrash_mark snapshots resamples+fallbacks at the previous
+/// decision; prev_n/prev_elem_size record the shape of the problem that
+/// decision was made for, so a counter delta is only attributed to "the
+/// sampler thrashes on inputs like this one" when the next problem is
+/// shape-similar -- counters accumulated by one workload no longer bias a
+/// later unrelated workload in the same process (docs/planner.md).
+struct PlannerFeedbackState {
+    std::uint64_t thrash_mark = 0;
+    /// Shape of the previously planned problem; prev_n == 0 means no
+    /// decision has been recorded yet.
+    std::uint64_t prev_n = 0;
+    std::uint64_t prev_elem_size = 0;
+};
+
+/// One sample of a numeric track for the chrome-trace export ("ph":"C"
+/// counter events): the server's queue-depth track, EWMA service estimate,
+/// ...  Host-side bookkeeping like PlannerEvent; the simulator assigns no
+/// meaning to name/track.
+struct TraceCounter {
+    double sim_ns = 0.0;
+    /// Trace thread id the counter renders under (picked above the stream
+    /// tids by the exporter's caller).
+    int track = 0;
+    /// Counter series name ("queue_depth", "inflight", ...).
+    std::string name;
+    double value = 0.0;
+};
+
+/// One point annotation for the chrome-trace export ("ph":"i" instant
+/// events): admission decisions (admit/shed/deadline-reject/degrade),
+/// breaker transitions, drain milestones.
+struct TraceInstant {
+    double sim_ns = 0.0;
+    int track = 0;
+    /// Event name ("shed", "degrade", "breaker_open", ...).
+    std::string name;
+    /// Free-form detail rendered into the event args ("tenant=3", ...).
+    std::string detail;
+};
+
 /// Where a kernel launch originated.  Device-side launches model CUDA
 /// Dynamic Parallelism (tail recursion stays on the GPU, Sec. IV-E of the
 /// paper) and are charged a different launch latency.

@@ -200,7 +200,26 @@ public:
     /// Snapshot hook for the planner's RobustnessCounters feedback: the
     /// resample+fallback total the planner saw at its previous decision.
     /// A delta since then means the last planned descent thrashed.
-    [[nodiscard]] std::uint64_t& planner_thrash_mark() noexcept { return planner_thrash_mark_; }
+    [[nodiscard]] std::uint64_t& planner_thrash_mark() noexcept {
+        return planner_feedback_.thrash_mark;
+    }
+    /// Full planner feedback context, including the shape of the problem
+    /// the mark was taken against (core/planner.cpp gates the thrash delta
+    /// on shape similarity so one workload's counters do not bias a later
+    /// unrelated workload -- the staleness fix, docs/planner.md).
+    [[nodiscard]] PlannerFeedbackState& planner_feedback() noexcept { return planner_feedback_; }
+
+    // ---- backend quarantine ----------------------------------------------
+    // Bitmask of backends (1 << BackendKind) currently quarantined by a
+    // supervisor -- the server's per-backend circuit breaker
+    // (src/server/breaker.hpp) trips a backend after repeated faults and
+    // the planner then routes around it (plan() treats quarantined
+    // backends as infeasible).  0 (the default) changes nothing.
+
+    [[nodiscard]] std::uint32_t backend_quarantine() const noexcept {
+        return backend_quarantine_;
+    }
+    void set_backend_quarantine(std::uint32_t mask) noexcept { backend_quarantine_ = mask; }
 
     // ---- SimTSan ----------------------------------------------------------
     // The Device owns the sanitizer (simt/sanitizer.hpp) so one shadow
@@ -243,7 +262,8 @@ private:
     FaultInjector injector_;
     RobustnessCounters robustness_;
     std::vector<PlannerEvent> planner_log_;
-    std::uint64_t planner_thrash_mark_ = 0;
+    PlannerFeedbackState planner_feedback_;
+    std::uint32_t backend_quarantine_ = 0;
     std::unique_ptr<Sanitizer> san_;
 };
 

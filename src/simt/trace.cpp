@@ -26,6 +26,13 @@ void write_chrome_trace(std::ostream& os, const std::vector<KernelProfile>& prof
 
 void write_chrome_trace(std::ostream& os, const std::vector<KernelProfile>& profiles,
                         const std::vector<PlannerEvent>& planner_events) {
+    write_chrome_trace(os, profiles, planner_events, {}, {});
+}
+
+void write_chrome_trace(std::ostream& os, const std::vector<KernelProfile>& profiles,
+                        const std::vector<PlannerEvent>& planner_events,
+                        const std::vector<TraceCounter>& counters,
+                        const std::vector<TraceInstant>& instants) {
     os << "{\"traceEvents\":[";
     // Rebase on the earliest recorded start so traces taken after
     // clear_profiles() (or on a long-lived device) still begin at t = 0.
@@ -75,6 +82,32 @@ void write_chrome_trace(std::ostream& os, const std::vector<KernelProfile>& prof
            << "\"backend\":\"" << e.backend << "\",\"reason\":\"" << e.reason << "\""
            << ",\"n\":" << e.n << ",\"k\":" << e.k
            << ",\"env_forced\":" << (e.env_forced ? "true" : "false") << "}}";
+    }
+    // Supervisor telemetry: name each counter/instant track after its
+    // first event so the service tracks read as lanes in the viewer.
+    std::map<int, std::string> track_names;
+    for (const auto& c : counters) track_names.emplace(c.track, c.name);
+    for (const auto& i : instants) track_names.emplace(i.track, i.name);
+    for (const auto& [track, name] : track_names) {
+        if (!first) os << ',';
+        first = false;
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << track
+           << ",\"args\":{\"name\":\"" << name << "\"}}";
+    }
+    for (const auto& c : counters) {
+        if (!first) os << ',';
+        first = false;
+        os << "{\"name\":\"" << c.name << "\",\"cat\":\"service\",\"ph\":\"C\""
+           << ",\"ts\":" << std::max(0.0, c.sim_ns - t0) / 1000.0 << ",\"pid\":0,\"tid\":"
+           << c.track << ",\"args\":{\"value\":" << c.value << "}}";
+    }
+    for (const auto& i : instants) {
+        if (!first) os << ',';
+        first = false;
+        os << "{\"name\":\"" << i.name << "\",\"cat\":\"service\",\"ph\":\"i\""
+           << ",\"s\":\"t\",\"ts\":" << std::max(0.0, i.sim_ns - t0) / 1000.0
+           << ",\"pid\":0,\"tid\":" << i.track << ",\"args\":{\"detail\":\"" << i.detail
+           << "\"}}";
     }
     os << "]}";
 }

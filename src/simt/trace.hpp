@@ -41,6 +41,18 @@ void write_chrome_trace(std::ostream& os, const std::vector<KernelProfile>& prof
 void write_chrome_trace(std::ostream& os, const std::vector<KernelProfile>& profiles,
                         const std::vector<PlannerEvent>& planner_events);
 
+/// Overload that additionally renders supervisor telemetry tracks: numeric
+/// series (TraceCounter -> "C" counter events, e.g. the server's
+/// queue-depth track) and point annotations (TraceInstant -> "i" instant
+/// events, e.g. admission decisions and breaker transitions).  Counter and
+/// instant tracks render under their own tid (TraceCounter/Instant::track,
+/// conventionally above the stream ids) with a thread_name of the first
+/// event's name on that track.  Same rebased clock as the profiles.
+void write_chrome_trace(std::ostream& os, const std::vector<KernelProfile>& profiles,
+                        const std::vector<PlannerEvent>& planner_events,
+                        const std::vector<TraceCounter>& counters,
+                        const std::vector<TraceInstant>& instants);
+
 /// Renders a compact text summary: one line per kernel name with launch
 /// count, total simulated time and share of the overall runtime.
 [[nodiscard]] std::string format_timeline(const std::vector<KernelProfile>& profiles);

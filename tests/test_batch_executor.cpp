@@ -81,6 +81,42 @@ TEST(BatchExecutor, ResolveStreamCountReadsEnvironment) {
     EXPECT_EQ(core::resolve_stream_count(100, 2), 2);  // explicit request wins
 }
 
+TEST(BatchExecutor, ResolveStreamCountRejectsMalformedEnvironment) {
+    // Every malformed GPUSEL_STREAMS value is a typed invalid_argument,
+    // never a silent fallback to the default fan (docs/robustness.md).
+    for (const char* bad : {"abc", "0", "-3", "99999", "7junk", "7.5", "++"}) {
+        StreamsEnv env(bad);
+        const auto r = core::try_resolve_stream_count(100);
+        ASSERT_FALSE(r.ok()) << "GPUSEL_STREAMS=" << bad;
+        EXPECT_EQ(r.status().code, core::SelectError::invalid_argument)
+            << "GPUSEL_STREAMS=" << bad;
+        EXPECT_FALSE(r.status().message.empty());
+        // The legacy throwing wrapper surfaces the same error (throw_status
+        // maps invalid_argument onto the standard exception).
+        EXPECT_THROW((void)core::resolve_stream_count(100), std::invalid_argument);
+    }
+}
+
+TEST(BatchExecutor, ResolveStreamCountAcceptsPaddedEnvironment) {
+    {
+        StreamsEnv env("  6  ");  // surrounding whitespace is not an error
+        EXPECT_EQ(core::try_resolve_stream_count(100).take_or_throw(), 6);
+    }
+    {
+        StreamsEnv env("");  // empty string means unset, not malformed
+        EXPECT_EQ(core::try_resolve_stream_count(100).take_or_throw(), 8);
+    }
+    {
+        StreamsEnv env("256");  // cap itself is still legal
+        EXPECT_EQ(core::try_resolve_stream_count(1000).take_or_throw(), 256);
+    }
+}
+
+TEST(BatchExecutor, ResolveStreamCountExplicitRequestSkipsEnvironment) {
+    StreamsEnv env("abc");  // malformed, but an explicit request never reads it
+    EXPECT_EQ(core::try_resolve_stream_count(100, 4).take_or_throw(), 4);
+}
+
 TEST(BatchExecutor, StreamFanLeasesAndReleases) {
     simt::Device dev(simt::arch_v100());
     const int before = dev.stream_count();

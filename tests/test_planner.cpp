@@ -308,6 +308,35 @@ TEST(Planner, ThrashFeedbackSwitchesToRadixOnce) {
     EXPECT_EQ(dev.planner_log().front().backend, "sample");
 }
 
+TEST(Planner, ThrashFeedbackIgnoresDissimilarShapes) {
+    ScopedEnv env("GPUSEL_BACKEND", nullptr);
+    simt::Device dev(simt::arch_v100());
+    const auto small = data::generate<float>(
+        {.n = 8192, .dist = data::Distribution::uniform_real, .seed = 33});
+    const auto large = data::generate<float>(
+        {.n = 262144, .dist = data::Distribution::uniform_real, .seed = 34});
+
+    // A selection establishes the feedback shape (n = 8192, float).
+    (void)core::sample_select<float>(dev, small, 100, {});
+    // Thrash counters grow, but the next selection's shape is 32x larger:
+    // stale feedback from a dissimilar problem must NOT reroute it.
+    dev.robustness().resamples += 5;
+    dev.clear_planner_log();
+    const auto r1 = core::sample_select<float>(dev, large, 100000, {});
+    EXPECT_EQ(stats::rank_error<float>(large, r1.value, 100000), 0u);
+    ASSERT_GE(dev.planner_log().size(), 1u);
+    EXPECT_NE(dev.planner_log().front().reason, std::string("sampler thrash feedback"));
+
+    // Same counters, similar shape (the large problem again): now the
+    // feedback applies.
+    dev.robustness().resamples += 5;
+    dev.clear_planner_log();
+    const auto r2 = core::sample_select<float>(dev, large, 100000, {});
+    EXPECT_EQ(stats::rank_error<float>(large, r2.value, 100000), 0u);
+    ASSERT_GE(dev.planner_log().size(), 1u);
+    EXPECT_EQ(dev.planner_log().front().reason, std::string("sampler thrash feedback"));
+}
+
 // ---- GPUSEL_BACKEND override ----------------------------------------------
 
 TEST(Planner, EnvOverrideForcesSampleOnDuplicates) {

@@ -21,6 +21,14 @@ Usage:
       same-speed run and asserts it passes.  CI runs this every build so
       the gate is continuously verified against an injected regression.
 
+The gate also covers the selection service's latency SLOs when a loadgen
+sweep is present (tools/gpusel_loadgen --out results/BENCH_server.json):
+per operating point, the current p99 latency may not regress past
+--slo-tolerance against results/BENCH_server_seed.json, and the point
+tagged slo_nominal=1 must shed nothing -- a nonzero shed rate at the
+nominal load means admission control is rejecting work the service is
+provisioned for.  Missing server JSONs skip the step (older branches).
+
 Exit codes: 0 pass, 1 regression detected, 2 usage/IO error.
 
 Refreshing the baseline: rerun bench/run_benches.sh on the reference host
@@ -86,6 +94,52 @@ def planner_coverage(doc):
     return True, [c for c, v in sums.items() if v <= 0]
 
 
+def load_server_points(path):
+    """Returns {name: point} from a gpusel_loadgen sweep JSON."""
+    with open(path) as f:
+        doc = json.load(f)
+    return {p["name"]: p for p in doc.get("server_points", [])}
+
+
+def slo_gate(baseline_points, current_points, slo_tolerance):
+    """Latency-SLO step over a loadgen sweep.
+
+    Returns (lines, failures): a markdown table of the sweep and the list
+    of SLO violations.  Two checks per operating point:
+      * p99 latency may not exceed baseline * (1 + slo_tolerance) for
+        points present in both sweeps (baseline_points may be empty);
+      * the slo_nominal point must have a zero shed rate -- shedding at
+        the nominal load is an admission-control regression, not noise.
+    """
+    lines = [
+        f"## Service SLO gate (p99 tolerance: +{slo_tolerance:.0%} vs seed)",
+        "",
+        "| point | p99 | vs seed | shed rate | gate |",
+        "|---|---|---|---|---|",
+    ]
+    failures = []
+    for name, cur in sorted(current_points.items(),
+                            key=lambda kv: kv[1].get("rate_rps", 0)):
+        base = baseline_points.get(name)
+        point_failures = []
+        ratio = None
+        if base and base.get("p99_ns"):
+            ratio = cur.get("p99_ns", 0.0) / base["p99_ns"]
+            if ratio > 1.0 + slo_tolerance:
+                point_failures.append(f"{name}: p99 {ratio:.2f}x seed")
+        shed_rate = cur.get("shed_rate", 0.0)
+        if cur.get("slo_nominal") and shed_rate > 0:
+            point_failures.append(
+                f"{name}: nonzero shed rate at nominal load ({shed_rate:.1%})")
+        failures.extend(point_failures)
+        mark = "❌ " + "; ".join(point_failures) if point_failures else "✅"
+        vs = f"{ratio:.3f}x" if ratio is not None else "—"
+        lines.append(f"| {name} | {cur.get('p99_ns', 0.0) / 1e6:.3f} ms | {vs} "
+                     f"| {shed_rate:.1%} | {mark} |")
+    lines.append("")
+    return lines, failures
+
+
 def geomean(values):
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
@@ -147,7 +201,9 @@ def markdown_report(families, rows, failed, tolerance):
     return "\n".join(lines)
 
 
-def run_gate(baseline_path, current_path, tolerance, summary_out):
+def run_gate(baseline_path, current_path, tolerance, summary_out,
+             server_baseline_path=None, server_current_path=None,
+             slo_tolerance=0.25):
     try:
         baseline = load_benchmarks(baseline_path)
         current = load_benchmarks(current_path)
@@ -178,11 +234,35 @@ def run_gate(baseline_path, current_path, tolerance, summary_out):
     else:
         print("planner coverage skipped: no backend_* counters in this run")
 
+    slo_failures = []
+    if server_current_path and os.path.exists(server_current_path):
+        try:
+            current_points = load_server_points(server_current_path)
+            baseline_points = (load_server_points(server_baseline_path)
+                               if server_baseline_path and os.path.exists(server_baseline_path)
+                               else {})
+        except (OSError, json.JSONDecodeError, KeyError) as e:
+            print(f"error: {e}", file=sys.stderr)
+            return USAGE
+        slo_lines, slo_failures = slo_gate(baseline_points, current_points, slo_tolerance)
+        slo_report = "\n".join(slo_lines)
+        print(slo_report)
+        for path in sinks:
+            with open(path, "a") as f:
+                f.write(slo_report + "\n")
+        if slo_failures:
+            print(f"FAIL: service SLO violations: {'; '.join(slo_failures)}",
+                  file=sys.stderr)
+        else:
+            print(f"service SLO OK: {len(current_points)} operating points checked")
+    else:
+        print("service SLO skipped: no loadgen sweep JSON")
+
     if failed:
         print(f"FAIL: families regressed past -{tolerance:.0%}: {', '.join(failed)}",
               file=sys.stderr)
         return REGRESSION
-    if checked and missing:
+    if (checked and missing) or slo_failures:
         return REGRESSION
     print(f"OK: {len(families)} families within tolerance "
           f"({len([r for r in rows if r[3] is not None])} benchmarks compared)")
@@ -242,7 +322,35 @@ def self_test(baseline_path, tolerance):
             print("self-test FAIL: zeroed backend tally did not trip coverage",
                   file=sys.stderr)
             return REGRESSION
-    print(f"self-test OK: gate trips at -{tolerance:.0%} and passes inside it")
+    # Latency-SLO step, against a synthetic sweep (no files needed): an
+    # identical sweep passes, a p99 inflation past the tolerance trips,
+    # shedding at the nominal point trips, shedding under overload at a
+    # non-nominal point is expected behaviour and must NOT trip.
+    slo_tolerance = 0.25
+    base_sweep = {
+        "SRV_load/500": {"name": "SRV_load/500", "rate_rps": 500,
+                         "p99_ns": 1.0e6, "shed_rate": 0.0, "slo_nominal": 1},
+        "SRV_load/8000": {"name": "SRV_load/8000", "rate_rps": 8000,
+                          "p99_ns": 4.0e6, "shed_rate": 0.3, "slo_nominal": 0},
+    }
+    _, failures = slo_gate(base_sweep, copy.deepcopy(base_sweep), slo_tolerance)
+    if failures:
+        print("self-test FAIL: identical sweep tripped the SLO gate", file=sys.stderr)
+        return REGRESSION
+    inflated = copy.deepcopy(base_sweep)
+    inflated["SRV_load/500"]["p99_ns"] *= 1.0 + slo_tolerance + 0.05
+    _, failures = slo_gate(base_sweep, inflated, slo_tolerance)
+    if len(failures) != 1 or "p99" not in failures[0]:
+        print("self-test FAIL: inflated p99 did not trip the SLO gate", file=sys.stderr)
+        return REGRESSION
+    shedding = copy.deepcopy(base_sweep)
+    shedding["SRV_load/500"]["shed_rate"] = 0.02
+    _, failures = slo_gate(base_sweep, shedding, slo_tolerance)
+    if len(failures) != 1 or "shed" not in failures[0]:
+        print("self-test FAIL: nominal shed did not trip the SLO gate", file=sys.stderr)
+        return REGRESSION
+    print(f"self-test OK: gate trips at -{tolerance:.0%} and passes inside it; "
+          "SLO gate trips on p99 inflation and nominal shed")
     return PASS
 
 
@@ -258,6 +366,15 @@ def main(argv):
                     help="allowed fractional drop in family geomean (default 0.25)")
     ap.add_argument("--summary-out", default=None,
                     help="also append the markdown delta table to this file")
+    ap.add_argument("--server-baseline",
+                    default=os.path.join(repo_root, "results", "BENCH_server_seed.json"),
+                    help="seed loadgen sweep for the SLO gate")
+    ap.add_argument("--server-current",
+                    default=os.path.join(repo_root, "results", "BENCH_server.json"),
+                    help="current loadgen sweep; missing file skips the SLO gate")
+    ap.add_argument("--slo-tolerance", type=float, default=0.25,
+                    help="allowed fractional p99 increase per operating point "
+                         "(default 0.25)")
     ap.add_argument("--self-test", action="store_true",
                     help="verify the gate against a synthesized regression and exit")
     args = ap.parse_args(argv)
@@ -265,9 +382,13 @@ def main(argv):
     if not 0.0 < args.tolerance < 1.0:
         print("error: --tolerance must be in (0, 1)", file=sys.stderr)
         return USAGE
+    if not 0.0 < args.slo_tolerance < 1.0:
+        print("error: --slo-tolerance must be in (0, 1)", file=sys.stderr)
+        return USAGE
     if args.self_test:
         return self_test(args.baseline, args.tolerance)
-    return run_gate(args.baseline, args.current, args.tolerance, args.summary_out)
+    return run_gate(args.baseline, args.current, args.tolerance, args.summary_out,
+                    args.server_baseline, args.server_current, args.slo_tolerance)
 
 
 if __name__ == "__main__":
