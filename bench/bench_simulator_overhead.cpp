@@ -196,6 +196,50 @@ void BM_SampleSelectUnderSan(benchmark::State& state) {
 }
 BENCHMARK(BM_SampleSelectUnderSan)->Arg(1 << 16)->Arg(1 << 18);
 
+// Selection with StreamSan armed (strict mode): measures the wall-clock
+// cost of the happens-before bookkeeping -- per-access byte-range folds on
+// the kernel side plus the per-launch history analysis on the host.  The
+// simulated event stream is identical by contract (the test_streamsan
+// golden test); streamsan_slowdown_x is the acceptance metric and must
+// stay within 1.5x of the uninstrumented run (docs/streamsan.md) -- far
+// below SimTSan's ~3x, since StreamSan keeps no shadow memory.
+void BM_SampleSelectUnderStreamSan(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto data = data::generate<float>(
+        {.n = n, .dist = data::Distribution::uniform_real, .seed = 2});
+
+    const auto wall = [&](simt::StreamSanMode mode) {
+        simt::Device dev(simt::arch_v100(), {.record_profiles = false});
+        dev.set_stream_sanitizer(mode);
+        const auto t0 = std::chrono::steady_clock::now();
+        auto res = core::sample_select<float>(dev, data, n / 2, {});
+        benchmark::DoNotOptimize(res.value);
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    };
+    double off_s = 0.0;
+    double on_s = 0.0;
+    constexpr int kProbes = 5;
+    for (int i = 0; i < kProbes; ++i) {
+        off_s += wall(simt::StreamSanMode::off);
+        on_s += wall(simt::StreamSanMode::strict);
+    }
+
+    std::uint64_t checks = 0;
+    for (auto _ : state) {
+        simt::Device dev(simt::arch_v100(), {.record_profiles = false});
+        dev.set_stream_sanitizer(simt::StreamSanMode::strict);
+        auto res = core::sample_select<float>(dev, data, n / 2, {});
+        benchmark::DoNotOptimize(res.value);
+        checks += dev.stream_sanitizer()->checks();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+    state.counters["streamsan_slowdown_x"] = off_s > 0.0 ? on_s / off_s : 0.0;
+    state.counters["streamsan_checks_per_iter"] =
+        static_cast<double>(checks) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_SampleSelectUnderStreamSan)->Arg(1 << 16)->Arg(1 << 18);
+
 // Stream-parallel batched selection (core/batch_executor.hpp): 8 problems
 // fanned over range(1) streams.  Measures the host-side cost of driving the
 // fan (per-stream arenas, event fork/join) and surfaces the simulated

@@ -41,6 +41,7 @@ std::pair<T, T> minmax_kernel(simt::Device& dev, std::span<const T> data,
     const int grid = simt::suggest_grid(dev.arch(), n, cfg.block_dim);
     std::vector<T> lo(static_cast<std::size_t>(grid), data[0]);
     std::vector<T> hi(static_cast<std::size_t>(grid), data[0]);
+    // lint-kernels: allow(R6) -- single-stream baseline, runs entirely on the default stream
     dev.launch("minmax", {.grid_dim = grid, .block_dim = cfg.block_dim, .origin = origin},
                [&, n](simt::BlockCtx& blk) {
                    T bl = data[0];
@@ -61,6 +62,7 @@ std::pair<T, T> minmax_kernel(simt::Device& dev, std::span<const T> data,
     // Final reduction of the per-block partials (tiny second kernel).
     T l = lo[0];
     T h = hi[0];
+    // lint-kernels: allow(R6) -- single-stream baseline, runs entirely on the default stream
     dev.launch("minmax_final", {.grid_dim = 1, .block_dim = 32, .origin = origin},
                [&](simt::BlockCtx& blk) {
                    for (std::size_t i = 0; i < lo.size(); ++i) {
@@ -84,6 +86,7 @@ int range_count(simt::Device& dev, std::span<const T> data, T lo, double inv_wid
     const int grid = simt::suggest_grid(dev.arch(), n, cfg.block_dim, cfg.unroll);
     int bits = 0;
     while ((1 << bits) < cfg.num_buckets) ++bits;
+    // lint-kernels: allow(R6) -- single-stream baseline, runs entirely on the default stream
     dev.launch(
         "bucket_count",
         {.grid_dim = grid, .block_dim = cfg.block_dim, .origin = origin, .unroll = cfg.unroll},
@@ -140,6 +143,7 @@ void range_filter(simt::Device& dev, std::span<const T> data, T lo, double inv_w
     const std::size_t n = data.size();
     const auto b = static_cast<std::int32_t>(cfg.num_buckets);
     const bool shared_mode = cfg.atomic_space == simt::AtomicSpace::shared;
+    // lint-kernels: allow(R6) -- single-stream baseline, runs entirely on the default stream
     dev.launch(
         "bucket_filter",
         {.grid_dim = grid_dim, .block_dim = cfg.block_dim, .origin = origin,

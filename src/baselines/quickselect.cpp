@@ -29,6 +29,7 @@ T pivot_kernel(simt::Device& dev, std::span<const T> data, const core::QuickSele
                simt::LaunchOrigin origin, std::uint64_t salt) {
     const auto s = static_cast<std::size_t>(cfg.pivot_sample_size);
     T pivot{};
+    // lint-kernels: allow(R6) -- single-stream baseline, runs entirely on the default stream
     dev.launch("pivot", {.grid_dim = 1, .block_dim = cfg.block_dim, .origin = origin},
                [&](simt::BlockCtx& blk) {
                    const std::size_t m = bitonic::next_pow2(s);
@@ -62,6 +63,7 @@ int tripartition_count(simt::Device& dev, std::span<const T> data, T pivot,
     const std::size_t n = data.size();
     const bool shared_mode = cfg.atomic_space == simt::AtomicSpace::shared;
     const int grid = simt::suggest_grid(dev.arch(), n, cfg.block_dim, cfg.unroll);
+    // lint-kernels: allow(R6) -- single-stream baseline, runs entirely on the default stream
     dev.launch(
         "quick_count",
         {.grid_dim = grid, .block_dim = cfg.block_dim, .origin = origin, .unroll = cfg.unroll},
@@ -113,6 +115,7 @@ void extract_side(simt::Device& dev, std::span<const T> data, T pivot, std::int3
                   simt::LaunchOrigin origin, int grid_dim) {
     const std::size_t n = data.size();
     const bool shared_mode = cfg.atomic_space == simt::AtomicSpace::shared;
+    // lint-kernels: allow(R6) -- single-stream baseline, runs entirely on the default stream
     dev.launch(
         "quick_filter",
         {.grid_dim = grid_dim, .block_dim = cfg.block_dim, .origin = origin,
@@ -172,6 +175,7 @@ void bipartition_kernel(simt::Device& dev, std::span<const T> data, T pivot, std
     const bool aggregate =
         cfg.warp_aggregation || cfg.atomic_space == simt::AtomicSpace::shared;
     const int grid = simt::suggest_grid(dev.arch(), n, cfg.block_dim, cfg.unroll);
+    // lint-kernels: allow(R6) -- single-stream baseline, runs entirely on the default stream
     dev.launch(
         "bipartition",
         {.grid_dim = grid, .block_dim = cfg.block_dim, .origin = origin, .unroll = cfg.unroll},

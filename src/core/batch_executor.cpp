@@ -67,12 +67,33 @@ StreamFan::StreamFan(simt::Device& dev, int count, int base_stream) : dev_(&dev)
     if (count < 1) count = 1;
     streams_.reserve(static_cast<std::size_t>(count));
     streams_.push_back(base_stream);
-    for (int i = 1; i < count; ++i) {
-        streams_.push_back(dev.lease_stream());
+    // A lease_stream() throw mid-loop (injected fault, stream-table limit)
+    // would skip the destructor: release the partial lease set before
+    // rethrowing so the streams are not leaked for the device's lifetime.
+    try {
+        for (int i = 1; i < count; ++i) {
+            streams_.push_back(dev.lease_stream());
+        }
+    } catch (...) {
+        for (std::size_t i = 1; i < streams_.size(); ++i) {
+            dev.release_stream(streams_[i]);
+        }
+        throw;
     }
 }
 
 StreamFan::~StreamFan() {
+    // An exception (or early error return) between fork() and join() lands
+    // here with lane work possibly pending; a released lease may be handed
+    // to unrelated work immediately, so join first.  Best-effort: the
+    // destructor must not throw, and the leases must be released even when
+    // the join itself fails.
+    if (!joined_) {
+        try {
+            join();
+        } catch (...) {
+        }
+    }
     for (std::size_t i = 1; i < streams_.size(); ++i) {
         dev_->release_stream(streams_[i]);
     }
@@ -83,6 +104,7 @@ double StreamFan::fork() {
     for (std::size_t i = 1; i < streams_.size(); ++i) {
         dev_->wait_event(streams_[i], fork_ns_);
     }
+    joined_ = streams_.size() <= 1;  // a one-lane fan has nothing to join
     return fork_ns_;
 }
 
@@ -90,6 +112,7 @@ void StreamFan::join() {
     for (std::size_t i = 1; i < streams_.size(); ++i) {
         dev_->wait_event(streams_[0], dev_->record_event(streams_[i]));
     }
+    joined_ = true;
 }
 
 namespace {

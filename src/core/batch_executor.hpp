@@ -67,9 +67,11 @@ inline constexpr long kMaxStreamFan = 256;
 [[nodiscard]] int resolve_stream_count(std::size_t batch, int requested = 0);
 
 /// RAII fan of streams: lane 0 is the caller's base stream, lanes 1..n-1
-/// are leased from the device and returned on destruction.  The caller
-/// must join() (or otherwise synchronize) before the fan is destroyed --
-/// released leases may be handed to unrelated later work.
+/// are leased from the device and returned on destruction.  Callers should
+/// join() before the fan is destroyed -- released leases may be handed to
+/// unrelated later work; if an exception (or an early error return) skips
+/// the join, the destructor performs a best-effort join itself so a lease
+/// is never released with un-joined lane work pending.
 class StreamFan {
 public:
     StreamFan(simt::Device& dev, int count, int base_stream = 0);
@@ -100,6 +102,8 @@ private:
     simt::Device* dev_;
     std::vector<int> streams_;
     double fork_ns_ = 0.0;
+    /// False between fork() and join(): lane work may be pending.
+    bool joined_ = true;
 };
 
 /// One selection problem of a batch.

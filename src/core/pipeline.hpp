@@ -234,6 +234,10 @@ template <typename F>
             // A sanitizer violation is a kernel bug, not bad luck: never
             // retried (a rerun would just trip the same contract again).
             return Status::failure(SelectError::sanitizer_violation, e.what());
+        } catch (const simt::StreamSanError& e) {
+            // Same policy for stream-ordering hazards: a missing event edge
+            // is deterministic, a rerun would report it again.
+            return Status::failure(SelectError::sanitizer_violation, e.what());
         } catch (const simt::AllocFault& e) {
             if (attempt >= kFaultRetryAttempts) {
                 return Status::failure(SelectError::allocation_failed, e.what());

@@ -27,7 +27,7 @@ void scatter_all_kernel(simt::Device& dev, std::span<const T> data,
     dev.launch(
         "scatter_all",
         {.grid_dim = grid_dim, .block_dim = cfg.block_dim, .origin = origin,
-         .unroll = cfg.unroll},
+         .unroll = cfg.unroll, .stream = cfg.stream},
         [&, n, b](simt::BlockCtx& blk) {
             auto cursors = blk.shared_array<std::int32_t>(b);
             const auto base_row =

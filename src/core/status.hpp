@@ -56,12 +56,13 @@ enum class SelectError {
     /// Invariant violation inside the pipeline (a bug, not an input or
     /// fault condition); carries the diagnostic message.
     internal,
-    /// SimTSan (simt/sanitizer.hpp) detected a memory-safety or
-    /// synchronization-contract violation while the sanitizer was active:
-    /// a cross-block data race, a shared-memory epoch hazard, an
-    /// out-of-bounds primitive, an uninitialized (poisoned) read, or a
-    /// clobbered guard band.  Never retried -- the kernel is buggy, not
-    /// unlucky.
+    /// A sanitizer detected a contract violation while active.  SimTSan
+    /// (simt/sanitizer.hpp): a cross-block data race, a shared-memory epoch
+    /// hazard, an out-of-bounds primitive, an uninitialized (poisoned)
+    /// read, or a clobbered guard band.  StreamSan (simt/streamsan.hpp): a
+    /// cross-stream access with no happens-before edge, an un-gated pool
+    /// reuse, a wait on a never-recorded event, or a fork/join cycle.
+    /// Never retried -- the code is buggy, not unlucky.
     sanitizer_violation,
     /// Admission control shed the request: the server's bounded queue (or
     /// the tenant's share of it) was full, or the server is draining.  The
@@ -95,7 +96,9 @@ enum class SelectError {
 }
 
 /// Error code plus context message.  Default-constructed Status is success.
-struct Status {
+/// [[nodiscard]]: a dropped Status silently swallows a failure -- every
+/// producer either checks ok() or explicitly discards with a cast.
+struct [[nodiscard]] Status {
     SelectError code = SelectError::none;
     std::string message;
 
@@ -142,8 +145,10 @@ private:
 }
 
 /// Minimal expected<T, Status>: either a value or a non-ok Status.
+/// [[nodiscard]] like Status: ignoring a Result drops both the answer and
+/// any failure it carries.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
 public:
     Result(T value) : value_(std::move(value)) {}           // NOLINT(google-explicit-constructor)
     Result(Status status) : status_(std::move(status)) {    // NOLINT(google-explicit-constructor)

@@ -10,6 +10,7 @@
 #include "core/argselect.hpp"
 #include "core/batch_executor.hpp"
 #include "core/topk.hpp"
+#include "simt/streamsan.hpp"
 
 namespace gpusel::server {
 
@@ -268,8 +269,11 @@ bool SelectServer::pump_internal(double limit_ns, bool limited) {
 void SelectServer::run_round(std::vector<Pending> picked, double round_start) {
     const int base = cfg_.select.stream;
     // Fast-forward an idle device to the round start so idle gaps between
-    // bursts are not charged as service latency.
-    dev_.wait_event(base, round_start);
+    // bursts are not charged as service latency.  advance_stream, not
+    // wait_event: the round start is a host scheduling decision, not a
+    // recorded event, so it must not look like an ordering edge (StreamSan
+    // would rightly flag a wait on a timestamp nothing recorded).
+    dev_.advance_stream(base, round_start);
     const std::size_t log0 = dev_.planner_log().size();
     const simt::RobustnessCounters rc0 = dev_.robustness();
     const std::uint32_t mask0 = breakers_.sync(dev_, round_start);
@@ -569,8 +573,21 @@ std::vector<simt::TraceCounter> SelectServer::trace_counters() const {
 }
 
 std::vector<simt::TraceInstant> SelectServer::trace_instants() const {
-    std::lock_guard<std::mutex> lk(mu_);
-    return trace_instants_;
+    std::vector<simt::TraceInstant> out;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        out = trace_instants_;
+    }
+    // Collect-mode StreamSan hazards ride along as their own annotation
+    // track (kStreamSanTrack, above the supervisor tracks), so a
+    // GPUSEL_STREAMSAN=2 load run renders ordering hazards inline with the
+    // admission/breaker timeline (docs/streamsan.md).
+    if (const simt::StreamSan* ssan = dev_.stream_sanitizer();
+        ssan != nullptr && ssan->mode() == simt::StreamSanMode::collect) {
+        const std::vector<simt::TraceInstant>& hz = ssan->trace_instants();
+        out.insert(out.end(), hz.begin(), hz.end());
+    }
+    return out;
 }
 
 }  // namespace gpusel::server

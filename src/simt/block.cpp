@@ -18,13 +18,14 @@ thread_local bool tl_arena_in_use = false;
 }  // namespace
 
 BlockCtx::BlockCtx(const ArchSpec& arch, int block_idx, int grid_dim, int block_dim,
-                   std::size_t shared_limit, Sanitizer* san)
+                   std::size_t shared_limit, Sanitizer* san, StreamSan* ssan)
     : arch_(arch),
       block_idx_(block_idx),
       grid_dim_(grid_dim),
       block_dim_(block_dim),
       shared_limit_(shared_limit),
-      san_(san) {
+      san_(san),
+      ssan_(ssan) {
     if (block_dim <= 0 || block_dim % kWarpSize != 0) {
         throw std::invalid_argument("block_dim must be a positive multiple of the warp size");
     }
@@ -45,6 +46,15 @@ BlockCtx::BlockCtx(const ArchSpec& arch, int block_idx, int grid_dim, int block_
 }
 
 BlockCtx::~BlockCtx() {
+    // Retire the scalar-access coalescer before the launch-end analysis
+    // runs.  note_* cannot report (analysis is deferred to on_launch_end);
+    // the only throw source is an allocation inside the first-touch path,
+    // and dropping that note on OOM merely misses a race -- the soundness
+    // stance StreamSan already takes.
+    try {
+        ssan_flush();
+    } catch (...) {
+    }
     if (using_tl_arena_) tl_arena_in_use = false;
 }
 
@@ -99,22 +109,29 @@ void WarpCtx::san_check_targets(AtomicSpace space, std::span<std::int32_t> count
                                 const std::int32_t* which, const bool* active,
                                 const char* primitive) const {
     Sanitizer* san = blk_->san_;
-    if (san == nullptr) return;
+    StreamSan* ssan = blk_->ssan_;
+    if (san == nullptr && ssan == nullptr) return;
     for (int l = 0; l < lanes_; ++l) {
         if (active != nullptr && !active[l]) continue;
         const auto b = static_cast<std::size_t>(which[l]);
         if (which[l] < 0 || b >= counters.size()) {
+            if (san == nullptr) continue;  // OOB reporting is SimTSan's job
             san->oob(space == AtomicSpace::shared ? ViolationKind::shared_oob
                                                   : ViolationKind::global_oob,
                      primitive, b, counters.size(), blk_->block_idx_);
         }
         if (space == AtomicSpace::global) {
-            san->global_atomic(&counters[b], sizeof(std::int32_t), blk_->block_idx_, primitive);
+            if (san != nullptr) {
+                san->global_atomic(&counters[b], sizeof(std::int32_t), blk_->block_idx_,
+                                   primitive);
+            }
+            // Atomic RMW counts as a write for cross-stream ordering.
+            if (ssan != nullptr) ssan->note_write(&counters[b], sizeof(std::int32_t));
         }
     }
     // OOB always throws, so every which[l] is in range here; the shared
     // shadow pass runs batched with the span setup hoisted out of the loop.
-    if (space == AtomicSpace::shared) {
+    if (san != nullptr && space == AtomicSpace::shared) {
         blk_->shared_access_lanes(counters, which, active, lanes_, primitive);
     }
 }

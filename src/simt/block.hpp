@@ -30,6 +30,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -40,6 +41,7 @@
 #include "simt/counters.hpp"
 #include "simt/sanitizer.hpp"
 #include "simt/simd.hpp"
+#include "simt/streamsan.hpp"
 
 namespace gpusel::simt {
 
@@ -152,7 +154,7 @@ private:
 class BlockCtx {
 public:
     BlockCtx(const ArchSpec& arch, int block_idx, int grid_dim, int block_dim,
-             std::size_t shared_limit, Sanitizer* san = nullptr);
+             std::size_t shared_limit, Sanitizer* san = nullptr, StreamSan* ssan = nullptr);
     ~BlockCtx();
 
     BlockCtx(const BlockCtx&) = delete;
@@ -224,6 +226,12 @@ public:
             }
             san_->global_read(src.data() + i, sizeof(T), block_idx_, "ld");
         }
+        // Bounds-guarded: OOB reporting is SimTSan's job, StreamSan only
+        // folds in-bounds traffic into the launch read/write set.
+        if (ssan_ != nullptr && i < src.size()) {
+            ssan_note_elem(src.data(), src.size() * sizeof(T), src.data() + i, sizeof(T),
+                           /*write=*/false);
+        }
         return src[i];
     }
     template <typename T>
@@ -239,6 +247,10 @@ public:
                 san_->oob(ViolationKind::global_oob, "st", i, dst.size(), block_idx_);
             }
             san_->global_write(dst.data() + i, sizeof(T), block_idx_, "st");
+        }
+        if (ssan_ != nullptr && i < dst.size()) {
+            ssan_note_elem(dst.data(), dst.size() * sizeof(T), dst.data() + i, sizeof(T),
+                           /*write=*/true);
         }
         dst[i] = v;
     }
@@ -389,6 +401,61 @@ private:
     std::uint32_t epoch_ = 0;
     // ---- SimTSan state ----------------------------------------------------
     Sanitizer* san_ = nullptr;
+    /// StreamSan (simt/streamsan.hpp): per-launch read/write-set recording
+    /// for cross-stream happens-before analysis; nullptr when off.
+    StreamSan* ssan_ = nullptr;
+    // Access coalescer: element/tile notes against the same span in the
+    // same direction fold into a pending byte envelope, flushed on span
+    // replacement and when the block retires.  StreamSan folds per-region
+    // envelopes within a launch anyway, so coalescing is semantics-
+    // preserving -- it only batches the fold.  Two slots per direction
+    // cover the common kernel shapes (load src / store dst per tile, plus
+    // one side table) without thrashing.
+    struct SsanPend {
+        std::uintptr_t span_lo = 0;  ///< span identity; 0 = empty slot
+        std::uintptr_t span_hi = 0;
+        std::uintptr_t lo = 1;  ///< pending byte range; lo > hi: none
+        std::uintptr_t hi = 0;
+    };
+    SsanPend ssan_pend_[2][2];  ///< [write][slot]
+    unsigned ssan_victim_[2] = {0, 0};
+
+    void ssan_note_elem(const void* span_data, std::size_t span_bytes, const void* p,
+                        std::size_t bytes, bool write) {
+        const auto a = reinterpret_cast<std::uintptr_t>(p);
+        const auto s = reinterpret_cast<std::uintptr_t>(span_data);
+        SsanPend* row = ssan_pend_[write ? 1 : 0];
+        for (int i = 0; i < 2; ++i) {
+            SsanPend& e = row[i];
+            if (e.span_lo == s && e.span_hi == s + span_bytes) [[likely]] {
+                if (a < e.lo) e.lo = a;
+                if (a + bytes > e.hi) e.hi = a + bytes;
+                return;
+            }
+        }
+        SsanPend& victim = row[ssan_victim_[write ? 1 : 0]++ & 1u];
+        ssan_flush_one(victim, write);
+        victim.span_lo = s;
+        victim.span_hi = s + span_bytes;
+        victim.lo = a;
+        victim.hi = a + bytes;
+    }
+    void ssan_flush_one(SsanPend& e, bool write) {
+        if (e.lo < e.hi && ssan_ != nullptr) {
+            const auto* p = reinterpret_cast<const void*>(e.lo);
+            if (write) {
+                ssan_->note_write(p, e.hi - e.lo);
+            } else {
+                ssan_->note_read(p, e.hi - e.lo);
+            }
+        }
+        e = SsanPend{};
+    }
+    void ssan_flush() {
+        for (int w = 0; w < 2; ++w) {
+            for (int i = 0; i < 2; ++i) ssan_flush_one(ssan_pend_[w][i], w != 0);
+        }
+    }
     /// Warp currently executing inside warp_tiles()/warp_tiles_local();
     /// -1 during block-sequential phases (publish loops, prefix sums).
     int current_warp_ = -1;
@@ -463,6 +530,13 @@ void WarpCtx::load(std::span<const T> src, std::size_t base, T* regs) const {
         }
         san->global_read(src.data() + base, n * sizeof(T), blk_->block_idx_, "load");
     }
+    if (StreamSan* ssan = blk_->ssan_; ssan != nullptr) {
+        const auto n = static_cast<std::size_t>(lanes_);
+        if (base + n <= src.size()) {
+            blk_->ssan_note_elem(src.data(), src.size() * sizeof(T), src.data() + base,
+                                 n * sizeof(T), /*write=*/false);
+        }
+    }
     for (int l = 0; l < lanes_; ++l) regs[l] = src[base + static_cast<std::size_t>(l)];
     blk_->counters_.global_bytes_read += static_cast<std::uint64_t>(lanes_) * sizeof(T);
 }
@@ -476,6 +550,13 @@ void WarpCtx::store(std::span<T> dst, std::size_t base, const T* regs) const {
                      blk_->block_idx_);
         }
         san->global_write(dst.data() + base, n * sizeof(T), blk_->block_idx_, "store");
+    }
+    if (StreamSan* ssan = blk_->ssan_; ssan != nullptr) {
+        const auto n = static_cast<std::size_t>(lanes_);
+        if (base + n <= dst.size()) {
+            blk_->ssan_note_elem(dst.data(), dst.size() * sizeof(T), dst.data() + base,
+                                 n * sizeof(T), /*write=*/true);
+        }
     }
     for (int l = 0; l < lanes_; ++l) dst[base + static_cast<std::size_t>(l)] = regs[l];
     blk_->counters_.global_bytes_written += static_cast<std::uint64_t>(lanes_) * sizeof(T);
@@ -492,6 +573,15 @@ void WarpCtx::gather(std::span<const T> src, const std::size_t* idx, T* regs) co
             san->global_read(src.data() + idx[l], sizeof(T), blk_->block_idx_, "gather");
         }
     }
+    if (StreamSan* ssan = blk_->ssan_; ssan != nullptr && lanes_ > 0) {
+        // Envelope of the lane indices: StreamSan folds byte ranges per
+        // launch anyway, so one note covers the whole scattered tile.
+        const auto [lo, hi] = std::minmax_element(idx, idx + lanes_);
+        if (*hi < src.size()) {
+            blk_->ssan_note_elem(src.data(), src.size() * sizeof(T), src.data() + *lo,
+                                 (*hi - *lo + 1) * sizeof(T), /*write=*/false);
+        }
+    }
     for (int l = 0; l < lanes_; ++l) regs[l] = src[idx[l]];
     blk_->counters_.scattered_bytes_read += static_cast<std::uint64_t>(lanes_) * sizeof(T);
 }
@@ -505,6 +595,13 @@ void WarpCtx::scatter(std::span<T> dst, const std::size_t* idx, const T* regs) c
                          blk_->block_idx_);
             }
             san->global_write(dst.data() + idx[l], sizeof(T), blk_->block_idx_, "scatter");
+        }
+    }
+    if (StreamSan* ssan = blk_->ssan_; ssan != nullptr && lanes_ > 0) {
+        const auto [lo, hi] = std::minmax_element(idx, idx + lanes_);
+        if (*hi < dst.size()) {
+            blk_->ssan_note_elem(dst.data(), dst.size() * sizeof(T), dst.data() + *lo,
+                                 (*hi - *lo + 1) * sizeof(T), /*write=*/true);
         }
     }
     for (int l = 0; l < lanes_; ++l) dst[idx[l]] = regs[l];
@@ -524,6 +621,14 @@ void WarpCtx::store_compacted(std::span<T> dst, std::size_t pos, const bool* pre
             }
             san->global_write(dst.data() + pos, count * sizeof(T), blk_->block_idx_,
                               "store_compacted");
+        }
+    }
+    if (StreamSan* ssan = blk_->ssan_; ssan != nullptr) {
+        std::size_t count = 0;
+        for (int l = 0; l < lanes_; ++l) count += pred[l] ? 1 : 0;
+        if (count > 0 && pos + count <= dst.size()) {
+            blk_->ssan_note_elem(dst.data(), dst.size() * sizeof(T), dst.data() + pos,
+                                 count * sizeof(T), /*write=*/true);
         }
     }
     std::uint64_t written = 0;
@@ -549,6 +654,10 @@ int WarpCtx::compress_store(std::span<T> dst, std::size_t pos, std::uint32_t mas
         san->global_write(dst.data() + pos, count * sizeof(T), blk_->block_idx_,
                           "compress_store");
     }
+    if (StreamSan* ssan = blk_->ssan_; ssan != nullptr && count > 0 && pos + count <= dst.size()) {
+        blk_->ssan_note_elem(dst.data(), dst.size() * sizeof(T), dst.data() + pos,
+                             count * sizeof(T), /*write=*/true);
+    }
     const int n = simd::compress_store(regs, mask, lanes_, dst.data() + pos);
     blk_->counters_.global_bytes_written += static_cast<std::uint64_t>(n) * sizeof(T);
     return n;
@@ -566,6 +675,12 @@ int WarpCtx::compress_store_rev(std::span<T> dst, std::size_t pos_hi, std::uint3
         }
         san->global_write(dst.data() + (pos_hi + 1 - count), count * sizeof(T),
                           blk_->block_idx_, "compress_store_rev");
+    }
+    if (StreamSan* ssan = blk_->ssan_;
+        ssan != nullptr && count > 0 && pos_hi < dst.size() && pos_hi + 1 >= count) {
+        blk_->ssan_note_elem(dst.data(), dst.size() * sizeof(T),
+                             dst.data() + (pos_hi + 1 - count), count * sizeof(T),
+                             /*write=*/true);
     }
     const int n = simd::compress_store_reverse(regs, mask, lanes_, dst.data() + pos_hi);
     blk_->counters_.global_bytes_written += static_cast<std::uint64_t>(n) * sizeof(T);
@@ -594,6 +709,18 @@ int WarpCtx::compress_gather_store(std::span<T> dst, std::size_t pos, std::span<
         }
         san->global_write(dst.data() + pos, count * sizeof(T), blk_->block_idx_,
                           "compress_gather_store");
+    }
+    if (StreamSan* ssan = blk_->ssan_; ssan != nullptr && count > 0) {
+        const std::size_t lo = src_base + static_cast<std::size_t>(std::countr_zero(mask));
+        const std::size_t hi = src_base + static_cast<std::size_t>(std::bit_width(mask)) - 1;
+        if (hi < src.size()) {
+            blk_->ssan_note_elem(src.data(), src.size() * sizeof(T), src.data() + lo,
+                                 (hi - lo + 1) * sizeof(T), /*write=*/false);
+        }
+        if (pos + count <= dst.size()) {
+            blk_->ssan_note_elem(dst.data(), dst.size() * sizeof(T), dst.data() + pos,
+                                 count * sizeof(T), /*write=*/true);
+        }
     }
     const int n = simd::compress_store(src.data() + src_base, mask, lanes_, dst.data() + pos);
     blk_->counters_.scattered_bytes_read += static_cast<std::uint64_t>(n) * sizeof(T);

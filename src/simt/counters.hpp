@@ -98,6 +98,10 @@ struct RobustnessCounters {
     std::uint64_t fallbacks = 0;
     /// Deterministic tripartition levels executed in fallback mode.
     std::uint64_t fallback_levels = 0;
+    /// StreamSan hazards observed so far (simt/streamsan.hpp); zero on a
+    /// correctly synchronized run.  Refreshed by the Device at launch and
+    /// event boundaries while the stream sanitizer is active.
+    std::uint64_t streamsan_hazards = 0;
 
     // -- backend planner (core/planner.hpp) -------------------------------
     // One tally per planned selection, keyed by the backend the planner
@@ -119,6 +123,7 @@ struct RobustnessCounters {
         resamples += o.resamples;
         fallbacks += o.fallbacks;
         fallback_levels += o.fallback_levels;
+        streamsan_hazards += o.streamsan_hazards;
         backend_sample += o.backend_sample;
         backend_radix += o.backend_radix;
         backend_bitonic += o.backend_bitonic;

@@ -25,6 +25,9 @@ Device::Device(ArchSpec spec, DeviceOptions opts)
     mem_pool_.set_fault_hook([this] { return injector_.should_fail_alloc(); });
     if (const auto env_spec = FaultSpec::from_env()) set_faults(*env_spec);
     if (const SanMode m = Sanitizer::mode_from_env(); m != SanMode::off) set_sanitizer(m);
+    if (const StreamSanMode m = StreamSan::mode_from_env(); m != StreamSanMode::off) {
+        set_stream_sanitizer(m);
+    }
 }
 
 void Device::maybe_fail_alloc(std::size_t bytes) {
@@ -33,9 +36,16 @@ void Device::maybe_fail_alloc(std::size_t bytes) {
 
 KernelProfile Device::launch(std::string name, const LaunchConfig& cfg, const KernelFn& fn) {
     if (cfg.grid_dim <= 0) throw std::invalid_argument("grid_dim must be positive");
+    if (static_cast<std::size_t>(cfg.stream) >= stream_clock_.size()) {
+        throw std::invalid_argument("unknown stream");
+    }
     // Fault check before any side effect: a failed launch never ran, never
     // advanced a clock and never counted -- like a cudaLaunchKernel error.
     if (injector_.enabled() && injector_.should_fail_launch()) throw LaunchFault(name);
+    // StreamSan launch node: ticks the stream's vector clock (and in strict
+    // mode surfaces any hazard deferred from a noexcept hook).  After the
+    // fault check: a faulted launch never happened, so it is no HB node.
+    if (ssan_) ssan_->on_launch_begin(cfg.stream, name);
 
     KernelProfile profile;
     profile.name = std::move(name);
@@ -54,7 +64,7 @@ KernelProfile Device::launch(std::string name, const LaunchConfig& cfg, const Ke
     if (san_) san_->begin_launch(profile.name);
     pool_.parallel_for(blocks, [&](std::size_t b) {
         BlockCtx blk(arch_, static_cast<int>(b), cfg.grid_dim, cfg.block_dim,
-                     arch_.shared_mem_per_block, san_.get());
+                     arch_.shared_mem_per_block, san_.get(), ssan_.get());
         fn(blk);
         per_block[b] = blk.counters();
         shared_used[b] = blk.shared_bytes_used();
@@ -69,7 +79,6 @@ KernelProfile Device::launch(std::string name, const LaunchConfig& cfg, const Ke
     // stream stall delays subsequent work on this stream (interference
     // from unrelated tenants) without changing the launch's own profile.
     const auto stream = static_cast<std::size_t>(cfg.stream);
-    if (stream >= stream_clock_.size()) throw std::invalid_argument("unknown stream");
     profile.start_ns = stream_clock_[stream];
     stream_clock_[stream] += profile.sim_ns;
     if (injector_.enabled()) stream_clock_[stream] += injector_.stall_penalty_ns();
@@ -80,6 +89,12 @@ KernelProfile Device::launch(std::string name, const LaunchConfig& cfg, const Ke
     // Canary sweep after the launch's bookkeeping: the launch *did* run, so
     // its counters and clock stand even when the sweep throws (strict mode).
     if (san_) san_->end_launch();
+    // StreamSan hazard analysis over the launch's folded read/write sets;
+    // same placement contract as the canary sweep (may throw in strict).
+    if (ssan_) {
+        ssan_->on_launch_end(cfg.stream, stream_clock_[stream]);
+        robustness_.streamsan_hazards = ssan_->total_hazards();
+    }
     return profile;
 }
 
@@ -88,7 +103,11 @@ int Device::create_stream() {
     // current device completion time (causality), and overlaps with
     // everything launched afterwards.
     stream_clock_.push_back(clock_ns_);
-    return static_cast<int>(stream_clock_.size() - 1);
+    const int s = static_cast<int>(stream_clock_.size() - 1);
+    // Matching HB edge: the new stream is ordered after everything enqueued
+    // so far, exactly as its clock starting at clock_ns_ implies.
+    if (ssan_) ssan_->on_stream_acquired(s);
+    return s;
 }
 
 int Device::lease_stream() {
@@ -99,6 +118,7 @@ int Device::lease_stream() {
         // launch starts no earlier than the device completion time at the
         // moment of the lease.
         stream_clock_[static_cast<std::size_t>(s)] = clock_ns_;
+        if (ssan_) ssan_->on_stream_acquired(s);
         return s;
     }
     return create_stream();
@@ -121,10 +141,25 @@ double Device::stream_clock(int stream) const {
 void Device::wait_event(int stream, double event_ns) {
     const auto s = static_cast<std::size_t>(stream);
     if (s >= stream_clock_.size()) throw std::invalid_argument("unknown stream");
+    // HB edge: joins the recorded event's snapshot into the waiting
+    // stream's clock.  A wait on a timestamp no record_event() produced is
+    // itself a hazard (wait_unrecorded / hb_cycle) and may throw in strict.
+    if (ssan_) {
+        ssan_->on_event_wait(stream, event_ns, clock_ns_);
+        robustness_.streamsan_hazards = ssan_->total_hazards();
+    }
     stream_clock_[s] = std::max(stream_clock_[s], event_ns);
 }
 
+void Device::advance_stream(int stream, double ns) {
+    const auto s = static_cast<std::size_t>(stream);
+    if (s >= stream_clock_.size()) throw std::invalid_argument("unknown stream");
+    stream_clock_[s] = std::max(stream_clock_[s], ns);
+}
+
 void Device::synchronize() {
+    // Host-side join with every stream: a full HB barrier.
+    if (ssan_) ssan_->on_synchronize();
     for (auto& c : stream_clock_) c = clock_ns_;
 }
 

@@ -25,6 +25,7 @@
 #include "simt/memory.hpp"
 #include "simt/pool.hpp"
 #include "simt/sanitizer.hpp"
+#include "simt/streamsan.hpp"
 #include "simt/thread_pool.hpp"
 #include "simt/timing.hpp"
 
@@ -83,7 +84,7 @@ public:
     template <typename T>
     [[nodiscard]] DeviceBuffer<T> alloc(std::size_t n) {
         maybe_fail_alloc(n * sizeof(T));
-        return DeviceBuffer<T>(tracker_, n, san_.get());
+        return DeviceBuffer<T>(tracker_, n, san_.get(), ssan_.get());
     }
 
     /// Checks out a pooled global-memory array of n Ts, ordered on `stream`.
@@ -137,11 +138,22 @@ public:
     /// Simulated completion time of all work enqueued on one stream so far.
     [[nodiscard]] double stream_clock(int stream) const;
     /// Records an event on a stream: a timestamp of the work enqueued so
-    /// far.  Returns the event's simulated time.
-    [[nodiscard]] double record_event(int stream) const { return stream_clock(stream); }
+    /// far.  Returns the event's simulated time.  Under StreamSan the
+    /// event's happens-before snapshot is keyed by this timestamp, which is
+    /// what makes a later wait_event() on it a real ordering edge.
+    [[nodiscard]] double record_event(int stream) {
+        const double ns = stream_clock(stream);
+        if (ssan_) ssan_->on_event_record(stream, ns);
+        return ns;
+    }
     /// Makes `stream` wait for an event timestamp (cudaStreamWaitEvent):
     /// subsequent launches on `stream` start no earlier than `event_ns`.
     void wait_event(int stream, double event_ns);
+    /// Fast-forwards an idle stream's clock to `ns` without modelling a
+    /// cross-stream event edge (a host-driven scheduling decision, e.g. the
+    /// server aligning a dispatch round to its deadline).  Unlike
+    /// wait_event this is NOT an ordering edge: StreamSan ignores it.
+    void advance_stream(int stream, double ns);
     /// Host-side synchronization with every stream: advances all stream
     /// clocks to the global completion time.
     void synchronize();
@@ -151,6 +163,10 @@ public:
     void reset_clock() noexcept {
         clock_ns_ = 0.0;
         for (auto& c : stream_clock_) c = 0.0;
+        // Event timestamps recorded before the reset are no longer
+        // meaningful; drop their snapshots so a recycled timestamp value
+        // cannot alias a pre-reset event.
+        if (ssan_) ssan_->reset_timeline();
     }
     [[nodiscard]] const std::vector<KernelProfile>& profiles() const noexcept { return profiles_; }
     void clear_profiles() { profiles_.clear(); }
@@ -242,6 +258,26 @@ public:
     [[nodiscard]] Sanitizer* sanitizer() noexcept { return san_.get(); }
     [[nodiscard]] const Sanitizer* sanitizer() const noexcept { return san_.get(); }
 
+    // ---- StreamSan --------------------------------------------------------
+    // Happens-before hazard analysis over the stream/event/pool graph
+    // (simt/streamsan.hpp).  The constructor installs GPUSEL_STREAMSAN from
+    // the environment; set_stream_sanitizer() enables it programmatically.
+    // Same caveat as SimTSan: buffers allocated before enabling are not
+    // tracked -- enable before allocating, as the env path does.
+
+    /// Installs (or with StreamSanMode::off removes) the stream sanitizer.
+    /// Concurrent mode (host_workers != 0) makes the per-launch read/write
+    /// set folding safe against blocks running on worker threads.
+    void set_stream_sanitizer(StreamSanMode mode) {
+        ssan_ = mode == StreamSanMode::off
+                    ? nullptr
+                    : std::make_unique<StreamSan>(mode, /*concurrent=*/opts_.host_workers != 0);
+        mem_pool_.set_stream_sanitizer(ssan_.get());
+    }
+    /// The active stream sanitizer, or nullptr when off.
+    [[nodiscard]] StreamSan* stream_sanitizer() noexcept { return ssan_.get(); }
+    [[nodiscard]] const StreamSan* stream_sanitizer() const noexcept { return ssan_.get(); }
+
 private:
     /// Draws an allocation fault for a fresh (non-pooled) allocation.
     void maybe_fail_alloc(std::size_t bytes);
@@ -265,6 +301,7 @@ private:
     PlannerFeedbackState planner_feedback_;
     std::uint32_t backend_quarantine_ = 0;
     std::unique_ptr<Sanitizer> san_;
+    std::unique_ptr<StreamSan> ssan_;
 };
 
 }  // namespace gpusel::simt

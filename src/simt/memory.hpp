@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "simt/sanitizer.hpp"
+#include "simt/streamsan.hpp"
 
 namespace gpusel::simt {
 
@@ -125,7 +126,8 @@ template <typename T>
 class DeviceBuffer {
 public:
     DeviceBuffer() = default;
-    DeviceBuffer(AllocationTracker& tracker, std::size_t n, Sanitizer* san = nullptr)
+    DeviceBuffer(AllocationTracker& tracker, std::size_t n, Sanitizer* san = nullptr,
+                 StreamSan* ssan = nullptr)
         : tracker_(&tracker), n_(n) {
         if (san != nullptr && san->enabled() && n > 0) {
             san_ = san;
@@ -142,12 +144,22 @@ public:
         } else {
             data_.resize(n);
         }
+        if (ssan != nullptr && ssan->enabled() && n > 0) {
+            ssan_ = ssan;
+            ssan_->register_region(data(), bytes());
+        }
         tracker_->on_alloc(bytes());
     }
     DeviceBuffer(DeviceBuffer&& o) noexcept
-        : tracker_(o.tracker_), san_(o.san_), n_(o.n_), pad_(o.pad_), data_(std::move(o.data_)) {
+        : tracker_(o.tracker_),
+          san_(o.san_),
+          ssan_(o.ssan_),
+          n_(o.n_),
+          pad_(o.pad_),
+          data_(std::move(o.data_)) {
         o.tracker_ = nullptr;
         o.san_ = nullptr;
+        o.ssan_ = nullptr;
         o.n_ = 0;
         o.pad_ = 0;
         o.data_.clear();
@@ -157,11 +169,13 @@ public:
             release();
             tracker_ = o.tracker_;
             san_ = o.san_;
+            ssan_ = o.ssan_;
             n_ = o.n_;
             pad_ = o.pad_;
             data_ = std::move(o.data_);
             o.tracker_ = nullptr;
             o.san_ = nullptr;
+            o.ssan_ = nullptr;
             o.n_ = 0;
             o.pad_ = 0;
             o.data_.clear();
@@ -186,6 +200,8 @@ private:
     void release() noexcept {
         if (san_ != nullptr && !data_.empty()) san_->unregister_region(data());
         san_ = nullptr;
+        if (ssan_ != nullptr && !data_.empty()) ssan_->unregister_region(data());
+        ssan_ = nullptr;
         if (tracker_) tracker_->on_free(bytes());
         tracker_ = nullptr;
         n_ = 0;
@@ -193,6 +209,7 @@ private:
     }
     AllocationTracker* tracker_ = nullptr;
     Sanitizer* san_ = nullptr;
+    StreamSan* ssan_ = nullptr;
     std::size_t n_ = 0;
     std::size_t pad_ = 0;  ///< canary elements on each side of the user data
     std::vector<T> data_;

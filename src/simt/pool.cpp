@@ -73,6 +73,9 @@ PoolBlock* MemoryPool::acquire(std::size_t bytes, int stream, bool zeroed) {
         blk = take_from_class(c, stream);
     }
 
+    bool reused = false;
+    int prev_stream = stream;
+    bool gated = true;
     if (blk == nullptr) {
         const std::size_t capacity = std::size_t{1} << cls;
         auto owned = std::make_unique<PoolBlock>();
@@ -85,6 +88,12 @@ PoolBlock* MemoryPool::acquire(std::size_t bytes, int stream, bool zeroed) {
         ++fresh_;
         tracker_->on_alloc(bytes);
     } else {
+        reused = true;
+        prev_stream = blk->last_stream;
+        // Same-stream reuse rides stream order; cross-stream reuse is
+        // gated only when the clock hook proved the previous user done.
+        gated = prev_stream == stream ||
+                (stream_clock_ && blk->release_ns <= stream_clock_(stream));
         ++hits_;
         tracker_->on_reuse(bytes);
     }
@@ -114,6 +123,10 @@ PoolBlock* MemoryPool::acquire(std::size_t bytes, int stream, bool zeroed) {
         san_->register_region(blk->storage.get(), bytes, /*mark_uninit=*/!zeroed, nullptr, 0,
                               blk->storage.get() + bytes, blk->capacity - bytes);
     }
+    if (ssan_ != nullptr && ssan_->enabled()) {
+        if (reused) ssan_->on_pool_reuse(blk->storage.get(), stream, prev_stream, gated);
+        ssan_->register_region(blk->storage.get(), bytes);
+    }
     return blk;
 }
 
@@ -121,6 +134,11 @@ void MemoryPool::release(PoolBlock* block, int stream) {
     if (block == nullptr) return;
     // Record-only final canary sweep; release happens in destructors.
     if (san_ != nullptr) san_->unregister_region(block->storage.get());
+    // Record-only too: snapshots the releasing stream's clock as the
+    // block's tombstone and flags accesses not ordered before the release.
+    if (ssan_ != nullptr && ssan_->enabled()) {
+        ssan_->on_pool_release(block->storage.get(), stream);
+    }
     tracker_->on_recycle(block->charged);
     block->charged = 0;
     block->last_stream = stream;
@@ -134,6 +152,7 @@ std::size_t MemoryPool::trim() {
     for (auto& list : free_) {
         for (PoolBlock* blk : list) {
             dropped += blk->capacity;
+            if (ssan_ != nullptr) ssan_->forget(blk->storage.get());
             auto it = std::find_if(blocks_.begin(), blocks_.end(),
                                    [blk](const auto& owned) { return owned.get() == blk; });
             assert(it != blocks_.end());

@@ -94,6 +94,14 @@ public:
     /// release() sweeps and unregisters.  Wired by Device::set_sanitizer.
     void set_sanitizer(Sanitizer* san) noexcept { san_ = san; }
 
+    /// Installs the stream sanitizer (may be nullptr).  With one active,
+    /// every checkout registers its requested bytes for happens-before
+    /// tracking and reports how the block was re-issued (same-stream /
+    /// clock-gated / un-gated cross-stream); release() records the
+    /// releasing stream's vector clock as the block's tombstone.  Wired by
+    /// Device::set_stream_sanitizer.
+    void set_stream_sanitizer(StreamSan* ssan) noexcept { ssan_ = ssan; }
+
     /// Checks out a block of at least `bytes` bytes for `stream`.  Returns
     /// nullptr for a zero-byte request.  If `zeroed`, the block's contents
     /// are all-zero on return via a host-side memset (callers that must
@@ -125,6 +133,7 @@ private:
 
     AllocationTracker* tracker_;
     Sanitizer* san_ = nullptr;
+    StreamSan* ssan_ = nullptr;
     std::function<double(int)> stream_clock_;
     std::function<bool()> fault_hook_;
     std::vector<std::unique_ptr<PoolBlock>> blocks_;           ///< owns every block

@@ -1,0 +1,401 @@
+#pragma once
+// StreamSan: happens-before hazard analysis over the stream/event/pool
+// graph (docs/streamsan.md).
+//
+// SimTSan (simt/sanitizer.hpp) checks hazards *inside* one launch: blocks
+// of the same kernel racing on a granule.  Nothing there verifies that two
+// launches on *different streams* touching the same buffer are actually
+// ordered by a fork/join event edge -- exactly the class of bug the pool's
+// cross-stream gating and core::StreamFan are supposed to prevent, and
+// exactly what GPU-level detectors (Barracuda, iGUARD) catch with
+// synchronization-aware happens-before analysis over the launch graph.
+//
+// The Device records an ordering log as it executes: launches tick a
+// per-stream vector clock, event records snapshot the recording stream's
+// clock, event waits join the snapshot into the waiting stream, host
+// synchronization joins everything.  Kernel-side instrumentation (the same
+// BlockCtx/WarpCtx primitives SimTSan hooks) folds each launch's global-
+// memory traffic into per-region byte ranges -- metadata only, no shadow
+// memory -- and the end-of-launch analysis compares those ranges against
+// each region's access history under the vector-clock partial order.
+//
+// What it detects (HazardKind):
+//   * write_write_race / read_write_race -- two launches on different
+//     streams touch overlapping bytes of one region, at least one writes,
+//     and no happens-before edge (event, synchronize, stream creation)
+//     orders them.
+//   * pool_reuse        -- a pooled block last released on stream A is
+//     re-issued to stream B with no ordering between them (only possible
+//     on a standalone pool with no stream clock; the Device's pool gates
+//     cross-stream reuse on completed timelines, which StreamSan models as
+//     the allocator's internal event edge).
+//   * release_in_flight -- a pooled block is released on stream A while an
+//     access from stream B is not yet ordered before the release (the
+//     "freed while another stream may still be using it" bug).
+//   * wait_unrecorded   -- wait_event() on a timestamp no record_event()
+//     produced (a stale or fabricated event).
+//   * hb_cycle          -- wait_event() on a *future* timestamp that was
+//     never recorded: the wait can only be satisfied by work that has not
+//     happened, i.e. a cyclic (deadlocking) fork/join structure on real
+//     hardware.
+//
+// Modes (GPUSEL_STREAMSAN / Device::set_stream_sanitizer):
+//   strict  (GPUSEL_STREAMSAN=1) -- throw StreamSanError at the first
+//           host-side opportunity; surfaces through the Status channel as
+//           SelectError::sanitizer_violation (never retried).  Hazards
+//           detected on noexcept paths (pool release in a destructor) are
+//           deferred and thrown from the next launch bracket.
+//   collect (GPUSEL_STREAMSAN=2) -- record hazards and keep running; each
+//           hazard also lands on the `streamsan` chrome-trace track
+//           (kStreamSanTrack) for the trace exporters.
+//
+// Soundness stance: missed races are acceptable (per-stream histories keep
+// one epoch per plane, same-timestamp event records merge snapshots),
+// false positives are not -- every reported hazard is a pair of accesses
+// the vector clocks genuinely cannot order.
+//
+// Determinism: StreamSan never touches KernelCounters, stream clocks or
+// profiles -- event-count golden streams are byte-identical with it on or
+// off.  Performance: metadata only (byte-range folding, no per-granule
+// shadow), acceptance bound <= 1.5x wall clock on a full selection
+// (bench_simulator_overhead's streamsan_slowdown_x counter).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simt/counters.hpp"
+
+namespace gpusel::simt {
+
+enum class StreamSanMode { off, strict, collect };
+
+enum class HazardKind {
+    write_write_race,
+    read_write_race,
+    pool_reuse,
+    release_in_flight,
+    wait_unrecorded,
+    hb_cycle,
+};
+
+[[nodiscard]] std::string_view to_string(HazardKind kind) noexcept;
+
+/// Trace tid the collect-mode hazard track renders under (above the
+/// server's supervisor tracks, see server/service.hpp).
+inline constexpr int kStreamSanTrack = 1003;
+
+/// One detected ordering hazard, with enough context to locate the bug:
+/// which kernel, which streams, which byte range of which region.
+struct StreamHazard {
+    HazardKind kind{};
+    std::string kernel;  ///< kernel/primitive of the later access (may be empty)
+    int stream = -1;     ///< stream of the later (reporting) side
+    int other_stream = -1;  ///< stream of the earlier, unordered side
+    std::size_t lo = 0;  ///< conflicting byte range within the region
+    std::size_t hi = 0;
+    double sim_ns = 0.0;  ///< simulated time at detection
+    std::string detail;   ///< human-readable specifics
+
+    [[nodiscard]] std::string message() const;
+};
+
+/// Thrown in strict mode from host-side hooks (launch bracket, event wait,
+/// pool acquire).  Mapped to SelectError::sanitizer_violation by the
+/// pipeline's retry wrappers -- never retried, always surfaced.
+class StreamSanError : public std::runtime_error {
+public:
+    explicit StreamSanError(StreamHazard h)
+        : std::runtime_error(h.message()), h_(std::move(h)) {}
+    [[nodiscard]] const StreamHazard& hazard() const noexcept { return h_; }
+
+private:
+    StreamHazard h_;
+};
+
+/// The analyzer: per-stream vector clocks + per-region access histories +
+/// the event table.  Owned by the Device; a null pointer everywhere means
+/// "off" and costs one branch per hook.
+class StreamSan {
+public:
+    /// `concurrent` declares whether block workers may note accesses from
+    /// more than one thread (Device passes host_workers != 0); the serial
+    /// case takes plain loads/stores on the per-launch range scratch.
+    explicit StreamSan(StreamSanMode mode, bool concurrent = true);
+    StreamSan(const StreamSan&) = delete;
+    StreamSan& operator=(const StreamSan&) = delete;
+
+    /// Parses GPUSEL_STREAMSAN: unset/""/"0"/"off" -> off; "1"/"strict"/
+    /// "on" -> strict; "2"/"collect" -> collect.  Anything else throws
+    /// (fail loudly, like GPUSEL_SAN and GPUSEL_FAULTS).
+    [[nodiscard]] static StreamSanMode mode_from_env();
+
+    [[nodiscard]] StreamSanMode mode() const noexcept { return mode_; }
+    [[nodiscard]] bool enabled() const noexcept { return mode_ != StreamSanMode::off; }
+
+    // ---- region registry (host control thread, between launches) ----------
+    /// Registers a global-memory region for access-history tracking
+    /// (DeviceBuffer user data, pool checkout user bytes).
+    void register_region(const void* base, std::size_t bytes);
+    /// Drops a region and its history (noexcept: called from destructors).
+    void unregister_region(const void* base) noexcept;
+
+    // ---- ordering-log hooks (host control thread) --------------------------
+    /// A stream slot was created or re-leased.  The simulator's causality
+    /// rule is that a (re)acquired stream starts at the device completion
+    /// time, i.e. all previously enqueued work is ordered before anything
+    /// the new stream runs -- modeled as a join of every clock.
+    void on_stream_acquired(int stream);
+    /// Launch bracket: ticks the stream's clock component, starts the
+    /// per-launch access recording, and drains any deferred strict-mode
+    /// hazard from a noexcept detection site.
+    void on_launch_begin(int stream, std::string_view kernel);
+    /// End-of-launch analysis: folds the recorded read/write ranges into
+    /// each touched region's history, reporting unordered cross-stream
+    /// conflicts.  `end_ns` stamps collect-mode trace instants.
+    void on_launch_end(int stream, double end_ns);
+    /// record_event(): snapshots the recording stream's vector clock under
+    /// the event's timestamp.  Two records landing on the same simulated
+    /// timestamp merge snapshots -- a spurious edge can hide a race but
+    /// never fabricates one.
+    void on_event_record(int stream, double event_ns);
+    /// wait_event(): joins the recorded snapshot into the waiting stream.
+    /// An unknown timestamp at or before the device completion time
+    /// `completion_ns` is a wait_unrecorded hazard; an unknown *future*
+    /// timestamp is an hb_cycle (only unenqueued work could satisfy it).
+    void on_event_wait(int stream, double event_ns, double completion_ns);
+    /// Host synchronization: joins every stream's clock to the maximum.
+    void on_synchronize();
+    /// Device::reset_clock(): simulated timestamps restart, so recorded
+    /// event snapshots keyed by the old timeline are dropped.
+    void reset_timeline() noexcept;
+
+    // ---- pool hooks --------------------------------------------------------
+    /// A pooled block's user region is released on `stream`.  Record-only
+    /// (releases run in noexcept destructors): flags accesses from other
+    /// streams not ordered before the release (release_in_flight), stores
+    /// the releasing clock as the block's reuse tombstone, and unregisters
+    /// the region.
+    void on_pool_release(const void* base, int stream) noexcept;
+    /// The same backing block is re-issued.  Same-stream reuse is ordered
+    /// by stream order; gated cross-stream reuse models the stream-ordered
+    /// allocator's internal event edge (the tombstone clock joins into the
+    /// acquiring stream); un-gated cross-stream reuse is a pool_reuse
+    /// hazard.  May throw in strict mode (acquire is a throwing context).
+    void on_pool_reuse(const void* base, int acq_stream, int prev_stream, bool gated);
+    /// Drops a block's reuse tombstone (pool trim).
+    void forget(const void* base) noexcept;
+
+    // ---- kernel-side hooks (block worker threads) --------------------------
+    // Defined inline below the class: these run on every instrumented
+    // access and must inline into the BlockCtx/WarpCtx call sites.  They
+    // only fold byte ranges into per-region per-launch scratch; all
+    // analysis happens at on_launch_end on the host thread.
+    void note_read(const void* p, std::size_t bytes);
+    void note_write(const void* p, std::size_t bytes);
+
+    // ---- results -----------------------------------------------------------
+    /// Stored hazards (at most kMaxStored; the total keeps counting).
+    [[nodiscard]] std::vector<StreamHazard> hazards() const;
+    [[nodiscard]] std::uint64_t total_hazards() const noexcept {
+        return total_.load(std::memory_order_relaxed);
+    }
+    /// Number of region range-fold checks performed (liveness signal).
+    /// Approximate under concurrency, like Sanitizer::checks().
+    [[nodiscard]] std::uint64_t checks() const noexcept {
+        return checks_.load(std::memory_order_relaxed) + checks_serial_;
+    }
+    /// Collect-mode hazard annotations for the chrome-trace export
+    /// (rendered on kStreamSanTrack).  Host thread only.
+    [[nodiscard]] const std::vector<TraceInstant>& trace_instants() const noexcept {
+        return trace_instants_;
+    }
+    void clear();
+
+    static constexpr std::size_t kMaxStored = 128;
+
+private:
+    /// One access epoch: stream `stream`'s clock component was `clk` when
+    /// bytes [lo, hi) of the region were touched.  stream < 0 means none.
+    struct Epoch {
+        int stream = -1;
+        std::uint64_t clk = 0;
+        std::size_t lo = 0;
+        std::size_t hi = 0;
+        std::string kernel;
+    };
+
+    struct Region {
+        std::uintptr_t base = 0;
+        std::size_t bytes = 0;
+        // History: one epoch per plane/stream.  Overwriting an older epoch
+        // of the same plane can miss a race on the dropped range; merging
+        // ranges instead could report one that was actually ordered, so
+        // histories always replace, never union.
+        Epoch last_write;
+        std::vector<Epoch> reads;  ///< at most one per stream
+        // Per-launch fold scratch, lazily reset when `seq` is stale.
+        std::uint64_t seq = 0;
+        std::size_t r_lo = 0, r_hi = 0;  ///< read range; r_lo > r_hi means none
+        std::size_t w_lo = 0, w_hi = 0;
+    };
+
+    /// Region-lookup cache: four entries, round-robin replacement, misses
+    /// cached too -- the same design (and rationale) as Sanitizer's cache,
+    /// including process-wide generations so a recycled StreamSan address
+    /// cannot revalidate a stale entry.
+    struct RegionCache {  // aggregate, zero-initialized at thread start
+        const void* owner;
+        std::uint64_t gen;
+        struct Entry {
+            std::uintptr_t lo;
+            std::uintptr_t hi;
+            void* region;
+        } e[4];
+        unsigned next;
+    };
+    static inline thread_local RegionCache tl_cache_{};
+
+    void cache_insert(std::uintptr_t lo, std::uintptr_t hi, void* region) noexcept {
+        RegionCache& rc = tl_cache_;
+        rc.e[rc.next++ & 3u] = {lo, hi, region};
+    }
+
+    [[nodiscard]] Region* find(const void* p, std::size_t bytes) noexcept {
+        const auto addr = reinterpret_cast<std::uintptr_t>(p);
+        const RegionCache& rc = tl_cache_;
+        if (rc.owner == this && rc.gen == reg_gen_) [[likely]] {
+            for (const auto& c : rc.e) {
+                if (addr >= c.lo && addr + bytes <= c.hi) return static_cast<Region*>(c.region);
+            }
+        }
+        return find_slow(p, bytes);
+    }
+    [[nodiscard]] Region* find_slow(const void* p, std::size_t bytes) noexcept;
+
+    /// Serial-scheduler region cache: with host_workers == 0 every access
+    /// runs on the host thread, so the cache can live in the object -- no
+    /// TLS indirection and no generation compare on the hot path (registry
+    /// mutations clear it directly).  r == nullptr entries cache gaps.
+    struct SerialEntry {
+        std::uintptr_t lo = 0;
+        std::uintptr_t hi = 0;
+        Region* r = nullptr;
+    };
+    SerialEntry scache_[4]{};
+    unsigned scache_next_ = 0;
+    void scache_clear() noexcept {
+        for (SerialEntry& e : scache_) e = SerialEntry{};
+    }
+
+    /// Grows every vector clock (and the clock list) to cover `stream`.
+    void ensure_stream(int stream);
+    /// True when epoch (t, clk) is ordered before stream s's current
+    /// position: clk <= VC_s[t].
+    [[nodiscard]] bool ordered_before(const Epoch& e, int s) const noexcept {
+        const auto t = static_cast<std::size_t>(e.stream);
+        const std::vector<std::uint64_t>& vc = vc_[static_cast<std::size_t>(s)];
+        return t < vc.size() && e.clk <= vc[t];
+    }
+
+    /// The per-access fold; cold first-touch and the concurrent
+    /// (atomic_ref) fold out of line.
+    void note_access(const void* p, std::size_t bytes, bool write);
+    void note_access_concurrent(Region* r, std::size_t lo, std::size_t hi, bool write);
+    void first_touch_slow(Region* r);
+
+    /// Records a hazard: counts it, stores up to kMaxStored, emits a
+    /// collect-mode trace instant.  `allow_throw` selects strict-mode
+    /// behavior: throw here (host throwing context) vs defer to the next
+    /// launch bracket (noexcept detection site).
+    void report(StreamHazard h, bool allow_throw);
+    [[noreturn]] void throw_hazard(StreamHazard h);
+    void throw_pending();
+
+    [[nodiscard]] static std::uint64_t next_gen() noexcept {
+        static std::atomic<std::uint64_t> src{1};
+        return src.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    StreamSanMode mode_;
+    bool concurrent_;
+    std::map<std::uintptr_t, Region> regions_;  ///< keyed by base address
+    std::uint64_t reg_gen_ = next_gen();        ///< registry mutation stamp
+    std::vector<std::vector<std::uint64_t>> vc_{{0}};  ///< per-stream vector clocks
+    std::map<double, std::vector<std::uint64_t>> events_;  ///< recorded snapshots
+    /// Reuse tombstones: releasing stream's clock for blocks currently on
+    /// a pool free list, keyed by storage base.
+    std::map<std::uintptr_t, std::vector<std::uint64_t>> tombstones_;
+    std::uint64_t launch_seq_ = 0;       ///< per-launch scratch staleness tag
+    bool in_launch_ = false;
+    int cur_stream_ = 0;
+    std::string cur_kernel_;
+    std::vector<Region*> accessed_;      ///< regions touched by the launch
+    std::mutex touch_mu_;                ///< concurrent first-touch / accessed_
+    std::atomic<std::uint64_t> total_{0};
+    std::atomic<std::uint64_t> checks_{0};
+    std::uint64_t checks_serial_ = 0;  ///< serial-path counter: plain inc, no RMW
+    mutable std::mutex sink_mu_;         ///< guards hazards_ only
+    std::vector<StreamHazard> hazards_;
+    std::vector<TraceInstant> trace_instants_;
+    bool has_pending_ = false;           ///< deferred strict-mode hazard
+    StreamHazard pending_;
+};
+
+// ===== inline hot path =====================================================
+// The fold is four compares and four stores per access in the clean case;
+// first-touch (once per region per launch) and everything that can report
+// live out of line in streamsan.cpp.
+
+inline void StreamSan::note_access(const void* p, std::size_t bytes, bool write) {
+    if (!in_launch_ || bytes == 0) return;
+    const auto addr = reinterpret_cast<std::uintptr_t>(p);
+    if (!concurrent_) [[likely]] {
+        // Serial scheduler: member-resident cache, plain loads and stores.
+        Region* r = nullptr;
+        bool cached = false;
+        for (const SerialEntry& e : scache_) {
+            if (addr >= e.lo && addr + bytes <= e.hi) {
+                r = e.r;
+                cached = true;
+                break;
+            }
+        }
+        if (!cached) r = find_slow(p, bytes);
+        if (r == nullptr) return;  // host vector or stack local: not tracked
+        ++checks_serial_;
+        const std::size_t lo = addr - r->base;
+        const std::size_t hi = lo + bytes;
+        if (r->seq != launch_seq_) first_touch_slow(r);
+        if (write) {
+            if (lo < r->w_lo) r->w_lo = lo;
+            if (hi > r->w_hi) r->w_hi = hi;
+        } else {
+            if (lo < r->r_lo) r->r_lo = lo;
+            if (hi > r->r_hi) r->r_hi = hi;
+        }
+        return;
+    }
+    Region* r = find(p, bytes);
+    if (r == nullptr) return;
+    // Liveness counter; relaxed load+store, not a LOCK-prefixed fetch_add.
+    checks_.store(checks_.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+    const std::size_t lo = addr - r->base;
+    note_access_concurrent(r, lo, lo + bytes, write);
+}
+
+inline void StreamSan::note_read(const void* p, std::size_t bytes) {
+    note_access(p, bytes, /*write=*/false);
+}
+
+inline void StreamSan::note_write(const void* p, std::size_t bytes) {
+    note_access(p, bytes, /*write=*/true);
+}
+
+}  // namespace gpusel::simt

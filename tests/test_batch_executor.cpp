@@ -137,6 +137,66 @@ TEST(BatchExecutor, StreamFanLeasesAndReleases) {
     }
 }
 
+TEST(BatchExecutor, StreamFanDestructorJoinsUnjoinedLanes) {
+    // An early error return (or exception) can destroy a forked fan before
+    // join(); the destructor must perform the join itself so a lease is
+    // never released with un-joined lane work pending.
+    simt::Device dev(simt::arch_v100());
+    auto buf = dev.alloc<float>(1 << 12);
+    {
+        core::StreamFan fan(dev, 4);
+        (void)fan.fork();
+        const int lane = fan.stream(3);
+        dev.launch("lane_work", {.grid_dim = 4, .block_dim = 256, .stream = lane},
+                   [&](simt::BlockCtx& blk) {
+                       blk.warp_tiles(buf.size(),
+                                      [&](simt::WarpCtx& w, std::size_t base, std::size_t) {
+                                          float regs[simt::kWarpSize] = {};
+                                          w.store(buf.span(), base, regs);
+                                      });
+                   });
+        EXPECT_GT(dev.stream_clock(lane), dev.stream_clock(0));
+        // Scope exit WITHOUT join(): the destructor joins, then releases.
+    }
+    EXPECT_DOUBLE_EQ(dev.stream_clock(0), dev.elapsed_ns());
+}
+
+TEST(BatchExecutor, FaultedRunsDoNotLeakStreamLeases) {
+    // Regression for the fork/join exception-safety audit: a run that
+    // fails between fork() and join() must still join the lanes and return
+    // every lease -- the stream table stays at the fan width instead of
+    // growing per failure, and the base stream always ends caught up.
+    simt::Device dev(simt::arch_v100());
+    core::SampleSelectConfig cfg;
+    std::vector<std::vector<float>> inputs;
+    std::vector<core::BatchProblem<float>> problems;
+    for (std::size_t i = 0; i < 4; ++i) {
+        inputs.push_back(make_data(20000 + 1000 * i, 77 + i));
+        problems.push_back({inputs.back(), inputs.back().size() / 2});
+    }
+    int failures = 0;
+    for (std::size_t round = 0; round < 30; ++round) {
+        // Hard fault rates: most rounds exhaust the bounded retries and
+        // unwind out of the batch mid-flight.
+        simt::FaultSpec spec;
+        spec.seed = 90 + round;
+        spec.alloc_rate = 0.30;
+        spec.launch_rate = 0.30;
+        dev.set_faults(spec);
+        core::BatchExecutor<float> exec(dev, cfg, {.streams = 4});
+        auto run = exec.run(problems);
+        if (!run.ok()) ++failures;
+        EXPECT_LE(dev.stream_count(), 4) << "round " << round;
+        EXPECT_DOUBLE_EQ(dev.stream_clock(0), dev.elapsed_ns()) << "round " << round;
+    }
+    dev.clear_faults();
+    EXPECT_GT(failures, 0);  // the schedule really exercised the error path
+    core::BatchExecutor<float> retry(dev, cfg, {.streams = 4});
+    auto clean = retry.run(problems);
+    ASSERT_TRUE(clean.ok()) << clean.status().message;
+    EXPECT_EQ(dev.stream_count(), 4);
+}
+
 TEST(BatchExecutor, PerProblemEventStreamsMatchSerial) {
     core::SampleSelectConfig cfg;
     constexpr std::size_t kProblems = 5;

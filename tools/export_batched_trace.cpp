@@ -18,6 +18,7 @@
 #include "data/distributions.hpp"
 #include "simt/arch.hpp"
 #include "simt/device.hpp"
+#include "simt/streamsan.hpp"
 #include "simt/trace.hpp"
 
 namespace {
@@ -90,7 +91,14 @@ int main(int argc, char** argv) {
         std::cerr << "cannot open " << opt.out << " for writing\n";
         return 1;
     }
-    simt::write_chrome_trace(os, dev.profiles(), dev.planner_log());
+    // Under GPUSEL_STREAMSAN=2 the collect-mode hazard annotations render
+    // as their own track (docs/streamsan.md); a clean run adds nothing.
+    std::vector<simt::TraceInstant> instants;
+    if (const simt::StreamSan* ssan = dev.stream_sanitizer();
+        ssan != nullptr && ssan->mode() == simt::StreamSanMode::collect) {
+        instants = ssan->trace_instants();
+    }
+    simt::write_chrome_trace(os, dev.profiles(), dev.planner_log(), {}, instants);
 
     std::cout << "wrote " << opt.out << ": " << opt.problems << " problems of n=" << opt.n
               << " on " << res.streams_used << " streams, " << res.launches << " launches\n"

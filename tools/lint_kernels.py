@@ -37,6 +37,27 @@ Rules (each can be waived per line with ``// lint-kernels: allow(<rule>)``):
                           where offsets genuinely interleave
                           (non-aggregated global cursors).
 
+Host-scope rules (src/core, src/server and src/baselines .cpp files; they
+check the stream/event discipline StreamSan verifies dynamically,
+docs/streamsan.md):
+
+  R6  stream-tagged-launch -- a ``device.launch(...)`` whose brace-literal
+                          LaunchConfig carries no ``.stream`` member.  An
+                          untagged launch lands on the default stream even
+                          when the surrounding selection runs on a leased
+                          one, silently serialising against stream 0 and
+                          bypassing the per-stream pool ordering.  Every
+                          host-scope launch must thread the pipeline's
+                          stream tag (``.stream = cfg.stream`` or
+                          ``ctx.stream()``).  Waivable for single-stream
+                          baselines that never fan out.
+  R7  event-record-without-wait -- a file calls ``record_event()`` but
+                          never ``wait_event()``: a recorded fork edge with
+                          no matching join in the same module is either
+                          dead code or a missing ordering edge (exactly the
+                          wait_unrecorded / fork-without-join hazards
+                          StreamSan reports at runtime).
+
 Suppressions are themselves forbidden under ``src/core/`` -- the core kernels
 define the idiom and must stay exemplary; waivers are for baselines and
 utility layers only.
@@ -55,6 +76,7 @@ Exit status: 0 clean, 1 findings, 2 usage/IO error.
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import pathlib
 import re
 import shutil
@@ -68,10 +90,13 @@ RULES = {
     "R3": "no-raw-subscript",
     "R4": "missing-sync",
     "R5": "use-compress-store",
+    "R6": "stream-tagged-launch",
+    "R7": "event-record-without-wait",
 }
 
-# Files whose kernel lambdas are subject to the gate.  Relative to repo root.
-DEFAULT_SCOPE = [
+# Files whose kernel lambdas are subject to the kernel rules (R1-R5).
+# Relative to repo root.
+KERNEL_SCOPE = [
     "src/core/*_kernel.cpp",
     "src/core/topk.cpp",
     "src/baselines/quickselect.cpp",
@@ -79,10 +104,19 @@ DEFAULT_SCOPE = [
     "src/bitonic/*.cpp",
 ]
 
+# Host-side code subject to the stream/event discipline rules (R6-R7).
+HOST_SCOPE = [
+    "src/core/*.cpp",
+    "src/server/*.cpp",
+    "src/baselines/*.cpp",
+]
+
+DEFAULT_SCOPE = KERNEL_SCOPE + HOST_SCOPE
+
 # Suppressions may never appear under these prefixes.
 NO_SUPPRESSION_PREFIXES = ("src/core/",)
 
-SUPPRESS_RE = re.compile(r"//\s*lint-kernels:\s*allow\(\s*(R[1-5])\s*\)", re.IGNORECASE)
+SUPPRESS_RE = re.compile(r"//\s*lint-kernels:\s*allow\(\s*(R[1-7])\s*\)", re.IGNORECASE)
 
 # A kernel lambda: any capture list followed by a BlockCtx& parameter.
 LAMBDA_HEAD_RE = re.compile(r"\[[^\[\]]*\]\s*\(\s*(?:gpusel::)?(?:simt::)?BlockCtx\s*&\s*\w+\s*\)")
@@ -113,6 +147,10 @@ class Finding:
 class FileReport:
     findings: list[Finding] = field(default_factory=list)
     suppressions: list[Finding] = field(default_factory=list)
+
+
+def scope_match(norm_rel: str, patterns: list[str]) -> bool:
+    return any(fnmatch.fnmatch(norm_rel, p) for p in patterns)
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -163,6 +201,26 @@ def match_brace_block(text: str, open_idx: int) -> int:
             if depth == 0:
                 return i + 1
     return len(text)
+
+
+def split_call_args(clean: str, open_paren: int) -> list[tuple[int, str]]:
+    """(offset, text) of each top-level argument of the call at clean[open_paren]=='('."""
+    depth = 0
+    args: list[tuple[int, str]] = []
+    arg_start = open_paren + 1
+    for i in range(open_paren, len(clean)):
+        c = clean[i]
+        if c in "({[":
+            depth += 1
+        elif c in ")}]":
+            depth -= 1
+            if depth == 0:
+                args.append((arg_start, clean[arg_start:i]))
+                return args
+        elif c == "," and depth == 1:
+            args.append((arg_start, clean[arg_start:i]))
+            arg_start = i + 1
+    return args
 
 
 def find_kernel_lambdas(clean: str) -> list[tuple[int, int]]:
@@ -216,8 +274,9 @@ def lint_file(path: pathlib.Path, rel: str) -> FileReport:
         else:
             report.findings.append(f)
 
+    norm = rel.replace("\\", "/")
     spans = span_names(clean)
-    bodies = find_kernel_lambdas(clean)
+    bodies = find_kernel_lambdas(clean) if scope_match(norm, KERNEL_SCOPE) else []
 
     for start, end in bodies:
         body = clean[start:end]
@@ -276,8 +335,32 @@ def lint_file(path: pathlib.Path, rel: str) -> FileReport:
                  "kernel allocates shared memory but never calls sync(); cross-warp "
                  "shared traffic without a barrier is a race")
 
+    if scope_match(norm, HOST_SCOPE):
+        # R6: every host-scope launch with a brace-literal config must tag
+        # its stream.  Configs passed as named variables are not checked
+        # here (StreamSan covers them dynamically).
+        for m in re.finditer(r"(?:\.|->)\s*launch\s*\(", clean):
+            args = split_call_args(clean, m.end() - 1)
+            if len(args) < 2:
+                continue
+            cfg = args[1][1].strip()
+            if cfg.startswith("{") and ".stream" not in cfg:
+                emit("R6", line_of(clean, m.start()),
+                     "launch config carries no .stream tag; an untagged launch lands "
+                     "on the default stream even when the selection runs on a leased "
+                     "one -- thread the pipeline's stream (.stream = cfg.stream / "
+                     "ctx.stream())")
+
+        # R7: a fork edge recorded with no join in the same module.
+        records = list(re.finditer(r"\brecord_event\s*\(", clean))
+        if records and not re.search(r"\bwait_event\s*\(", clean):
+            emit("R7", line_of(clean, records[0].start()),
+                 "record_event() with no matching wait_event() in this module: a "
+                 "recorded fork edge that nothing joins is dead code or a missing "
+                 "ordering edge (StreamSan reports the runtime counterpart as "
+                 "wait_unrecorded / a cross-stream race)")
+
     # Suppressions are forbidden in the core kernel set.
-    norm = rel.replace("\\", "/")
     if any(norm.startswith(p) for p in NO_SUPPRESSION_PREFIXES):
         for s in report.suppressions:
             report.findings.append(Finding(
@@ -293,7 +376,7 @@ def resolve_scope(root: pathlib.Path, explicit: list[str]) -> list[pathlib.Path]
         return [pathlib.Path(p) for p in explicit]
     files: list[pathlib.Path] = []
     for pattern in DEFAULT_SCOPE:
-        files.extend(sorted(root.glob(pattern)))
+        files.extend(f for f in sorted(root.glob(pattern)) if f not in files)
     return files
 
 
