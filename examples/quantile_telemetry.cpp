@@ -7,12 +7,21 @@
 // long tail).  The dashboard needs p50 / p90 / p99 / p99.9 every minute.
 // multi_select shares the bucketing passes between all four quantiles
 // instead of running four independent selections.
+//
+// The second half streams the same telemetry through the sharded layer's
+// StreamingQuantile sketch (core/shard_select.hpp): the first chunk's
+// exact order statistics fix a splitter tree, every later chunk is one
+// count pass, and the dashboard reads quantiles with an exact residual
+// rank-error bound at any point -- no need to hold the full stream.
 
 #include <cmath>
+#include <cstddef>
 #include <iostream>
+#include <span>
 #include <vector>
 
 #include "core/multiselect.hpp"
+#include "core/shard_select.hpp"
 #include "data/rng.hpp"
 
 namespace {
@@ -55,5 +64,33 @@ int main() {
               << "kernel launches : " << res.launches << "\n"
               << "simulated time  : " << res.sim_ns / 1e6 << " ms for all "
               << ranks.size() << " quantiles\n";
+
+    // Streaming mode: the same samples arrive as 16 chunks over time.
+    simt::Device sdev(simt::arch_v100());
+    core::ShardSelectConfig scfg;
+    scfg.splitter_buckets = 256;  // finer tree -> tighter rank-error bound
+    core::StreamingQuantile<float> sketch(sdev, scfg);
+    const std::size_t chunk = n / 16;
+    for (std::size_t off = 0; off < n; off += chunk) {
+        const std::size_t len = std::min(chunk, n - off);
+        const auto st = sketch.observe(std::span<const float>(latencies).subspan(off, len));
+        if (!st.ok()) {
+            std::cerr << "observe failed: " << st.message << "\n";
+            return 1;
+        }
+    }
+    std::cout << "\nstreaming sketch over " << sketch.observed() << " samples ("
+              << sketch.launches() << " launches):\n";
+    for (std::size_t i = 0; i < ranks.size(); ++i) {
+        const auto est = sketch.quantile(quantiles[i]);
+        if (!est.ok()) {
+            std::cerr << "quantile failed: " << est.status().message << "\n";
+            return 1;
+        }
+        const auto& e = est.value();
+        std::cout << "  p" << quantiles[i] * 100 << "\t= " << e.value << " ms (exact "
+                  << res.values[i] << ", rank error <= " << e.rank_error_bound << " of "
+                  << e.n << ")\n";
+    }
     return 0;
 }

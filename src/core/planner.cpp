@@ -178,6 +178,39 @@ PlanDecision plan_selection(simt::Device& dev, std::span<const T> data, PlanQuer
     return d;
 }
 
+ShardPlan plan_shard_count(std::size_t n, std::size_t elem_size,
+                           std::size_t device_capacity_bytes, int num_devices,
+                           std::size_t max_shard_elems) {
+    ShardPlan p;
+    std::size_t budget = max_shard_elems;
+    if (budget == 0) {
+        const auto staging_bytes =
+            static_cast<std::size_t>(static_cast<double>(device_capacity_bytes) *
+                                     kShardStagingFraction);
+        budget = elem_size > 0 ? staging_bytes / elem_size : staging_bytes;
+    }
+    if (budget == 0) budget = 1;
+    p.shard_elems = budget;
+    if (n <= budget) {
+        p.shards = 1;
+        p.reason = "fits one device";
+        return p;
+    }
+    p.shards = (n + budget - 1) / budget;
+    p.reason = "exceeds per-device staging budget";
+    // With little oversubscription, spreading over all devices shrinks the
+    // critical path at no extra merge cost (the candidate fan-in already
+    // visits every used device).
+    const auto devices = static_cast<std::size_t>(num_devices < 1 ? 1 : num_devices);
+    if (p.shards < devices && devices > 1) {
+        p.shards = devices;
+        p.reason = "spread over all devices";
+    }
+    if (p.shards > n) p.shards = n;  // never cut below one element per shard
+    p.shard_elems = (n + p.shards - 1) / p.shards;
+    return p;
+}
+
 template DistributionHints probe_distribution<float>(std::span<const float>);
 template DistributionHints probe_distribution<double>(std::span<const double>);
 template DistributionHints probe_distribution<ArgPair>(std::span<const ArgPair>);

@@ -22,6 +22,10 @@
 #include "core/quantile.hpp"
 #include "core/status.hpp"
 
+namespace gpusel::simt {
+class DeviceGroup;
+}  // namespace gpusel::simt
+
 namespace gpusel::server {
 
 /// The operations the service accepts (all over float keys; argselect
@@ -163,6 +167,17 @@ struct ServerConfig {
     /// Collect queue-depth counter samples and admission-decision instants
     /// for the chrome-trace export (simt/trace.hpp).
     bool record_trace = false;
+    /// Out-of-core escape hatch: select/quantile/top-k requests whose data
+    /// exceeds the shard threshold route to the sharded multi-device path
+    /// (core/shard_select.hpp) on this group instead of the single-device
+    /// batch.  Non-owning; must outlive the server.  nullptr disables the
+    /// route (oversized requests then run -- and likely fault -- on the
+    /// single device like before).
+    simt::DeviceGroup* shard_group = nullptr;
+    /// Elements above which a request counts as oversized; 0 derives the
+    /// threshold from the group's per-device staging budget
+    /// (core::kShardStagingFraction of its modeled capacity).
+    std::size_t shard_threshold_elems = 0;
 };
 
 /// Aggregate service metrics; latencies cover completed requests only.
@@ -174,6 +189,7 @@ struct ServerMetrics {
     std::uint64_t deadline_rejected = 0;  ///< rejected up front
     std::uint64_t deadline_aborted = 0;   ///< aborted between levels
     std::uint64_t degraded = 0;           ///< exact downgraded to approx
+    std::uint64_t sharded = 0;            ///< routed to the sharded path
     std::uint64_t failed = 0;             ///< other non-ok terminal status
     std::vector<double> latencies_ns;
 

@@ -9,8 +9,11 @@
 #include "core/approx_select.hpp"
 #include "core/argselect.hpp"
 #include "core/batch_executor.hpp"
+#include "core/planner.hpp"
+#include "core/shard_select.hpp"
 #include "core/topk.hpp"
 #include "simt/streamsan.hpp"
+#include "simt/topology.hpp"
 
 namespace gpusel::server {
 
@@ -47,6 +50,20 @@ double percentile(std::vector<double> v, double pct) {
     auto nth = v.begin() + static_cast<std::ptrdiff_t>(idx);
     std::nth_element(v.begin(), nth, v.end());
     return *nth;
+}
+
+/// Elements above which a request is oversized for the single device and
+/// routes to the sharded path.  The explicit config threshold wins; the
+/// derived default is the group's per-device staging budget, so anything
+/// the single-device pipeline could not stage within its headroom peels
+/// off to the out-of-core layer.
+std::size_t shard_threshold(const ServerConfig& cfg) noexcept {
+    if (cfg.shard_group == nullptr) return std::numeric_limits<std::size_t>::max();
+    if (cfg.shard_threshold_elems > 0) return cfg.shard_threshold_elems;
+    const auto staging = static_cast<std::size_t>(
+        static_cast<double>(cfg.shard_group->mem_capacity_bytes()) *
+        core::kShardStagingFraction);
+    return std::max<std::size_t>(1, staging / sizeof(float));
 }
 
 }  // namespace
@@ -309,13 +326,20 @@ void SelectServer::run_round(std::vector<Pending> picked, double round_start) {
     std::vector<std::size_t> approx_idx;  // approx-by-request or degraded
     std::vector<std::size_t> topk_idx;
     std::vector<std::size_t> arg_idx;
+    std::vector<std::size_t> shard_idx;  // oversized -> sharded multi-device
+    const std::size_t oversized_elems = shard_threshold(cfg_);
     for (std::size_t i = 0; i < fl.size(); ++i) {
         InFlight& f = fl[i];
         if (f.resolved) continue;
         const Request& r = f.p.req;
         const bool selectish =
             r.kind == RequestKind::select || r.kind == RequestKind::quantile;
-        if (selectish && r.approx) {
+        if (r.data.size() > oversized_elems && (selectish || r.kind == RequestKind::topk)) {
+            // Oversized requests peel off to the out-of-core sharded path
+            // (argselect stays single-device: the shard layer is key-only).
+            if (selectish && r.approx) f.resp.mode = ResponseMode::approx;
+            shard_idx.push_back(i);
+        } else if (selectish && r.approx) {
             f.resp.mode = ResponseMode::approx;
             approx_idx.push_back(i);
         } else if (selectish && r.allow_degrade && cfg_.degrade_queue_delay_ns > 0.0 &&
@@ -412,6 +436,60 @@ void SelectServer::run_round(std::vector<Pending> picked, double round_start) {
             note_trace_instant_locked(round_start, kAdmissionTrack, "degrade",
                                       "tenant=" + std::to_string(f.p.req.tenant));
         }
+    }
+
+    // Oversized requests run serially through the sharded multi-device
+    // front-ends on the configured group.  The group lives on its own
+    // simulated clock; the round charges the sharded work's simulated
+    // duration onto the server's base stream so latency metrics and the
+    // EWMA see the real cost.
+    double shard_ns = 0.0;
+    for (const std::size_t i : shard_idx) {
+        InFlight& f = fl[i];
+        executed_elems += f.p.req.data.size();
+        simt::DeviceGroup& g = *cfg_.shard_group;
+        core::ShardSelectConfig scfg;
+        scfg.select = cfg_.select;
+        scfg.select.stream = 0;  // the shard layer leases its own streams
+        if (f.p.deadline_abs_ns > 0.0) scfg.select.deadline_ns = f.p.deadline_abs_ns;
+        if (f.p.req.kind == RequestKind::topk) {
+            auto res = core::try_sharded_topk<float>(g, f.p.req.data, f.p.req.k, scfg);
+            if (res.ok()) {
+                f.resp.value = res.value().threshold;
+                f.resp.values = std::move(res.value().elements);
+                shard_ns += res.value().acct.sim_ns;
+            } else {
+                f.resp.status = res.status();
+            }
+        } else if (f.resp.mode == ResponseMode::approx) {
+            auto res =
+                core::try_sharded_approx_select<float>(g, f.p.req.data, f.p.req.rank, scfg);
+            if (res.ok()) {
+                f.resp.value = res.value().value;
+                f.resp.rank_error_bound = res.value().rank_error_bound;
+                shard_ns += res.value().acct.sim_ns;
+            } else {
+                f.resp.status = res.status();
+            }
+        } else {
+            auto res = core::try_sharded_select<float>(g, f.p.req.data, f.p.req.rank, scfg);
+            if (res.ok()) {
+                f.resp.value = res.value().value;
+                shard_ns += res.value().acct.sim_ns;
+            } else {
+                f.resp.status = res.status();
+            }
+        }
+        f.resp.backend = "sample";
+        f.resolved = true;
+        std::lock_guard<std::mutex> lk(mu_);
+        ++metrics_.sharded;
+        note_trace_instant_locked(round_start, kAdmissionTrack, "shard_route",
+                                  "tenant=" + std::to_string(f.p.req.tenant) +
+                                      " n=" + std::to_string(f.p.req.data.size()));
+    }
+    if (shard_ns > 0.0) {
+        dev_.advance_stream(base, std::max(round_start, dev_.stream_clock(base)) + shard_ns);
     }
 
     // Argselect runs the key/payload pipeline serially (its staging pass

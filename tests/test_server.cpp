@@ -22,6 +22,7 @@
 #include "simt/arch.hpp"
 #include "simt/device.hpp"
 #include "simt/fault.hpp"
+#include "simt/topology.hpp"
 #include "stats/order_stats.hpp"
 
 namespace {
@@ -158,6 +159,71 @@ TEST(Server, BatchCoalescesMultipleTenants) {
                                            static_cast<std::size_t>(1000 * (t + 1))),
                   0u);
     }
+}
+
+// Oversized requests peel off to the configured multi-device shard group
+// (docs/sharding.md) and stay exact; requests under the threshold keep the
+// single-device batch path.  Argselect never routes (key-only shard layer).
+TEST(Server, OversizedRequestsRouteToShardGroup) {
+    simt::Device dev(simt::arch_v100());
+    simt::TopologySpec spec;
+    spec.num_devices = 2;
+    spec.arch = simt::arch_v100();
+    spec.mem_capacity_bytes = 64 * 1024;  // tiny modeled HBM -> real sharding
+    simt::DeviceGroup group(spec);
+    ServerConfig cfg;
+    cfg.shard_group = &group;
+    cfg.shard_threshold_elems = 8192;
+    SelectServer srv(dev, cfg);
+    const auto big = dataset(40000, 21);
+
+    Request req;  // oversized exact select
+    req.data = big;
+    req.rank = 12345;
+    auto fut = srv.submit(req);
+    ASSERT_TRUE(srv.pump());
+    Response r = fut.get();
+    ASSERT_TRUE(r.status.ok()) << r.status.message;
+    EXPECT_EQ(r.mode, ResponseMode::exact);
+    EXPECT_EQ(stats::rank_error<float>(big, r.value, 12345), 0u);
+    EXPECT_EQ(srv.metrics().sharded, 1u);
+    EXPECT_GT(group.total_link_bytes(), 0u);
+
+    Request tk;  // oversized top-k
+    tk.kind = RequestKind::topk;
+    tk.data = big;
+    tk.k = 33;
+    fut = srv.submit(tk);
+    ASSERT_TRUE(srv.pump());
+    r = fut.get();
+    ASSERT_TRUE(r.status.ok()) << r.status.message;
+    ASSERT_EQ(r.values.size(), 33u);
+    std::vector<float> expect = big;
+    std::nth_element(expect.begin(), expect.begin() + 32, expect.end(), std::greater<>());
+    EXPECT_EQ(r.value, expect[32]);
+    EXPECT_EQ(srv.metrics().sharded, 2u);
+
+    Request ap;  // oversized approx select: bounded error, still sharded
+    ap.data = big;
+    ap.rank = 100;
+    ap.approx = true;
+    fut = srv.submit(ap);
+    ASSERT_TRUE(srv.pump());
+    r = fut.get();
+    ASSERT_TRUE(r.status.ok()) << r.status.message;
+    EXPECT_EQ(r.mode, ResponseMode::approx);
+    EXPECT_LE(stats::rank_error<float>(big, r.value, 100), r.rank_error_bound);
+    EXPECT_EQ(srv.metrics().sharded, 3u);
+
+    Request sm;  // under the threshold: single-device batch path
+    sm.data = dataset(1024, 22);
+    sm.rank = 77;
+    fut = srv.submit(sm);
+    ASSERT_TRUE(srv.pump());
+    r = fut.get();
+    ASSERT_TRUE(r.status.ok()) << r.status.message;
+    EXPECT_EQ(stats::rank_error<float>(sm.data, r.value, 77), 0u);
+    EXPECT_EQ(srv.metrics().sharded, 3u);
 }
 
 // ---- typed rejections --------------------------------------------------------

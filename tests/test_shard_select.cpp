@@ -1,0 +1,496 @@
+// Sharded multi-device selection tests (core/shard_select.hpp,
+// docs/sharding.md): the shard-count planner, exact out-of-core selection
+// against the CPU reference on inputs 8x one device's modeled memory, the
+// deterministic splitter skew bound (measured max bucket <= guarantee),
+// the per-shard auxiliary-memory invariant, approximate selection's exact
+// rank-error bound, sharded top-k, the streaming quantile sketch, NaN
+// policies, determinism, and the cross-device StreamSan broken scenarios:
+// consuming a transfer's landing buffer without its ready edge and
+// overwriting the staging buffer mid-send are each a reportable hazard of
+// the exact expected kind, and the edge-correct pattern reports nothing.
+
+#include "core/shard_select.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/float_order.hpp"
+#include "core/planner.hpp"
+#include "data/rng.hpp"
+#include "simt/arch.hpp"
+#include "simt/streamsan.hpp"
+#include "simt/topology.hpp"
+
+namespace {
+
+using namespace gpusel;
+using core::ShardSelectConfig;
+using simt::HazardKind;
+using simt::StreamSanError;
+using simt::StreamSanMode;
+
+/// Group with a tiny modeled per-device memory so out-of-core inputs stay
+/// cheap: 64 KiB capacity -> 16 KiB staging budget -> 4096 floats/shard.
+constexpr std::size_t kTinyCapacity = 64 * 1024;
+
+simt::TopologySpec tiny_spec(int devices, std::size_t capacity = kTinyCapacity) {
+    simt::TopologySpec spec;
+    spec.num_devices = devices;
+    spec.arch = simt::arch_v100();
+    spec.mem_capacity_bytes = capacity;
+    return spec;
+}
+
+std::vector<float> random_floats(std::size_t n, std::uint64_t seed) {
+    data::Xoshiro256 rng(seed);
+    std::vector<float> v(n);
+    for (auto& x : v) x = static_cast<float>(rng.uniform() * 2000.0 - 1000.0);
+    return v;
+}
+
+/// CPU reference: the element of 0-based `rank` under the library's total
+/// order (NaNs above +inf).
+float reference_select(std::vector<float> v, std::size_t rank) {
+    auto nth = v.begin() + static_cast<std::ptrdiff_t>(rank);
+    std::nth_element(v.begin(), nth, v.end(),
+                     [](float a, float b) { return core::total_less(a, b); });
+    return *nth;
+}
+
+/// 0-based rank interval [lo, hi] the value occupies in the sorted input.
+std::pair<std::size_t, std::size_t> reference_rank_range(std::vector<float> v, float value) {
+    std::sort(v.begin(), v.end(), [](float a, float b) { return core::total_less(a, b); });
+    const auto lo = std::lower_bound(v.begin(), v.end(), value,
+                                     [](float a, float b) { return core::total_less(a, b); });
+    const auto hi = std::upper_bound(v.begin(), v.end(), value,
+                                     [](float a, float b) { return core::total_less(a, b); });
+    EXPECT_NE(lo, hi) << "value " << value << " not present in the input";
+    return {static_cast<std::size_t>(lo - v.begin()),
+            static_cast<std::size_t>(hi - v.begin()) - 1};
+}
+
+// ---- shard-count planning ---------------------------------------------------
+
+TEST(ShardPlanTest, FitsOneDevice) {
+    const auto p = core::plan_shard_count(1000, 4, 1 << 20, 4);
+    EXPECT_EQ(p.shards, 1u);
+    EXPECT_STREQ(p.reason, "fits one device");
+}
+
+TEST(ShardPlanTest, OversizedInputChunksAgainstStagingBudget) {
+    // 64 KiB capacity -> 16 KiB staging -> 4096 floats per shard.
+    const auto p = core::plan_shard_count(100000, 4, kTinyCapacity, 2);
+    EXPECT_EQ(p.shards, (100000 + 4095) / 4096u);
+    EXPECT_LE(p.shard_elems, 4096u);
+    EXPECT_STREQ(p.reason, "exceeds per-device staging budget");
+}
+
+TEST(ShardPlanTest, SmallOversubscriptionSpreadsOverAllDevices) {
+    // Two shards' worth of data on a 4-device group spreads to 4 shards.
+    const auto p = core::plan_shard_count(8000, 4, kTinyCapacity, 4);
+    EXPECT_EQ(p.shards, 4u);
+    EXPECT_STREQ(p.reason, "spread over all devices");
+}
+
+TEST(ShardPlanTest, NeverCutsBelowOneElementPerShard) {
+    const auto p = core::plan_shard_count(3, 4, kTinyCapacity, 8, /*max_shard_elems=*/1);
+    EXPECT_EQ(p.shards, 3u);
+    EXPECT_EQ(p.shard_elems, 1u);
+}
+
+TEST(ShardPlanTest, ExplicitOverrideWins) {
+    const auto p = core::plan_shard_count(10000, 4, 1ull << 40, 2, /*max_shard_elems=*/1000);
+    EXPECT_EQ(p.shards, 10u);
+    EXPECT_EQ(p.shard_elems, 1000u);
+}
+
+// ---- exact sharded selection ------------------------------------------------
+
+TEST(ShardedSelect, MatchesCpuReferenceAt8xDeviceMemory) {
+    // 8x the modeled 64 KiB capacity: 131072 floats (+ a ragged tail).
+    const std::size_t n = 8 * kTinyCapacity / sizeof(float) + 37;
+    const auto input = random_floats(n, 101);
+    simt::DeviceGroup group(tiny_spec(2));
+    ShardSelectConfig cfg;
+    for (const std::size_t rank :
+         {std::size_t{0}, n / 3, n / 2, n - 2, n - 1}) {
+        auto res = core::try_sharded_select<float>(group, input, rank, cfg);
+        ASSERT_TRUE(res.ok()) << res.status().message;
+        EXPECT_EQ(res.value().value, reference_select(input, rank)) << "rank " << rank;
+    }
+}
+
+TEST(ShardedSelect, AccountingInvariantsHold) {
+    const std::size_t n = 8 * kTinyCapacity / sizeof(float);
+    const auto input = random_floats(n, 102);
+    simt::DeviceGroup group(tiny_spec(2));
+    ShardSelectConfig cfg;
+    auto res = core::try_sharded_select<float>(group, input, n / 2, cfg);
+    ASSERT_TRUE(res.ok()) << res.status().message;
+    const auto& a = res.value().acct;
+    // The input was genuinely out of core and used the whole group.
+    EXPECT_GE(a.shards, 8u);
+    EXPECT_EQ(a.devices_used, 2);
+    EXPECT_LE(a.max_shard_elems, 4096u);
+    // Out-of-core invariant: per-device auxiliary memory stays within one
+    // device's modeled capacity even though n is 8x beyond it.
+    EXPECT_LE(a.max_shard_aux_bytes, group.mem_capacity_bytes());
+    // The deterministic splitter guarantee: the measured largest
+    // non-equality bucket respects the regular-sampling bound.
+    EXPECT_GT(a.skew_bound, 0u);
+    EXPECT_LE(a.max_bucket, a.skew_bound);
+    // Cross-device work really moved bytes over the modeled links and
+    // consumed simulated time and launches.
+    EXPECT_GT(a.link_bytes, 0u);
+    EXPECT_EQ(a.link_bytes, group.total_link_bytes());
+    EXPECT_GT(a.sim_ns, 0.0);
+    EXPECT_GT(a.launches, 0u);
+    EXPECT_EQ(a.nan_count, 0u);
+}
+
+TEST(ShardedSelect, SingleShardPassthrough) {
+    const auto input = random_floats(2000, 103);
+    simt::DeviceGroup group(tiny_spec(2));
+    ShardSelectConfig cfg;
+    auto res = core::try_sharded_select<float>(group, input, 1234, cfg);
+    ASSERT_TRUE(res.ok()) << res.status().message;
+    EXPECT_EQ(res.value().value, reference_select(input, 1234));
+    EXPECT_EQ(res.value().acct.shards, 1u);
+    // No merge ran: the skew machinery reports zeros per the contract.
+    EXPECT_EQ(res.value().acct.skew_bound, 0u);
+    EXPECT_EQ(res.value().acct.link_bytes, 0u);
+}
+
+TEST(ShardedSelect, DuplicateHeavyInputStaysExact) {
+    const std::size_t n = 40000;
+    data::Xoshiro256 rng(104);
+    std::vector<float> input(n);
+    for (auto& x : input) x = static_cast<float>(static_cast<int>(rng.uniform() * 8.0));
+    simt::DeviceGroup group(tiny_spec(2));
+    ShardSelectConfig cfg;
+    for (const std::size_t rank : {n / 4, n / 2, 3 * n / 4}) {
+        auto res = core::try_sharded_select<float>(group, input, rank, cfg);
+        ASSERT_TRUE(res.ok()) << res.status().message;
+        EXPECT_EQ(res.value().value, reference_select(input, rank)) << "rank " << rank;
+    }
+}
+
+TEST(ShardedSelect, DeterministicAcrossRuns) {
+    const std::size_t n = 50000;
+    const auto input = random_floats(n, 105);
+    ShardSelectConfig cfg;
+    std::optional<core::ShardedSelectResult<float>> first;
+    for (int run = 0; run < 2; ++run) {
+        simt::DeviceGroup group(tiny_spec(3));
+        auto res = core::try_sharded_select<float>(group, input, n / 2, cfg);
+        ASSERT_TRUE(res.ok()) << res.status().message;
+        if (!first) {
+            first = res.value();
+            continue;
+        }
+        EXPECT_EQ(res.value().value, first->value);
+        EXPECT_EQ(res.value().acct.skew_bound, first->acct.skew_bound);
+        EXPECT_EQ(res.value().acct.merge_candidates, first->acct.merge_candidates);
+        EXPECT_EQ(res.value().acct.link_bytes, first->acct.link_bytes);
+        EXPECT_EQ(res.value().acct.launches, first->acct.launches);
+    }
+}
+
+TEST(ShardedSelect, NanPoliciesMatchSingleDeviceContract) {
+    auto input = random_floats(30000, 106);
+    for (std::size_t i = 0; i < input.size(); i += 97) input[i] = core::quiet_nan<float>();
+    const std::size_t nan = (input.size() + 96) / 97;
+    simt::DeviceGroup group(tiny_spec(2));
+    ShardSelectConfig cfg;
+
+    cfg.select.nan_policy = core::NanPolicy::reject;
+    auto rej = core::try_sharded_select<float>(group, input, 10, cfg);
+    ASSERT_FALSE(rej.ok());
+    EXPECT_EQ(rej.status().code, core::SelectError::nan_keys_rejected);
+
+    cfg.select.nan_policy = core::NanPolicy::propagate_largest;
+    auto mid = core::try_sharded_select<float>(group, input, input.size() / 2, cfg);
+    ASSERT_TRUE(mid.ok()) << mid.status().message;
+    EXPECT_EQ(mid.value().value, reference_select(input, input.size() / 2));
+    EXPECT_EQ(mid.value().acct.nan_count, nan);
+
+    // A rank inside the NaN tail answers NaN (NaNs sort above +inf).
+    auto tail = core::try_sharded_select<float>(group, input, input.size() - 1, cfg);
+    ASSERT_TRUE(tail.ok()) << tail.status().message;
+    EXPECT_TRUE(std::isnan(tail.value().value));
+}
+
+TEST(ShardedSelect, TypedErrors) {
+    simt::DeviceGroup group(tiny_spec(2));
+    ShardSelectConfig cfg;
+    const std::vector<float> empty;
+    auto e1 = core::try_sharded_select<float>(group, empty, 0, cfg);
+    EXPECT_EQ(e1.status().code, core::SelectError::empty_input);
+
+    const auto input = random_floats(100, 107);
+    auto e2 = core::try_sharded_select<float>(group, input, 100, cfg);
+    EXPECT_EQ(e2.status().code, core::SelectError::rank_out_of_range);
+
+    ShardSelectConfig bad = cfg;
+    bad.splitter_buckets = 3;  // not a power of two
+    auto e3 = core::try_sharded_select<float>(group, input, 10, bad);
+    EXPECT_EQ(e3.status().code, core::SelectError::invalid_argument);
+
+    ShardSelectConfig fan = cfg;
+    fan.merge_fanin = 1;
+    auto e4 = core::try_sharded_select<float>(group, input, 10, fan);
+    EXPECT_EQ(e4.status().code, core::SelectError::invalid_argument);
+}
+
+TEST(ShardedSelect, DoubleKeysAndDeepFanin) {
+    const std::size_t n = 60000;
+    data::Xoshiro256 rng(108);
+    std::vector<double> input(n);
+    for (auto& x : input) x = rng.uniform() * 1e6 - 5e5;
+    simt::DeviceGroup group(tiny_spec(4));
+    ShardSelectConfig cfg;
+    cfg.merge_fanin = 2;  // force multiple hierarchical merge rounds
+    auto res = core::try_sharded_select<double>(group, input, n / 2, cfg);
+    ASSERT_TRUE(res.ok()) << res.status().message;
+    std::vector<double> ref = input;
+    auto nth = ref.begin() + static_cast<std::ptrdiff_t>(n / 2);
+    std::nth_element(ref.begin(), nth, ref.end());
+    EXPECT_EQ(res.value().value, *nth);
+    EXPECT_EQ(res.value().acct.devices_used, 4);
+}
+
+// ---- approximate sharded selection ------------------------------------------
+
+TEST(ShardedApprox, ErrorWithinReportedBound) {
+    const std::size_t n = 70000;
+    const auto input = random_floats(n, 109);
+    simt::DeviceGroup group(tiny_spec(2));
+    ShardSelectConfig cfg;
+    for (const std::size_t rank : {n / 10, n / 2, 9 * n / 10}) {
+        auto res = core::try_sharded_approx_select<float>(group, input, rank, cfg);
+        ASSERT_TRUE(res.ok()) << res.status().message;
+        const auto [lo, hi] = reference_rank_range(input, res.value().value);
+        const std::size_t err = rank < lo ? lo - rank : (rank > hi ? rank - hi : 0);
+        EXPECT_LE(err, res.value().rank_error_bound) << "rank " << rank;
+        // The bound itself is splitter-granularity: never beyond one
+        // bucket (+1 for the duplicate-splitter edge).
+        EXPECT_LE(res.value().rank_error_bound, res.value().acct.skew_bound + 1);
+    }
+}
+
+TEST(ShardedApprox, SingleShardStillAnswersWithBound) {
+    const auto input = random_floats(3000, 110);
+    simt::DeviceGroup group(tiny_spec(2));
+    ShardSelectConfig cfg;
+    auto res = core::try_sharded_approx_select<float>(group, input, 1500, cfg);
+    ASSERT_TRUE(res.ok()) << res.status().message;
+    const auto [lo, hi] = reference_rank_range(input, res.value().value);
+    const std::size_t err = 1500 < lo ? lo - 1500 : (1500 > hi ? 1500 - hi : 0);
+    EXPECT_LE(err, res.value().rank_error_bound);
+    EXPECT_GT(res.value().acct.merge_candidates, 0u);
+}
+
+// ---- sharded top-k ----------------------------------------------------------
+
+TEST(ShardedTopK, MatchesReferenceAcrossShards) {
+    const std::size_t n = 90000;
+    const std::size_t k = 257;
+    const auto input = random_floats(n, 111);
+    simt::DeviceGroup group(tiny_spec(2));
+    ShardSelectConfig cfg;
+    auto res = core::try_sharded_topk<float>(group, input, k, cfg);
+    ASSERT_TRUE(res.ok()) << res.status().message;
+    ASSERT_EQ(res.value().elements.size(), k);
+    std::vector<float> ref = input;
+    std::sort(ref.begin(), ref.end(), std::greater<>());
+    EXPECT_EQ(res.value().threshold, ref[k - 1]);
+    std::vector<float> got = res.value().elements;
+    std::sort(got.begin(), got.end(), std::greater<>());
+    for (std::size_t i = 0; i < k; ++i) EXPECT_EQ(got[i], ref[i]) << "element " << i;
+    EXPECT_GE(res.value().acct.shards, 8u);
+    EXPECT_GT(res.value().acct.link_bytes, 0u);
+}
+
+TEST(ShardedTopK, NanTailAndGuards) {
+    auto input = random_floats(50000, 112);
+    input[7] = core::quiet_nan<float>();
+    input[19] = core::quiet_nan<float>();
+    simt::DeviceGroup group(tiny_spec(2));
+    ShardSelectConfig cfg;
+    cfg.select.nan_policy = core::NanPolicy::propagate_largest;
+    // k within the NaN count: the whole top-k set is NaN.
+    auto nan_only = core::try_sharded_topk<float>(group, input, 2, cfg);
+    ASSERT_TRUE(nan_only.ok()) << nan_only.status().message;
+    for (const float x : nan_only.value().elements) EXPECT_TRUE(std::isnan(x));
+
+    // Mixed: NaNs ride along as the largest keys.
+    auto mixed = core::try_sharded_topk<float>(group, input, 10, cfg);
+    ASSERT_TRUE(mixed.ok()) << mixed.status().message;
+    ASSERT_EQ(mixed.value().elements.size(), 10u);
+    const std::size_t nans = static_cast<std::size_t>(
+        std::count_if(mixed.value().elements.begin(), mixed.value().elements.end(),
+                      [](float x) { return std::isnan(x); }));
+    EXPECT_EQ(nans, 2u);
+
+    // k == 0 and k > n are typed errors.
+    EXPECT_EQ(core::try_sharded_topk<float>(group, input, 0, cfg).status().code,
+              core::SelectError::rank_out_of_range);
+    EXPECT_EQ(core::try_sharded_topk<float>(group, input, input.size() + 1, cfg).status().code,
+              core::SelectError::rank_out_of_range);
+
+    // A k beyond the per-shard staging budget cannot gather on the root.
+    auto big = core::try_sharded_topk<float>(group, input, 20000, cfg);
+    EXPECT_EQ(big.status().code, core::SelectError::invalid_argument);
+}
+
+// ---- streaming quantile sketch ----------------------------------------------
+
+TEST(StreamingQuantileTest, BoundsHoldOverChunkedStream) {
+    const std::size_t n = 64000;
+    const auto data = random_floats(n, 113);
+    simt::Device dev(simt::arch_v100());
+    core::ShardSelectConfig cfg;
+    cfg.splitter_buckets = 64;
+    core::StreamingQuantile<float> sketch(dev, cfg);
+    const std::size_t chunk = 9000;  // ragged: the last chunk is short
+    for (std::size_t off = 0; off < n; off += chunk) {
+        const std::size_t len = std::min(chunk, n - off);
+        ASSERT_TRUE(sketch.observe(std::span<const float>(data).subspan(off, len)).ok());
+    }
+    EXPECT_EQ(sketch.observed(), n);
+    EXPECT_GT(sketch.launches(), 0u);
+    for (const double q : {0.01, 0.25, 0.5, 0.9, 0.999}) {
+        auto est = sketch.quantile(q);
+        ASSERT_TRUE(est.ok()) << est.status().message;
+        const auto& e = est.value();
+        const auto [lo, hi] = reference_rank_range(data, e.value);
+        const std::size_t err = e.rank < lo ? lo - e.rank : (e.rank > hi ? e.rank - hi : 0);
+        EXPECT_LE(err, e.rank_error_bound) << "q=" << q;
+    }
+}
+
+TEST(StreamingQuantileTest, NanSkippingAndErrors) {
+    simt::Device dev(simt::arch_v100());
+    core::StreamingQuantile<float> sketch(dev);
+    EXPECT_EQ(sketch.quantile(0.5).status().code, core::SelectError::empty_input);
+    std::vector<float> chunk = {1.0f, core::quiet_nan<float>(), 3.0f, 2.0f};
+    ASSERT_TRUE(sketch.observe(chunk).ok());
+    EXPECT_EQ(sketch.observed(), 4u);
+    EXPECT_EQ(sketch.nan_count(), 1u);
+    EXPECT_EQ(sketch.quantile(1.5).status().code, core::SelectError::invalid_argument);
+    auto est = sketch.quantile(0.5);
+    ASSERT_TRUE(est.ok());
+    EXPECT_EQ(est.value().n, 3u);
+}
+
+// ---- cross-device StreamSan ordering ----------------------------------------
+
+/// One-block kernel reading every element of `buf` on `stream`.
+void launch_read(simt::Device& dev, std::span<const float> buf, int stream) {
+    dev.launch("consumer_read", {.grid_dim = 1, .block_dim = 32, .stream = stream},
+               [buf](simt::BlockCtx& blk) {
+                   blk.warp_tiles(buf.size(), [&](simt::WarpCtx& w, std::size_t base, std::size_t) {
+                       float regs[simt::kWarpSize];
+                       w.load(buf, base, regs);
+                   });
+               });
+}
+
+/// One-block kernel overwriting every element of `buf` on `stream`.
+void launch_write(simt::Device& dev, std::span<float> buf, int stream) {
+    dev.launch("producer_write", {.grid_dim = 1, .block_dim = 32, .stream = stream},
+               [buf](simt::BlockCtx& blk) {
+                   blk.warp_tiles(buf.size(), [&](simt::WarpCtx& w, std::size_t base, std::size_t) {
+                       float regs[simt::kWarpSize] = {};
+                       w.store(buf, base, regs);
+                   });
+               });
+}
+
+/// Runs `f` and returns the HazardKind of the StreamSanError it throws, or
+/// nullopt if it completes cleanly.
+template <typename F>
+std::optional<HazardKind> hazard_kind_of(F&& f) {
+    try {
+        f();
+    } catch (const StreamSanError& e) {
+        return e.hazard().kind;
+    }
+    return std::nullopt;
+}
+
+TEST(ShardStreamSan, ReadingLandingBufferWithoutReadyEdgeIsRace) {
+    simt::DeviceGroup group(tiny_spec(2));
+    group.device(0).set_stream_sanitizer(StreamSanMode::strict);
+    group.device(1).set_stream_sanitizer(StreamSanMode::strict);
+    auto src = group.device(0).pooled<float>(256);
+    auto dst = group.device(1).pooled<float>(256);
+    for (std::size_t i = 0; i < 256; ++i) src[i] = static_cast<float>(i);
+    (void)group.transfer<float>(0, std::span<const float>(src.span()), 0, 1, dst.span(), 0,
+                                256, 0);
+    // BROKEN: the merge consumes the peer's landing buffer without adopting
+    // the transfer's ready event -- the link_recv write and this read are
+    // unordered, exactly the hazard the sharded merges' wait_event prevents.
+    EXPECT_EQ(hazard_kind_of([&] { launch_read(group.device(1), dst.span(), 0); }),
+              HazardKind::read_write_race);
+    group.synchronize_all();
+}
+
+TEST(ShardStreamSan, OverwritingSourceDuringSendIsRace) {
+    simt::DeviceGroup group(tiny_spec(2));
+    group.device(0).set_stream_sanitizer(StreamSanMode::strict);
+    group.device(1).set_stream_sanitizer(StreamSanMode::strict);
+    auto src = group.device(0).pooled<float>(256);
+    auto dst = group.device(1).pooled<float>(256);
+    for (std::size_t i = 0; i < 256; ++i) src[i] = static_cast<float>(i);
+    (void)group.transfer<float>(0, std::span<const float>(src.span()), 0, 1, dst.span(), 0,
+                                256, 0);
+    // BROKEN: the producer reuses its staging buffer without waiting for
+    // src_done -- the link_send read pass and this write are unordered.
+    EXPECT_EQ(hazard_kind_of([&] { launch_write(group.device(0), src.span(), 0); }),
+              HazardKind::read_write_race);
+    group.synchronize_all();
+}
+
+TEST(ShardStreamSan, TransferEdgesMakeConsumptionClean) {
+    simt::DeviceGroup group(tiny_spec(2));
+    group.device(0).set_stream_sanitizer(StreamSanMode::strict);
+    group.device(1).set_stream_sanitizer(StreamSanMode::strict);
+    auto src = group.device(0).pooled<float>(256);
+    auto dst = group.device(1).pooled<float>(256);
+    for (std::size_t i = 0; i < 256; ++i) src[i] = static_cast<float>(i);
+    const auto rec =
+        group.transfer<float>(0, std::span<const float>(src.span()), 0, 1, dst.span(), 0, 256, 0);
+    // CORRECT: adopt both edges, then consume and overwrite freely.
+    group.device(1).wait_event(0, rec.ready_ns);
+    launch_read(group.device(1), dst.span(), 0);
+    group.device(0).wait_event(0, rec.src_done_ns);
+    launch_write(group.device(0), src.span(), 0);
+    group.synchronize_all();
+    EXPECT_EQ(group.device(0).stream_sanitizer()->total_hazards(), 0u);
+    EXPECT_EQ(group.device(1).stream_sanitizer()->total_hazards(), 0u);
+    EXPECT_EQ(dst[255], 255.0f);
+}
+
+TEST(ShardStreamSan, ShardedSelectIsHazardFreeUnderStrictMode) {
+    simt::DeviceGroup group(tiny_spec(2));
+    group.device(0).set_stream_sanitizer(StreamSanMode::strict);
+    group.device(1).set_stream_sanitizer(StreamSanMode::strict);
+    const std::size_t n = 40000;
+    const auto input = random_floats(n, 114);
+    ShardSelectConfig cfg;
+    auto res = core::try_sharded_select<float>(group, input, n / 2, cfg);
+    ASSERT_TRUE(res.ok()) << res.status().message;
+    EXPECT_EQ(res.value().value, reference_select(input, n / 2));
+    EXPECT_EQ(group.device(0).stream_sanitizer()->total_hazards(), 0u);
+    EXPECT_EQ(group.device(1).stream_sanitizer()->total_hazards(), 0u);
+}
+
+}  // namespace

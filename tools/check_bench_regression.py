@@ -94,6 +94,47 @@ def planner_coverage(doc):
     return True, [c for c, v in sums.items() if v <= 0]
 
 
+# Sharded-selection coverage: the bench sweep must include the
+# BM_ShardedSelect family and its modeled interconnect traffic counter
+# (bench_simulator_overhead exports link_bytes_per_iter per run).  Unlike
+# the planner step this one FAILS when absent -- the sharded lane only
+# means something if the benchmark actually ran and moved bytes over the
+# modeled links.
+SHARD_FAMILY = "BM_ShardedSelect"
+LINK_COUNTER_SUBSTR = "link_bytes"
+
+
+def shard_coverage(doc):
+    """Returns the list of problems for the shard-coverage step.
+
+    Empty list == pass.  Problems: the BM_ShardedSelect family is missing
+    from the run, or no benchmark in the family carries a positive
+    link-byte counter (any counter whose name contains 'link_bytes').
+    """
+    family_runs = [b for b in doc.get("benchmarks", [])
+                   if b.get("run_type") != "aggregate"
+                   and family_of(b.get("name", "")) == SHARD_FAMILY]
+    if not family_runs:
+        return [f"benchmark family {SHARD_FAMILY} absent from the run"]
+    link_bytes = 0.0
+    seen_counter = False
+    for b in family_runs:
+        for key, val in b.items():
+            if LINK_COUNTER_SUBSTR in key:
+                seen_counter = True
+                try:
+                    link_bytes += float(val)
+                except (TypeError, ValueError):
+                    pass
+    if not seen_counter:
+        return [f"no link-byte counter ('{LINK_COUNTER_SUBSTR}') on any "
+                f"{SHARD_FAMILY} run"]
+    if link_bytes <= 0:
+        return [f"{SHARD_FAMILY} ran but reported zero link bytes -- "
+                "multi-device transfers never happened"]
+    return []
+
+
 def load_server_points(path):
     """Returns {name: point} from a gpusel_loadgen sweep JSON."""
     with open(path) as f:
@@ -234,6 +275,13 @@ def run_gate(baseline_path, current_path, tolerance, summary_out,
     else:
         print("planner coverage skipped: no backend_* counters in this run")
 
+    shard_problems = shard_coverage(current_doc)
+    if shard_problems:
+        print(f"FAIL: shard coverage: {'; '.join(shard_problems)}",
+              file=sys.stderr)
+    else:
+        print(f"shard coverage OK: {SHARD_FAMILY} ran with nonzero link bytes")
+
     slo_failures = []
     if server_current_path and os.path.exists(server_current_path):
         try:
@@ -262,7 +310,7 @@ def run_gate(baseline_path, current_path, tolerance, summary_out,
         print(f"FAIL: families regressed past -{tolerance:.0%}: {', '.join(failed)}",
               file=sys.stderr)
         return REGRESSION
-    if (checked and missing) or slo_failures:
+    if (checked and missing) or shard_problems or slo_failures:
         return REGRESSION
     print(f"OK: {len(families)} families within tolerance "
           f"({len([r for r in rows if r[3] is not None])} benchmarks compared)")
@@ -322,6 +370,28 @@ def self_test(baseline_path, tolerance):
             print("self-test FAIL: zeroed backend tally did not trip coverage",
                   file=sys.stderr)
             return REGRESSION
+    # Shard-coverage step: the baseline must carry the sharded family with
+    # traffic on the modeled links, dropping the family must trip, and
+    # stripping the link-byte counters must trip.
+    if shard_coverage(doc):
+        print("self-test FAIL: baseline sweep lacks sharded-selection coverage",
+              file=sys.stderr)
+        return REGRESSION
+    no_family = copy.deepcopy(doc)
+    no_family["benchmarks"] = [b for b in no_family.get("benchmarks", [])
+                               if family_of(b.get("name", "")) != SHARD_FAMILY]
+    if not shard_coverage(no_family):
+        print("self-test FAIL: missing sharded family did not trip coverage",
+              file=sys.stderr)
+        return REGRESSION
+    no_links = copy.deepcopy(doc)
+    for b in no_links.get("benchmarks", []):
+        for key in [k for k in b if LINK_COUNTER_SUBSTR in k]:
+            del b[key]
+    if not shard_coverage(no_links):
+        print("self-test FAIL: stripped link-byte counter did not trip coverage",
+              file=sys.stderr)
+        return REGRESSION
     # Latency-SLO step, against a synthetic sweep (no files needed): an
     # identical sweep passes, a p99 inflation past the tolerance trips,
     # shedding at the nominal point trips, shedding under overload at a
@@ -350,6 +420,7 @@ def self_test(baseline_path, tolerance):
         print("self-test FAIL: nominal shed did not trip the SLO gate", file=sys.stderr)
         return REGRESSION
     print(f"self-test OK: gate trips at -{tolerance:.0%} and passes inside it; "
+          "shard coverage trips on a missing family or link counter; "
           "SLO gate trips on p99 inflation and nominal shed")
     return PASS
 
